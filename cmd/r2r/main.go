@@ -1,0 +1,454 @@
+// Command r2r is the rewrite-to-reinforce command line tool: assemble,
+// run, trace, fault-scan, and harden static x86-64 binaries, and
+// regenerate the paper's evaluation tables.
+//
+// Usage:
+//
+//	r2r asm -o prog.elf prog.s          assemble a program
+//	r2r info prog.elf                   sections, entry, code size
+//	r2r disasm prog.elf                 symbolized disassembly
+//	r2r run [-in STR] prog.elf          execute in the emulator
+//	r2r trace [-in STR] prog.elf        dynamic instruction trace
+//	r2r lift prog.elf                   print the compiler IR
+//	r2r faults -good G -bad B prog.elf  fault-injection campaign
+//	r2r patch -good G -bad B -o out.elf prog.elf    Faulter+Patcher pipeline
+//	r2r hybrid -o out.elf prog.elf                  Hybrid pipeline
+//	r2r cases -dir DIR                  write the case studies to disk
+//	r2r experiments [-only NAME]        regenerate the paper's tables
+//	r2r pipeline                        describe the two pipelines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/r2r/reinforce"
+	"github.com/r2r/reinforce/internal/experiments"
+	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "asm":
+		err = cmdAsm(args)
+	case "info":
+		err = cmdInfo(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "run":
+		err = cmdRun(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "lift":
+		err = cmdLift(args)
+	case "faults":
+		err = cmdFaults(args)
+	case "patch":
+		err = cmdPatch(args)
+	case "hybrid":
+		err = cmdHybrid(args)
+	case "cases":
+		err = cmdCases(args)
+	case "cfg":
+		err = cmdCFG(args)
+	case "experiments":
+		err = cmdExperiments(args)
+	case "pipeline":
+		err = cmdPipeline()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "r2r: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "r2r %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `r2r — rewrite binaries to reinforce them against fault injection
+
+commands:
+  asm -o OUT IN.s                assemble to a static ELF
+  info BIN                       entry, sections, code size
+  disasm BIN                     symbolized disassembly
+  run [-in STR] BIN              execute in the emulator
+  trace [-in STR] BIN            record the dynamic instruction trace
+  lift BIN                       print the lifted compiler IR
+  faults -good G -bad B [-model skip|bitflip|both] BIN
+                                 run a fault-injection campaign
+  patch -good G -bad B [-model ...] [-o OUT] BIN
+                                 harden via the Faulter+Patcher pipeline
+  hybrid [-o OUT] BIN            harden via the Hybrid (lift/lower) pipeline
+  cases -dir DIR                 emit the pincheck/bootloader case studies
+  cfg [-harden] BIN              CFG of the lifted IR in Graphviz dot
+                                 (figures 4/5 with -harden)
+  experiments [-only NAME]       regenerate the paper's tables and claims
+  pipeline                       describe the two pipelines
+`)
+}
+
+func loadBinary(path string) (*reinforce.Binary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return reinforce.ParseELF(data)
+}
+
+func saveBinary(bin *reinforce.Binary, path string) error {
+	img, err := bin.Bytes()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, img, 0o755)
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	out := fs.String("o", "a.elf", "output path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bin, err := reinforce.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if err := saveBinary(bin, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes of code)\n", *out, bin.CodeSize())
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	bin, err := loadBinary(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(reinforce.Describe(bin))
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	bin, err := loadBinary(args[0])
+	if err != nil {
+		return err
+	}
+	listing, err := reinforce.Disassemble(bin)
+	if err != nil {
+		return err
+	}
+	fmt.Print(listing)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("in", "", "stdin contents")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := reinforce.Run(bin, []byte(*in))
+	if err != nil {
+		return fmt.Errorf("crashed after %d steps: %w", res.Steps, err)
+	}
+	os.Stdout.Write(res.Stdout)
+	os.Stderr.Write(res.Stderr)
+	fmt.Printf("[exit %d after %d steps]\n", res.ExitCode, res.Steps)
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	in := fs.String("in", "", "stdin contents")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tr := reinforce.CaptureTrace(bin, []byte(*in))
+	for _, e := range tr.Entries {
+		fmt.Printf("%#x\n", e.Addr)
+	}
+	fmt.Println(tr.Summary())
+	return nil
+}
+
+func cmdLift(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	bin, err := loadBinary(args[0])
+	if err != nil {
+		return err
+	}
+	irText, err := reinforce.LiftIR(bin)
+	if err != nil {
+		return err
+	}
+	fmt.Print(irText)
+	return nil
+}
+
+func parseModels(s string) ([]reinforce.Model, error) {
+	switch s {
+	case "skip":
+		return []reinforce.Model{reinforce.ModelSkip}, nil
+	case "bitflip":
+		return []reinforce.Model{reinforce.ModelBitFlip}, nil
+	case "both", "":
+		return []reinforce.Model{reinforce.ModelSkip, reinforce.ModelBitFlip}, nil
+	}
+	return nil, fmt.Errorf("unknown fault model %q", s)
+}
+
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	good := fs.String("good", "", "accepted input")
+	bad := fs.String("bad", "", "rejected input")
+	model := fs.String("model", "both", "fault model: skip, bitflip, both")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	models, err := parseModels(*model)
+	if err != nil {
+		return err
+	}
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := reinforce.FaultScan(bin, []byte(*good), []byte(*bad), models...)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Summary())
+	for _, s := range rep.VulnerableSites() {
+		fmt.Printf("  vulnerable: %#x %-8s (%d successful faults, class %s)\n",
+			s.Addr, s.Mnemonic, s.Count, fault.Classify(s.Op))
+	}
+	return nil
+}
+
+func cmdPatch(args []string) error {
+	fs := flag.NewFlagSet("patch", flag.ExitOnError)
+	good := fs.String("good", "", "accepted input")
+	bad := fs.String("bad", "", "rejected input")
+	model := fs.String("model", "both", "fault model: skip, bitflip, both")
+	out := fs.String("o", "", "output path (default: overwrite input with .hardened suffix)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	models, err := parseModels(*model)
+	if err != nil {
+		return err
+	}
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := reinforce.HardenFaulterPatcher(bin, reinforce.FaulterPatcherOptions{
+		Good:   []byte(*good),
+		Bad:    []byte(*bad),
+		Models: models,
+		Log:    func(s string) { fmt.Println(s) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+	path := *out
+	if path == "" {
+		path = fs.Arg(0) + ".hardened"
+	}
+	if err := saveBinary(res.Binary, path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func cmdHybrid(args []string) error {
+	fs := flag.NewFlagSet("hybrid", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: input + .hybrid)")
+	dumpAsm := fs.Bool("S", false, "print the generated assembly")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := reinforce.HardenHybrid(bin, reinforce.HybridOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protected %d branches; code size %d -> %d bytes (%.2f%% overhead)\n",
+		res.Stats.BranchesProtected, res.OriginalCodeSize, res.Binary.CodeSize(), res.Overhead()*100)
+	if *dumpAsm {
+		fmt.Print(res.Asm)
+	}
+	path := *out
+	if path == "" {
+		path = fs.Arg(0) + ".hybrid"
+	}
+	if err := saveBinary(res.Binary, path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func cmdCases(args []string) error {
+	fs := flag.NewFlagSet("cases", flag.ExitOnError)
+	dir := fs.String("dir", ".", "output directory")
+	fs.Parse(args)
+	for _, c := range []*reinforce.Case{reinforce.Pincheck(), reinforce.Bootloader()} {
+		srcPath := filepath.Join(*dir, c.Name+".s")
+		if err := os.WriteFile(srcPath, []byte(c.Source), 0o644); err != nil {
+			return err
+		}
+		bin, err := c.Build()
+		if err != nil {
+			return err
+		}
+		binPath := filepath.Join(*dir, c.Name+".elf")
+		if err := saveBinary(bin, binPath); err != nil {
+			return err
+		}
+		goodPath := filepath.Join(*dir, c.Name+".good")
+		if err := os.WriteFile(goodPath, c.Good, 0o644); err != nil {
+			return err
+		}
+		badPath := filepath.Join(*dir, c.Name+".bad")
+		if err := os.WriteFile(badPath, c.Bad, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s, %s, %s, %s\n", srcPath, binPath, goodPath, badPath)
+	}
+	return nil
+}
+
+func cmdCFG(args []string) error {
+	fs := flag.NewFlagSet("cfg", flag.ExitOnError)
+	hardened := fs.Bool("harden", false, "apply conditional branch hardening first (figure 5)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one binary")
+	}
+	bin, err := loadBinary(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	dot, err := reinforce.CFGDot(bin, *hardened)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dot)
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	only := fs.String("only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures")
+	fs.Parse(args)
+
+	type exp struct {
+		name string
+		run  func() (*report.Table, error)
+	}
+	all := []exp{
+		{"table4", func() (*report.Table, error) { t, _, err := experiments.TableIV(); return t, err }},
+		{"table5", func() (*report.Table, error) { t, _, err := experiments.TableV(); return t, err }},
+		{"skip", func() (*report.Table, error) { t, _, err := experiments.ClaimSkip(); return t, err }},
+		{"bitflip", func() (*report.Table, error) { t, _, err := experiments.ClaimBitflip(); return t, err }},
+		{"class", func() (*report.Table, error) { t, _, err := experiments.ClaimClass(); return t, err }},
+		{"dup", func() (*report.Table, error) { t, _, err := experiments.ClaimDup(); return t, err }},
+		{"figures", func() (*report.Table, error) { t, _, err := experiments.Figures(); return t, err }},
+	}
+	ran := 0
+	for _, e := range all {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		tab, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(tab)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}
+
+func cmdPipeline() error {
+	fmt.Print(strings.TrimLeft(`
+Rewrite-to-reinforce pipelines (paper Fig. 2 and 3)
+
+Faulter+Patcher (reassembleable disassembly, targeted):
+
+    binary ──▶ faulter (emulated fault campaign: skip / bit flip)
+                  │ list of successful faults
+                  ▼
+               patcher (Tables I-III local patterns at each site)
+                  │ reassemble
+                  ▼
+          patched binary ──▶ faulter again ... until no fault remains
+                             or none is fixable (fixed point)
+
+Hybrid compiler-binary (full translation, holistic):
+
+    binary ──▶ lift to compiler IR (CPU cells, explicit flags)
+                  │ cleanup passes (cellprop, const fold, flag DCE)
+                  ▼
+               conditional branch hardening pass (§V-B, Alg. 1, Fig. 5):
+                  per-block UIDs, duplicated edge checksums D1/D2,
+                  re-evaluated comparison C2, per-edge validation chains
+                  │ countermeasure-safe cleanup
+                  ▼
+               lower to x86-64 (cells in .vcpu, cmp/br fusion)
+                  │
+                  ▼
+          hardened binary ──▶ same faulter verifies the result
+`, "\n"))
+	return nil
+}

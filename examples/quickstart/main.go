@@ -1,0 +1,100 @@
+// Quickstart: find fault-injection vulnerabilities in a binary and fix
+// them, in about thirty lines.
+//
+// A tiny door-lock firmware is assembled from source, attacked with the
+// instruction-skip fault model, hardened with the Faulter+Patcher
+// pipeline, and attacked again — the second campaign comes back clean.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/r2r/reinforce"
+)
+
+const doorLock = `
+.text
+_start:
+	mov rax, 0                ; read(0, code_buf, 4)
+	mov rdi, 0
+	lea rsi, [rip+code_buf]
+	mov rdx, 4
+	syscall
+	mov eax, dword ptr [rip+code_buf]
+	cmp eax, dword ptr [rip+door_code]
+	jne locked
+open:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_open]
+	mov rdx, 5
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+locked:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_shut]
+	mov rdx, 5
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+door_code: .ascii "4242"
+msg_open:  .ascii "open\n"
+msg_shut:  .ascii "shut\n"
+.bss
+code_buf: .zero 4
+`
+
+func main() {
+	bin, err := reinforce.Assemble(doorLock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	good, bad := []byte("4242"), []byte("0000")
+
+	// 1. Attack the unprotected binary.
+	before, err := reinforce.FaultScan(bin, good, bad, reinforce.ModelSkip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unprotected:", before.Summary())
+	for _, s := range before.VulnerableSites() {
+		fmt.Printf("  skipping the %s at %#x opens the door without the code\n", s.Mnemonic, s.Addr)
+	}
+
+	// 2. Harden it (fault-simulation-driven, targeted patching).
+	res, err := reinforce.HardenFaulterPatcher(bin, reinforce.FaulterPatcherOptions{
+		Good:   good,
+		Bad:    bad,
+		Models: []reinforce.Model{reinforce.ModelSkip},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhardened in %d iterations, code size %+.1f%%\n",
+		len(res.Iterations), res.Overhead()*100)
+
+	// 3. Attack the hardened binary.
+	after, err := reinforce.FaultScan(res.Binary, good, bad, reinforce.ModelSkip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hardened:   ", after.Summary())
+	if len(after.Successful()) == 0 {
+		fmt.Println("\nevery instruction-skip attack is now caught or harmless")
+	}
+
+	// The hardened binary still works.
+	r, err := reinforce.Run(res.Binary, good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("functional check: correct code -> %q (exit %d)\n", r.Stdout, r.ExitCode)
+}

@@ -1,0 +1,92 @@
+// Tradeoff reproduces the paper's §IV-D discussion ("Choosing the Right
+// Method") with live numbers: for both case studies it runs the
+// Faulter+Patcher pipeline, the Hybrid pipeline, and the blanket
+// duplication baselines, then prints the Table-V-style comparison and
+// the guidance that follows from it.
+//
+// Duplication is compared per rewriting substrate (see DESIGN.md §6):
+// targeted patching vs duplicating every instruction on the reassembly
+// route, and branch hardening vs duplicating every IR computation on
+// the lift/lower route — so each comparison isolates the countermeasure
+// cost from the rewriter's own overhead.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/r2r/reinforce"
+	"github.com/r2r/reinforce/internal/harden"
+)
+
+func main() {
+	fmt.Println("countermeasure cost trade-off (paper §IV-D / Table V / §V-C)")
+	fmt.Println()
+	fmt.Printf("%-12s  %16s  %16s  %16s  %16s\n",
+		"case study", "F+P (targeted)", "dup (reasm)", "Hybrid (harden)", "dup (IR)")
+	fmt.Printf("%-12s  %16s  %16s  %16s  %16s\n",
+		"----------", "--------------", "-----------", "---------------", "--------")
+
+	type row struct {
+		name               string
+		fp, dup, hy, dupIR float64
+	}
+	var rows []row
+	for _, c := range []*reinforce.Case{reinforce.Pincheck(), reinforce.Bootloader()} {
+		bin := c.MustBuild()
+
+		fp, err := reinforce.HardenFaulterPatcher(bin, reinforce.FaulterPatcherOptions{
+			Good: c.Good, Bad: c.Bad,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hy, err := reinforce.HardenHybrid(bin, reinforce.HybridOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dup, err := reinforce.DuplicationBaseline(bin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dupIR, err := harden.DuplicationIR(bin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, hb := range []*reinforce.Binary{fp.Binary, hy.Binary, dup.Binary, dupIR.Binary} {
+			if err := c.Check(hb); err != nil {
+				log.Fatal(err)
+			}
+		}
+		r := row{
+			name: c.Name,
+			fp:   fp.Overhead() * 100, dup: dup.Overhead() * 100,
+			hy: hy.Overhead() * 100, dupIR: dupIR.Overhead() * 100,
+		}
+		rows = append(rows, r)
+		fmt.Printf("%-12s  %15.2f%%  %15.2f%%  %15.2f%%  %15.2f%%\n",
+			r.name, r.fp, r.dup, r.hy, r.dupIR)
+	}
+
+	fmt.Println()
+	fmt.Println("paper's Table V for reference: pincheck 17.61% (F+P) / 85.88% (Hybrid),")
+	fmt.Println("bootloader 19.67% / 48.67%; blanket duplication bound >= 300%")
+	fmt.Println()
+	fmt.Println("guidance (paper §IV-D):")
+	fmt.Println("  - size-constrained embedded targets: Faulter+Patcher — smallest")
+	fmt.Println("    footprint, only vulnerable points pay")
+	fmt.Println("  - when size is not critical: Hybrid — guaranteed, automated")
+	fmt.Println("    insertion of arbitrarily complex countermeasures at IR level")
+	fmt.Println("  - blanket duplication: never competitive on its substrate")
+
+	for _, r := range rows {
+		if r.fp >= r.dup {
+			fmt.Printf("\nWARNING: targeted >= blanket on reassembly substrate for %s\n", r.name)
+		}
+		if r.hy >= r.dupIR {
+			fmt.Printf("\nWARNING: hardening >= duplication on IR substrate for %s\n", r.name)
+		}
+	}
+}

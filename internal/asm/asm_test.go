@@ -1,0 +1,425 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/decode"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// disasmText decodes the .text section into rendered instructions.
+func disasmText(t *testing.T, bin *elf.Binary) []isa.Inst {
+	t.Helper()
+	text := bin.Text()
+	if text == nil {
+		t.Fatal("no .text section")
+	}
+	var out []isa.Inst
+	for off := 0; off < len(text.Data); {
+		in, err := decode.Decode(text.Data[off:], text.Addr+uint64(off))
+		if err != nil {
+			t.Fatalf("decode at +%#x: %v", off, err)
+		}
+		out = append(out, in)
+		off += in.EncLen
+	}
+	return out
+}
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+.text
+.global _start
+_start:
+	mov rax, 60
+	mov rdi, 7
+	syscall
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := disasmText(t, bin)
+	want := []string{"mov rax, 60", "mov rdi, 7", "syscall"}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(insts), len(want))
+	}
+	for i, w := range want {
+		if insts[i].String() != w {
+			t.Errorf("inst %d = %q, want %q", i, insts[i].String(), w)
+		}
+	}
+	if bin.Entry != bin.Sections[0].Addr {
+		t.Errorf("entry %#x, want start of .text %#x", bin.Entry, bin.Sections[0].Addr)
+	}
+}
+
+func TestBranchesForwardBackward(t *testing.T) {
+	src := `
+.text
+_start:
+top:
+	dec rax
+	jne top
+	jmp done
+	hlt
+done:
+	ret
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := disasmText(t, bin)
+	// insts: dec rax; jne top; jmp done; hlt; ret
+	topAddr, _ := bin.SymbolAddr("top")
+	doneAddr, _ := bin.SymbolAddr("done")
+	if insts[1].Target != topAddr {
+		t.Errorf("jne target = %#x, want %#x", insts[1].Target, topAddr)
+	}
+	if insts[2].Target != doneAddr {
+		t.Errorf("jmp target = %#x, want %#x", insts[2].Target, doneAddr)
+	}
+}
+
+func TestRIPRelativeData(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, [rip+value]
+	lea rsi, [rip+value]
+	mov rbx, [rip+value+8]
+	ret
+.data
+value: .quad 0x1122334455667788
+second: .quad 42
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := disasmText(t, bin)
+	valAddr, _ := bin.SymbolAddr("value")
+	for i, wantTarget := range []uint64{valAddr, valAddr, valAddr + 8} {
+		in := insts[i]
+		mo := in.MemOperand()
+		if mo == nil || !mo.Mem.RIPRel {
+			t.Fatalf("inst %d: expected rip-relative operand, got %v", i, in)
+		}
+		got := in.Addr + uint64(in.EncLen) + uint64(int64(mo.Mem.Disp))
+		if got != wantTarget {
+			t.Errorf("inst %d: rip target = %#x, want %#x", i, got, wantTarget)
+		}
+	}
+	// Check data bytes landed.
+	data := bin.Section(".data")
+	if data == nil || len(data.Data) != 16 {
+		t.Fatalf("bad .data: %+v", data)
+	}
+	if data.Data[0] != 0x88 || data.Data[7] != 0x11 {
+		t.Errorf(".data quad wrong: % X", data.Data[:8])
+	}
+}
+
+func TestSymbolImmediate(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rsi, buf
+	mov rdx, buflen
+	ret
+.data
+buf: .zero 16
+buflen = 16
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := disasmText(t, bin)
+	bufAddr, _ := bin.SymbolAddr("buf")
+	if uint64(insts[0].Src.Imm) != bufAddr {
+		t.Errorf("mov rsi, buf = %#x, want %#x", insts[0].Src.Imm, bufAddr)
+	}
+	if insts[1].Src.Imm != 16 {
+		t.Errorf("mov rdx, buflen = %d, want 16", insts[1].Src.Imm)
+	}
+}
+
+func TestEquLocationCounter(t *testing.T) {
+	src := `
+.text
+_start:
+	ret
+.rodata
+msg: .ascii "hello, world\n"
+.equ msg_len, . - msg
+.data
+x: .quad msg_len
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bin.Section(".data")
+	if data.Data[0] != 13 {
+		t.Errorf("msg_len = %d, want 13", data.Data[0])
+	}
+}
+
+func TestQuadSymbolRef(t *testing.T) {
+	src := `
+.text
+_start:
+	ret
+.data
+table: .quad _start
+       .quad table+8
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bin.Section(".data").Data
+	start, _ := bin.SymbolAddr("_start")
+	tbl, _ := bin.SymbolAddr("table")
+	if got := le64(data[0:]); got != start {
+		t.Errorf("table[0] = %#x, want %#x", got, start)
+	}
+	if got := le64(data[8:]); got != tbl+8 {
+		t.Errorf("table[1] = %#x, want %#x", got, tbl+8)
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func TestBytePtrAndWidths(t *testing.T) {
+	src := `
+.text
+_start:
+	cmp byte ptr [rcx+4], 1
+	mov byte ptr [rax], 0
+	mov cl, 5
+	cmp cl, 0
+	movzx rax, cl
+	setg dl
+	ret
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := disasmText(t, bin)
+	want := []string{
+		"cmp byte ptr [rcx+4], 1",
+		"mov byte ptr [rax], 0",
+		"mov cl, 5",
+		"cmp cl, 0",
+		"movzx rax, cl",
+		"setg dl",
+		"ret",
+	}
+	for i, w := range want {
+		if insts[i].String() != w {
+			t.Errorf("inst %d = %q, want %q", i, insts[i].String(), w)
+		}
+	}
+}
+
+func TestSIBOperands(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, [rbx+rcx*8]
+	mov rdx, [rbx+rcx*8+16]
+	mov rsi, [rsp]
+	mov rdi, [rbp-8]
+	lea rsp, [rsp-128]
+	ret
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := disasmText(t, bin)
+	want := []string{
+		"mov rax, qword ptr [rbx+rcx*8]",
+		"mov rdx, qword ptr [rbx+rcx*8+16]",
+		"mov rsi, qword ptr [rsp]",
+		"mov rdi, qword ptr [rbp-8]",
+		"lea rsp, qword ptr [rsp-128]",
+		"ret",
+	}
+	for i, w := range want {
+		if insts[i].String() != w {
+			t.Errorf("inst %d = %q, want %q", i, insts[i].String(), w)
+		}
+	}
+}
+
+func TestBSS(t *testing.T) {
+	src := `
+.text
+_start:
+	ret
+.bss
+buf: .zero 4096
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bss := bin.Section(".bss")
+	if bss == nil || bss.Size() != 4096 || len(bss.Data) != 0 {
+		t.Fatalf("bss = %+v", bss)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	src := `
+.text
+_start:
+	ret
+.align 16
+after:
+	nop
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := bin.SymbolAddr("after")
+	if after%16 != 0 {
+		t.Errorf("after = %#x, not 16-aligned", after)
+	}
+	// Alignment padding in .text must be NOPs, not zeros.
+	text := bin.Text()
+	if text.Data[1] != 0x90 {
+		t.Errorf("padding byte = %#x, want nop", text.Data[1])
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+.text
+; full line comment
+# hash comment
+_start:           // trailing comment styles
+	mov rax, 1  ; semicolon
+	mov rdi, 2  # hash
+	syscall     // slashes
+.rodata
+s: .ascii "a;b#c//d"  ; punctuation inside strings survives
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(bin.Section(".rodata").Data); got != "a;b#c//d" {
+		t.Errorf("string = %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", ".text\n_start:\n\tfrobnicate rax\n", "unknown mnemonic"},
+		{"undefined symbol", ".text\n_start:\n\tjmp nowhere\n", "undefined symbol"},
+		{"redefined label", ".text\n_start:\na:\na:\n\tret\n", "redefined"},
+		{"no entry", ".text\nfoo:\n\tret\n", "entry symbol"},
+		{"bad directive", ".text\n_start:\nret\n.bogus 4\n", "unknown directive"},
+		{"two symbols", ".text\n_start:\n\tmov rax, a\n\tret\n.data\na: .quad b\nb: .quad 0\n", ""},
+		{"mem without rip", ".text\n_start:\n\tmov rax, [value]\n\tret\n.data\nvalue: .quad 0\n", "requires rip"},
+		{"bad string", ".text\n_start:\nret\n.rodata\ns: .ascii hello\n", "bad string"},
+		{"nonzero bss", ".text\n_start:\nret\n.bss\nb: .byte 7\n", "non-zero data in .bss"},
+		{"size conflict", ".text\n_start:\n\tmov byte ptr rax, 1\n\tret\n", "conflicts"},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.src, nil)
+		if tc.wantSub == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestErrorsHaveLineNumbers(t *testing.T) {
+	_, err := Assemble(".text\n_start:\n\tret\n\tbadop rax\n", nil)
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("err = %v, want line 4 reference", err)
+	}
+}
+
+func TestRoundTripThroughELF(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg]
+	mov rdx, msg_len
+	syscall
+	mov rax, 60
+	xor rdi, rdi
+	syscall
+.rodata
+msg: .ascii "hello\n"
+.equ msg_len, . - msg
+`
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := bin.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := elf.Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != bin.Entry {
+		t.Errorf("entry mismatch after ELF round trip")
+	}
+	if string(back.Section(".rodata").Data) != "hello\n" {
+		t.Errorf("rodata mismatch")
+	}
+	// All original instructions decode identically.
+	a := disasmText(t, bin)
+	b := disasmText(t, back)
+	if len(a) != len(b) {
+		t.Fatalf("inst count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("inst %d: %q != %q", i, a[i].String(), b[i].String())
+		}
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	src := ".text\n_start: top:\n\tjmp top\n"
+	bin, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := bin.SymbolAddr("_start")
+	tp, _ := bin.SymbolAddr("top")
+	if s != tp {
+		t.Errorf("_start %#x != top %#x", s, tp)
+	}
+}

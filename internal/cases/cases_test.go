@@ -1,0 +1,156 @@
+package cases
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/emu"
+)
+
+func TestPincheckOracle(t *testing.T) {
+	c := Pincheck()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(bin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootloaderOracle(t *testing.T) {
+	c := Bootloader()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(bin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsWrongBehaviour(t *testing.T) {
+	// The pincheck binary does not satisfy the bootloader oracle.
+	pin := Pincheck().MustBuild()
+	if err := Bootloader().Check(pin); err == nil {
+		t.Error("oracle accepted the wrong program")
+	}
+}
+
+func TestPincheckShortInput(t *testing.T) {
+	bin := Pincheck().MustBuild()
+	res, err := emu.New(bin, emu.Config{Stdin: []byte("123")}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 1 || !strings.Contains(string(res.Stdout), "DENIED") {
+		t.Errorf("short input: (%q, %d)", res.Stdout, res.ExitCode)
+	}
+}
+
+func TestPincheckRandomPins(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	alphabet := "ABCDEFGHJKMNPQRSTUVWXYZ23456789-"
+	for i := 0; i < 10; i++ {
+		pin := make([]byte, 8)
+		for j := range pin {
+			pin[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		c := PincheckWith(string(pin))
+		bin, err := c.Build()
+		if err != nil {
+			t.Fatalf("pin %q: %v", pin, err)
+		}
+		if err := c.Check(bin); err != nil {
+			t.Fatalf("pin %q: %v", pin, err)
+		}
+		// A wrong guess (off by one byte) must be denied.
+		guess := append([]byte(nil), pin...)
+		guess[r.Intn(8)] ^= 0x01
+		res, err := emu.New(bin, emu.Config{Stdin: guess}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != 1 {
+			t.Errorf("pin %q guess %q accepted", pin, guess)
+		}
+	}
+}
+
+func TestFNVMatchesStdlib(t *testing.T) {
+	data := []byte("the quick brown fox")
+	h := fnv.New64a()
+	h.Write(data)
+	if FNV1a64(data) != h.Sum64() {
+		t.Error("FNV1a64 diverges from stdlib")
+	}
+}
+
+// TestBootloaderHashInAsmMatchesGo: the assembly FNV loop must compute
+// exactly the Go reference value — tested by feeding a firmware whose
+// only difference is the embedded expected hash.
+func TestBootloaderHashInAsmMatchesGo(t *testing.T) {
+	// Accepting the good firmware proves the asm hash equals
+	// FNV1a64(GoodFirmware()); also check single-bit tampering of every
+	// byte region is rejected.
+	c := Bootloader()
+	bin := c.MustBuild()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		fw := GoodFirmware()
+		fw[r.Intn(len(fw))] ^= byte(1 << r.Intn(8))
+		res, err := emu.New(bin, emu.Config{Stdin: fw}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != 1 {
+			t.Errorf("tampered firmware accepted (trial %d)", i)
+		}
+	}
+}
+
+func TestBootloaderShortImage(t *testing.T) {
+	bin := Bootloader().MustBuild()
+	res, err := emu.New(bin, emu.Config{Stdin: GoodFirmware()[:10]}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 1 {
+		t.Errorf("short image: exit %d, want 1", res.ExitCode)
+	}
+}
+
+func TestFirmwareFixtures(t *testing.T) {
+	if len(GoodFirmware()) != FirmwareSize || len(BadFirmware()) != FirmwareSize {
+		t.Fatal("firmware sizes wrong")
+	}
+	if string(GoodFirmware()) == string(BadFirmware()) {
+		t.Fatal("good and bad firmware identical")
+	}
+	if FNV1a64(GoodFirmware()) == FNV1a64(BadFirmware()) {
+		t.Fatal("hash collision between fixtures")
+	}
+}
+
+func TestAll(t *testing.T) {
+	cs := All()
+	if len(cs) != 2 {
+		t.Fatalf("expected 2 case studies, got %d", len(cs))
+	}
+	for _, c := range cs {
+		if err := c.Check(c.MustBuild()); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestPincheckWithPanicsOnBadPin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 3-byte pin")
+		}
+	}()
+	PincheckWith("abc")
+}

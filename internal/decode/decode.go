@@ -1,0 +1,652 @@
+// Package decode disassembles x86-64 machine code in the supported
+// subset back into isa.Inst values.
+//
+// The decoder is deliberately strict but total: any byte sequence either
+// decodes to a supported instruction with an exact length, or returns an
+// error. This totality is what gives the single-bit-flip fault model its
+// semantics — a flipped instruction byte either re-decodes into a
+// different valid instruction (silent behavioural change) or raises a
+// decode fault (program crash), just as on hardware.
+package decode
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// Errors returned by Decode. All of them mean "the machine would fault".
+var (
+	ErrTruncated     = errors.New("decode: truncated instruction")
+	ErrInvalidOpcode = errors.New("decode: invalid opcode")
+	ErrUnsupported   = errors.New("decode: unsupported instruction")
+)
+
+// MaxInstLen is the architectural maximum x86 instruction length.
+const MaxInstLen = 15
+
+type cursor struct {
+	code []byte
+	pos  int
+}
+
+func (c *cursor) byte() (byte, error) {
+	if c.pos >= len(c.code) || c.pos >= MaxInstLen {
+		return 0, ErrTruncated
+	}
+	b := c.code[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *cursor) int8() (int64, error) {
+	b, err := c.byte()
+	return int64(int8(b)), err
+}
+
+func (c *cursor) int32() (int64, error) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		b, err := c.byte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return int64(int32(v)), nil
+}
+
+func (c *cursor) int64() (int64, error) {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		b, err := c.byte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return int64(v), nil
+}
+
+// rexInfo holds a decoded REX prefix.
+type rexInfo struct {
+	present    bool
+	w, r, x, b bool
+}
+
+// Decode decodes one instruction at the start of code, assumed to live
+// at virtual address addr. It fills Addr, EncLen and, for branches,
+// Target.
+func Decode(code []byte, addr uint64) (isa.Inst, error) {
+	c := &cursor{code: code}
+	var rex rexInfo
+
+	op, err := c.byte()
+	if err != nil {
+		return isa.Inst{}, err
+	}
+
+	// Legacy prefixes we do not support: operand/address size, segment
+	// overrides, LOCK, REP. They decode as faults in this subset.
+	switch op {
+	case 0x66, 0x67, 0x2E, 0x36, 0x3E, 0x26, 0x64, 0x65, 0xF0, 0xF2, 0xF3:
+		return isa.Inst{}, fmt.Errorf("%w: prefix %#02x", ErrUnsupported, op)
+	}
+
+	if op >= 0x40 && op <= 0x4F {
+		rex = rexInfo{present: true, w: op&8 != 0, r: op&4 != 0, x: op&2 != 0, b: op&1 != 0}
+		op, err = c.byte()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		// A second REX (or any prefix after REX) is invalid.
+		if op >= 0x40 && op <= 0x4F {
+			return isa.Inst{}, fmt.Errorf("%w: repeated REX", ErrInvalidOpcode)
+		}
+	}
+
+	in, err := decodeOpcode(c, rex, op)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	in.Addr = addr
+	in.EncLen = c.pos
+	if in.Op.IsBranch() {
+		in.Target = addr + uint64(c.pos) + uint64(in.Dst.Imm)
+	}
+	return in, nil
+}
+
+// gprWidth gives the operand width for non-byte register ops.
+func gprWidth(rex rexInfo) uint8 {
+	if rex.w {
+		return 8
+	}
+	return 4
+}
+
+func decodeOpcode(c *cursor, rex rexInfo, op byte) (isa.Inst, error) {
+	switch {
+	case op == 0x0F:
+		return decode0F(c, rex)
+
+	// ALU group: 00-3B in blocks of 8 per operation.
+	case op < 0x40 && op&7 <= 5:
+		return decodeALU(c, rex, op)
+
+	case op >= 0x50 && op <= 0x57:
+		r := isa.Reg(op-0x50) | rexBReg(rex)
+		return isa.NewInst(isa.PUSH, isa.R(r)), nil
+	case op >= 0x58 && op <= 0x5F:
+		r := isa.Reg(op-0x58) | rexBReg(rex)
+		return isa.NewInst(isa.POP, isa.R(r)), nil
+
+	case op >= 0x70 && op <= 0x7F:
+		rel, err := c.int8()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewJcc(isa.Cond(op&0x0F), rel), nil
+
+	case op == 0x80, op == 0x81, op == 0x83:
+		return decodeALUImm(c, rex, op)
+
+	case op == 0x84, op == 0x85:
+		w := uint8(1)
+		if op == 0x85 {
+			w = gprWidth(rex)
+		}
+		m, err := decodeModRM(c, rex, w)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if err := m.checkReg8(w); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(isa.TEST, m.rm, m.regOperand(w)), nil
+
+	case op == 0x88, op == 0x89:
+		w := uint8(1)
+		if op == 0x89 {
+			w = gprWidth(rex)
+		}
+		m, err := decodeModRM(c, rex, w)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if err := m.checkReg8(w); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(isa.MOV, m.rm, m.regOperand(w)), nil
+
+	case op == 0x8A, op == 0x8B:
+		w := uint8(1)
+		if op == 0x8B {
+			w = gprWidth(rex)
+		}
+		m, err := decodeModRM(c, rex, w)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if err := m.checkReg8(w); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(isa.MOV, m.regOperand(w), m.rm), nil
+
+	case op == 0x8D:
+		m, err := decodeModRM(c, rex, 8)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if m.rm.Kind != isa.KindMem {
+			return isa.Inst{}, fmt.Errorf("%w: lea with register source", ErrInvalidOpcode)
+		}
+		return isa.NewInst(isa.LEA, m.regOperand(8), m.rm), nil
+
+	case op == 0x90 && !rex.present:
+		return isa.NewInst(isa.NOP), nil
+
+	case op == 0x9C:
+		return isa.NewInst(isa.PUSHFQ), nil
+	case op == 0x9D:
+		return isa.NewInst(isa.POPFQ), nil
+
+	case op == 0xA8: // TEST AL, imm8
+		imm, err := c.int8()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(isa.TEST, isa.Rb(isa.RAX), isa.Imm8(imm)), nil
+	case op == 0xA9: // TEST eAX/rAX, imm32
+		imm, err := c.int32()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		w := gprWidth(rex)
+		dst := isa.R(isa.RAX)
+		dst.Width = w
+		src := isa.Imm(imm)
+		src.Width = w
+		return isa.NewInst(isa.TEST, dst, src), nil
+
+	case op >= 0xB0 && op <= 0xB7:
+		imm, err := c.int8()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		r := isa.Reg(op-0xB0) | rexBReg(rex)
+		if !rex.present && r >= isa.RSP && r <= isa.RDI {
+			return isa.Inst{}, fmt.Errorf("%w: high-byte registers", ErrUnsupported)
+		}
+		return isa.NewInst(isa.MOV, isa.Rb(r), isa.Imm8(imm)), nil
+
+	case op >= 0xB8 && op <= 0xBF:
+		r := isa.Reg(op-0xB8) | rexBReg(rex)
+		if rex.w {
+			imm, err := c.int64()
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			return isa.NewInst(isa.MOV, isa.R(r), isa.Imm(imm)), nil
+		}
+		imm, err := c.int32()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		dst := isa.Rd(r)
+		src := isa.Imm(imm)
+		src.Width = 4
+		return isa.NewInst(isa.MOV, dst, src), nil
+
+	case op == 0xC0, op == 0xC1, op == 0xD0, op == 0xD1:
+		return decodeShift(c, rex, op)
+
+	case op == 0xC3:
+		return isa.NewInst(isa.RET), nil
+
+	case op == 0xC6, op == 0xC7:
+		w := uint8(1)
+		if op == 0xC7 {
+			w = gprWidth(rex)
+		}
+		m, err := decodeModRM(c, rex, w)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if m.reg != 0 {
+			return isa.Inst{}, fmt.Errorf("%w: group 11 /%d", ErrInvalidOpcode, m.reg)
+		}
+		var imm int64
+		if w == 1 {
+			imm, err = c.int8()
+		} else {
+			imm, err = c.int32()
+		}
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		src := isa.Imm(imm)
+		src.Width = w
+		return isa.NewInst(isa.MOV, m.rm, src), nil
+
+	case op == 0xE8, op == 0xE9:
+		rel, err := c.int32()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		mnem := isa.CALL
+		if op == 0xE9 {
+			mnem = isa.JMP
+		}
+		return isa.NewInst(mnem, isa.Imm(rel)), nil
+
+	case op == 0xEB:
+		rel, err := c.int8()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(isa.JMP, isa.Imm(rel)), nil
+
+	case op == 0xF4:
+		return isa.NewInst(isa.HLT), nil
+
+	case op == 0xF6, op == 0xF7:
+		return decodeGroup3(c, rex, op)
+
+	case op == 0xFE, op == 0xFF:
+		return decodeGroup45(c, rex, op)
+	}
+	return isa.Inst{}, fmt.Errorf("%w: %#02x", ErrInvalidOpcode, op)
+}
+
+func rexBReg(rex rexInfo) isa.Reg {
+	if rex.b {
+		return 8
+	}
+	return 0
+}
+
+func decode0F(c *cursor, rex rexInfo) (isa.Inst, error) {
+	op, err := c.byte()
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	switch {
+	case op == 0x05:
+		return isa.NewInst(isa.SYSCALL), nil
+	case op == 0x0B:
+		return isa.NewInst(isa.UD2), nil
+	case op >= 0x80 && op <= 0x8F:
+		rel, err := c.int32()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewJcc(isa.Cond(op&0x0F), rel), nil
+	case op >= 0x90 && op <= 0x9F:
+		m, err := decodeModRM(c, rex, 1)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		in := isa.Inst{Op: isa.SETCC, Cond: isa.Cond(op & 0x0F), Dst: m.rm}
+		return in, nil
+	case op == 0xAF:
+		w := gprWidth(rex)
+		m, err := decodeModRM(c, rex, w)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(isa.IMUL, m.regOperand(w), m.rm), nil
+	case op == 0xB6, op == 0xBE:
+		w := gprWidth(rex)
+		m, err := decodeModRM(c, rex, 1) // source is 8-bit
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		mnem := isa.MOVZX
+		if op == 0xBE {
+			mnem = isa.MOVSX
+		}
+		return isa.NewInst(mnem, m.regOperand(w), m.rm), nil
+	}
+	return isa.Inst{}, fmt.Errorf("%w: 0f %#02x", ErrInvalidOpcode, op)
+}
+
+func decodeALU(c *cursor, rex rexInfo, op byte) (isa.Inst, error) {
+	digit := op >> 3
+	mnem := isa.ADD + isa.Op(digit)
+	form := op & 7
+	switch form {
+	case 0, 1: // r/m, r
+		w := uint8(1)
+		if form == 1 {
+			w = gprWidth(rex)
+		}
+		m, err := decodeModRM(c, rex, w)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if err := m.checkReg8(w); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(mnem, m.rm, m.regOperand(w)), nil
+	case 2, 3: // r, r/m
+		w := uint8(1)
+		if form == 3 {
+			w = gprWidth(rex)
+		}
+		m, err := decodeModRM(c, rex, w)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if err := m.checkReg8(w); err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(mnem, m.regOperand(w), m.rm), nil
+	case 4: // AL, imm8
+		imm, err := c.int8()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.NewInst(mnem, isa.Rb(isa.RAX), isa.Imm8(imm)), nil
+	case 5: // eAX/rAX, imm32
+		imm, err := c.int32()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		w := gprWidth(rex)
+		dst := isa.R(isa.RAX)
+		dst.Width = w
+		src := isa.Imm(imm)
+		src.Width = w
+		return isa.NewInst(mnem, dst, src), nil
+	}
+	return isa.Inst{}, fmt.Errorf("%w: %#02x", ErrInvalidOpcode, op)
+}
+
+func decodeALUImm(c *cursor, rex rexInfo, op byte) (isa.Inst, error) {
+	w := uint8(1)
+	if op != 0x80 {
+		w = gprWidth(rex)
+	}
+	m, err := decodeModRM(c, rex, w)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	mnem := isa.ADD + isa.Op(m.reg)
+	var imm int64
+	if op == 0x81 {
+		imm, err = c.int32()
+	} else {
+		imm, err = c.int8()
+	}
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	src := isa.Imm(imm)
+	if op == 0x80 {
+		src.Width = 1
+	} else {
+		src.Width = w
+	}
+	return isa.NewInst(mnem, m.rm, src), nil
+}
+
+func decodeShift(c *cursor, rex rexInfo, op byte) (isa.Inst, error) {
+	w := uint8(1)
+	if op == 0xC1 || op == 0xD1 {
+		w = gprWidth(rex)
+	}
+	m, err := decodeModRM(c, rex, w)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	var mnem isa.Op
+	switch m.reg {
+	case 4:
+		mnem = isa.SHL
+	case 5:
+		mnem = isa.SHR
+	case 7:
+		mnem = isa.SAR
+	default:
+		return isa.Inst{}, fmt.Errorf("%w: shift group /%d", ErrUnsupported, m.reg)
+	}
+	var imm int64 = 1
+	if op == 0xC0 || op == 0xC1 {
+		imm, err = c.int8()
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		imm &= 0x3F
+	}
+	return isa.NewInst(mnem, m.rm, isa.Imm8(imm)), nil
+}
+
+func decodeGroup3(c *cursor, rex rexInfo, op byte) (isa.Inst, error) {
+	w := uint8(1)
+	if op == 0xF7 {
+		w = gprWidth(rex)
+	}
+	m, err := decodeModRM(c, rex, w)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	switch m.reg {
+	case 0: // TEST r/m, imm
+		var imm int64
+		if w == 1 {
+			imm, err = c.int8()
+		} else {
+			imm, err = c.int32()
+		}
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		src := isa.Imm(imm)
+		src.Width = w
+		if w == 1 {
+			src.Width = 1
+		}
+		return isa.NewInst(isa.TEST, m.rm, src), nil
+	case 2:
+		return isa.NewInst(isa.NOT, m.rm), nil
+	case 3:
+		return isa.NewInst(isa.NEG, m.rm), nil
+	default:
+		return isa.Inst{}, fmt.Errorf("%w: group 3 /%d", ErrUnsupported, m.reg)
+	}
+}
+
+func decodeGroup45(c *cursor, rex rexInfo, op byte) (isa.Inst, error) {
+	w := uint8(1)
+	if op == 0xFF {
+		w = gprWidth(rex)
+	}
+	m, err := decodeModRM(c, rex, w)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	switch m.reg {
+	case 0:
+		return isa.NewInst(isa.INC, m.rm), nil
+	case 1:
+		return isa.NewInst(isa.DEC, m.rm), nil
+	default:
+		// Indirect call/jmp and push r/m exist here on real hardware;
+		// this subset treats them as faults.
+		return isa.Inst{}, fmt.Errorf("%w: group 4/5 /%d", ErrUnsupported, m.reg)
+	}
+}
+
+// modrm is a decoded ModRM (+SIB, +disp) cluster.
+type modrm struct {
+	reg        uint8       // reg field with REX.R applied (register number or /digit)
+	rm         isa.Operand // register or memory operand with width set
+	w          uint8
+	rexPresent bool
+}
+
+// regOperand materializes the reg field as a register operand of width w.
+func (m modrm) regOperand(w uint8) isa.Operand {
+	op := isa.Operand{Kind: isa.KindReg, Width: w, Reg: isa.Reg(m.reg)}
+	return op
+}
+
+// checkReg8 rejects byte-width reg fields that would select the
+// unmodelled high-byte registers (AH/CH/DH/BH) when no REX is present.
+func (m modrm) checkReg8(w uint8) error {
+	if w == 1 && !m.rexPresent && m.reg >= 4 && m.reg <= 7 {
+		return fmt.Errorf("%w: high-byte registers", ErrUnsupported)
+	}
+	return nil
+}
+
+func decodeModRM(c *cursor, rex rexInfo, width uint8) (modrm, error) {
+	b, err := c.byte()
+	if err != nil {
+		return modrm{}, err
+	}
+	mod := b >> 6
+	reg := (b >> 3) & 7
+	rm := b & 7
+	if rex.r {
+		reg |= 8
+	}
+	out := modrm{reg: reg, w: width, rexPresent: rex.present}
+
+	if mod == 3 {
+		r := isa.Reg(rm)
+		if rex.b {
+			r |= 8
+		}
+		if width == 1 && !rex.present && r >= isa.RSP && r <= isa.RDI {
+			return modrm{}, fmt.Errorf("%w: high-byte registers", ErrUnsupported)
+		}
+		out.rm = isa.Operand{Kind: isa.KindReg, Width: width, Reg: r}
+		return out, nil
+	}
+
+	mem := isa.Mem{Base: isa.NoReg, Index: isa.NoReg, Scale: 1}
+	dispSize := 0
+	switch mod {
+	case 1:
+		dispSize = 1
+	case 2:
+		dispSize = 4
+	}
+
+	if rm == 4 { // SIB
+		sib, err := c.byte()
+		if err != nil {
+			return modrm{}, err
+		}
+		ss := sib >> 6
+		idx := (sib >> 3) & 7
+		base := sib & 7
+		if rex.x {
+			idx |= 8
+		}
+		if idx != 4 { // index=100 with REX.X=0 means "none"
+			mem.Index = isa.Reg(idx)
+			mem.Scale = 1 << ss
+		}
+		if base == 5 && mod == 0 {
+			dispSize = 4 // no base, disp32
+		} else {
+			b := isa.Reg(base)
+			if rex.b {
+				b |= 8
+			}
+			mem.Base = b
+		}
+	} else if rm == 5 && mod == 0 {
+		// RIP-relative.
+		mem.RIPRel = true
+		dispSize = 4
+	} else {
+		r := isa.Reg(rm)
+		if rex.b {
+			r |= 8
+		}
+		mem.Base = r
+	}
+
+	switch dispSize {
+	case 1:
+		d, err := c.int8()
+		if err != nil {
+			return modrm{}, err
+		}
+		mem.Disp = int32(d)
+	case 4:
+		d, err := c.int32()
+		if err != nil {
+			return modrm{}, err
+		}
+		mem.Disp = int32(d)
+	}
+
+	out.rm = isa.Operand{Kind: isa.KindMem, Width: width, Mem: mem}
+	return out, nil
+}

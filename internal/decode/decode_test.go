@@ -1,0 +1,332 @@
+package decode
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/encode"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+func mustDecode(t *testing.T, b []byte) isa.Inst {
+	t.Helper()
+	in, err := Decode(b, 0x1000)
+	if err != nil {
+		t.Fatalf("Decode(% X): %v", b, err)
+	}
+	return in
+}
+
+func TestDecodeGolden(t *testing.T) {
+	tests := []struct {
+		bytes []byte
+		want  string // Intel-syntax rendering
+	}{
+		{[]byte{0x48, 0x89, 0xD8}, "mov rax, rbx"},
+		{[]byte{0x48, 0x8B, 0x43, 0x04}, "mov rax, qword ptr [rbx+4]"},
+		{[]byte{0x48, 0x3B, 0x59, 0x04}, "cmp rbx, qword ptr [rcx+4]"},
+		{[]byte{0x53}, "push rbx"},
+		{[]byte{0x41, 0x50}, "push r8"},
+		{[]byte{0x9C}, "pushfq"},
+		{[]byte{0x48, 0xC7, 0xC0, 0x3C, 0x00, 0x00, 0x00}, "mov rax, 60"},
+		{[]byte{0x48, 0x31, 0xC0}, "xor rax, rax"},
+		{[]byte{0x48, 0x8D, 0x64, 0x24, 0x80}, "lea rsp, qword ptr [rsp-128]"},
+		{[]byte{0x0F, 0x94, 0xC0}, "sete al"},
+		{[]byte{0x80, 0xF9, 0x01}, "cmp cl, 1"},
+		{[]byte{0x48, 0x0F, 0xB6, 0xC1}, "movzx rax, cl"},
+		{[]byte{0x0F, 0x05}, "syscall"},
+		{[]byte{0xC3}, "ret"},
+		{[]byte{0x90}, "nop"},
+		{[]byte{0xF4}, "hlt"},
+		{[]byte{0x0F, 0x0B}, "ud2"},
+		{[]byte{0x48, 0xFF, 0xC9}, "dec rcx"},
+		{[]byte{0x48, 0xF7, 0xD0}, "not rax"},
+		{[]byte{0x49, 0x8B, 0x45, 0x00}, "mov rax, qword ptr [r13]"},
+		{[]byte{0xB8, 0x01, 0x00, 0x00, 0x00}, "mov eax, 1"},
+		{[]byte{0x31, 0xC0}, "xor eax, eax"},
+		{[]byte{0x3C, 0x05}, "cmp al, 5"},                           // ALU form 4: AL, imm8
+		{[]byte{0xA8, 0x01}, "test al, 1"},                          // TEST AL, imm8
+		{[]byte{0x48, 0x3D, 0x10, 0x00, 0x00, 0x00}, "cmp rax, 16"}, // form 5
+	}
+	for _, tt := range tests {
+		in := mustDecode(t, tt.bytes)
+		if got := in.String(); got != tt.want {
+			t.Errorf("Decode(% X) = %q, want %q", tt.bytes, got, tt.want)
+		}
+		if in.EncLen != len(tt.bytes) {
+			t.Errorf("Decode(% X): EncLen = %d, want %d", tt.bytes, in.EncLen, len(tt.bytes))
+		}
+	}
+}
+
+func TestDecodeBranchTarget(t *testing.T) {
+	// jmp rel32 +0x10 at 0x1000: target = 0x1000 + 5 + 0x10.
+	in := mustDecode(t, []byte{0xE9, 0x10, 0x00, 0x00, 0x00})
+	if in.Target != 0x1015 {
+		t.Errorf("jmp target = %#x, want 0x1015", in.Target)
+	}
+	// je rel8 -2 at 0x1000: target = 0x1000 + 2 - 2 = 0x1000.
+	in = mustDecode(t, []byte{0x74, 0xFE})
+	if in.Target != 0x1000 {
+		t.Errorf("je target = %#x, want 0x1000", in.Target)
+	}
+	if in.Op != isa.JCC || in.Cond != isa.CondE {
+		t.Errorf("je decoded as %v/%v", in.Op, in.Cond)
+	}
+	// call rel32 -5 at 0x1000: target = 0x1000.
+	in = mustDecode(t, []byte{0xE8, 0xFB, 0xFF, 0xFF, 0xFF})
+	if in.Target != 0x1000 {
+		t.Errorf("call target = %#x, want 0x1000", in.Target)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		bytes []byte
+		want  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"truncated modrm", []byte{0x48, 0x8B}, ErrTruncated},
+		{"truncated imm", []byte{0x48, 0xC7, 0xC0, 0x3C}, ErrTruncated},
+		{"invalid opcode 06", []byte{0x06}, ErrInvalidOpcode},
+		{"operand-size prefix", []byte{0x66, 0x90}, ErrUnsupported},
+		{"lock prefix", []byte{0xF0, 0x48, 0x89, 0xD8}, ErrUnsupported},
+		{"rep prefix", []byte{0xF3, 0x90}, ErrUnsupported},
+		{"double REX", []byte{0x48, 0x48, 0x89, 0xD8}, ErrInvalidOpcode},
+		{"indirect call", []byte{0xFF, 0xD0}, ErrUnsupported},
+		{"indirect jmp", []byte{0xFF, 0xE0}, ErrUnsupported},
+		{"int3", []byte{0xCC}, ErrInvalidOpcode},
+		{"high byte reg rm", []byte{0x88, 0xE0}, ErrUnsupported},  // mov al, ah-ish
+		{"high byte reg reg", []byte{0x88, 0xC4}, ErrUnsupported}, // mov ah, al-ish
+		{"0f invalid", []byte{0x0F, 0xFF}, ErrInvalidOpcode},
+		{"group3 /1", []byte{0xF7, 0xC8}, ErrUnsupported},
+		{"shift /0", []byte{0xC1, 0xC0, 0x01}, ErrUnsupported},
+		{"group11 /1", []byte{0xC7, 0xC8, 0x00, 0x00, 0x00, 0x00}, ErrInvalidOpcode},
+		{"rex nop (xchg)", []byte{0x41, 0x90}, ErrInvalidOpcode},
+	}
+	for _, tt := range tests {
+		_, err := Decode(tt.bytes, 0)
+		if !errors.Is(err, tt.want) {
+			t.Errorf("%s: err = %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+// stripMeta clears decoder metadata so decoded instructions can be
+// compared against hand-built ones.
+func stripMeta(in isa.Inst) isa.Inst {
+	in.Addr = 0
+	in.EncLen = 0
+	in.Target = 0
+	return in
+}
+
+// TestRoundTrip checks encode->decode identity over a hand-picked corpus
+// covering every supported form.
+func TestRoundTrip(t *testing.T) {
+	corpus := []isa.Inst{
+		isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.R(isa.R15)),
+		isa.NewInst(isa.MOV, isa.R(isa.R12), isa.M(isa.RSP, 24)),
+		isa.NewInst(isa.MOV, isa.M(isa.R13, -7), isa.R(isa.RBP)),
+		isa.NewInst(isa.MOV, isa.R(isa.RSI), isa.Imm(-1)),
+		isa.NewInst(isa.MOV, isa.R(isa.RSI), isa.Imm(1<<40)),
+		isa.NewInst(isa.MOV, isa.Rb(isa.RDI), isa.Imm8(0x7F)),
+		isa.NewInst(isa.MOV, isa.M8(isa.RAX, 1), isa.Imm8(-1)),
+		isa.NewInst(isa.MOV, isa.M(isa.RDI, 0), isa.Imm(123456)),
+		isa.NewInst(isa.MOV, isa.R(isa.RDX), isa.MRIP(-64)),
+		isa.NewInst(isa.MOVZX, isa.R(isa.R9), isa.Rb(isa.R10)),
+		isa.NewInst(isa.MOVSX, isa.R(isa.RAX), isa.M8(isa.RBX, 3)),
+		isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, -128)),
+		isa.NewInst(isa.LEA, isa.R(isa.RAX), isa.MSIB(isa.RBX, isa.R14, 4, 100)),
+		isa.NewInst(isa.ADD, isa.R(isa.RAX), isa.R(isa.RBX)),
+		isa.NewInst(isa.ADC, isa.R(isa.RAX), isa.R(isa.RBX)),
+		isa.NewInst(isa.SBB, isa.R(isa.RCX), isa.M(isa.RDX, 8)),
+		isa.NewInst(isa.SUB, isa.R(isa.RSP), isa.Imm(4096)),
+		isa.NewInst(isa.XOR, isa.M(isa.RBX, 0), isa.R(isa.RCX)),
+		isa.NewInst(isa.AND, isa.R(isa.R8), isa.Imm(255)),
+		isa.NewInst(isa.OR, isa.R(isa.R9), isa.Imm(-2)),
+		isa.NewInst(isa.CMP, isa.Rb(isa.RCX), isa.Imm8(1)),
+		isa.NewInst(isa.CMP, isa.M8(isa.R13, 0), isa.Imm8(3)),
+		isa.NewInst(isa.TEST, isa.R(isa.RDI), isa.R(isa.RDI)),
+		isa.NewInst(isa.TEST, isa.R(isa.RDI), isa.Imm(7)),
+		isa.NewInst(isa.NOT, isa.R(isa.R11)),
+		isa.NewInst(isa.NEG, isa.M(isa.RSI, 16)),
+		isa.NewInst(isa.INC, isa.R(isa.RAX)),
+		isa.NewInst(isa.DEC, isa.M(isa.RBP, -8)),
+		isa.NewInst(isa.SHL, isa.R(isa.RAX), isa.Imm8(63)),
+		isa.NewInst(isa.SHR, isa.R(isa.RBX), isa.Imm8(7)),
+		isa.NewInst(isa.SAR, isa.R(isa.RCX), isa.Imm8(1)),
+		isa.NewInst(isa.IMUL, isa.R(isa.RAX), isa.M(isa.RBX, 0)),
+		isa.NewInst(isa.PUSH, isa.R(isa.RBP)),
+		isa.NewInst(isa.POP, isa.R(isa.R15)),
+		isa.NewInst(isa.PUSHFQ),
+		isa.NewInst(isa.POPFQ),
+		isa.NewInst(isa.JMP, isa.Imm(1234)),
+		isa.NewJcc(isa.CondLE, -1234),
+		isa.NewInst(isa.CALL, isa.Imm(0)),
+		isa.NewInst(isa.RET),
+		isa.NewSetcc(isa.CondA, isa.RDX),
+		isa.NewSetcc(isa.CondNE, isa.RSI),
+		isa.NewInst(isa.SYSCALL),
+		isa.NewInst(isa.NOP),
+		isa.NewInst(isa.HLT),
+		isa.NewInst(isa.UD2),
+	}
+	for _, in := range corpus {
+		b, err := encode.Encode(in)
+		if err != nil {
+			t.Errorf("encode %q: %v", in.String(), err)
+			continue
+		}
+		got, err := Decode(b, 0)
+		if err != nil {
+			t.Errorf("decode %q (% X): %v", in.String(), b, err)
+			continue
+		}
+		if !reflect.DeepEqual(stripMeta(got), in) {
+			t.Errorf("round trip %q: got %+v, want %+v (bytes % X)", in.String(), stripMeta(got), in, b)
+		}
+	}
+}
+
+// randInst builds a random encodable instruction in canonical form.
+func randInst(r *rand.Rand) isa.Inst {
+	anyReg := func() isa.Reg { return isa.Reg(r.Intn(16)) }
+	randMem := func(width uint8) isa.Operand {
+		m := isa.Mem{Base: isa.NoReg, Index: isa.NoReg, Scale: 1}
+		switch r.Intn(4) {
+		case 0: // RIP-relative
+			m.RIPRel = true
+			m.Disp = int32(r.Int63())
+		case 1: // base only
+			m.Base = anyReg()
+			m.Disp = int32(r.Int63())
+		case 2: // base+index
+			m.Base = anyReg()
+			for {
+				m.Index = anyReg()
+				if m.Index != isa.RSP {
+					break
+				}
+			}
+			m.Scale = 1 << r.Intn(4)
+			m.Disp = int32(r.Int63())
+		case 3: // small disp to exercise disp8
+			m.Base = anyReg()
+			m.Disp = int32(r.Intn(256) - 128)
+		}
+		return isa.Operand{Kind: isa.KindMem, Width: width, Mem: m}
+	}
+
+	switch r.Intn(12) {
+	case 0: // mov reg64, imm
+		return isa.NewInst(isa.MOV, isa.R(anyReg()), isa.Imm(r.Int63()-r.Int63()))
+	case 1: // mov reg/mem 64
+		if r.Intn(2) == 0 {
+			return isa.NewInst(isa.MOV, isa.R(anyReg()), randMem(8))
+		}
+		return isa.NewInst(isa.MOV, randMem(8), isa.R(anyReg()))
+	case 2: // ALU reg/reg or reg/mem, 64-bit
+		op := isa.ADD + isa.Op(r.Intn(8))
+		if r.Intn(2) == 0 {
+			return isa.NewInst(op, isa.R(anyReg()), isa.R(anyReg()))
+		}
+		return isa.NewInst(op, randMem(8), isa.R(anyReg()))
+	case 3: // ALU imm
+		op := isa.ADD + isa.Op(r.Intn(8))
+		return isa.NewInst(op, isa.R(anyReg()), isa.Imm(int64(int32(r.Uint32()))))
+	case 4: // byte ALU
+		op := isa.ADD + isa.Op(r.Intn(8))
+		return isa.NewInst(op, isa.Rb(anyReg()), isa.Imm8(int64(r.Intn(256)-128)))
+	case 5: // push/pop
+		if r.Intn(2) == 0 {
+			return isa.NewInst(isa.PUSH, isa.R(anyReg()))
+		}
+		return isa.NewInst(isa.POP, isa.R(anyReg()))
+	case 6: // branches
+		rel := int64(int32(r.Uint32()))
+		switch r.Intn(3) {
+		case 0:
+			return isa.NewInst(isa.JMP, isa.Imm(rel))
+		case 1:
+			return isa.NewInst(isa.CALL, isa.Imm(rel))
+		default:
+			return isa.NewJcc(isa.Cond(r.Intn(16)), rel)
+		}
+	case 7: // setcc
+		return isa.NewSetcc(isa.Cond(r.Intn(16)), anyReg())
+	case 8: // shifts
+		ops := []isa.Op{isa.SHL, isa.SHR, isa.SAR}
+		return isa.NewInst(ops[r.Intn(3)], isa.R(anyReg()), isa.Imm8(int64(r.Intn(64))))
+	case 9: // unary
+		ops := []isa.Op{isa.NOT, isa.NEG, isa.INC, isa.DEC}
+		if r.Intn(2) == 0 {
+			return isa.NewInst(ops[r.Intn(4)], isa.R(anyReg()))
+		}
+		return isa.NewInst(ops[r.Intn(4)], randMem(8))
+	case 10: // movzx/movsx
+		ops := []isa.Op{isa.MOVZX, isa.MOVSX}
+		if r.Intn(2) == 0 {
+			return isa.NewInst(ops[r.Intn(2)], isa.R(anyReg()), isa.Rb(anyReg()))
+		}
+		return isa.NewInst(ops[r.Intn(2)], isa.R(anyReg()), randMem(1))
+	default: // lea
+		return isa.NewInst(isa.LEA, isa.R(anyReg()), randMem(8))
+	}
+}
+
+// TestRoundTripProperty is the encode->decode property test over a large
+// random instruction population.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20211128)) // arXiv submission date as seed
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in := randInst(r)
+		b, err := encode.Encode(in)
+		if err != nil {
+			t.Fatalf("#%d encode %q: %v", i, in.String(), err)
+		}
+		got, err := Decode(b, 0)
+		if err != nil {
+			t.Fatalf("#%d decode %q (% X): %v", i, in.String(), b, err)
+		}
+		if !reflect.DeepEqual(stripMeta(got), in) {
+			t.Fatalf("#%d round trip %q: got %+v, want %+v (bytes % X)", i, in.String(), stripMeta(got), in, b)
+		}
+	}
+}
+
+// TestDecodeTotality feeds random bytes to the decoder and requires it
+// to terminate without panicking, either decoding or erroring.
+func TestDecodeTotality(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	buf := make([]byte, 16)
+	for i := 0; i < 50000; i++ {
+		r.Read(buf)
+		in, err := Decode(buf, 0x400000)
+		if err == nil && in.EncLen == 0 {
+			t.Fatalf("decoded zero-length instruction from % X", buf)
+		}
+	}
+}
+
+// TestDecodeLengthConsistency: re-decoding the encoded bytes of a decoded
+// instruction must give the same length (decode is deterministic on its
+// own output).
+func TestDecodeLengthConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		in := randInst(r)
+		b := encode.MustEncode(in)
+		d1, err := Decode(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.EncLen != len(b) {
+			t.Fatalf("EncLen %d != len %d for %q", d1.EncLen, len(b), in.String())
+		}
+	}
+}

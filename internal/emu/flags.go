@@ -1,0 +1,239 @@
+package emu
+
+import (
+	"math/bits"
+
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// widthMask returns the value mask for a 1/4/8-byte operand width.
+func widthMask(w uint8) uint64 {
+	switch w {
+	case 1:
+		return 0xFF
+	case 4:
+		return 0xFFFFFFFF
+	default:
+		return ^uint64(0)
+	}
+}
+
+// signBit returns the sign-bit mask for the width.
+func signBit(w uint8) uint64 { return 1 << (uint(w)*8 - 1) }
+
+// flagState manipulates the arithmetic flags inside an RFLAGS value.
+type flagState struct{ rflags *uint64 }
+
+func (f flagState) set(mask uint64, on bool) {
+	if on {
+		*f.rflags |= mask
+	} else {
+		*f.rflags &^= mask
+	}
+}
+
+// setSZP sets SF, ZF and PF from a result of the given width.
+func (f flagState) setSZP(r uint64, w uint8) {
+	r &= widthMask(w)
+	f.set(isa.FlagZF, r == 0)
+	f.set(isa.FlagSF, r&signBit(w) != 0)
+	f.set(isa.FlagPF, bits.OnesCount8(uint8(r))&1 == 0)
+}
+
+// addFlags computes r = a + b + carryIn at width w and sets CF/OF/AF/SZP
+// per the x86 ADD/ADC definitions.
+func (f flagState) addFlags(a, b, carryIn uint64, w uint8) uint64 {
+	mask := widthMask(w)
+	a &= mask
+	b &= mask
+	var r uint64
+	var cf bool
+	if w == 8 {
+		var c1, c2 uint64
+		r, c1 = bits.Add64(a, b, 0)
+		r, c2 = bits.Add64(r, carryIn, 0)
+		cf = c1+c2 != 0
+	} else {
+		full := a + b + carryIn
+		r = full & mask
+		cf = full > mask
+	}
+	f.set(isa.FlagCF, cf)
+	f.set(isa.FlagOF, (^(a^b)&(a^r))&signBit(w) != 0)
+	f.set(isa.FlagAF, (a^b^r)&0x10 != 0)
+	f.setSZP(r, w)
+	return r
+}
+
+// subFlags computes r = a - b - borrowIn at width w and sets flags per
+// the x86 SUB/SBB/CMP definitions.
+func (f flagState) subFlags(a, b, borrowIn uint64, w uint8) uint64 {
+	mask := widthMask(w)
+	a &= mask
+	b &= mask
+	var r uint64
+	var cf bool
+	if w == 8 {
+		var b1, b2 uint64
+		r, b1 = bits.Sub64(a, b, 0)
+		r, b2 = bits.Sub64(r, borrowIn, 0)
+		cf = b1+b2 != 0
+	} else {
+		need := b + borrowIn
+		cf = a < need
+		r = (a - need) & mask
+	}
+	f.set(isa.FlagCF, cf)
+	f.set(isa.FlagOF, ((a^b)&(a^r))&signBit(w) != 0)
+	f.set(isa.FlagAF, (a^b^r)&0x10 != 0)
+	f.setSZP(r, w)
+	return r
+}
+
+// logicFlags sets flags for AND/OR/XOR/TEST: CF=OF=0, AF cleared
+// (architecturally undefined; cleared for determinism), SZP from result.
+func (f flagState) logicFlags(r uint64, w uint8) {
+	f.set(isa.FlagCF, false)
+	f.set(isa.FlagOF, false)
+	f.set(isa.FlagAF, false)
+	f.setSZP(r, w)
+}
+
+// incFlags sets flags for INC (CF preserved).
+func (f flagState) incFlags(a uint64, w uint8) uint64 {
+	mask := widthMask(w)
+	a &= mask
+	r := (a + 1) & mask
+	f.set(isa.FlagOF, r == signBit(w)) // only overflow case: max positive + 1
+	f.set(isa.FlagAF, (a^1^r)&0x10 != 0)
+	f.setSZP(r, w)
+	return r
+}
+
+// decFlags sets flags for DEC (CF preserved).
+func (f flagState) decFlags(a uint64, w uint8) uint64 {
+	mask := widthMask(w)
+	a &= mask
+	r := (a - 1) & mask
+	f.set(isa.FlagOF, a == signBit(w)) // min negative - 1 overflows
+	f.set(isa.FlagAF, (a^1^r)&0x10 != 0)
+	f.setSZP(r, w)
+	return r
+}
+
+// shlFlags computes a << count and sets CF to the last bit shifted out;
+// OF follows the count==1 definition, else cleared for determinism.
+func (f flagState) shlFlags(a uint64, count uint, w uint8) uint64 {
+	mask := widthMask(w)
+	a &= mask
+	if count == 0 {
+		return a
+	}
+	bitsW := uint(w) * 8
+	var cf bool
+	if count <= bitsW {
+		cf = a&(1<<(bitsW-count)) != 0
+	}
+	r := (a << count) & mask
+	f.set(isa.FlagCF, cf)
+	if count == 1 {
+		f.set(isa.FlagOF, (r&signBit(w) != 0) != cf)
+	} else {
+		f.set(isa.FlagOF, false)
+	}
+	f.set(isa.FlagAF, false)
+	f.setSZP(r, w)
+	return r
+}
+
+// shrFlags computes a >> count (logical) with CF = last bit out.
+func (f flagState) shrFlags(a uint64, count uint, w uint8) uint64 {
+	mask := widthMask(w)
+	a &= mask
+	if count == 0 {
+		return a
+	}
+	var cf bool
+	if count <= uint(w)*8 {
+		cf = a&(1<<(count-1)) != 0
+	}
+	r := a >> count
+	f.set(isa.FlagCF, cf)
+	if count == 1 {
+		f.set(isa.FlagOF, a&signBit(w) != 0)
+	} else {
+		f.set(isa.FlagOF, false)
+	}
+	f.set(isa.FlagAF, false)
+	f.setSZP(r, w)
+	return r
+}
+
+// sarFlags computes a >> count (arithmetic) with CF = last bit out.
+func (f flagState) sarFlags(a uint64, count uint, w uint8) uint64 {
+	mask := widthMask(w)
+	a &= mask
+	if count == 0 {
+		return a
+	}
+	bitsW := uint(w) * 8
+	// Sign-extend a to 64 bits first.
+	sa := int64(a<<(64-bitsW)) >> (64 - bitsW)
+	var cf bool
+	if count <= bitsW {
+		cf = (sa>>(count-1))&1 != 0
+	} else {
+		cf = sa < 0
+	}
+	if count >= 64 {
+		count = 63
+	}
+	r := uint64(sa>>count) & mask
+	f.set(isa.FlagCF, cf)
+	f.set(isa.FlagOF, false)
+	f.set(isa.FlagAF, false)
+	f.setSZP(r, w)
+	return r
+}
+
+// imulFlags computes the two-operand signed multiply and sets CF=OF when
+// the product does not fit the destination width. SZP are set from the
+// result for determinism (architecturally undefined).
+func (f flagState) imulFlags(a, b uint64, w uint8) uint64 {
+	bitsW := uint(w) * 8
+	sa := int64(a<<(64-bitsW)) >> (64 - bitsW)
+	sb := int64(b<<(64-bitsW)) >> (64 - bitsW)
+	var overflow bool
+	var r uint64
+	if w == 8 {
+		hi, lo := bits.Mul64(uint64(sa), uint64(sb))
+		r = lo
+		// For signed multiply the product fits iff hi is the sign
+		// extension of lo.
+		signExt := uint64(0)
+		if lo&(1<<63) != 0 {
+			signExt = ^uint64(0)
+		}
+		overflow = hi != signExt
+		// Correct hi for signed operands (bits.Mul64 is unsigned):
+		// hi_signed = hi - (a<0 ? b : 0) - (b<0 ? a : 0).
+		hiS := hi
+		if sa < 0 {
+			hiS -= uint64(sb)
+		}
+		if sb < 0 {
+			hiS -= uint64(sa)
+		}
+		overflow = hiS != signExt
+	} else {
+		p := sa * sb
+		r = uint64(p) & widthMask(w)
+		back := int64(r<<(64-bitsW)) >> (64 - bitsW)
+		overflow = back != p
+	}
+	f.set(isa.FlagCF, overflow)
+	f.set(isa.FlagOF, overflow)
+	f.set(isa.FlagAF, false)
+	f.setSZP(r, w)
+	return r
+}

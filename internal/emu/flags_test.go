@@ -1,0 +1,235 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// TestCmpMatchesGoComparisons is the core flag-correctness property: a
+// CMP must set flags such that every condition code agrees with the
+// corresponding Go comparison, across widths.
+func TestCmpMatchesGoComparisons(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	widths := []uint8{1, 4, 8}
+	for i := 0; i < 200000; i++ {
+		w := widths[r.Intn(3)]
+		mask := widthMask(w)
+		a := r.Uint64() & mask
+		b := r.Uint64() & mask
+		if r.Intn(4) == 0 {
+			b = a // force equality cases
+		}
+		var rflags uint64
+		f := flagState{&rflags}
+		f.subFlags(a, b, 0, w)
+
+		bitsW := uint(w) * 8
+		sa := int64(a<<(64-bitsW)) >> (64 - bitsW)
+		sb := int64(b<<(64-bitsW)) >> (64 - bitsW)
+
+		diff := (a - b) & widthMask(w) // SF is the sign of the truncated difference
+		checks := []struct {
+			cond isa.Cond
+			want bool
+		}{
+			{isa.CondE, a == b},
+			{isa.CondNE, a != b},
+			{isa.CondB, a < b},
+			{isa.CondAE, a >= b},
+			{isa.CondBE, a <= b},
+			{isa.CondA, a > b},
+			{isa.CondL, sa < sb},
+			{isa.CondGE, sa >= sb},
+			{isa.CondLE, sa <= sb},
+			{isa.CondG, sa > sb},
+			{isa.CondS, diff&signBit(w) != 0},
+		}
+		for _, c := range checks {
+			if got := isa.CondHolds(c.cond, rflags); got != c.want {
+				t.Fatalf("w=%d a=%#x b=%#x cond=%v: got %v, want %v (rflags=%#x)",
+					w, a, b, c.cond, got, c.want, rflags)
+			}
+		}
+	}
+}
+
+// TestAddSubInverse: for random values, ADD then SUB returns the
+// original and the flags of the SUB match a CMP of the intermediate.
+func TestAddSubInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		w := []uint8{1, 4, 8}[r.Intn(3)]
+		a := r.Uint64() & widthMask(w)
+		b := r.Uint64() & widthMask(w)
+		var rf uint64
+		f := flagState{&rf}
+		sum := f.addFlags(a, b, 0, w)
+		back := f.subFlags(sum, b, 0, w)
+		if back != a&widthMask(w) {
+			t.Fatalf("w=%d: (a+b)-b = %#x, want %#x", w, back, a)
+		}
+	}
+}
+
+// TestAddCarryChain: ADC with carry behaves like 128-bit addition on
+// two 64-bit limbs.
+func TestAddCarryChain(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		aLo, aHi := r.Uint64(), r.Uint64()
+		bLo, bHi := r.Uint64(), r.Uint64()
+		var rf uint64
+		f := flagState{&rf}
+		lo := f.addFlags(aLo, bLo, 0, 8)
+		carry := uint64(0)
+		if rf&isa.FlagCF != 0 {
+			carry = 1
+		}
+		hi := f.addFlags(aHi, bHi, carry, 8)
+
+		// Reference via math/bits semantics.
+		wantLo := aLo + bLo
+		c := uint64(0)
+		if wantLo < aLo {
+			c = 1
+		}
+		wantHi := aHi + bHi + c
+		if lo != wantLo || hi != wantHi {
+			t.Fatalf("128-bit add mismatch: got %#x:%#x want %#x:%#x", hi, lo, wantHi, wantLo)
+		}
+	}
+}
+
+func TestZeroAndSignFlags(t *testing.T) {
+	var rf uint64
+	f := flagState{&rf}
+	f.setSZP(0, 8)
+	if rf&isa.FlagZF == 0 || rf&isa.FlagSF != 0 {
+		t.Error("ZF/SF wrong for 0")
+	}
+	f.setSZP(1<<63, 8)
+	if rf&isa.FlagZF != 0 || rf&isa.FlagSF == 0 {
+		t.Error("ZF/SF wrong for min-int64")
+	}
+	f.setSZP(0x80, 1)
+	if rf&isa.FlagSF == 0 {
+		t.Error("SF wrong for 0x80 byte")
+	}
+	// PF: parity of low byte only.
+	f.setSZP(0x3, 8) // two bits -> even parity -> PF set
+	if rf&isa.FlagPF == 0 {
+		t.Error("PF wrong for 0x3")
+	}
+	f.setSZP(0x1, 8) // one bit -> odd parity -> PF clear
+	if rf&isa.FlagPF != 0 {
+		t.Error("PF wrong for 0x1")
+	}
+	f.setSZP(0x1FF, 8) // low byte 0xFF: eight bits -> even
+	if rf&isa.FlagPF == 0 {
+		t.Error("PF must consider low byte only")
+	}
+}
+
+func TestIncDecOverflowEdges(t *testing.T) {
+	var rf uint64
+	f := flagState{&rf}
+
+	// INC max-positive overflows to min-negative and sets OF.
+	r := f.incFlags(0x7F, 1)
+	if r != 0x80 || rf&isa.FlagOF == 0 {
+		t.Errorf("inc 0x7f: r=%#x OF=%v", r, rf&isa.FlagOF != 0)
+	}
+	// DEC min-negative overflows and sets OF.
+	r = f.decFlags(0x80, 1)
+	if r != 0x7F || rf&isa.FlagOF == 0 {
+		t.Errorf("dec 0x80: r=%#x OF=%v", r, rf&isa.FlagOF != 0)
+	}
+	// INC/DEC preserve CF.
+	rf = isa.FlagCF
+	f.incFlags(5, 8)
+	if rf&isa.FlagCF == 0 {
+		t.Error("INC clobbered CF")
+	}
+	f.decFlags(5, 8)
+	if rf&isa.FlagCF == 0 {
+		t.Error("DEC clobbered CF")
+	}
+}
+
+func TestShiftFlags(t *testing.T) {
+	var rf uint64
+	f := flagState{&rf}
+
+	// SHL out of the top bit sets CF.
+	r := f.shlFlags(0x8000000000000000, 1, 8)
+	if r != 0 || rf&isa.FlagCF == 0 || rf&isa.FlagZF == 0 {
+		t.Errorf("shl msb: r=%#x rflags=%#x", r, rf)
+	}
+	// SHR of 1 by 1 sets CF and ZF.
+	r = f.shrFlags(1, 1, 8)
+	if r != 0 || rf&isa.FlagCF == 0 || rf&isa.FlagZF == 0 {
+		t.Errorf("shr 1: r=%#x rflags=%#x", r, rf)
+	}
+	// SAR keeps the sign.
+	r = f.sarFlags(0xFF, 4, 1)
+	if r != 0xFF {
+		t.Errorf("sar 0xff>>4 = %#x, want 0xff (sign fill)", r)
+	}
+	r = f.shrFlags(0xFF, 4, 1)
+	if r != 0x0F {
+		t.Errorf("shr 0xff>>4 = %#x, want 0x0f", r)
+	}
+	// Shift by zero leaves value (and flags) alone.
+	rf = isa.FlagCF
+	r = f.shlFlags(42, 0, 8)
+	if r != 42 || rf != isa.FlagCF {
+		t.Errorf("shift by 0 changed state: r=%d rflags=%#x", r, rf)
+	}
+}
+
+func TestImulOverflow(t *testing.T) {
+	var rf uint64
+	f := flagState{&rf}
+
+	r := f.imulFlags(3, 5, 8)
+	if r != 15 || rf&isa.FlagCF != 0 || rf&isa.FlagOF != 0 {
+		t.Errorf("3*5: r=%d rflags=%#x", r, rf)
+	}
+	// Negative small product: fits, no overflow.
+	f.imulFlags(uint64(^uint64(0)), 7, 8) // -1 * 7
+	if rf&isa.FlagCF != 0 {
+		t.Error("-1*7 flagged as overflow")
+	}
+	// Large product overflows.
+	f.imulFlags(1<<62, 4, 8)
+	if rf&isa.FlagCF == 0 || rf&isa.FlagOF == 0 {
+		t.Error("1<<62 * 4 not flagged as overflow")
+	}
+	// Byte-width overflow.
+	f.imulFlags(100, 2, 1)
+	if rf&isa.FlagCF == 0 {
+		t.Error("100*2 fits in int8? should overflow")
+	}
+	f.imulFlags(10, 2, 1)
+	if rf&isa.FlagCF != 0 {
+		t.Error("10*2 flagged as byte overflow")
+	}
+}
+
+// TestImulMatchesGo cross-checks imul against Go's native signed
+// multiplication for random inputs.
+func TestImulMatchesGo(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 50000; i++ {
+		a, b := r.Uint64(), r.Uint64()
+		var rf uint64
+		f := flagState{&rf}
+		got := f.imulFlags(a, b, 8)
+		want := uint64(int64(a) * int64(b))
+		if got != want {
+			t.Fatalf("imul %#x*%#x = %#x, want %#x", a, b, got, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/elf"
+)
+
+// TestMachineTotalityOnRandomCode: executing arbitrary bytes must never
+// panic the emulator — every run ends in a clean exit, a classified
+// fault, or the step limit. This is the property the bit-flip fault
+// model leans on (mutated instruction streams are arbitrary bytes).
+func TestMachineTotalityOnRandomCode(t *testing.T) {
+	r := rand.New(rand.NewSource(0xFA117))
+	for trial := 0; trial < 2000; trial++ {
+		code := make([]byte, 64)
+		r.Read(code)
+		bin := &elf.Binary{
+			Entry: 0x401000,
+			Sections: []*elf.Section{
+				{Name: ".text", Addr: 0x401000, Data: code, Flags: elf.FlagRead | elf.FlagExec},
+				{Name: ".data", Addr: 0x600000, Data: make([]byte, 4096), Flags: elf.FlagRead | elf.FlagWrite},
+			},
+		}
+		m := New(bin, Config{Stdin: []byte("fuzz"), StepLimit: 10000})
+		res, err := m.Run()
+		if err == nil && !res.Exited {
+			t.Fatalf("trial %d: run finished without exit or error", trial)
+		}
+	}
+}
+
+// TestMachineTotalityOnMutatedProgram: take a valid program and flip
+// every bit of its text one at a time; no mutation may panic or hang the
+// emulator beyond its budget.
+func TestMachineTotalityOnMutatedProgram(t *testing.T) {
+	code := [][]byte{
+		{0x48, 0xC7, 0xC0, 0x3C, 0x00, 0x00, 0x00}, // mov rax, 60
+		{0x48, 0x31, 0xFF},                         // xor rdi, rdi
+		{0x0F, 0x05},                               // syscall
+	}
+	var text []byte
+	for _, c := range code {
+		text = append(text, c...)
+	}
+	for bit := 0; bit < len(text)*8; bit++ {
+		mutated := append([]byte(nil), text...)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		bin := &elf.Binary{
+			Entry: 0x401000,
+			Sections: []*elf.Section{
+				{Name: ".text", Addr: 0x401000, Data: mutated, Flags: elf.FlagRead | elf.FlagExec},
+			},
+		}
+		m := New(bin, Config{StepLimit: 10000})
+		res, err := m.Run()
+		if err == nil && !res.Exited {
+			t.Fatalf("bit %d: no exit and no error", bit)
+		}
+	}
+}
+
+// TestICacheInvalidation: executing self-modified code must see the new
+// bytes (the decoded-instruction cache keys off the memory generation).
+func TestICacheInvalidation(t *testing.T) {
+	// Program: first run of the loop writes a new immediate into the
+	// exit-code mov, then jumps back over it.
+	//   _start:
+	//     mov rdi, 1          ; patched below to mov rdi, 9
+	//     cmp rbx, 0
+	//     jne exit            ; second pass exits
+	//     mov rbx, 1
+	//     lea rcx, [rip+_start]  -> via mov rcx, 0x401000
+	//     mov byte ptr [rcx+3], 9   ; rewrite the imm of "mov rdi, 1"
+	//     jmp _start
+	//   exit: mov rax, 60; syscall
+	bin := &elf.Binary{
+		Entry: 0x401000,
+		Sections: []*elf.Section{
+			{
+				Name: ".text", Addr: 0x401000,
+				Flags: elf.FlagRead | elf.FlagWrite | elf.FlagExec, // writable text for the test
+				Data: mustText(t,
+					[]byte{0x48, 0xC7, 0xC7, 0x01, 0x00, 0x00, 0x00}, // mov rdi, 1
+					[]byte{0x48, 0x83, 0xFB, 0x00},                   // cmp rbx, 0
+					[]byte{0x0F, 0x85, 0x17, 0x00, 0x00, 0x00},       // jne +0x17 (exit)
+					[]byte{0x48, 0xC7, 0xC3, 0x01, 0x00, 0x00, 0x00}, // mov rbx, 1
+					[]byte{0x48, 0xC7, 0xC1, 0x00, 0x10, 0x40, 0x00}, // mov rcx, 0x401000
+					[]byte{0xC6, 0x41, 0x03, 0x09},                   // mov byte [rcx+3], 9
+					[]byte{0xE9, 0xD8, 0xFF, 0xFF, 0xFF},             // jmp _start (-0x28)
+					[]byte{0x48, 0xC7, 0xC0, 0x3C, 0x00, 0x00, 0x00}, // exit: mov rax, 60
+					[]byte{0x0F, 0x05},                               // syscall
+				),
+			},
+		},
+	}
+	m := New(bin, Config{StepLimit: 1000})
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 9 {
+		t.Errorf("exit = %d, want 9 (self-modified immediate not observed)", res.ExitCode)
+	}
+}
+
+func mustText(t *testing.T, chunks ...[]byte) []byte {
+	t.Helper()
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}

@@ -1,0 +1,501 @@
+// Package emu is an interpreting emulator for the x86-64 subset running
+// static Linux-style binaries: 16 GPRs, RFLAGS, paged memory, a small
+// syscall surface (read/write/exit) and deterministic execution.
+//
+// It plays the role Qiling/Unicorn play in the paper: the substrate the
+// faulter drives to simulate instruction-skip and bit-flip faults and to
+// observe whether the program's externally visible behaviour (stdout +
+// exit status) changes.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/decode"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// Execution faults (crashes, in the fault-model sense).
+var (
+	ErrStepLimit  = errors.New("emu: step limit exceeded")
+	ErrHalted     = errors.New("emu: hlt/ud2 executed")
+	ErrBadSyscall = errors.New("emu: unsupported syscall")
+	ErrNotExited  = errors.New("emu: program did not exit")
+)
+
+// Default run limits.
+const (
+	DefaultStepLimit = 4 << 20
+	DefaultStackSize = 2 << 20
+	DefaultStackTop  = 0x7FFF_FFF0_0000
+)
+
+// StepAction is returned by a StepHook to control execution of the
+// decoded instruction.
+type StepAction uint8
+
+// Step actions.
+const (
+	ActContinue StepAction = iota
+	ActSkip                // skip the instruction (instruction-skip fault model)
+)
+
+// Config parameterizes a Machine.
+type Config struct {
+	Stdin     []byte
+	StepLimit uint64
+	StackSize uint64
+	StackTop  uint64
+
+	// RecordTrace captures each executed instruction's address and
+	// length (before any skip decision).
+	RecordTrace bool
+
+	// FetchHook runs before each fetch; the fault injector uses it to
+	// mutate instruction bytes at a precise dynamic step index.
+	FetchHook func(m *Machine)
+
+	// StepHook runs after decode, before execution.
+	StepHook func(m *Machine, in isa.Inst) StepAction
+}
+
+// TraceEntry is one executed instruction in a recorded trace.
+type TraceEntry struct {
+	Addr uint64
+	Len  int
+	Op   isa.Op
+	Cond isa.Cond
+}
+
+// Machine is a single-threaded virtual CPU plus address space.
+type Machine struct {
+	Regs   [isa.NumRegs]uint64
+	RIP    uint64
+	Rflags uint64
+	Mem    *Memory
+
+	Stdin  []byte
+	inPos  int
+	Stdout []byte
+	Stderr []byte
+
+	Steps     uint64
+	StepLimit uint64
+
+	Exited   bool
+	ExitCode int
+
+	Trace       []TraceEntry
+	recordTrace bool
+
+	fetchHook func(m *Machine)
+	stepHook  func(m *Machine, in isa.Inst) StepAction
+
+	fetchBuf [decode.MaxInstLen]byte
+
+	// Decoded-instruction cache, keyed by address and invalidated when
+	// Memory.CodeGeneration changes (pokes, bit flips, self-modifying
+	// stores). Fault campaigns execute the same instructions millions
+	// of times; decoding once per address is the difference between
+	// minutes and seconds per campaign.
+	icache    map[uint64]isa.Inst
+	icacheGen uint64
+}
+
+// New builds a machine with the binary's sections mapped, a stack, and
+// RIP at the entry point.
+func New(bin *elf.Binary, cfg Config) *Machine {
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = DefaultStepLimit
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = DefaultStackSize
+	}
+	if cfg.StackTop == 0 {
+		cfg.StackTop = DefaultStackTop
+	}
+	m := &Machine{
+		Mem:         NewMemory(),
+		Stdin:       cfg.Stdin,
+		StepLimit:   cfg.StepLimit,
+		recordTrace: cfg.RecordTrace,
+		fetchHook:   cfg.FetchHook,
+		stepHook:    cfg.StepHook,
+	}
+	for _, s := range bin.Sections {
+		m.Mem.LoadSection(s)
+	}
+	m.Mem.Map(cfg.StackTop-cfg.StackSize, cfg.StackSize, elf.FlagRead|elf.FlagWrite)
+	m.Regs[isa.RSP] = cfg.StackTop - 64 // a little headroom like a real loader
+	m.RIP = bin.Entry
+	m.Rflags = isa.FlagsFixed
+	return m
+}
+
+// Result summarizes a finished (or crashed) run.
+type Result struct {
+	Exited   bool
+	ExitCode int
+	Steps    uint64
+	Stdout   []byte
+	Stderr   []byte
+}
+
+// Run executes until exit, fault, or step limit. The returned error is
+// nil only for a clean exit via the exit syscall.
+func (m *Machine) Run() (Result, error) {
+	var err error
+	for !m.Exited {
+		if m.Steps >= m.StepLimit {
+			err = ErrStepLimit
+			break
+		}
+		if err = m.Step(); err != nil {
+			break
+		}
+	}
+	res := Result{
+		Exited:   m.Exited,
+		ExitCode: m.ExitCode,
+		Steps:    m.Steps,
+		Stdout:   m.Stdout,
+		Stderr:   m.Stderr,
+	}
+	return res, err
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.fetchHook != nil {
+		m.fetchHook(m)
+	}
+	if gen := m.Mem.CodeGeneration(); m.icache == nil || gen != m.icacheGen {
+		m.icache = make(map[uint64]isa.Inst, 256)
+		m.icacheGen = gen
+	}
+	in, ok := m.icache[m.RIP]
+	if !ok {
+		n, err := m.Mem.Fetch(m.RIP, m.fetchBuf[:])
+		if err != nil {
+			return err
+		}
+		in, err = decode.Decode(m.fetchBuf[:n], m.RIP)
+		if err != nil {
+			return fmt.Errorf("at %#x: %w", m.RIP, err)
+		}
+		m.icache[m.RIP] = in
+	}
+	if m.recordTrace {
+		m.Trace = append(m.Trace, TraceEntry{Addr: m.RIP, Len: in.EncLen, Op: in.Op, Cond: in.Cond})
+	}
+	m.Steps++
+	if m.stepHook != nil {
+		if m.stepHook(m, in) == ActSkip {
+			m.RIP += uint64(in.EncLen)
+			return nil
+		}
+	}
+	return m.exec(in)
+}
+
+// reg reads a register at the given width (zero-extended).
+func (m *Machine) reg(r isa.Reg, w uint8) uint64 {
+	return m.Regs[r] & widthMask(w)
+}
+
+// setReg writes a register with x86-64 width semantics: 64-bit writes
+// replace, 32-bit writes zero-extend, 8-bit writes merge the low byte.
+func (m *Machine) setReg(r isa.Reg, v uint64, w uint8) {
+	switch w {
+	case 8:
+		m.Regs[r] = v
+	case 4:
+		m.Regs[r] = v & 0xFFFFFFFF
+	case 1:
+		m.Regs[r] = (m.Regs[r] &^ 0xFF) | (v & 0xFF)
+	}
+}
+
+// effAddr computes the effective address of a memory operand for the
+// instruction (RIP-relative uses the end of the instruction).
+func (m *Machine) effAddr(in isa.Inst, mem isa.Mem) uint64 {
+	if mem.RIPRel {
+		return in.Addr + uint64(in.EncLen) + uint64(int64(mem.Disp))
+	}
+	var a uint64
+	if mem.Base != isa.NoReg {
+		a = m.Regs[mem.Base]
+	}
+	if mem.Index != isa.NoReg {
+		a += m.Regs[mem.Index] * uint64(mem.Scale)
+	}
+	return a + uint64(int64(mem.Disp))
+}
+
+// readOperand loads the value of a reg/imm/mem operand.
+func (m *Machine) readOperand(in isa.Inst, op isa.Operand) (uint64, error) {
+	switch op.Kind {
+	case isa.KindReg:
+		return m.reg(op.Reg, op.Width), nil
+	case isa.KindImm:
+		return uint64(op.Imm) & widthMask(op.Width), nil
+	case isa.KindMem:
+		return m.Mem.ReadUint(m.effAddr(in, op.Mem), op.Width)
+	}
+	return 0, fmt.Errorf("emu: read of empty operand in %s", in)
+}
+
+// writeOperand stores a value to a reg/mem operand.
+func (m *Machine) writeOperand(in isa.Inst, op isa.Operand, v uint64) error {
+	switch op.Kind {
+	case isa.KindReg:
+		m.setReg(op.Reg, v, op.Width)
+		return nil
+	case isa.KindMem:
+		return m.Mem.WriteUint(m.effAddr(in, op.Mem), v, op.Width)
+	}
+	return fmt.Errorf("emu: write to bad operand in %s", in)
+}
+
+func (m *Machine) push64(v uint64) error {
+	m.Regs[isa.RSP] -= 8
+	return m.Mem.WriteUint(m.Regs[isa.RSP], v, 8)
+}
+
+func (m *Machine) pop64() (uint64, error) {
+	v, err := m.Mem.ReadUint(m.Regs[isa.RSP], 8)
+	if err != nil {
+		return 0, err
+	}
+	m.Regs[isa.RSP] += 8
+	return v, nil
+}
+
+// exec executes a decoded instruction and advances RIP.
+func (m *Machine) exec(in isa.Inst) error {
+	next := in.Addr + uint64(in.EncLen)
+	f := flagState{&m.Rflags}
+
+	switch in.Op {
+	case isa.MOV:
+		v, err := m.readOperand(in, in.Src)
+		if err != nil {
+			return err
+		}
+		if err := m.writeOperand(in, in.Dst, v); err != nil {
+			return err
+		}
+
+	case isa.MOVZX:
+		v, err := m.readOperand(in, in.Src)
+		if err != nil {
+			return err
+		}
+		m.setReg(in.Dst.Reg, v&0xFF, in.Dst.Width)
+
+	case isa.MOVSX:
+		v, err := m.readOperand(in, in.Src)
+		if err != nil {
+			return err
+		}
+		m.setReg(in.Dst.Reg, uint64(int64(int8(v))), in.Dst.Width)
+
+	case isa.LEA:
+		m.setReg(in.Dst.Reg, m.effAddr(in, in.Src.Mem), in.Dst.Width)
+
+	case isa.ADD, isa.ADC, isa.SUB, isa.SBB, isa.CMP, isa.AND, isa.OR, isa.XOR:
+		a, err := m.readOperand(in, in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := m.readOperand(in, in.Src)
+		if err != nil {
+			return err
+		}
+		w := in.Dst.Width
+		carry := uint64(0)
+		if m.Rflags&isa.FlagCF != 0 {
+			carry = 1
+		}
+		var r uint64
+		switch in.Op {
+		case isa.ADD:
+			r = f.addFlags(a, b, 0, w)
+		case isa.ADC:
+			r = f.addFlags(a, b, carry, w)
+		case isa.SUB, isa.CMP:
+			r = f.subFlags(a, b, 0, w)
+		case isa.SBB:
+			r = f.subFlags(a, b, carry, w)
+		case isa.AND:
+			r = (a & b) & widthMask(w)
+			f.logicFlags(r, w)
+		case isa.OR:
+			r = (a | b) & widthMask(w)
+			f.logicFlags(r, w)
+		case isa.XOR:
+			r = (a ^ b) & widthMask(w)
+			f.logicFlags(r, w)
+		}
+		if in.Op != isa.CMP {
+			if err := m.writeOperand(in, in.Dst, r); err != nil {
+				return err
+			}
+		}
+
+	case isa.TEST:
+		a, err := m.readOperand(in, in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := m.readOperand(in, in.Src)
+		if err != nil {
+			return err
+		}
+		f.logicFlags(a&b&widthMask(in.Dst.Width), in.Dst.Width)
+
+	case isa.NOT:
+		a, err := m.readOperand(in, in.Dst)
+		if err != nil {
+			return err
+		}
+		if err := m.writeOperand(in, in.Dst, ^a&widthMask(in.Dst.Width)); err != nil {
+			return err
+		}
+
+	case isa.NEG:
+		a, err := m.readOperand(in, in.Dst)
+		if err != nil {
+			return err
+		}
+		r := f.subFlags(0, a, 0, in.Dst.Width)
+		if err := m.writeOperand(in, in.Dst, r); err != nil {
+			return err
+		}
+
+	case isa.INC, isa.DEC:
+		a, err := m.readOperand(in, in.Dst)
+		if err != nil {
+			return err
+		}
+		var r uint64
+		if in.Op == isa.INC {
+			r = f.incFlags(a, in.Dst.Width)
+		} else {
+			r = f.decFlags(a, in.Dst.Width)
+		}
+		if err := m.writeOperand(in, in.Dst, r); err != nil {
+			return err
+		}
+
+	case isa.SHL, isa.SHR, isa.SAR:
+		a, err := m.readOperand(in, in.Dst)
+		if err != nil {
+			return err
+		}
+		count := uint(in.Src.Imm) & 0x3F
+		var r uint64
+		switch in.Op {
+		case isa.SHL:
+			r = f.shlFlags(a, count, in.Dst.Width)
+		case isa.SHR:
+			r = f.shrFlags(a, count, in.Dst.Width)
+		case isa.SAR:
+			r = f.sarFlags(a, count, in.Dst.Width)
+		}
+		if err := m.writeOperand(in, in.Dst, r); err != nil {
+			return err
+		}
+
+	case isa.IMUL:
+		a, err := m.readOperand(in, in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := m.readOperand(in, in.Src)
+		if err != nil {
+			return err
+		}
+		r := f.imulFlags(a, b, in.Dst.Width)
+		m.setReg(in.Dst.Reg, r, in.Dst.Width)
+
+	case isa.PUSH:
+		if err := m.push64(m.Regs[in.Dst.Reg]); err != nil {
+			return err
+		}
+
+	case isa.POP:
+		v, err := m.pop64()
+		if err != nil {
+			return err
+		}
+		m.Regs[in.Dst.Reg] = v
+
+	case isa.PUSHFQ:
+		if err := m.push64(m.Rflags); err != nil {
+			return err
+		}
+
+	case isa.POPFQ:
+		v, err := m.pop64()
+		if err != nil {
+			return err
+		}
+		// Only the arithmetic flags are writable in this subset; the
+		// fixed bits stay as the architecture defines for user mode.
+		m.Rflags = isa.FlagsFixed | (v & isa.FlagsArithMask)
+
+	case isa.JMP:
+		m.RIP = in.Target
+		return nil
+
+	case isa.JCC:
+		if isa.CondHolds(in.Cond, m.Rflags) {
+			m.RIP = in.Target
+			return nil
+		}
+
+	case isa.CALL:
+		if err := m.push64(next); err != nil {
+			return err
+		}
+		m.RIP = in.Target
+		return nil
+
+	case isa.RET:
+		v, err := m.pop64()
+		if err != nil {
+			return err
+		}
+		m.RIP = v
+		return nil
+
+	case isa.SETCC:
+		v := uint64(0)
+		if isa.CondHolds(in.Cond, m.Rflags) {
+			v = 1
+		}
+		if err := m.writeOperand(in, in.Dst, v); err != nil {
+			return err
+		}
+
+	case isa.SYSCALL:
+		if err := m.syscall(next); err != nil {
+			return err
+		}
+
+	case isa.NOP:
+		// nothing
+
+	case isa.HLT, isa.UD2:
+		return fmt.Errorf("at %#x: %w", in.Addr, ErrHalted)
+
+	default:
+		return fmt.Errorf("emu: at %#x: unimplemented op %s", in.Addr, in.Op)
+	}
+
+	m.RIP = next
+	return nil
+}

@@ -1,0 +1,285 @@
+package emu
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/elf"
+)
+
+const pageSize = 0x1000
+
+// AccessKind labels a memory access for fault reporting.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessExec
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "execute"
+	}
+	return "?"
+}
+
+// MemFault reports an illegal memory access: the emulator equivalent of
+// a segmentation fault.
+type MemFault struct {
+	Addr uint64
+	Kind AccessKind
+}
+
+func (e *MemFault) Error() string {
+	return fmt.Sprintf("emu: memory fault: %s at %#x", e.Kind, e.Addr)
+}
+
+type page struct {
+	data [pageSize]byte
+	perm uint32
+}
+
+// region is a mapped address range whose pages materialize lazily on
+// first touch. Fault campaigns create thousands of short-lived machines;
+// allocating the (mostly untouched) stack eagerly would dominate their
+// cost.
+type region struct {
+	addr, size uint64
+	perm       uint32
+}
+
+// Memory is a sparse paged address space with per-page permissions.
+type Memory struct {
+	pages   map[uint64]*page
+	regions []region
+
+	// codeGen increments whenever executable bytes may have changed
+	// (Poke/FlipBit, or a store into an executable page); the machine's
+	// decoded-instruction cache keys off it.
+	codeGen uint64
+}
+
+// CodeGeneration returns the current code-mutation epoch.
+func (m *Memory) CodeGeneration() uint64 { return m.codeGen }
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Map makes [addr, addr+size) accessible with the given permissions,
+// zero-filled. Overlapping maps widen permissions.
+func (m *Memory) Map(addr, size uint64, perm uint32) {
+	m.regions = append(m.regions, region{addr: addr, size: size, perm: perm})
+	// Already-materialized pages in range get their perms widened.
+	for a := addr &^ (pageSize - 1); a < addr+size; a += pageSize {
+		if p, ok := m.pages[a]; ok {
+			p.perm |= perm
+		}
+	}
+}
+
+// LoadSection maps and fills a binary section.
+func (m *Memory) LoadSection(s *elf.Section) {
+	m.Map(s.Addr, s.Size(), s.Flags)
+	m.writeRaw(s.Addr, s.Data)
+}
+
+// regionPerm returns the union of region permissions covering the page
+// containing addr, and whether any region covers it.
+func (m *Memory) regionPerm(pageAddr uint64) (uint32, bool) {
+	var perm uint32
+	found := false
+	for _, r := range m.regions {
+		if pageAddr+pageSize > r.addr && pageAddr < r.addr+r.size {
+			perm |= r.perm
+			found = true
+		}
+	}
+	return perm, found
+}
+
+// page returns the materialized page containing addr, creating it from
+// a covering region if needed. Returns nil for unmapped addresses.
+func (m *Memory) page(addr uint64) *page {
+	pa := addr &^ (pageSize - 1)
+	if p, ok := m.pages[pa]; ok {
+		return p
+	}
+	perm, ok := m.regionPerm(pa)
+	if !ok {
+		return nil
+	}
+	p := &page{perm: perm}
+	m.pages[pa] = p
+	return p
+}
+
+func (m *Memory) writeRaw(addr uint64, data []byte) {
+	for i := 0; i < len(data); {
+		a := addr + uint64(i)
+		p := m.page(a)
+		n := copy(p.data[a&(pageSize-1):], data[i:])
+		i += n
+	}
+}
+
+// permAt returns the effective permissions of the page containing addr
+// without materializing it.
+func (m *Memory) permAt(pageAddr uint64) (uint32, bool) {
+	if p, ok := m.pages[pageAddr]; ok {
+		return p.perm, true
+	}
+	return m.regionPerm(pageAddr)
+}
+
+// check validates an access of n bytes starting at addr.
+func (m *Memory) check(addr uint64, n int, kind AccessKind) error {
+	var need uint32
+	switch kind {
+	case AccessRead:
+		need = elf.FlagRead
+	case AccessWrite:
+		need = elf.FlagWrite
+	case AccessExec:
+		need = elf.FlagExec
+	}
+	// Address-space wraparound (e.g. a fault-corrupted stack pointer
+	// near 2^64) is always invalid.
+	if addr+uint64(n) < addr {
+		return &MemFault{Addr: addr, Kind: kind}
+	}
+	for a := addr &^ (pageSize - 1); a < addr+uint64(n); a += pageSize {
+		perm, ok := m.permAt(a)
+		if !ok || perm&need == 0 {
+			fa := addr
+			if a > addr {
+				fa = a
+			}
+			return &MemFault{Addr: fa, Kind: kind}
+		}
+	}
+	return nil
+}
+
+// Read copies n bytes at addr into buf, enforcing read permission.
+func (m *Memory) Read(addr uint64, buf []byte) error {
+	if err := m.check(addr, len(buf), AccessRead); err != nil {
+		return err
+	}
+	m.readRaw(addr, buf)
+	return nil
+}
+
+func (m *Memory) readRaw(addr uint64, buf []byte) {
+	for i := 0; i < len(buf); {
+		pa := (addr + uint64(i)) &^ (pageSize - 1)
+		off := (addr + uint64(i)) & (pageSize - 1)
+		p := m.pages[pa]
+		if p == nil {
+			buf[i] = 0
+			i++
+			continue
+		}
+		n := copy(buf[i:], p.data[off:])
+		i += n
+	}
+}
+
+// Write copies data to addr, enforcing write permission.
+func (m *Memory) Write(addr uint64, data []byte) error {
+	if err := m.check(addr, len(data), AccessWrite); err != nil {
+		return err
+	}
+	// Self-modifying code support: stores that touch executable pages
+	// invalidate decoded-instruction caches.
+	for a := addr &^ (pageSize - 1); a < addr+uint64(len(data)); a += pageSize {
+		if perm, ok := m.permAt(a); ok && perm&elf.FlagExec != 0 {
+			m.codeGen++
+			break
+		}
+	}
+	m.writeRaw(addr, data)
+	return nil
+}
+
+// ReadUint reads a little-endian unsigned integer of the given byte
+// width with read permission enforcement.
+func (m *Memory) ReadUint(addr uint64, width uint8) (uint64, error) {
+	var buf [8]byte
+	if err := m.Read(addr, buf[:width]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := uint8(0); i < width; i++ {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteUint writes a little-endian unsigned integer of the given width.
+func (m *Memory) WriteUint(addr uint64, v uint64, width uint8) error {
+	var buf [8]byte
+	for i := uint8(0); i < width; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return m.Write(addr, buf[:width])
+}
+
+// Fetch copies up to n instruction bytes at addr into buf, enforcing
+// execute permission on the first byte (and as many following bytes as
+// are executable, so instructions ending at a segment boundary still
+// decode). It returns the number of bytes available.
+func (m *Memory) Fetch(addr uint64, buf []byte) (int, error) {
+	if err := m.check(addr, 1, AccessExec); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(buf) {
+		a := addr + uint64(n)
+		p := m.page(a)
+		if p == nil || p.perm&elf.FlagExec == 0 {
+			break
+		}
+		buf[n] = p.data[a&(pageSize-1)]
+		n++
+	}
+	return n, nil
+}
+
+// Poke overwrites a single byte ignoring permissions. The fault injector
+// uses it to mutate instruction bytes the way a hardware glitch would.
+func (m *Memory) Poke(addr uint64, b byte) error {
+	p := m.page(addr)
+	if p == nil {
+		return &MemFault{Addr: addr, Kind: AccessWrite}
+	}
+	m.codeGen++
+	p.data[addr&(pageSize-1)] = b
+	return nil
+}
+
+// Peek reads a single byte ignoring permissions.
+func (m *Memory) Peek(addr uint64) (byte, error) {
+	p := m.page(addr)
+	if p == nil {
+		return 0, &MemFault{Addr: addr, Kind: AccessRead}
+	}
+	return p.data[addr&(pageSize-1)], nil
+}
+
+// FlipBit toggles one bit at addr (bit 0..7), ignoring permissions.
+func (m *Memory) FlipBit(addr uint64, bit uint) error {
+	b, err := m.Peek(addr)
+	if err != nil {
+		return err
+	}
+	return m.Poke(addr, b^(1<<bit))
+}

@@ -1,0 +1,158 @@
+package emu
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/elf"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x2000, elf.FlagRead|elf.FlagWrite)
+
+	if err := m.Write(0x1800, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := m.Read(0x1800, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{1, 2, 3, 4}) {
+		t.Errorf("read back % X", buf)
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x2000, elf.FlagRead|elf.FlagWrite)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// Straddle the 0x2000 page boundary.
+	if err := m.Write(0x1FD0, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if err := m.Read(0x1FD0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("cross-page data mismatch")
+	}
+	v, err := m.ReadUint(0x1FFC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 7; i >= 0; i-- {
+		want = want<<8 | uint64(data[0x2C+i])
+	}
+	if v != want {
+		t.Errorf("ReadUint cross page = %#x, want %#x", v, want)
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x1000, elf.FlagRead)
+	m.Map(0x5000, 0x1000, elf.FlagRead|elf.FlagExec)
+
+	var mf *MemFault
+	if err := m.Write(0x1000, []byte{1}); !errors.As(err, &mf) || mf.Kind != AccessWrite {
+		t.Errorf("write to read-only: %v", err)
+	}
+	if err := m.Read(0x9000, make([]byte, 1)); !errors.As(err, &mf) || mf.Kind != AccessRead {
+		t.Errorf("read unmapped: %v", err)
+	}
+	if _, err := m.Fetch(0x1000, make([]byte, 4)); !errors.As(err, &mf) || mf.Kind != AccessExec {
+		t.Errorf("fetch from non-exec: %v", err)
+	}
+	if _, err := m.Fetch(0x5000, make([]byte, 4)); err != nil {
+		t.Errorf("fetch from exec: %v", err)
+	}
+	// Partial range fault: write spans into unmapped page.
+	if err := m.Write(0x1FF0, make([]byte, 64)); err == nil {
+		t.Error("write spanning unmapped page succeeded")
+	}
+}
+
+func TestFetchStopsAtSegmentEnd(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x1000, elf.FlagRead|elf.FlagExec)
+	buf := make([]byte, 15)
+	n, err := m.Fetch(0x1FFD, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("fetched %d bytes at segment end, want 3", n)
+	}
+}
+
+func TestPokePeekFlip(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x1000, elf.FlagRead|elf.FlagExec) // not writable
+
+	if err := m.Poke(0x1004, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Peek(0x1004)
+	if err != nil || b != 0xAB {
+		t.Fatalf("peek = %#x, %v", b, err)
+	}
+	if err := m.FlipBit(0x1004, 1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = m.Peek(0x1004)
+	if b != 0xA9 {
+		t.Errorf("after flip bit 1: %#x, want 0xA9", b)
+	}
+	if err := m.Poke(0xFFFF_0000, 1); err == nil {
+		t.Error("poke to unmapped succeeded")
+	}
+	if err := m.FlipBit(0xFFFF_0000, 0); err == nil {
+		t.Error("flip in unmapped succeeded")
+	}
+}
+
+func TestLoadSection(t *testing.T) {
+	m := NewMemory()
+	m.LoadSection(&elf.Section{
+		Name:  ".text",
+		Addr:  0x401000,
+		Data:  []byte{0x90, 0xC3},
+		Flags: elf.FlagRead | elf.FlagExec,
+	})
+	buf := make([]byte, 2)
+	if _, err := m.Fetch(0x401000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x90 || buf[1] != 0xC3 {
+		t.Errorf("loaded bytes % X", buf)
+	}
+	// BSS-style section with MemSize > len(Data).
+	m.LoadSection(&elf.Section{
+		Name:    ".bss",
+		Addr:    0x600000,
+		MemSize: 8192,
+		Flags:   elf.FlagRead | elf.FlagWrite,
+	})
+	if err := m.Write(0x601000, []byte{1}); err != nil {
+		t.Errorf("bss tail not mapped: %v", err)
+	}
+}
+
+func TestPermWidening(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x1000, elf.FlagRead)
+	m.Map(0x1000, 0x1000, elf.FlagWrite)
+	if err := m.Write(0x1000, []byte{1}); err != nil {
+		t.Errorf("widened perm write failed: %v", err)
+	}
+	if err := m.Read(0x1000, make([]byte, 1)); err != nil {
+		t.Errorf("original perm read failed: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package emu
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// TestPushfqBitLayout pins the architectural RFLAGS image: the cmp
+// pattern of Table II depends on pushfq snapshots being comparable, and
+// the lifter's compose/decompose must agree with the emulator bit for
+// bit.
+func TestPushfqBitLayout(t *testing.T) {
+	// cmp rax, rbx with rax==rbx sets ZF and PF; rflags image must be
+	// fixed-bits | ZF | PF.
+	src := `
+.text
+_start:
+	mov rax, 7
+	mov rbx, 7
+	cmp rax, rbx
+	pushfq
+	pop rdi           ; exit code = low byte of rflags
+	and rdi, 0xff
+	mov rax, 60
+	syscall
+`
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(bin, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int((isa.FlagsFixed | isa.FlagZF | isa.FlagPF) & 0xFF)
+	if res.ExitCode != want {
+		t.Errorf("rflags low byte = %#x, want %#x", res.ExitCode, want)
+	}
+}
+
+func TestPushfqCarrySign(t *testing.T) {
+	// 0 - 1 sets CF, SF, AF, PF(0xFF has 8 bits -> even parity).
+	src := `
+.text
+_start:
+	xor rax, rax
+	mov rbx, 1
+	sub rax, rbx
+	pushfq
+	pop rdi
+	and rdi, 0xff
+	mov rax, 60
+	syscall
+`
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(bin, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int((isa.FlagsFixed | isa.FlagCF | isa.FlagSF | isa.FlagAF | isa.FlagPF) & 0xFF)
+	if res.ExitCode != want {
+		t.Errorf("rflags low byte = %#x, want %#x", res.ExitCode, want)
+	}
+}
+
+// TestPopfqRoundTripArbitraryFlags: any arithmetic-flag combination
+// written via popfq must read back identically via pushfq.
+func TestPopfqRoundTripArbitraryFlags(t *testing.T) {
+	for img := uint64(0); img < 1<<6; img++ {
+		// Spread the 6 arithmetic flags over their architectural bits.
+		flags := uint64(0)
+		bits := []uint64{isa.FlagCF, isa.FlagPF, isa.FlagAF, isa.FlagZF, isa.FlagSF, isa.FlagOF}
+		for i, b := range bits {
+			if img&(1<<i) != 0 {
+				flags |= b
+			}
+		}
+		src := `
+.text
+_start:
+	mov rax, ` + itoa(int64(flags)) + `
+	push rax
+	popfq
+	pushfq
+	pop rdi
+	mov rax, 60
+	syscall
+`
+		bin, err := asm.Assemble(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := New(bin, Config{}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(int32(isa.FlagsFixed | flags))
+		if res.ExitCode != want {
+			t.Fatalf("flags %#x: round trip = %#x, want %#x", flags, res.ExitCode, want)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

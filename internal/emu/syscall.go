@@ -1,0 +1,94 @@
+package emu
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// Linux x86-64 syscall numbers supported by the emulator.
+const (
+	sysRead      = 0
+	sysWrite     = 1
+	sysExit      = 60
+	sysExitGroup = 231
+)
+
+// Linux errno values (returned negative, as the kernel ABI does).
+const (
+	errnoBADF  = 9
+	errnoFAULT = 14
+)
+
+// maxIOChunk bounds a single read/write so a fault-corrupted length
+// cannot make the emulator allocate gigabytes.
+const maxIOChunk = 1 << 20
+
+// syscall implements the Linux syscall ABI subset. Like real hardware,
+// it clobbers RCX (return RIP) and R11 (RFLAGS).
+func (m *Machine) syscall(next uint64) error {
+	nr := m.Regs[isa.RAX]
+	a0 := m.Regs[isa.RDI]
+	a1 := m.Regs[isa.RSI]
+	a2 := m.Regs[isa.RDX]
+
+	m.Regs[isa.RCX] = next
+	m.Regs[isa.R11] = m.Rflags
+
+	ret := func(v int64) { m.Regs[isa.RAX] = uint64(v) }
+
+	switch nr {
+	case sysRead:
+		if a0 != 0 {
+			ret(-errnoBADF)
+			return nil
+		}
+		n := int(a2)
+		if n < 0 || n > maxIOChunk {
+			ret(-errnoFAULT)
+			return nil
+		}
+		remain := len(m.Stdin) - m.inPos
+		if n > remain {
+			n = remain
+		}
+		if n > 0 {
+			if err := m.Mem.Write(a1, m.Stdin[m.inPos:m.inPos+n]); err != nil {
+				ret(-errnoFAULT)
+				return nil
+			}
+			m.inPos += n
+		}
+		ret(int64(n))
+		return nil
+
+	case sysWrite:
+		if a0 != 1 && a0 != 2 {
+			ret(-errnoBADF)
+			return nil
+		}
+		n := int(a2)
+		if n < 0 || n > maxIOChunk {
+			ret(-errnoFAULT)
+			return nil
+		}
+		buf := make([]byte, n)
+		if err := m.Mem.Read(a1, buf); err != nil {
+			ret(-errnoFAULT)
+			return nil
+		}
+		if a0 == 1 {
+			m.Stdout = append(m.Stdout, buf...)
+		} else {
+			m.Stderr = append(m.Stderr, buf...)
+		}
+		ret(int64(n))
+		return nil
+
+	case sysExit, sysExitGroup:
+		m.Exited = true
+		m.ExitCode = int(int32(uint32(a0)))
+		return nil
+	}
+	return fmt.Errorf("%w: %d", ErrBadSyscall, nr)
+}

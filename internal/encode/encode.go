@@ -1,0 +1,600 @@
+// Package encode turns isa.Inst values into real x86-64 machine code:
+// REX prefixes, ModRM/SIB bytes, displacements and immediates. It is the
+// single authority on byte layout; the assembler and the binary-IR
+// reassembler both delegate here.
+//
+// Branch instructions (JMP/JCC/CALL) are always emitted with rel32
+// displacements so that two-pass layout in the assembler converges
+// immediately.
+package encode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// Errors returned by Encode.
+var (
+	ErrOperands    = errors.New("encode: unsupported operand combination")
+	ErrImmRange    = errors.New("encode: immediate out of range")
+	ErrDispRange   = errors.New("encode: displacement out of range")
+	ErrBadScale    = errors.New("encode: scale must be 1, 2, 4 or 8")
+	ErrIndexRSP    = errors.New("encode: rsp cannot be an index register")
+	ErrWidth       = errors.New("encode: unsupported operand width")
+	ErrUnsupported = errors.New("encode: unsupported instruction")
+)
+
+// rex prefix bits.
+const (
+	rexBase = 0x40
+	rexW    = 0x08
+	rexR    = 0x04
+	rexX    = 0x02
+	rexB    = 0x01
+)
+
+// enc accumulates one instruction's bytes.
+type enc struct {
+	rex      byte // REX bits collected so far (without the 0x40 base)
+	forceREX bool // emit REX even if no bits set (SPL/BPL/SIL/DIL access)
+	opcode   []byte
+	modrm    byte
+	hasModRM bool
+	sib      byte
+	hasSIB   bool
+	disp     []byte
+	imm      []byte
+}
+
+func (e *enc) bytes() []byte {
+	out := make([]byte, 0, 15)
+	if e.rex != 0 || e.forceREX {
+		out = append(out, rexBase|e.rex)
+	}
+	out = append(out, e.opcode...)
+	if e.hasModRM {
+		out = append(out, e.modrm)
+	}
+	if e.hasSIB {
+		out = append(out, e.sib)
+	}
+	out = append(out, e.disp...)
+	out = append(out, e.imm...)
+	return out
+}
+
+func (e *enc) setW(width uint8) error {
+	switch width {
+	case 8:
+		e.rex |= rexW
+	case 4, 1:
+		// no REX.W
+	default:
+		return fmt.Errorf("%w: %d bytes", ErrWidth, width)
+	}
+	return nil
+}
+
+// reg8NeedsREX reports whether accessing reg as an 8-bit register
+// requires a REX prefix to select SPL/BPL/SIL/DIL rather than AH/CH/DH/BH.
+func reg8NeedsREX(r isa.Reg) bool { return r >= isa.RSP && r <= isa.RDI }
+
+func (e *enc) setRegField(r uint8) {
+	e.modrm |= (r & 7) << 3
+	if r&8 != 0 {
+		e.rex |= rexR
+	}
+	e.hasModRM = true
+}
+
+// setRM encodes the r/m side of ModRM from a register or memory operand.
+func (e *enc) setRM(op isa.Operand) error {
+	switch op.Kind {
+	case isa.KindReg:
+		e.modrm |= 0xC0 | uint8(op.Reg)&7
+		if op.Reg&8 != 0 {
+			e.rex |= rexB
+		}
+		if op.Width == 1 && reg8NeedsREX(op.Reg) {
+			e.forceREX = true
+		}
+		e.hasModRM = true
+		return nil
+	case isa.KindMem:
+		return e.setRMMem(op.Mem)
+	default:
+		return ErrOperands
+	}
+}
+
+func (e *enc) setRMMem(m isa.Mem) error {
+	e.hasModRM = true
+	if m.RIPRel {
+		if m.Base != isa.NoReg || m.Index != isa.NoReg {
+			return fmt.Errorf("%w: rip-relative with base/index", ErrOperands)
+		}
+		e.modrm |= 0x05 // mod=00 rm=101 => RIP+disp32
+		e.appendDisp32(m.Disp)
+		return nil
+	}
+	if m.Index == isa.RSP {
+		return ErrIndexRSP
+	}
+	if m.Index != isa.NoReg {
+		switch m.Scale {
+		case 1, 2, 4, 8:
+		default:
+			return ErrBadScale
+		}
+	}
+
+	needSIB := m.Index != isa.NoReg || m.Base == isa.RSP || m.Base == isa.R12 || m.Base == isa.NoReg
+
+	// Choose mod and displacement size.
+	var mod byte
+	switch {
+	case m.Base == isa.NoReg:
+		// [index*scale+disp32] or [disp32]: mod=00, SIB base=101.
+		mod = 0x00
+	case m.Disp == 0 && m.Base != isa.RBP && m.Base != isa.R13:
+		mod = 0x00
+	case m.Disp >= math.MinInt8 && m.Disp <= math.MaxInt8:
+		mod = 0x40
+	default:
+		mod = 0x80
+	}
+	e.modrm |= mod
+
+	if !needSIB {
+		e.modrm |= uint8(m.Base) & 7
+		if m.Base&8 != 0 {
+			e.rex |= rexB
+		}
+	} else {
+		e.modrm |= 0x04 // rm=100 => SIB follows
+		e.hasSIB = true
+		var ss byte
+		switch m.Scale {
+		case 2:
+			ss = 1
+		case 4:
+			ss = 2
+		case 8:
+			ss = 3
+		}
+		idx := byte(0x04) // none
+		if m.Index != isa.NoReg {
+			idx = byte(m.Index) & 7
+			if m.Index&8 != 0 {
+				e.rex |= rexX
+			}
+		}
+		base := byte(0x05) // none (with mod=00 => disp32)
+		if m.Base != isa.NoReg {
+			base = byte(m.Base) & 7
+			if m.Base&8 != 0 {
+				e.rex |= rexB
+			}
+		}
+		e.sib = ss<<6 | idx<<3 | base
+	}
+
+	switch mod {
+	case 0x00:
+		if m.Base == isa.NoReg {
+			e.appendDisp32(m.Disp)
+		}
+	case 0x40:
+		e.disp = append(e.disp, byte(m.Disp))
+	case 0x80:
+		e.appendDisp32(m.Disp)
+	}
+	return nil
+}
+
+func (e *enc) appendDisp32(d int32) {
+	e.disp = append(e.disp, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+}
+
+func (e *enc) appendImm(v int64, size int) error {
+	switch size {
+	case 1:
+		if v < math.MinInt8 || v > math.MaxInt8 {
+			// Allow unsigned byte range too (e.g. mov r8, 0xFF).
+			if v < 0 || v > math.MaxUint8 {
+				return ErrImmRange
+			}
+		}
+	case 4:
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return ErrImmRange
+		}
+	case 8:
+		// any 64-bit value
+	default:
+		return ErrImmRange
+	}
+	for i := 0; i < size; i++ {
+		e.imm = append(e.imm, byte(v>>(8*i)))
+	}
+	return nil
+}
+
+func fitsInt8(v int64) bool  { return v >= math.MinInt8 && v <= math.MaxInt8 }
+func fitsInt32(v int64) bool { return v >= math.MinInt32 && v <= math.MaxInt32 }
+
+// encodeModRM is the common [REX] opcode ModRM [SIB] [disp] [imm] path.
+// reg is the ModRM.reg field contents: a register number or a /digit.
+func encodeModRM(width uint8, opcode []byte, reg uint8, regIs8bitReg bool, regNum isa.Reg, rm isa.Operand, imm int64, immSize int) ([]byte, error) {
+	var e enc
+	if err := e.setW(width); err != nil {
+		return nil, err
+	}
+	e.opcode = opcode
+	e.setRegField(reg)
+	if regIs8bitReg && reg8NeedsREX(regNum) {
+		e.forceREX = true
+	}
+	if err := e.setRM(rm); err != nil {
+		return nil, err
+	}
+	if immSize > 0 {
+		if err := e.appendImm(imm, immSize); err != nil {
+			return nil, err
+		}
+	}
+	return e.bytes(), nil
+}
+
+// Encode produces the machine code for one instruction.
+func Encode(in isa.Inst) ([]byte, error) {
+	switch in.Op {
+	case isa.MOV:
+		return encodeMOV(in)
+	case isa.MOVZX, isa.MOVSX:
+		return encodeMOVX(in)
+	case isa.LEA:
+		return encodeLEA(in)
+	case isa.ADD, isa.OR, isa.ADC, isa.SBB, isa.AND, isa.SUB, isa.XOR, isa.CMP:
+		return encodeALU(in)
+	case isa.TEST:
+		return encodeTEST(in)
+	case isa.NOT, isa.NEG:
+		return encodeGroup3(in)
+	case isa.INC, isa.DEC:
+		return encodeIncDec(in)
+	case isa.SHL, isa.SHR, isa.SAR:
+		return encodeShift(in)
+	case isa.IMUL:
+		return encodeIMUL(in)
+	case isa.PUSH, isa.POP:
+		return encodePushPop(in)
+	case isa.PUSHFQ:
+		return []byte{0x9C}, nil
+	case isa.POPFQ:
+		return []byte{0x9D}, nil
+	case isa.JMP, isa.JCC, isa.CALL:
+		return encodeBranch(in)
+	case isa.RET:
+		return []byte{0xC3}, nil
+	case isa.SETCC:
+		return encodeSETcc(in)
+	case isa.SYSCALL:
+		return []byte{0x0F, 0x05}, nil
+	case isa.NOP:
+		return []byte{0x90}, nil
+	case isa.HLT:
+		return []byte{0xF4}, nil
+	case isa.UD2:
+		return []byte{0x0F, 0x0B}, nil
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrUnsupported, in.Op)
+	}
+}
+
+// MustEncode is Encode for instructions known valid by construction
+// (used by templates and the lowering backend).
+func MustEncode(in isa.Inst) []byte {
+	b, err := Encode(in)
+	if err != nil {
+		panic(fmt.Sprintf("encode: must-encode %q: %v", in.String(), err))
+	}
+	return b
+}
+
+// Len returns the encoded length of an instruction.
+func Len(in isa.Inst) (int, error) {
+	b, err := Encode(in)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+func encodeMOV(in isa.Inst) ([]byte, error) {
+	d, s := in.Dst, in.Src
+	switch {
+	case d.Kind == isa.KindReg && s.Kind == isa.KindImm:
+		w := d.Width
+		switch w {
+		case 1:
+			var e enc
+			e.opcode = []byte{0xB0 | uint8(d.Reg)&7}
+			if d.Reg&8 != 0 {
+				e.rex |= rexB
+			}
+			if reg8NeedsREX(d.Reg) {
+				e.forceREX = true
+			}
+			if err := e.appendImm(s.Imm, 1); err != nil {
+				return nil, err
+			}
+			return e.bytes(), nil
+		case 4:
+			var e enc
+			e.opcode = []byte{0xB8 | uint8(d.Reg)&7}
+			if d.Reg&8 != 0 {
+				e.rex |= rexB
+			}
+			if err := e.appendImm(s.Imm, 4); err != nil {
+				return nil, err
+			}
+			return e.bytes(), nil
+		case 8:
+			if fitsInt32(s.Imm) {
+				// REX.W C7 /0 id (sign-extended imm32).
+				return encodeModRM(8, []byte{0xC7}, 0, false, 0, d, s.Imm, 4)
+			}
+			// B8+r io (full imm64).
+			var e enc
+			e.rex |= rexW
+			e.opcode = []byte{0xB8 | uint8(d.Reg)&7}
+			if d.Reg&8 != 0 {
+				e.rex |= rexB
+			}
+			if err := e.appendImm(s.Imm, 8); err != nil {
+				return nil, err
+			}
+			return e.bytes(), nil
+		}
+		return nil, ErrWidth
+
+	case d.Kind == isa.KindMem && s.Kind == isa.KindImm:
+		if d.Width == 1 {
+			return encodeModRM(1, []byte{0xC6}, 0, false, 0, d, s.Imm, 1)
+		}
+		if !fitsInt32(s.Imm) {
+			return nil, ErrImmRange
+		}
+		return encodeModRM(d.Width, []byte{0xC7}, 0, false, 0, d, s.Imm, 4)
+
+	case s.Kind == isa.KindReg && (d.Kind == isa.KindReg || d.Kind == isa.KindMem):
+		op := byte(0x89)
+		if widthOf(d, s) == 1 {
+			op = 0x88
+		}
+		return encodeModRM(widthOf(d, s), []byte{op}, uint8(s.Reg), s.Width == 1, s.Reg, d, 0, 0)
+
+	case d.Kind == isa.KindReg && s.Kind == isa.KindMem:
+		op := byte(0x8B)
+		if widthOf(d, s) == 1 {
+			op = 0x8A
+		}
+		return encodeModRM(widthOf(d, s), []byte{op}, uint8(d.Reg), d.Width == 1, d.Reg, s, 0, 0)
+	}
+	return nil, ErrOperands
+}
+
+func widthOf(a, b isa.Operand) uint8 {
+	if a.Width != 0 {
+		return a.Width
+	}
+	return b.Width
+}
+
+func encodeMOVX(in isa.Inst) ([]byte, error) {
+	d, s := in.Dst, in.Src
+	if d.Kind != isa.KindReg || (d.Width != 8 && d.Width != 4) {
+		return nil, ErrOperands
+	}
+	if s.Width != 1 || (s.Kind != isa.KindReg && s.Kind != isa.KindMem) {
+		return nil, ErrOperands
+	}
+	op := byte(0xB6) // MOVZX
+	if in.Op == isa.MOVSX {
+		op = 0xBE
+	}
+	return encodeModRM(d.Width, []byte{0x0F, op}, uint8(d.Reg), false, d.Reg,
+		s, 0, 0)
+}
+
+func encodeLEA(in isa.Inst) ([]byte, error) {
+	if in.Dst.Kind != isa.KindReg || in.Src.Kind != isa.KindMem {
+		return nil, ErrOperands
+	}
+	if in.Dst.Width != 8 {
+		return nil, ErrWidth
+	}
+	return encodeModRM(8, []byte{0x8D}, uint8(in.Dst.Reg), false, in.Dst.Reg, in.Src, 0, 0)
+}
+
+func encodeALU(in isa.Inst) ([]byte, error) {
+	digit := in.Op.ALUDigit()
+	d, s := in.Dst, in.Src
+	w := widthOf(d, s)
+	switch {
+	case s.Kind == isa.KindImm:
+		if d.Kind != isa.KindReg && d.Kind != isa.KindMem {
+			return nil, ErrOperands
+		}
+		if w == 1 {
+			return encodeModRM(1, []byte{0x80}, digit, false, 0, d, s.Imm, 1)
+		}
+		if fitsInt8(s.Imm) {
+			return encodeModRM(w, []byte{0x83}, digit, false, 0, d, s.Imm, 1)
+		}
+		if !fitsInt32(s.Imm) {
+			return nil, ErrImmRange
+		}
+		return encodeModRM(w, []byte{0x81}, digit, false, 0, d, s.Imm, 4)
+
+	case s.Kind == isa.KindReg && (d.Kind == isa.KindReg || d.Kind == isa.KindMem):
+		op := digit*8 + 1
+		if w == 1 {
+			op = digit * 8
+		}
+		return encodeModRM(w, []byte{op}, uint8(s.Reg), s.Width == 1, s.Reg, d, 0, 0)
+
+	case d.Kind == isa.KindReg && s.Kind == isa.KindMem:
+		op := digit*8 + 3
+		if w == 1 {
+			op = digit*8 + 2
+		}
+		return encodeModRM(w, []byte{op}, uint8(d.Reg), d.Width == 1, d.Reg, s, 0, 0)
+	}
+	return nil, ErrOperands
+}
+
+func encodeTEST(in isa.Inst) ([]byte, error) {
+	d, s := in.Dst, in.Src
+	w := widthOf(d, s)
+	switch {
+	case s.Kind == isa.KindReg:
+		op := byte(0x85)
+		if w == 1 {
+			op = 0x84
+		}
+		return encodeModRM(w, []byte{op}, uint8(s.Reg), s.Width == 1, s.Reg, d, 0, 0)
+	case s.Kind == isa.KindImm:
+		if w == 1 {
+			return encodeModRM(1, []byte{0xF6}, 0, false, 0, d, s.Imm, 1)
+		}
+		if !fitsInt32(s.Imm) {
+			return nil, ErrImmRange
+		}
+		return encodeModRM(w, []byte{0xF7}, 0, false, 0, d, s.Imm, 4)
+	}
+	return nil, ErrOperands
+}
+
+func encodeGroup3(in isa.Inst) ([]byte, error) {
+	digit := uint8(2) // NOT
+	if in.Op == isa.NEG {
+		digit = 3
+	}
+	w := in.Dst.Width
+	opc := byte(0xF7)
+	if w == 1 {
+		opc = 0xF6
+	}
+	return encodeModRM(w, []byte{opc}, digit, false, 0, in.Dst, 0, 0)
+}
+
+func encodeIncDec(in isa.Inst) ([]byte, error) {
+	digit := uint8(0)
+	if in.Op == isa.DEC {
+		digit = 1
+	}
+	w := in.Dst.Width
+	opc := byte(0xFF)
+	if w == 1 {
+		opc = 0xFE
+	}
+	return encodeModRM(w, []byte{opc}, digit, false, 0, in.Dst, 0, 0)
+}
+
+func encodeShift(in isa.Inst) ([]byte, error) {
+	var digit uint8
+	switch in.Op {
+	case isa.SHL:
+		digit = 4
+	case isa.SHR:
+		digit = 5
+	case isa.SAR:
+		digit = 7
+	}
+	if in.Src.Kind != isa.KindImm {
+		return nil, ErrOperands
+	}
+	if in.Src.Imm < 0 || in.Src.Imm > 63 {
+		return nil, ErrImmRange
+	}
+	w := in.Dst.Width
+	opc := byte(0xC1)
+	if w == 1 {
+		opc = 0xC0
+	}
+	return encodeModRM(w, []byte{opc}, digit, false, 0, in.Dst, in.Src.Imm, 1)
+}
+
+func encodeIMUL(in isa.Inst) ([]byte, error) {
+	if in.Dst.Kind != isa.KindReg || in.Dst.Width == 1 {
+		return nil, ErrOperands
+	}
+	if in.Src.Kind != isa.KindReg && in.Src.Kind != isa.KindMem {
+		return nil, ErrOperands
+	}
+	return encodeModRM(in.Dst.Width, []byte{0x0F, 0xAF}, uint8(in.Dst.Reg), false, in.Dst.Reg, in.Src, 0, 0)
+}
+
+func encodePushPop(in isa.Inst) ([]byte, error) {
+	if in.Dst.Kind != isa.KindReg || in.Dst.Width != 8 {
+		return nil, ErrOperands
+	}
+	var e enc
+	base := byte(0x50)
+	if in.Op == isa.POP {
+		base = 0x58
+	}
+	e.opcode = []byte{base | uint8(in.Dst.Reg)&7}
+	if in.Dst.Reg&8 != 0 {
+		e.rex |= rexB
+	}
+	return e.bytes(), nil
+}
+
+func encodeBranch(in isa.Inst) ([]byte, error) {
+	if in.Dst.Kind != isa.KindImm {
+		return nil, fmt.Errorf("%w: indirect branches", ErrUnsupported)
+	}
+	rel := in.Dst.Imm
+	if !fitsInt32(rel) {
+		return nil, ErrImmRange
+	}
+	var e enc
+	switch in.Op {
+	case isa.JMP:
+		e.opcode = []byte{0xE9}
+	case isa.CALL:
+		e.opcode = []byte{0xE8}
+	case isa.JCC:
+		if !in.Cond.Valid() {
+			return nil, fmt.Errorf("%w: jcc without condition", ErrOperands)
+		}
+		e.opcode = []byte{0x0F, 0x80 | byte(in.Cond)}
+	}
+	if err := e.appendImm(rel, 4); err != nil {
+		return nil, err
+	}
+	return e.bytes(), nil
+}
+
+func encodeSETcc(in isa.Inst) ([]byte, error) {
+	if !in.Cond.Valid() {
+		return nil, fmt.Errorf("%w: setcc without condition", ErrOperands)
+	}
+	if in.Dst.Width != 1 {
+		return nil, ErrWidth
+	}
+	// SETcc has no REX.W; width byte drives only the r/m encoding.
+	var e enc
+	e.opcode = []byte{0x0F, 0x90 | byte(in.Cond)}
+	e.setRegField(0)
+	if err := e.setRM(in.Dst); err != nil {
+		return nil, err
+	}
+	return e.bytes(), nil
+}

@@ -1,0 +1,156 @@
+package encode
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// TestGoldenEncodings pins known-correct x86-64 byte sequences
+// (cross-checked against the Intel SDM and GNU as output).
+func TestGoldenEncodings(t *testing.T) {
+	tests := []struct {
+		name string
+		in   isa.Inst
+		want []byte
+	}{
+		{"mov rax, rbx", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.R(isa.RBX)), []byte{0x48, 0x89, 0xD8}},
+		{"mov rax, [rbx+4]", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.M(isa.RBX, 4)), []byte{0x48, 0x8B, 0x43, 0x04}},
+		{"mov [rbx+4], rax", isa.NewInst(isa.MOV, isa.M(isa.RBX, 4), isa.R(isa.RAX)), []byte{0x48, 0x89, 0x43, 0x04}},
+		{"mov rcx, [rip+0x100]", isa.NewInst(isa.MOV, isa.R(isa.RCX), isa.MRIP(0x100)), []byte{0x48, 0x8B, 0x0D, 0x00, 0x01, 0x00, 0x00}},
+		{"cmp rbx, [rcx+4]", isa.NewInst(isa.CMP, isa.R(isa.RBX), isa.M(isa.RCX, 4)), []byte{0x48, 0x3B, 0x59, 0x04}},
+		{"cmp rax, [rbx+4]", isa.NewInst(isa.CMP, isa.R(isa.RAX), isa.M(isa.RBX, 4)), []byte{0x48, 0x3B, 0x43, 0x04}},
+		{"push rbx", isa.NewInst(isa.PUSH, isa.R(isa.RBX)), []byte{0x53}},
+		{"push r8", isa.NewInst(isa.PUSH, isa.R(isa.R8)), []byte{0x41, 0x50}},
+		{"pop rcx", isa.NewInst(isa.POP, isa.R(isa.RCX)), []byte{0x59}},
+		{"pushfq", isa.NewInst(isa.PUSHFQ), []byte{0x9C}},
+		{"popfq", isa.NewInst(isa.POPFQ), []byte{0x9D}},
+		{"mov rax, 60", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.Imm(60)), []byte{0x48, 0xC7, 0xC0, 0x3C, 0x00, 0x00, 0x00}},
+		{"mov rax, imm64", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.Imm(0x123456789)), []byte{0x48, 0xB8, 0x89, 0x67, 0x45, 0x23, 0x01, 0x00, 0x00, 0x00}},
+		{"xor rax, rax", isa.NewInst(isa.XOR, isa.R(isa.RAX), isa.R(isa.RAX)), []byte{0x48, 0x31, 0xC0}},
+		{"lea rsp, [rsp-128]", isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, -128)), []byte{0x48, 0x8D, 0x64, 0x24, 0x80}},
+		{"lea rsp, [rsp+128]", isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, 128)), []byte{0x48, 0x8D, 0xA4, 0x24, 0x80, 0x00, 0x00, 0x00}},
+		{"je rel32 0", isa.NewJcc(isa.CondE, 0), []byte{0x0F, 0x84, 0x00, 0x00, 0x00, 0x00}},
+		{"jne rel32 -6", isa.NewJcc(isa.CondNE, -6), []byte{0x0F, 0x85, 0xFA, 0xFF, 0xFF, 0xFF}},
+		{"jmp rel32", isa.NewInst(isa.JMP, isa.Imm(0x10)), []byte{0xE9, 0x10, 0x00, 0x00, 0x00}},
+		{"call rel32", isa.NewInst(isa.CALL, isa.Imm(-5)), []byte{0xE8, 0xFB, 0xFF, 0xFF, 0xFF}},
+		{"ret", isa.NewInst(isa.RET), []byte{0xC3}},
+		{"sete al", isa.NewSetcc(isa.CondE, isa.RAX), []byte{0x0F, 0x94, 0xC0}},
+		{"setg cl", isa.NewSetcc(isa.CondG, isa.RCX), []byte{0x0F, 0x9F, 0xC1}},
+		{"setne dil (REX)", isa.NewSetcc(isa.CondNE, isa.RDI), []byte{0x40, 0x0F, 0x95, 0xC7}},
+		{"cmp cl, 0", isa.NewInst(isa.CMP, isa.Rb(isa.RCX), isa.Imm8(0)), []byte{0x80, 0xF9, 0x00}},
+		{"cmp cl, 1", isa.NewInst(isa.CMP, isa.Rb(isa.RCX), isa.Imm8(1)), []byte{0x80, 0xF9, 0x01}},
+		{"mov [rsp], rbx", isa.NewInst(isa.MOV, isa.M(isa.RSP, 0), isa.R(isa.RBX)), []byte{0x48, 0x89, 0x1C, 0x24}},
+		{"cmp rbx, [rsp]", isa.NewInst(isa.CMP, isa.R(isa.RBX), isa.M(isa.RSP, 0)), []byte{0x48, 0x3B, 0x1C, 0x24}},
+		{"movzx rax, cl", isa.NewInst(isa.MOVZX, isa.R(isa.RAX), isa.Rb(isa.RCX)), []byte{0x48, 0x0F, 0xB6, 0xC1}},
+		{"movsx rax, cl", isa.NewInst(isa.MOVSX, isa.R(isa.RAX), isa.Rb(isa.RCX)), []byte{0x48, 0x0F, 0xBE, 0xC1}},
+		{"test rax, rax", isa.NewInst(isa.TEST, isa.R(isa.RAX), isa.R(isa.RAX)), []byte{0x48, 0x85, 0xC0}},
+		{"syscall", isa.NewInst(isa.SYSCALL), []byte{0x0F, 0x05}},
+		{"nop", isa.NewInst(isa.NOP), []byte{0x90}},
+		{"hlt", isa.NewInst(isa.HLT), []byte{0xF4}},
+		{"ud2", isa.NewInst(isa.UD2), []byte{0x0F, 0x0B}},
+		{"imul rax, rbx", isa.NewInst(isa.IMUL, isa.R(isa.RAX), isa.R(isa.RBX)), []byte{0x48, 0x0F, 0xAF, 0xC3}},
+		{"shl rax, 5", isa.NewInst(isa.SHL, isa.R(isa.RAX), isa.Imm8(5)), []byte{0x48, 0xC1, 0xE0, 0x05}},
+		{"shr rdx, 1", isa.NewInst(isa.SHR, isa.R(isa.RDX), isa.Imm8(1)), []byte{0x48, 0xC1, 0xEA, 0x01}},
+		{"inc [rbp-8]", isa.NewInst(isa.INC, isa.M(isa.RBP, -8)), []byte{0x48, 0xFF, 0x45, 0xF8}},
+		{"dec rcx", isa.NewInst(isa.DEC, isa.R(isa.RCX)), []byte{0x48, 0xFF, 0xC9}},
+		{"cmp byte [r13], 1", isa.NewInst(isa.CMP, isa.M8(isa.R13, 0), isa.Imm8(1)), []byte{0x41, 0x80, 0x7D, 0x00, 0x01}},
+		{"mov spl, 1", isa.NewInst(isa.MOV, isa.Rb(isa.RSP), isa.Imm8(1)), []byte{0x40, 0xB4, 0x01}},
+		{"mov r15b, 7", isa.NewInst(isa.MOV, isa.Rb(isa.R15), isa.Imm8(7)), []byte{0x41, 0xB7, 0x07}},
+		{"add rsp, 8", isa.NewInst(isa.ADD, isa.R(isa.RSP), isa.Imm(8)), []byte{0x48, 0x83, 0xC4, 0x08}},
+		{"sub rsp, 0x1000", isa.NewInst(isa.SUB, isa.R(isa.RSP), isa.Imm(0x1000)), []byte{0x48, 0x81, 0xEC, 0x00, 0x10, 0x00, 0x00}},
+		{"mov rax, [rbx+rcx*8]", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.MSIB(isa.RBX, isa.RCX, 8, 0)), []byte{0x48, 0x8B, 0x04, 0xCB}},
+		{"mov rax, [rbp]", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.M(isa.RBP, 0)), []byte{0x48, 0x8B, 0x45, 0x00}},
+		{"mov rax, [r12]", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.M(isa.R12, 0)), []byte{0x49, 0x8B, 0x04, 0x24}},
+		{"mov rax, [r13]", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.M(isa.R13, 0)), []byte{0x49, 0x8B, 0x45, 0x00}},
+		{"not rax", isa.NewInst(isa.NOT, isa.R(isa.RAX)), []byte{0x48, 0xF7, 0xD0}},
+		{"neg rbx", isa.NewInst(isa.NEG, isa.R(isa.RBX)), []byte{0x48, 0xF7, 0xDB}},
+		{"test rdi, 255", isa.NewInst(isa.TEST, isa.R(isa.RDI), isa.Imm(255)), []byte{0x48, 0xF7, 0xC7, 0xFF, 0x00, 0x00, 0x00}},
+		{"mov eax, 1", isa.NewInst(isa.MOV, isa.Rd(isa.RAX), isa.Operand{Kind: isa.KindImm, Width: 4, Imm: 1}), []byte{0xB8, 0x01, 0x00, 0x00, 0x00}},
+		{"mov qword [rdi], 0", isa.NewInst(isa.MOV, isa.M(isa.RDI, 0), isa.Imm(0)), []byte{0x48, 0xC7, 0x07, 0x00, 0x00, 0x00, 0x00}},
+	}
+	for _, tt := range tests {
+		got, err := Encode(tt.in)
+		if err != nil {
+			t.Errorf("%s: %v", tt.name, err)
+			continue
+		}
+		if !bytes.Equal(got, tt.want) {
+			t.Errorf("%s: got % X, want % X", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   isa.Inst
+		want error
+	}{
+		{"rsp as index", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.MSIB(isa.RBX, isa.RSP, 2, 0)), ErrIndexRSP},
+		{"bad scale", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.MSIB(isa.RBX, isa.RCX, 3, 0)), ErrBadScale},
+		{"mem imm64 too big", isa.NewInst(isa.MOV, isa.M(isa.RAX, 0), isa.Imm(1<<40)), ErrImmRange},
+		{"alu imm64 too big", isa.NewInst(isa.ADD, isa.R(isa.RAX), isa.Imm(1<<40)), ErrImmRange},
+		{"lea from reg", isa.NewInst(isa.LEA, isa.R(isa.RAX), isa.R(isa.RBX)), ErrOperands},
+		{"mem-mem mov", isa.NewInst(isa.MOV, isa.M(isa.RAX, 0), isa.M(isa.RBX, 0)), ErrOperands},
+		{"shift count range", isa.NewInst(isa.SHL, isa.R(isa.RAX), isa.Imm8(64)), ErrImmRange},
+		{"rip with base", isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.Operand{Kind: isa.KindMem, Width: 8, Mem: isa.Mem{Base: isa.RBX, Index: isa.NoReg, RIPRel: true}}), ErrOperands},
+		{"branch rel out of range", isa.NewInst(isa.JMP, isa.Imm(1<<40)), ErrImmRange},
+		{"jcc without cond", isa.Inst{Op: isa.JCC, Cond: isa.NoCond, Dst: isa.Imm(0)}, ErrOperands},
+		{"push imm", isa.NewInst(isa.PUSH, isa.Imm(5)), ErrOperands},
+		{"bad op", isa.Inst{Op: isa.BAD}, ErrUnsupported},
+	}
+	for _, tt := range tests {
+		_, err := Encode(tt.in)
+		if !errors.Is(err, tt.want) {
+			t.Errorf("%s: err = %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on invalid instruction")
+		}
+	}()
+	MustEncode(isa.NewInst(isa.LEA, isa.R(isa.RAX), isa.R(isa.RBX)))
+}
+
+func TestLen(t *testing.T) {
+	n, err := Len(isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.Imm(60)))
+	if err != nil || n != 7 {
+		t.Errorf("Len = %d, %v; want 7, nil", n, err)
+	}
+	if _, err := Len(isa.Inst{Op: isa.BAD}); err == nil {
+		t.Error("Len accepted bad instruction")
+	}
+}
+
+// TestDispEncodingBoundaries exercises the disp8/disp32 switch points.
+func TestDispEncodingBoundaries(t *testing.T) {
+	tests := []struct {
+		disp    int32
+		wantLen int
+	}{
+		{0, 3},      // [rbx] mod=00
+		{1, 4},      // disp8
+		{127, 4},    // disp8 max
+		{128, 7},    // disp32
+		{-128, 4},   // disp8 min
+		{-129, 7},   // disp32
+		{100000, 7}, // disp32
+	}
+	for _, tt := range tests {
+		in := isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.M(isa.RBX, tt.disp))
+		b, err := Encode(in)
+		if err != nil {
+			t.Fatalf("disp %d: %v", tt.disp, err)
+		}
+		if len(b) != tt.wantLen {
+			t.Errorf("disp %d: len = %d (% X), want %d", tt.disp, len(b), b, tt.wantLen)
+		}
+	}
+}

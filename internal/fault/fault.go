@@ -1,0 +1,422 @@
+// Package fault implements the paper's faulter (§IV-B1): simulation of
+// hardware fault injection against a target binary, under the
+// "instruction skip" and "single bit flip" fault models, with outcome
+// classification against good/bad input oracles.
+//
+// A fault is "successful" when the program, running on the *bad* input,
+// produces the observable behaviour of the *good* input — e.g. a pin
+// checker granting access without the correct pin. Crashes and otherwise
+// divergent behaviour are ignored, exactly as in the paper. Faults that
+// end in the injected fault handler (exit code 42) are classified as
+// detected — the countermeasure worked.
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/emu"
+	"github.com/r2r/reinforce/internal/isa"
+	"github.com/r2r/reinforce/internal/trace"
+)
+
+// Model is a fault model.
+type Model uint8
+
+// Supported fault models (paper §IV-B1 and §V-C).
+const (
+	ModelSkip    Model = iota // skip one instruction
+	ModelBitFlip              // flip one bit of one instruction's encoding
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelSkip:
+		return "instruction-skip"
+	case ModelBitFlip:
+		return "single-bit-flip"
+	}
+	return "?"
+}
+
+// DetectedExitCode is the exit status of the injected faulthandler; runs
+// ending with it count as detected faults.
+const DetectedExitCode = 42
+
+// Fault identifies one injection: a fault model applied at a dynamic
+// trace offset (and bit position, for bit flips).
+type Fault struct {
+	Model      Model
+	TraceIndex int    // dynamic occurrence index in the bad-input trace
+	Addr       uint64 // static address of the faulted instruction
+	Op         isa.Op // mnemonic at that address (from the trace)
+	Cond       isa.Cond
+	Bit        int  // bit offset into the encoded instruction (bitflip)
+	Transient  bool // restore the flipped bit after one fetch
+}
+
+// String renders the fault for reports.
+func (f Fault) String() string {
+	switch f.Model {
+	case ModelSkip:
+		return fmt.Sprintf("skip @%d (%#x %s)", f.TraceIndex, f.Addr, f.Op)
+	default:
+		return fmt.Sprintf("bitflip bit %d @%d (%#x %s)", f.Bit, f.TraceIndex, f.Addr, f.Op)
+	}
+}
+
+// Outcome classifies an injection run.
+type Outcome uint8
+
+// Outcomes.
+const (
+	OutcomeIgnored  Outcome = iota // behaved as bad input, or differently but harmlessly
+	OutcomeSuccess                 // behaved as good input: a vulnerability
+	OutcomeCrash                   // emulator fault / hang / bad syscall
+	OutcomeDetected                // countermeasure fault handler fired
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeIgnored:
+		return "ignored"
+	case OutcomeSuccess:
+		return "SUCCESS"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeDetected:
+		return "detected"
+	}
+	return "?"
+}
+
+// Observable is the externally visible behaviour the attacker cares
+// about: standard output plus exit status.
+type Observable struct {
+	Stdout   string
+	ExitCode int
+}
+
+func observe(res emu.Result) Observable {
+	return Observable{Stdout: string(res.Stdout), ExitCode: res.ExitCode}
+}
+
+// Injection is the result of one fault simulation.
+type Injection struct {
+	Fault   Fault
+	Outcome Outcome
+}
+
+// Campaign configures a fault-injection sweep.
+type Campaign struct {
+	Binary *elf.Binary
+	Good   []byte // input accepted by the program
+	Bad    []byte // input rejected by the program
+	Models []Model
+
+	StepLimit uint64 // reference-run step budget (default emu.DefaultStepLimit)
+	Workers   int    // parallel simulations (default GOMAXPROCS)
+
+	// InjectionStepLimit bounds each faulted run. Zero means automatic:
+	// eight times the bad-input reference run plus slack — a fault that
+	// prolongs execution beyond that is a hang, and classifying it as a
+	// crash quickly instead of grinding out the full reference budget
+	// is what keeps large bit-flip campaigns tractable.
+	InjectionStepLimit uint64
+
+	// DedupSites fault each static (addr) or (addr,bit) pair once
+	// instead of at every dynamic occurrence. Cuts loop-heavy campaign
+	// cost; the paper faults every trace offset (default false).
+	DedupSites bool
+
+	// Transient restores flipped bits after one fetch (default:
+	// persistent, as when patching emulator memory and resuming).
+	Transient bool
+
+	// MaxFaults caps the number of injections (0 = unlimited).
+	MaxFaults int
+}
+
+// Report is the campaign outcome.
+type Report struct {
+	Trace      *trace.Trace
+	GoodOracle Observable
+	BadOracle  Observable
+	Injections []Injection
+}
+
+// Errors returned by Run.
+var (
+	ErrOracle = errors.New("fault: good and bad runs are indistinguishable")
+	ErrBadRun = errors.New("fault: reference run failed")
+)
+
+// Run executes the campaign: capture oracles and the bad-input trace,
+// then simulate every fault in parallel.
+func Run(c Campaign) (*Report, error) {
+	if c.StepLimit == 0 {
+		c.StepLimit = emu.DefaultStepLimit
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Models) == 0 {
+		c.Models = []Model{ModelSkip, ModelBitFlip}
+	}
+
+	goodTrace := trace.Capture(c.Binary, c.Good, c.StepLimit)
+	if goodTrace.Err != nil {
+		return nil, fmt.Errorf("%w: good input: %v", ErrBadRun, goodTrace.Err)
+	}
+	badTrace := trace.Capture(c.Binary, c.Bad, c.StepLimit)
+	if badTrace.Err != nil {
+		return nil, fmt.Errorf("%w: bad input: %v", ErrBadRun, badTrace.Err)
+	}
+	rep := &Report{
+		Trace:      badTrace,
+		GoodOracle: observe(goodTrace.Result),
+		BadOracle:  observe(badTrace.Result),
+	}
+	if rep.GoodOracle == rep.BadOracle {
+		return nil, ErrOracle
+	}
+
+	if c.InjectionStepLimit == 0 {
+		ref := badTrace.Result.Steps
+		if goodTrace.Result.Steps > ref {
+			ref = goodTrace.Result.Steps
+		}
+		c.InjectionStepLimit = 8*ref + 4096
+	}
+
+	faults := enumerate(c, badTrace)
+	if c.MaxFaults > 0 && len(faults) > c.MaxFaults {
+		faults = faults[:c.MaxFaults]
+	}
+
+	rep.Injections = make([]Injection, len(faults))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < c.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep.Injections[i] = Injection{
+					Fault:   faults[i],
+					Outcome: simulate(c, faults[i], rep),
+				}
+			}
+		}()
+	}
+	for i := range faults {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return rep, nil
+}
+
+// enumerate expands the campaign into individual faults.
+func enumerate(c Campaign, badTrace *trace.Trace) []Fault {
+	var out []Fault
+	for _, model := range c.Models {
+		seen := make(map[uint64]map[int]bool)
+		mark := func(addr uint64, bit int) bool {
+			if !c.DedupSites {
+				return true
+			}
+			bits, ok := seen[addr]
+			if !ok {
+				bits = make(map[int]bool)
+				seen[addr] = bits
+			}
+			if bits[bit] {
+				return false
+			}
+			bits[bit] = true
+			return true
+		}
+		for i, e := range badTrace.Entries {
+			switch model {
+			case ModelSkip:
+				if mark(e.Addr, 0) {
+					out = append(out, Fault{
+						Model: ModelSkip, TraceIndex: i,
+						Addr: e.Addr, Op: e.Op, Cond: e.Cond,
+					})
+				}
+			case ModelBitFlip:
+				for bit := 0; bit < e.Len*8; bit++ {
+					if mark(e.Addr, bit) {
+						out = append(out, Fault{
+							Model: ModelBitFlip, TraceIndex: i,
+							Addr: e.Addr, Op: e.Op, Cond: e.Cond,
+							Bit: bit, Transient: c.Transient,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// simulate runs one injection and classifies its outcome.
+func simulate(c Campaign, f Fault, rep *Report) Outcome {
+	cfg := emu.Config{
+		Stdin:     c.Bad,
+		StepLimit: c.InjectionStepLimit,
+	}
+	switch f.Model {
+	case ModelSkip:
+		step := 0
+		cfg.StepHook = func(m *emu.Machine, in isa.Inst) emu.StepAction {
+			step++
+			if step-1 == f.TraceIndex {
+				return emu.ActSkip
+			}
+			return emu.ActContinue
+		}
+	case ModelBitFlip:
+		fetch := 0
+		flipAddr := f.Addr + uint64(f.Bit/8)
+		flipBit := uint(f.Bit % 8)
+		cfg.FetchHook = func(m *emu.Machine) {
+			switch fetch {
+			case f.TraceIndex:
+				_ = m.Mem.FlipBit(flipAddr, flipBit)
+			case f.TraceIndex + 1:
+				if f.Transient {
+					_ = m.Mem.FlipBit(flipAddr, flipBit)
+				}
+			}
+			fetch++
+		}
+	}
+	m := emu.New(c.Binary, cfg)
+	res, err := m.Run()
+	return classify(res, err, rep)
+}
+
+func classify(res emu.Result, err error, rep *Report) Outcome {
+	if err != nil || !res.Exited {
+		return OutcomeCrash
+	}
+	if res.ExitCode == DetectedExitCode || bytes.Contains(res.Stderr, []byte("FAULT")) {
+		return OutcomeDetected
+	}
+	obs := observe(res)
+	if obs == rep.GoodOracle {
+		return OutcomeSuccess
+	}
+	return OutcomeIgnored
+}
+
+// Successful returns the injections that constitute vulnerabilities.
+func (r *Report) Successful() []Injection {
+	var out []Injection
+	for _, inj := range r.Injections {
+		if inj.Outcome == OutcomeSuccess {
+			out = append(out, inj)
+		}
+	}
+	return out
+}
+
+// Count returns how many injections had the given outcome.
+func (r *Report) Count(o Outcome) int {
+	n := 0
+	for _, inj := range r.Injections {
+		if inj.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// Site aggregates successful faults by static instruction address.
+type Site struct {
+	Addr     uint64
+	Op       isa.Op
+	Cond     isa.Cond
+	Mnemonic string
+	Count    int // successful injections at this address
+}
+
+// VulnerableSites groups the successful injections by address, sorted
+// by address. This is the patcher's work list.
+func (r *Report) VulnerableSites() []Site {
+	byAddr := make(map[uint64]*Site)
+	for _, inj := range r.Injections {
+		if inj.Outcome != OutcomeSuccess {
+			continue
+		}
+		s, ok := byAddr[inj.Fault.Addr]
+		if !ok {
+			in := isa.Inst{Op: inj.Fault.Op, Cond: inj.Fault.Cond}
+			s = &Site{
+				Addr:     inj.Fault.Addr,
+				Op:       inj.Fault.Op,
+				Cond:     inj.Fault.Cond,
+				Mnemonic: in.Mnemonic(),
+			}
+			byAddr[inj.Fault.Addr] = s
+		}
+		s.Count++
+	}
+	out := make([]Site, 0, len(byAddr))
+	for _, s := range byAddr {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// VulnClass is the coarse mnemonic clustering used by the paper's claim
+// that all vulnerabilities come from the conditional-jump cluster
+// (mov/cmp/jcc and the instructions feeding them).
+type VulnClass string
+
+// Vulnerability classes.
+const (
+	ClassMov    VulnClass = "mov"
+	ClassCmp    VulnClass = "cmp"
+	ClassBranch VulnClass = "branch"
+	ClassOther  VulnClass = "other"
+)
+
+// Classify maps an op to its vulnerability class.
+func Classify(op isa.Op) VulnClass {
+	switch op {
+	case isa.MOV, isa.MOVZX, isa.MOVSX, isa.LEA:
+		return ClassMov
+	case isa.CMP, isa.TEST:
+		return ClassCmp
+	case isa.JCC, isa.JMP:
+		return ClassBranch
+	default:
+		return ClassOther
+	}
+}
+
+// ClassCounts tallies successful-fault sites by class.
+func (r *Report) ClassCounts() map[VulnClass]int {
+	out := make(map[VulnClass]int)
+	for _, s := range r.VulnerableSites() {
+		out[Classify(s.Op)]++
+	}
+	return out
+}
+
+// Summary renders campaign statistics.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("injections=%d success=%d detected=%d crash=%d ignored=%d sites=%d",
+		len(r.Injections), r.Count(OutcomeSuccess), r.Count(OutcomeDetected),
+		r.Count(OutcomeCrash), r.Count(OutcomeIgnored), len(r.VulnerableSites()))
+}

@@ -1,0 +1,373 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// miniPincheck is the canonical vulnerable program: reads 8 bytes and
+// compares them against a stored pin; grants on match.
+const miniPincheck = `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rax, [rip+buf]
+	mov rbx, [rip+pin]
+	cmp rax, rbx
+	jne deny
+grant:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+no]
+	mov rdx, 7
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+no:  .ascii "DENIED\n"
+.bss
+buf: .zero 8
+`
+
+var (
+	goodPin = []byte("1234ABCD")
+	badPin  = []byte("00000000")
+)
+
+func buildMini(t *testing.T) *elf.Binary {
+	t.Helper()
+	bin, err := asm.Assemble(miniPincheck, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestSkipCampaignFindsBranchVuln(t *testing.T) {
+	rep, err := Run(Campaign{
+		Binary: buildMini(t),
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []Model{ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoodOracle.Stdout != "GRANTED\n" || rep.BadOracle.Stdout != "DENIED\n" {
+		t.Fatalf("oracles wrong: %+v / %+v", rep.GoodOracle, rep.BadOracle)
+	}
+	succ := rep.Successful()
+	if len(succ) == 0 {
+		t.Fatal("skip campaign found no vulnerabilities in unprotected pincheck")
+	}
+	// The jne must be among them: skipping it falls through to grant.
+	foundJcc := false
+	for _, inj := range succ {
+		if inj.Fault.Op == isa.JCC {
+			foundJcc = true
+		}
+	}
+	if !foundJcc {
+		t.Errorf("jne skip not flagged; successes: %v", succ)
+	}
+}
+
+func TestBitflipCampaignFindsCondInversion(t *testing.T) {
+	rep, err := Run(Campaign{
+		Binary: buildMini(t),
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []Model{ModelBitFlip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := rep.Successful()
+	if len(succ) == 0 {
+		t.Fatal("bitflip campaign found no vulnerabilities")
+	}
+	// Flipping the low condition bit of jne (0F 85 -> 0F 84, je) must
+	// grant access on the bad input.
+	foundInversion := false
+	for _, inj := range succ {
+		if inj.Fault.Op == isa.JCC {
+			foundInversion = true
+		}
+	}
+	if !foundInversion {
+		t.Errorf("jcc condition inversion not among successes: %v", succ)
+	}
+	// Sanity: campaign must also observe crashes (invalid re-decodes).
+	if rep.Count(OutcomeCrash) == 0 {
+		t.Error("no crashes in a bitflip campaign — decoder is suspiciously permissive")
+	}
+}
+
+func TestAllVulnSitesInConditionalJumpCluster(t *testing.T) {
+	// Paper §V-C: "All of these vulnerabilities were caused by the
+	// conditional jumps (mov, cmp, and jmp instructions related to a
+	// jump operation)".
+	rep, err := Run(Campaign{
+		Binary: buildMini(t),
+		Good:   goodPin,
+		Bad:    badPin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.VulnerableSites() {
+		if c := Classify(s.Op); c == ClassOther {
+			t.Errorf("vulnerable site %#x (%s) outside the mov/cmp/branch cluster", s.Addr, s.Mnemonic)
+		}
+	}
+}
+
+func TestOracleIndistinguishable(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, 60
+	mov rdi, 0
+	syscall
+`
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(Campaign{Binary: bin, Good: []byte("a"), Bad: []byte("b")})
+	if !errors.Is(err, ErrOracle) {
+		t.Errorf("err = %v, want ErrOracle", err)
+	}
+}
+
+func TestDetectedOutcome(t *testing.T) {
+	// Skipping the "jmp real_deny" lands in an exit-42 handler; the
+	// campaign must classify that as detected, not success or crash.
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rax, [rip+buf]
+	cmp rax, [rip+pin]
+	jne deny
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	jmp real_deny
+handler:
+	mov rax, 60
+	mov rdi, 42
+	syscall
+real_deny:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+no]
+	mov rdx, 7
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+no:  .ascii "DENIED\n"
+.bss
+buf: .zero 8
+`
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Campaign{
+		Binary: bin,
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []Model{ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(OutcomeDetected) == 0 {
+		t.Error("no detected outcomes; exit-42 handler not recognized")
+	}
+}
+
+func TestDedupSites(t *testing.T) {
+	// A loop executes the same instructions many times; site dedup must
+	// shrink the fault list while keeping static coverage.
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rcx, 10
+	xor rbx, rbx
+loop:
+	add rbx, rcx
+	dec rcx
+	jne loop
+	mov rax, [rip+buf]
+	cmp rax, [rip+pin]
+	jne deny
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+.bss
+buf: .zero 8
+`
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(Campaign{Binary: bin, Good: goodPin, Bad: badPin, Models: []Model{ModelSkip}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, err := Run(Campaign{Binary: bin, Good: goodPin, Bad: badPin, Models: []Model{ModelSkip}, DedupSites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dedup.Injections) >= len(full.Injections) {
+		t.Errorf("dedup=%d not smaller than full=%d", len(dedup.Injections), len(full.Injections))
+	}
+	if len(dedup.Injections) != len(full.Trace.Sites()) {
+		t.Errorf("dedup skip injections = %d, want one per unique site %d",
+			len(dedup.Injections), len(full.Trace.Sites()))
+	}
+}
+
+func TestMaxFaults(t *testing.T) {
+	rep, err := Run(Campaign{
+		Binary:    buildMini(t),
+		Good:      goodPin,
+		Bad:       badPin,
+		Models:    []Model{ModelBitFlip},
+		MaxFaults: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Injections) != 10 {
+		t.Errorf("injections = %d, want 10", len(rep.Injections))
+	}
+}
+
+func TestTransientVsPersistentBitflip(t *testing.T) {
+	// Both modes must run cleanly; persistent flips can differ in
+	// effect when the flipped instruction is revisited.
+	for _, transient := range []bool{false, true} {
+		rep, err := Run(Campaign{
+			Binary:    buildMini(t),
+			Good:      goodPin,
+			Bad:       badPin,
+			Models:    []Model{ModelBitFlip},
+			Transient: transient,
+		})
+		if err != nil {
+			t.Fatalf("transient=%v: %v", transient, err)
+		}
+		if len(rep.Injections) == 0 {
+			t.Fatalf("transient=%v: no injections", transient)
+		}
+	}
+}
+
+func TestVulnerableSitesSortedAndCounted(t *testing.T) {
+	rep, err := Run(Campaign{Binary: buildMini(t), Good: goodPin, Bad: badPin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := rep.VulnerableSites()
+	for i := 1; i < len(sites); i++ {
+		if sites[i-1].Addr >= sites[i].Addr {
+			t.Error("sites not sorted by address")
+		}
+	}
+	total := 0
+	for _, s := range sites {
+		if s.Count <= 0 {
+			t.Errorf("site %#x has count %d", s.Addr, s.Count)
+		}
+		total += s.Count
+	}
+	if total != len(rep.Successful()) {
+		t.Errorf("site counts sum %d != successful %d", total, len(rep.Successful()))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		op   isa.Op
+		want VulnClass
+	}{
+		{isa.MOV, ClassMov}, {isa.LEA, ClassMov}, {isa.MOVZX, ClassMov},
+		{isa.CMP, ClassCmp}, {isa.TEST, ClassCmp},
+		{isa.JCC, ClassBranch}, {isa.JMP, ClassBranch},
+		{isa.ADD, ClassOther}, {isa.SYSCALL, ClassOther},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.op); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestModelAndOutcomeStrings(t *testing.T) {
+	if ModelSkip.String() == "?" || ModelBitFlip.String() == "?" {
+		t.Error("model strings missing")
+	}
+	for _, o := range []Outcome{OutcomeIgnored, OutcomeSuccess, OutcomeCrash, OutcomeDetected} {
+		if o.String() == "?" {
+			t.Errorf("outcome %d has no string", o)
+		}
+	}
+	f := Fault{Model: ModelBitFlip, TraceIndex: 3, Addr: 0x401000, Op: isa.CMP, Bit: 5}
+	if f.String() == "" {
+		t.Error("fault string empty")
+	}
+}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"github.com/r2r/reinforce/internal/asm"
+)
+
+// TestHangingFaultsClassifiedQuickly: a fault that turns the program
+// into an infinite loop must be classified as a crash within the
+// adaptive injection budget, not ground out against the full reference
+// step limit (the difference between seconds and hours in big
+// campaigns).
+func TestHangingFaultsClassifiedQuickly(t *testing.T) {
+	// Skipping "dec rcx" never terminates the loop.
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 1
+	syscall
+	mov rcx, 50
+spin:
+	dec rcx
+	jne spin
+	movzx rax, byte ptr [rip+buf]
+	cmp rax, 'y'
+	jne deny
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.bss
+buf: .zero 1
+`
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := Run(Campaign{
+		Binary: bin,
+		Good:   []byte("y"),
+		Bad:    []byte("n"),
+		Models: []Model{ModelSkip},
+		// Enormous reference budget: the adaptive injection limit must
+		// protect us regardless.
+		StepLimit: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if rep.Count(OutcomeCrash) == 0 {
+		t.Error("no crash outcomes; the hang-inducing skip should be classified as crash")
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("campaign took %v; adaptive injection limit not applied", elapsed)
+	}
+}
+
+// TestInjectionStepLimitOverride: an explicit injection budget wins.
+func TestInjectionStepLimitOverride(t *testing.T) {
+	bin, err := asm.Assemble(miniPincheck, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Campaign{
+		Binary:             bin,
+		Good:               goodPin,
+		Bad:                badPin,
+		Models:             []Model{ModelSkip},
+		InjectionStepLimit: 3, // absurdly small: everything "crashes"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Count(OutcomeCrash); got != len(rep.Injections) {
+		t.Errorf("crashes = %d of %d; tiny injection budget should kill every run",
+			got, len(rep.Injections))
+	}
+}

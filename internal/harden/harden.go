@@ -1,0 +1,203 @@
+// Package harden wires the paper's two countermeasure-insertion
+// pipelines end to end (§IV, Fig. 3):
+//
+//   - FaulterPatcher: the simulation-driven iterative rewriting loop
+//     (reassembleable-disassembly route, lower half of Fig. 3);
+//   - Hybrid: lift to IR, apply the conditional branch hardening pass,
+//     lower back to a binary (compiler-IR route, upper half of Fig. 3);
+//   - Duplication: the blanket instruction-duplication baseline.
+//
+// Evaluate runs the same fault campaign against any binary so the
+// pipelines can be compared on equal terms.
+package harden
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/lift"
+	"github.com/r2r/reinforce/internal/lower"
+	"github.com/r2r/reinforce/internal/passes"
+	"github.com/r2r/reinforce/internal/patch"
+)
+
+// FaulterPatcherOptions re-exports the patch driver's options.
+type FaulterPatcherOptions = patch.Options
+
+// FaulterPatcherResult re-exports the patch driver's result.
+type FaulterPatcherResult = patch.Result
+
+// FaulterPatcher runs the iterative Faulter+Patcher pipeline (§IV-B).
+func FaulterPatcher(bin *elf.Binary, opt FaulterPatcherOptions) (*FaulterPatcherResult, error) {
+	return patch.Harden(bin, opt)
+}
+
+// HybridOptions configure the Hybrid pipeline.
+type HybridOptions struct {
+	// Checksum selects the h function of the branch hardening pass.
+	Checksum passes.ChecksumKind
+
+	// SkipHardening runs lift+lower without the countermeasure — the
+	// "mere act of lifting the binary and translating it back" cost
+	// the paper discusses in §IV-D.
+	SkipHardening bool
+
+	// SkipCleanup disables the optimization pipelines (ablation).
+	SkipCleanup bool
+
+	// Lower passes through code generator ablation switches.
+	Lower lower.Options
+}
+
+// HybridResult is the outcome of the Hybrid pipeline.
+type HybridResult struct {
+	Binary *elf.Binary
+	Asm    string
+
+	Stats passes.HardenStats
+
+	OriginalCodeSize int
+	IRInstsLifted    int // after cleanup, before hardening
+	IRInstsHardened  int
+}
+
+// Overhead returns the code-size overhead fraction vs the original.
+func (r *HybridResult) Overhead() float64 {
+	if r.OriginalCodeSize == 0 {
+		return 0
+	}
+	return float64(r.Binary.CodeSize()-r.OriginalCodeSize) / float64(r.OriginalCodeSize)
+}
+
+// Hybrid runs the full-translation pipeline (§IV-C): lift to IR, clean
+// up, apply conditional branch hardening, clean up again
+// (countermeasure-safely), and lower back to an executable.
+func Hybrid(bin *elf.Binary, opt HybridOptions) (*HybridResult, error) {
+	lr, err := lift.Lift(bin)
+	if err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	if !opt.SkipCleanup {
+		if err := passes.Run(lr.Module, passes.CleanupPipeline()...); err != nil {
+			return nil, fmt.Errorf("harden: %w", err)
+		}
+	}
+	res := &HybridResult{
+		OriginalCodeSize: bin.CodeSize(),
+		IRInstsLifted:    lr.Module.NumInsts(),
+	}
+	if !opt.SkipHardening {
+		hp := passes.BranchHarden{Checksum: opt.Checksum, Stats: &res.Stats}
+		if err := passes.Run(lr.Module, hp); err != nil {
+			return nil, fmt.Errorf("harden: %w", err)
+		}
+		if !opt.SkipCleanup {
+			if err := passes.Run(lr.Module, passes.PostHardenCleanup()...); err != nil {
+				return nil, fmt.Errorf("harden: %w", err)
+			}
+		}
+	}
+	res.IRInstsHardened = lr.Module.NumInsts()
+
+	low, err := lower.Lower(lr, opt.Lower)
+	if err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	res.Binary = low.Binary
+	res.Asm = low.Asm
+	return res, nil
+}
+
+// DuplicationResult re-exports the blanket baseline result.
+type DuplicationResult = patch.BlanketResult
+
+// Duplication applies the blanket duplication baseline on the
+// reassembly substrate (§V-C): every patchable instruction gets a
+// Table-I-style duplicate-and-compare, vulnerable or not.
+func Duplication(bin *elf.Binary) (*DuplicationResult, error) {
+	return patch.HardenAll(bin, patch.StyleFallthrough)
+}
+
+// DuplicationIR runs the duplication baseline on the Hybrid substrate:
+// lift, duplicate every computational IR instruction with per-block
+// agreement checks, lower. Comparing its output size against the branch
+// hardening pass's output isolates the countermeasure cost from the
+// rewriter-intrinsic lift/lower overhead (paper §IV-D).
+func DuplicationIR(bin *elf.Binary) (*HybridResult, error) {
+	lr, err := lift.Lift(bin)
+	if err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	if err := passes.Run(lr.Module, passes.CleanupPipeline()...); err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	res := &HybridResult{
+		OriginalCodeSize: bin.CodeSize(),
+		IRInstsLifted:    lr.Module.NumInsts(),
+	}
+	if err := passes.Run(lr.Module, passes.DuplicateAll{}); err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	if err := passes.Run(lr.Module, passes.PostHardenCleanup()...); err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	res.IRInstsHardened = lr.Module.NumInsts()
+	low, err := lower.Lower(lr, lower.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	res.Binary = low.Binary
+	res.Asm = low.Asm
+	return res, nil
+}
+
+// Evaluation compares fault campaigns before and after hardening.
+type Evaluation struct {
+	Before *fault.Report
+	After  *fault.Report
+}
+
+// SuccessBefore returns the count of successful faults pre-hardening.
+func (e *Evaluation) SuccessBefore() int { return len(e.Before.Successful()) }
+
+// SuccessAfter returns the count of successful faults post-hardening.
+func (e *Evaluation) SuccessAfter() int { return len(e.After.Successful()) }
+
+// SitesBefore returns distinct vulnerable sites pre-hardening.
+func (e *Evaluation) SitesBefore() int { return len(e.Before.VulnerableSites()) }
+
+// SitesAfter returns distinct vulnerable sites post-hardening.
+func (e *Evaluation) SitesAfter() int { return len(e.After.VulnerableSites()) }
+
+// Reduction returns the fraction of successful-fault points removed
+// (1.0 = all resolved; the paper reports 1.0 for instruction skip and
+// about 0.5 for single bit flips).
+func (e *Evaluation) Reduction() float64 {
+	if e.SuccessBefore() == 0 {
+		return 0
+	}
+	return 1 - float64(e.SuccessAfter())/float64(e.SuccessBefore())
+}
+
+// Evaluate runs the same campaign on the original and hardened binaries.
+func Evaluate(original, hardened *elf.Binary, good, bad []byte, models []fault.Model, stepLimit uint64) (*Evaluation, error) {
+	run := func(b *elf.Binary) (*fault.Report, error) {
+		return fault.Run(fault.Campaign{
+			Binary:    b,
+			Good:      good,
+			Bad:       bad,
+			Models:    models,
+			StepLimit: stepLimit,
+		})
+	}
+	before, err := run(original)
+	if err != nil {
+		return nil, err
+	}
+	after, err := run(hardened)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluation{Before: before, After: after}, nil
+}

@@ -1,0 +1,138 @@
+package harden
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// TestHybridPincheckBehaviour: the Hybrid output must satisfy the case
+// oracle.
+func TestHybridPincheckBehaviour(t *testing.T) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	res, err := Hybrid(bin, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(res.Binary); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BranchesProtected == 0 {
+		t.Error("no branches protected")
+	}
+	if res.Overhead() <= 0 {
+		t.Error("hybrid overhead not positive")
+	}
+	t.Logf("pincheck hybrid: %d branches, overhead %.1f%%",
+		res.Stats.BranchesProtected, res.Overhead()*100)
+}
+
+func TestHybridBootloaderBehaviour(t *testing.T) {
+	c := cases.Bootloader()
+	bin := c.MustBuild()
+	res, err := Hybrid(bin, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(res.Binary); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bootloader hybrid: %d branches, overhead %.1f%%",
+		res.Stats.BranchesProtected, res.Overhead()*100)
+}
+
+// TestHybridLiftLowerOnlyCost measures the §IV-D observation: the mere
+// act of lifting and lowering adds overhead before any countermeasure.
+func TestHybridLiftLowerOnlyCost(t *testing.T) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	plain, err := Hybrid(bin, HybridOptions{SkipHardening: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(plain.Binary); err != nil {
+		t.Fatal(err)
+	}
+	hardened, err := Hybrid(bin, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Overhead() <= 0 {
+		t.Error("lift+lower alone should cost something")
+	}
+	if hardened.Overhead() <= plain.Overhead() {
+		t.Error("hardening should cost more than lift+lower alone")
+	}
+	t.Logf("lift+lower only: %.1f%%, with countermeasure: %.1f%%",
+		plain.Overhead()*100, hardened.Overhead()*100)
+}
+
+// TestFaulterPatcherPipeline runs the other pipeline through the facade.
+func TestFaulterPatcherPipeline(t *testing.T) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	res, err := FaulterPatcher(bin, FaulterPatcherOptions{
+		Good:   c.Good,
+		Bad:    c.Bad,
+		Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged() {
+		t.Errorf("skip model did not converge:\n%s", res.Summary())
+	}
+	if err := c.Check(res.Binary); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicationBaseline checks the §V-C bound: blanket duplication
+// costs much more than either targeted pipeline.
+func TestDuplicationBaseline(t *testing.T) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	dup, err := Duplication(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(dup.Binary); err != nil {
+		t.Fatalf("duplicated binary misbehaves: %v", err)
+	}
+	if dup.Patched == 0 {
+		t.Fatal("nothing duplicated")
+	}
+	t.Logf("duplication: %d patched, %d skipped, overhead %.1f%%",
+		dup.Patched, dup.Skipped, dup.Overhead()*100)
+	if dup.Overhead() < 1.0 {
+		t.Errorf("duplication overhead %.1f%% suspiciously low", dup.Overhead()*100)
+	}
+}
+
+// TestEvaluateSkipResolved reproduces claim C1 end to end through the
+// facade: the Hybrid pipeline resolves all instruction-skip
+// vulnerabilities of pincheck.
+func TestEvaluateSkipResolvedHybrid(t *testing.T) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	res, err := Hybrid(bin, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(bin, res.Binary, c.Good, c.Bad, []fault.Model{fault.ModelSkip}, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SuccessBefore() == 0 {
+		t.Fatal("baseline has no skip vulnerabilities")
+	}
+	if ev.SuccessAfter() != 0 {
+		t.Errorf("hybrid left %d skip vulnerabilities (of %d): %v",
+			ev.SuccessAfter(), ev.SuccessBefore(), ev.After.Successful())
+	}
+	if ev.Reduction() != 1.0 {
+		t.Errorf("reduction = %.2f, want 1.0", ev.Reduction())
+	}
+}

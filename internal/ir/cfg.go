@@ -1,0 +1,89 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Successors returns a block's control-flow successors in (then, else)
+// order.
+func (b *Block) Successors() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []*Block{t.Then, t.Else}
+	case OpJmp:
+		return []*Block{t.Then}
+	}
+	return nil
+}
+
+// CFGCensus summarizes a function's control-flow graph.
+type CFGCensus struct {
+	Blocks     int
+	Edges      int
+	CondBrs    int
+	FaultResps int
+}
+
+// Census computes the function's CFG statistics.
+func (f *Function) Census() CFGCensus {
+	var c CFGCensus
+	for _, b := range f.Blocks {
+		c.Blocks++
+		c.Edges += len(b.Successors())
+		if t := b.Terminator(); t != nil {
+			switch t.Op {
+			case OpBr:
+				c.CondBrs++
+			case OpFaultResp:
+				c.FaultResps++
+			}
+		}
+	}
+	return c
+}
+
+// DotCFG renders the function's control-flow graph in Graphviz dot
+// syntax (paper Figures 4 and 5 are exactly such drawings). Validation
+// and fault-response blocks introduced by the branch hardening pass are
+// colour-coded like the paper's figure: green for checksum validations,
+// blue for fault responses, orange annotations for the expected edge
+// checksums.
+func DotCFG(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, b := range f.Blocks {
+		label := b.Name
+		attrs := ""
+		switch {
+		case b.Terminator() != nil && b.Terminator().Op == OpFaultResp:
+			attrs = ", style=filled, fillcolor=lightblue"
+			label += "\\nabort()"
+		case strings.Contains(b.Name, "_t1_") || strings.Contains(b.Name, "_t2_") ||
+			strings.Contains(b.Name, "_f1_") || strings.Contains(b.Name, "_f2_"):
+			attrs = ", style=filled, fillcolor=palegreen"
+			label += "\\nvalidate checksum"
+		}
+		if b.UID != 0 {
+			label += fmt.Sprintf("\\nuid=%#x", b.UID)
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\"%s];\n", b.Name, label, attrs)
+	}
+	for _, b := range f.Blocks {
+		succ := b.Successors()
+		switch len(succ) {
+		case 1:
+			fmt.Fprintf(&sb, "  %q -> %q;\n", b.Name, succ[0].Name)
+		case 2:
+			fmt.Fprintf(&sb, "  %q -> %q [label=\"T\"];\n", b.Name, succ[0].Name)
+			fmt.Fprintf(&sb, "  %q -> %q [label=\"F\"];\n", b.Name, succ[1].Name)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

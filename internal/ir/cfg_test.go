@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("cfg")
+	m.EnsureCell("rax", I64)
+	f := m.NewFunc("f")
+	m.EntryFunc = "f"
+
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	exit := f.NewBlock("exit")
+
+	b := NewBuilder(entry)
+	v := b.CellRead("rax")
+	c := b.ICmp(EQ, v, C64(0))
+	b.Br(c, left, right)
+
+	NewBuilder(left).Jmp(exit)
+	NewBuilder(right).Jmp(exit)
+	NewBuilder(exit).Ret()
+
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, f
+}
+
+func TestSuccessors(t *testing.T) {
+	_, f := buildDiamond(t)
+	entry := f.Block("entry")
+	succ := entry.Successors()
+	if len(succ) != 2 || succ[0].Name != "left" || succ[1].Name != "right" {
+		t.Fatalf("entry successors = %v", succ)
+	}
+	if got := f.Block("left").Successors(); len(got) != 1 || got[0].Name != "exit" {
+		t.Fatalf("left successors = %v", got)
+	}
+	if got := f.Block("exit").Successors(); got != nil {
+		t.Fatalf("exit successors = %v, want nil", got)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	_, f := buildDiamond(t)
+	c := f.Census()
+	if c.Blocks != 4 || c.Edges != 4 || c.CondBrs != 1 || c.FaultResps != 0 {
+		t.Errorf("census = %+v", c)
+	}
+}
+
+func TestDotCFG(t *testing.T) {
+	_, f := buildDiamond(t)
+	f.Block("entry").UID = 0xABC
+	dot := DotCFG(f)
+	for _, want := range []string{
+		`digraph "f"`,
+		`"entry" -> "left" [label="T"]`,
+		`"entry" -> "right" [label="F"]`,
+		`"left" -> "exit"`,
+		`uid=0xabc`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDotCFGColorsFaultResp(t *testing.T) {
+	m := NewModule("flt")
+	f := m.NewFunc("f")
+	m.EntryFunc = "f"
+	entry := f.NewBlock("entry")
+	flt := f.NewBlock("x_t1_1") // validation-style name
+	NewBuilder(entry).Jmp(flt)
+	NewBuilder(flt).FaultResp()
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	dot := DotCFG(f)
+	// FaultResp wins over the validation name heuristic.
+	if !strings.Contains(dot, "lightblue") || !strings.Contains(dot, "abort()") {
+		t.Errorf("fault-response block not colour-coded:\n%s", dot)
+	}
+}

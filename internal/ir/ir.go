@@ -1,0 +1,436 @@
+// Package ir is the compiler intermediate representation the Hybrid
+// pipeline lifts binaries into (paper §IV-C). It is deliberately
+// LLVM-flavoured: a module holds functions, functions hold basic blocks,
+// blocks hold typed instructions, and transformation passes operate on
+// that hierarchy — the property the paper exploits to implement complex
+// countermeasures "at a higher level of abstraction".
+//
+// Two deviations from LLVM keep lifted machine code simple and the
+// lowering honest:
+//
+//   - Virtual CPU state (registers, flags, and pass-introduced slots
+//     like the branch-hardening checksums) lives in named Cells, read
+//     and written by CellRead/CellWrite. This mirrors Rev.ng's CPU state
+//     globals and avoids SSA construction over machine registers.
+//   - Values are block-local: an instruction result may only be used
+//     inside its own block. Cross-block dataflow goes through cells or
+//     memory. The verifier enforces this, and the lowering exploits it.
+package ir
+
+import "fmt"
+
+// Type is an IR value type.
+type Type uint8
+
+// Types.
+const (
+	Void Type = iota
+	I1
+	I8
+	I32
+	I64
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I8:
+		return "i8"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	}
+	return "?"
+}
+
+// Bits returns the bit width of the type (0 for void).
+func (t Type) Bits() uint {
+	switch t {
+	case I1:
+		return 1
+	case I8:
+		return 8
+	case I32:
+		return 32
+	case I64:
+		return 64
+	}
+	return 0
+}
+
+// Mask returns the value mask for the type.
+func (t Type) Mask() uint64 {
+	if t == I64 {
+		return ^uint64(0)
+	}
+	if t == Void {
+		return 0
+	}
+	return 1<<t.Bits() - 1
+}
+
+// Value is an SSA-ish value: a constant or an instruction result.
+type Value interface {
+	Type() Type
+	valueString(fn *Function) string
+}
+
+// Const is a typed integer constant.
+type Const struct {
+	Ty  Type
+	Val uint64 // truncated to the type's width
+}
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Ty }
+
+func (c *Const) valueString(*Function) string {
+	if c.Ty == I1 {
+		return fmt.Sprintf("%d", c.Val&1)
+	}
+	return fmt.Sprintf("%d", int64(c.Val))
+}
+
+// C64 makes an i64 constant.
+func C64(v uint64) *Const { return &Const{Ty: I64, Val: v} }
+
+// C8 makes an i8 constant.
+func C8(v uint64) *Const { return &Const{Ty: I8, Val: v & 0xFF} }
+
+// C1 makes an i1 constant.
+func C1(b bool) *Const {
+	if b {
+		return &Const{Ty: I1, Val: 1}
+	}
+	return &Const{Ty: I1, Val: 0}
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpBin Op = iota
+	OpICmp
+	OpZExt
+	OpSExt
+	OpTrunc
+	OpSelect
+	OpLoad
+	OpStore
+	OpCellRead
+	OpCellWrite
+	OpCall
+	OpSyscall
+	OpBr
+	OpJmp
+	OpRet
+	OpHalt
+	OpFaultResp
+)
+
+// BinKind is the arithmetic/logic operation of an OpBin.
+type BinKind uint8
+
+// Binary operation kinds.
+const (
+	Add BinKind = iota
+	Sub
+	Mul
+	And
+	Or
+	Xor
+	Shl
+	LShr
+	AShr
+)
+
+var binNames = [...]string{"add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"}
+
+func (b BinKind) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return "?"
+}
+
+// Pred is an integer comparison predicate.
+type Pred uint8
+
+// Comparison predicates.
+const (
+	EQ Pred = iota
+	NE
+	ULT
+	ULE
+	UGT
+	UGE
+	SLT
+	SLE
+	SGT
+	SGE
+)
+
+var predNames = [...]string{"eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge"}
+
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return "?"
+}
+
+// Instr is one IR instruction. Non-void instructions are Values.
+type Instr struct {
+	Op   Op
+	Ty   Type    // result type (Void for effects/terminators)
+	Bin  BinKind // OpBin
+	Pred Pred    // OpICmp
+	Cell string  // OpCellRead / OpCellWrite
+	Args []Value
+
+	Then *Block // OpBr true-target / OpJmp target
+	Else *Block // OpBr false-target
+
+	Callee *Function // OpCall
+
+	id  int // assigned by the builder; unique per function
+	blk *Block
+}
+
+// Type implements Value.
+func (i *Instr) Type() Type { return i.Ty }
+
+// Block returns the containing basic block.
+func (i *Instr) Block() *Block { return i.blk }
+
+// ID returns the function-unique instruction number (0 when the
+// instruction was never attached through a builder).
+func (i *Instr) ID() int { return i.id }
+
+// IsTerminator reports whether the instruction ends a block.
+func (i *Instr) IsTerminator() bool {
+	switch i.Op {
+	case OpBr, OpJmp, OpRet, OpHalt, OpFaultResp:
+		return true
+	}
+	return false
+}
+
+func (i *Instr) valueString(fn *Function) string {
+	return fmt.Sprintf("%%%d", i.id)
+}
+
+// Block is a basic block: a label plus instructions ending in a
+// terminator.
+type Block struct {
+	Name  string
+	Insts []*Instr
+
+	fn *Function
+
+	// UID is the compile-time unique block identifier the conditional
+	// branch hardening countermeasure assigns (paper §V-B).
+	UID uint64
+}
+
+// Func returns the containing function.
+func (b *Block) Func() *Function { return b.fn }
+
+// Terminator returns the block's final instruction, or nil if the block
+// is empty or unterminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	last := b.Insts[len(b.Insts)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Function is a lifted machine function: no parameters, no return value;
+// all state flows through cells and memory (the Rev.ng convention).
+type Function struct {
+	Name   string
+	Blocks []*Block
+
+	mod    *Module
+	nextID int
+}
+
+// Module returns the containing module.
+func (f *Function) Module() *Module { return f.mod }
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// Block returns the named block, or nil.
+func (f *Function) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// NewBlock appends a new named block.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{Name: name, fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NumInsts counts instructions in the function.
+func (f *Function) NumInsts() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Cell describes one virtual CPU state slot.
+type Cell struct {
+	Name string
+	Ty   Type
+}
+
+// Module is a whole lifted program.
+type Module struct {
+	Name  string
+	Funcs []*Function
+
+	// EntryFunc names the function executed first.
+	EntryFunc string
+
+	// Cells is the virtual CPU state, in registration order (the
+	// lowering assigns storage in this order).
+	Cells []Cell
+
+	cellIndex map[string]int
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, cellIndex: make(map[string]int)}
+}
+
+// NewFunc appends a new empty function.
+func (m *Module) NewFunc(name string) *Function {
+	f := &Function{Name: name, mod: m}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// EnsureCell registers (or fetches) a named cell.
+func (m *Module) EnsureCell(name string, ty Type) Cell {
+	if m.cellIndex == nil {
+		m.cellIndex = make(map[string]int)
+	}
+	if i, ok := m.cellIndex[name]; ok {
+		return m.Cells[i]
+	}
+	c := Cell{Name: name, Ty: ty}
+	m.cellIndex[name] = len(m.Cells)
+	m.Cells = append(m.Cells, c)
+	return c
+}
+
+// CellType returns the type of a registered cell.
+func (m *Module) CellType(name string) (Type, bool) {
+	if m.cellIndex == nil {
+		return Void, false
+	}
+	i, ok := m.cellIndex[name]
+	if !ok {
+		return Void, false
+	}
+	return m.Cells[i].Ty, true
+}
+
+// NumInsts counts instructions in the module.
+func (m *Module) NumInsts() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInsts()
+	}
+	return n
+}
+
+// InstMix tallies instruction kinds across the module — the metric of
+// the paper's Table IV ("qualitative overhead").
+func (m *Module) InstMix() map[string]int {
+	mix := make(map[string]int)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				mix[in.MnemonicString()]++
+			}
+		}
+	}
+	return mix
+}
+
+// MnemonicString names the instruction kind for statistics ("add",
+// "icmp", "br", ...).
+func (i *Instr) MnemonicString() string {
+	switch i.Op {
+	case OpBin:
+		return i.Bin.String()
+	case OpICmp:
+		return "icmp"
+	case OpZExt:
+		return "zext"
+	case OpSExt:
+		return "sext"
+	case OpTrunc:
+		return "trunc"
+	case OpSelect:
+		return "select"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCellRead:
+		return "cellread"
+	case OpCellWrite:
+		return "cellwrite"
+	case OpCall:
+		return "call"
+	case OpSyscall:
+		return "syscall"
+	case OpBr:
+		return "br"
+	case OpJmp:
+		return "jmp"
+	case OpRet:
+		return "ret"
+	case OpHalt:
+		return "halt"
+	case OpFaultResp:
+		return "faultresp"
+	}
+	return "?"
+}

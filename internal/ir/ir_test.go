@@ -1,0 +1,395 @@
+package ir
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/r2r/reinforce/internal/elf"
+)
+
+// buildExitModule returns a module whose entry writes "hi\n" and exits
+// with the byte read from stdin (or 7 when stdin is empty).
+func buildExitModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("test")
+	for _, r := range []string{"rax", "rdi", "rsi", "rdx", "rcx", "r11", "rsp"} {
+		m.EnsureCell(r, I64)
+	}
+	f := m.NewFunc("_start")
+	m.EntryFunc = "_start"
+
+	entry := f.NewBlock("entry")
+	b := NewBuilder(entry)
+
+	const buf = 0x600000
+	// read(0, buf, 1)
+	b.CellWrite("rax", C64(0))
+	b.CellWrite("rdi", C64(0))
+	b.CellWrite("rsi", C64(buf))
+	b.CellWrite("rdx", C64(1))
+	b.Syscall()
+	nread := b.CellRead("rax")
+	got := b.ICmp(EQ, nread, C64(1))
+
+	some := f.NewBlock("some")
+	none := f.NewBlock("none")
+	b.Br(got, some, none)
+
+	bs := NewBuilder(some)
+	v := bs.Load(I8, C64(buf))
+	code := bs.ZExt(v, I64)
+	bs.CellWrite("rdi", code)
+	bs.CellWrite("rax", C64(60))
+	bs.Syscall()
+	bs.Ret()
+
+	bn := NewBuilder(none)
+	bn.CellWrite("rdi", C64(7))
+	bn.CellWrite("rax", C64(60))
+	bn.Syscall()
+	bn.Ret()
+
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func dataSection() *elf.Section {
+	return &elf.Section{Name: ".data", Addr: 0x600000, Data: make([]byte, 64), Flags: elf.FlagRead | elf.FlagWrite}
+}
+
+func TestExecBasics(t *testing.T) {
+	m := buildExitModule(t)
+	res, err := Exec(m, ExecConfig{Stdin: []byte{42}, Sections: []*elf.Section{dataSection()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.ExitCode != 42 {
+		t.Errorf("exit = (%v, %d), want (true, 42)", res.Exited, res.ExitCode)
+	}
+	res, err = Exec(m, ExecConfig{Sections: []*elf.Section{dataSection()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 7 {
+		t.Errorf("empty stdin: exit = %d, want 7", res.ExitCode)
+	}
+}
+
+func TestExecWriteAndFault(t *testing.T) {
+	m := NewModule("w")
+	for _, r := range []string{"rax", "rdi", "rsi", "rdx", "rcx", "r11"} {
+		m.EnsureCell(r, I64)
+	}
+	f := m.NewFunc("_start")
+	m.EntryFunc = "_start"
+	blk := f.NewBlock("entry")
+	b := NewBuilder(blk)
+	// Store 'O','K' into memory, write(1, buf, 2), then faultresp.
+	const buf = 0x600010
+	b.Store(C8('O'), C64(buf))
+	b.Store(C8('K'), C64(buf+1))
+	b.CellWrite("rax", C64(1))
+	b.CellWrite("rdi", C64(1))
+	b.CellWrite("rsi", C64(buf))
+	b.CellWrite("rdx", C64(2))
+	b.Syscall()
+	b.FaultResp()
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(m, ExecConfig{Sections: []*elf.Section{dataSection()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Stdout) != "OK" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if !res.Faulted || res.ExitCode != 42 || string(res.Stderr) != "FAULT\n" {
+		t.Errorf("fault response wrong: %+v", res)
+	}
+}
+
+func TestExecHaltAndLimits(t *testing.T) {
+	m := NewModule("h")
+	f := m.NewFunc("_start")
+	m.EntryFunc = "_start"
+	blk := f.NewBlock("entry")
+	NewBuilder(blk).Halt()
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(m, ExecConfig{}); !errors.Is(err, ErrInterpHalt) {
+		t.Errorf("halt: err = %v", err)
+	}
+
+	// Infinite loop trips the step limit.
+	m2 := NewModule("l")
+	f2 := m2.NewFunc("_start")
+	m2.EntryFunc = "_start"
+	spin := f2.NewBlock("spin")
+	NewBuilder(spin).Jmp(spin)
+	if err := Verify(m2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(m2, ExecConfig{StepLimit: 100}); !errors.Is(err, ErrInterpLimit) {
+		t.Errorf("loop: err = %v", err)
+	}
+}
+
+func TestExecCallDepth(t *testing.T) {
+	m := NewModule("r")
+	f := m.NewFunc("_start")
+	m.EntryFunc = "_start"
+	blk := f.NewBlock("entry")
+	b := NewBuilder(blk)
+	b.Call(f) // unbounded recursion
+	b.Ret()
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(m, ExecConfig{MaxDepth: 10}); !errors.Is(err, ErrInterpDepth) {
+		t.Errorf("recursion: err = %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	build := func(f func(m *Module, fn *Function, b *Builder)) error {
+		m := NewModule("v")
+		m.EnsureCell("rax", I64)
+		fn := m.NewFunc("_start")
+		m.EntryFunc = "_start"
+		blk := fn.NewBlock("entry")
+		b := NewBuilder(blk)
+		f(m, fn, b)
+		return Verify(m)
+	}
+
+	cases := []struct {
+		name string
+		f    func(m *Module, fn *Function, b *Builder)
+	}{
+		{"unterminated", func(m *Module, fn *Function, b *Builder) {
+			b.Add(C64(1), C64(2))
+		}},
+		{"terminator mid-block", func(m *Module, fn *Function, b *Builder) {
+			b.Ret()
+			b.Add(C64(1), C64(2))
+			// no final terminator either, but mid-block hits first
+		}},
+		{"type mismatch bin", func(m *Module, fn *Function, b *Builder) {
+			b.Bin(Add, C64(1), C8(2))
+			b.Ret()
+		}},
+		{"icmp mixed types", func(m *Module, fn *Function, b *Builder) {
+			b.ICmp(EQ, C64(1), C8(1))
+			b.Ret()
+		}},
+		{"br non-i1", func(m *Module, fn *Function, b *Builder) {
+			v := b.Add(C64(1), C64(1))
+			other := fn.NewBlock("o")
+			NewBuilder(other).Ret()
+			b.Br(v, other, other)
+		}},
+		{"zext narrowing", func(m *Module, fn *Function, b *Builder) {
+			b.ZExt(C64(1), I8)
+			b.Ret()
+		}},
+		{"trunc widening", func(m *Module, fn *Function, b *Builder) {
+			b.Trunc(C8(1), I64)
+			b.Ret()
+		}},
+		{"cross-block value use", func(m *Module, fn *Function, b *Builder) {
+			v := b.Add(C64(1), C64(1))
+			second := fn.NewBlock("second")
+			b.Jmp(second)
+			b2 := NewBuilder(second)
+			b2.Add(v, C64(1)) // illegal: v from another block
+			b2.Ret()
+		}},
+		{"load non-i64 address", func(m *Module, fn *Function, b *Builder) {
+			b.Load(I64, C8(0))
+			b.Ret()
+		}},
+	}
+	for _, tc := range cases {
+		if err := build(tc.f); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", tc.name, err)
+		}
+	}
+}
+
+func TestVerifyRejectsUnregisteredCell(t *testing.T) {
+	m := NewModule("c")
+	fn := m.NewFunc("_start")
+	m.EntryFunc = "_start"
+	blk := fn.NewBlock("entry")
+	// Bypass the builder's panic by constructing the instruction raw.
+	blk.Insts = append(blk.Insts,
+		&Instr{Op: OpCellRead, Ty: I64, Cell: "bogus", blk: blk, id: 1},
+		&Instr{Op: OpRet, blk: blk, id: 2},
+	)
+	if err := Verify(m); !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestBuilderPanicsOnUnknownCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on unregistered cell")
+		}
+	}()
+	m := NewModule("p")
+	f := m.NewFunc("f")
+	b := NewBuilder(f.NewBlock("e"))
+	b.CellRead("nope")
+}
+
+func TestPrinter(t *testing.T) {
+	m := buildExitModule(t)
+	s := m.String()
+	for _, want := range []string{
+		"module test", "cells:", "func _start()",
+		"entry:", "syscall", "icmp eq", "br %", "label %some",
+		"load i8", "zext i8", "cellwrite @rdi", "ret",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed module missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInstMix(t *testing.T) {
+	m := buildExitModule(t)
+	mix := m.InstMix()
+	if mix["syscall"] != 3 || mix["icmp"] != 1 || mix["br"] != 1 || mix["ret"] != 2 {
+		t.Errorf("mix = %v", mix)
+	}
+}
+
+// TestEvalBinMatchesGo cross-checks the interpreter's arithmetic against
+// native Go semantics.
+func TestEvalBinMatchesGo(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if evalBin(Add, I64, a, b) != a+b {
+			return false
+		}
+		if evalBin(Sub, I64, a, b) != a-b {
+			return false
+		}
+		if evalBin(Mul, I64, a, b) != a*b {
+			return false
+		}
+		if evalBin(And, I64, a, b) != a&b {
+			return false
+		}
+		if evalBin(Xor, I64, a, b) != a^b {
+			return false
+		}
+		sh := b % 64
+		if evalBin(Shl, I64, a, sh) != a<<sh {
+			return false
+		}
+		if evalBin(LShr, I64, a, sh) != a>>sh {
+			return false
+		}
+		if evalBin(AShr, I64, a, sh) != uint64(int64(a)>>sh) {
+			return false
+		}
+		// 8-bit wraparound.
+		if evalBin(Add, I8, a, b) != (a+b)&0xFF {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalICmpMatchesGo cross-checks comparisons including sign
+// handling at narrow widths.
+func TestEvalICmpMatchesGo(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		a, b := r.Uint64(), r.Uint64()
+		if evalICmp(ULT, I64, a, b) != (a < b) {
+			t.Fatal("ult")
+		}
+		if evalICmp(SLT, I64, a, b) != (int64(a) < int64(b)) {
+			t.Fatal("slt")
+		}
+		if evalICmp(SGE, I8, a, b) != (int8(a) >= int8(b)) {
+			t.Fatal("sge i8")
+		}
+		if evalICmp(EQ, I8, a, b) != (uint8(a) == uint8(b)) {
+			t.Fatal("eq i8")
+		}
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if signExtend(0x80, I8) != 0xFFFFFFFFFFFFFF80 {
+		t.Error("sext 0x80")
+	}
+	if signExtend(0x7F, I8) != 0x7F {
+		t.Error("sext 0x7f")
+	}
+	if signExtend(1, I1) != ^uint64(0) {
+		t.Error("sext i1 1")
+	}
+}
+
+func TestShiftOverflowDefined(t *testing.T) {
+	if evalBin(Shl, I64, 1, 64) != 0 {
+		t.Error("shl 64 must be 0")
+	}
+	if evalBin(LShr, I64, ^uint64(0), 100) != 0 {
+		t.Error("lshr 100 must be 0")
+	}
+	if evalBin(AShr, I64, 1<<63, 100) != ^uint64(0) {
+		t.Error("ashr overflow must sign-fill")
+	}
+}
+
+func TestCellRegistry(t *testing.T) {
+	m := NewModule("cells")
+	c1 := m.EnsureCell("rax", I64)
+	c2 := m.EnsureCell("rax", I64)
+	if c1 != c2 || len(m.Cells) != 1 {
+		t.Error("EnsureCell not idempotent")
+	}
+	if ty, ok := m.CellType("rax"); !ok || ty != I64 {
+		t.Error("CellType lookup failed")
+	}
+	if _, ok := m.CellType("zf"); ok {
+		t.Error("CellType invented a cell")
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	m := NewModule("ins")
+	f := m.NewFunc("f")
+	m.EntryFunc = "f"
+	blk := f.NewBlock("e")
+	b := NewBuilder(blk)
+	b.Add(C64(1), C64(2))
+	b.Ret()
+
+	clone := &Instr{Op: OpBin, Ty: I64, Bin: Add, Args: []Value{C64(3), C64(4)}}
+	InsertBefore(blk, 1, []*Instr{clone})
+	if len(blk.Insts) != 3 {
+		t.Fatalf("len = %d", len(blk.Insts))
+	}
+	if blk.Insts[1] != clone {
+		t.Error("insert position wrong")
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in an LLVM-flavoured textual form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	if len(m.Cells) > 0 {
+		sb.WriteString("cells:")
+		for i, c := range m.Cells {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s:%s", c.Name, c.Ty)
+		}
+		sb.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString("\n")
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s() {\n", f.Name)
+	for _, b := range f.Blocks {
+		if b.UID != 0 {
+			fmt.Fprintf(&sb, "%s:            ; uid=%#x\n", b.Name, b.UID)
+		} else {
+			fmt.Fprintf(&sb, "%s:\n", b.Name)
+		}
+		for _, in := range b.Insts {
+			fmt.Fprintf(&sb, "  %s\n", in.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one instruction.
+func (i *Instr) String() string {
+	fn := (*Function)(nil)
+	if i.blk != nil {
+		fn = i.blk.fn
+	}
+	arg := func(n int) string { return i.Args[n].valueString(fn) }
+
+	switch i.Op {
+	case OpBin:
+		return fmt.Sprintf("%%%d = %s %s %s, %s", i.id, i.Bin, i.Ty, arg(0), arg(1))
+	case OpICmp:
+		return fmt.Sprintf("%%%d = icmp %s %s %s, %s", i.id, i.Pred, i.Args[0].Type(), arg(0), arg(1))
+	case OpZExt:
+		return fmt.Sprintf("%%%d = zext %s %s to %s", i.id, i.Args[0].Type(), arg(0), i.Ty)
+	case OpSExt:
+		return fmt.Sprintf("%%%d = sext %s %s to %s", i.id, i.Args[0].Type(), arg(0), i.Ty)
+	case OpTrunc:
+		return fmt.Sprintf("%%%d = trunc %s %s to %s", i.id, i.Args[0].Type(), arg(0), i.Ty)
+	case OpSelect:
+		return fmt.Sprintf("%%%d = select %s, %s %s, %s", i.id, arg(0), i.Ty, arg(1), arg(2))
+	case OpLoad:
+		return fmt.Sprintf("%%%d = load %s, [%s]", i.id, i.Ty, arg(0))
+	case OpStore:
+		return fmt.Sprintf("store %s %s, [%s]", i.Args[0].Type(), arg(0), arg(1))
+	case OpCellRead:
+		return fmt.Sprintf("%%%d = cellread %s @%s", i.id, i.Ty, i.Cell)
+	case OpCellWrite:
+		return fmt.Sprintf("cellwrite @%s, %s", i.Cell, arg(0))
+	case OpCall:
+		name := "?"
+		if i.Callee != nil {
+			name = i.Callee.Name
+		}
+		return fmt.Sprintf("call @%s()", name)
+	case OpSyscall:
+		return "syscall"
+	case OpBr:
+		return fmt.Sprintf("br %s, label %%%s, label %%%s", arg(0), i.Then.Name, i.Else.Name)
+	case OpJmp:
+		return fmt.Sprintf("jmp label %%%s", i.Then.Name)
+	case OpRet:
+		return "ret"
+	case OpHalt:
+		return "halt"
+	case OpFaultResp:
+		return "faultresp"
+	}
+	return "?"
+}

@@ -1,0 +1,175 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid wraps all verification failures.
+var ErrInvalid = errors.New("ir: invalid module")
+
+// Verify checks module well-formedness:
+//
+//   - every block ends with exactly one terminator (and none earlier);
+//   - instruction operands are block-local and defined before use
+//     (constants are always fine);
+//   - operand and result types are consistent per opcode;
+//   - branch targets belong to the same function;
+//   - cells are registered with matching types;
+//   - calls target functions of the same module;
+//   - the entry function exists.
+func Verify(m *Module) error {
+	fail := func(f *Function, b *Block, format string, args ...any) error {
+		loc := ""
+		if f != nil {
+			loc = f.Name
+		}
+		if b != nil {
+			loc += ":" + b.Name
+		}
+		return fmt.Errorf("%w: %s: %s", ErrInvalid, loc, fmt.Sprintf(format, args...))
+	}
+
+	if m.EntryFunc != "" && m.Func(m.EntryFunc) == nil {
+		return fail(nil, nil, "entry function %q missing", m.EntryFunc)
+	}
+
+	for _, f := range m.Funcs {
+		blockSet := make(map[*Block]bool, len(f.Blocks))
+		names := make(map[string]bool, len(f.Blocks))
+		for _, b := range f.Blocks {
+			blockSet[b] = true
+			if names[b.Name] {
+				return fail(f, b, "duplicate block name")
+			}
+			names[b.Name] = true
+		}
+		if len(f.Blocks) == 0 {
+			return fail(f, nil, "function has no blocks")
+		}
+
+		for _, b := range f.Blocks {
+			if len(b.Insts) == 0 {
+				return fail(f, b, "empty block")
+			}
+			defined := make(map[*Instr]bool, len(b.Insts))
+			for idx, in := range b.Insts {
+				isLast := idx == len(b.Insts)-1
+				if in.IsTerminator() != isLast {
+					if isLast {
+						return fail(f, b, "block does not end with a terminator")
+					}
+					return fail(f, b, "terminator %s in the middle of a block", in.MnemonicString())
+				}
+				for ai, arg := range in.Args {
+					switch v := arg.(type) {
+					case *Const:
+						// always fine
+					case *Instr:
+						if v.Ty == Void {
+							return fail(f, b, "inst %d uses void value", idx)
+						}
+						if v.blk != b || !defined[v] {
+							return fail(f, b, "inst %d arg %d is not block-local-dominating", idx, ai)
+						}
+					case nil:
+						return fail(f, b, "inst %d arg %d is nil", idx, ai)
+					default:
+						return fail(f, b, "inst %d arg %d has unknown value kind", idx, ai)
+					}
+				}
+				if err := checkTypes(m, f, b, in); err != nil {
+					return err
+				}
+				if in.Op == OpBr || in.Op == OpJmp {
+					if in.Then == nil || !blockSet[in.Then] {
+						return fail(f, b, "branch target not in function")
+					}
+					if in.Op == OpBr && (in.Else == nil || !blockSet[in.Else]) {
+						return fail(f, b, "false branch target not in function")
+					}
+				}
+				if in.Op == OpCall {
+					if in.Callee == nil || m.Func(in.Callee.Name) != in.Callee {
+						return fail(f, b, "call to foreign or missing function")
+					}
+				}
+				defined[in] = true
+			}
+		}
+	}
+	return nil
+}
+
+func checkTypes(m *Module, f *Function, b *Block, in *Instr) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s:%s: %s: %s", ErrInvalid, f.Name, b.Name,
+			in.MnemonicString(), fmt.Sprintf(format, args...))
+	}
+	argTy := func(i int) Type { return in.Args[i].Type() }
+
+	switch in.Op {
+	case OpBin:
+		if len(in.Args) != 2 {
+			return fail("wants 2 args, has %d", len(in.Args))
+		}
+		if argTy(0) != in.Ty || argTy(1) != in.Ty {
+			return fail("operand types %v,%v do not match result %v", argTy(0), argTy(1), in.Ty)
+		}
+		if in.Ty == Void || in.Ty == I1 && in.Bin != Xor && in.Bin != And && in.Bin != Or {
+			return fail("bad result type %v", in.Ty)
+		}
+	case OpICmp:
+		if len(in.Args) != 2 || in.Ty != I1 {
+			return fail("icmp must compare 2 args into i1")
+		}
+		if argTy(0) != argTy(1) {
+			return fail("compared types differ: %v vs %v", argTy(0), argTy(1))
+		}
+	case OpZExt, OpSExt:
+		if len(in.Args) != 1 || in.Ty.Bits() <= argTy(0).Bits() {
+			return fail("extension must widen (%v -> %v)", argTy(0), in.Ty)
+		}
+	case OpTrunc:
+		if len(in.Args) != 1 || in.Ty.Bits() >= argTy(0).Bits() {
+			return fail("truncation must narrow (%v -> %v)", argTy(0), in.Ty)
+		}
+	case OpSelect:
+		if len(in.Args) != 3 || argTy(0) != I1 || argTy(1) != in.Ty || argTy(2) != in.Ty {
+			return fail("select wants (i1, T, T) -> T")
+		}
+	case OpLoad:
+		if len(in.Args) != 1 || argTy(0) != I64 || in.Ty == Void {
+			return fail("load wants i64 address")
+		}
+	case OpStore:
+		if len(in.Args) != 2 || argTy(1) != I64 {
+			return fail("store wants (value, i64 address)")
+		}
+	case OpCellRead:
+		ty, ok := m.CellType(in.Cell)
+		if !ok {
+			return fail("unregistered cell %q", in.Cell)
+		}
+		if in.Ty != ty {
+			return fail("cell %q is %v, read as %v", in.Cell, ty, in.Ty)
+		}
+	case OpCellWrite:
+		ty, ok := m.CellType(in.Cell)
+		if !ok {
+			return fail("unregistered cell %q", in.Cell)
+		}
+		if len(in.Args) != 1 || argTy(0) != ty {
+			return fail("cell %q is %v, written as %v", in.Cell, ty, argTy(0))
+		}
+	case OpBr:
+		if len(in.Args) != 1 || argTy(0) != I1 {
+			return fail("br wants an i1 condition")
+		}
+	case OpJmp, OpRet, OpHalt, OpFaultResp, OpSyscall, OpCall:
+		if len(in.Args) != 0 {
+			return fail("wants no args")
+		}
+	}
+	return nil
+}

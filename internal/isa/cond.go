@@ -1,0 +1,161 @@
+package isa
+
+import "fmt"
+
+// Cond is an x86 condition code, numbered exactly as in the hardware
+// encoding (the low nibble of the 0F 8x / 0F 9x opcodes and of the
+// short-form 7x jumps). Jcc, SETcc and the conditional-branch hardening
+// pass all use this type.
+type Cond uint8
+
+// Condition codes in hardware encoding order.
+const (
+	CondO  Cond = 0x0 // overflow          (OF=1)
+	CondNO Cond = 0x1 // not overflow      (OF=0)
+	CondB  Cond = 0x2 // below             (CF=1)
+	CondAE Cond = 0x3 // above or equal    (CF=0)
+	CondE  Cond = 0x4 // equal             (ZF=1)
+	CondNE Cond = 0x5 // not equal         (ZF=0)
+	CondBE Cond = 0x6 // below or equal    (CF=1 or ZF=1)
+	CondA  Cond = 0x7 // above             (CF=0 and ZF=0)
+	CondS  Cond = 0x8 // sign              (SF=1)
+	CondNS Cond = 0x9 // not sign          (SF=0)
+	CondP  Cond = 0xA // parity            (PF=1)
+	CondNP Cond = 0xB // not parity        (PF=0)
+	CondL  Cond = 0xC // less              (SF!=OF)
+	CondGE Cond = 0xD // greater or equal  (SF=OF)
+	CondLE Cond = 0xE // less or equal     (ZF=1 or SF!=OF)
+	CondG  Cond = 0xF // greater           (ZF=0 and SF=OF)
+
+	// NoCond marks instructions that carry no condition.
+	NoCond Cond = 0xFF
+)
+
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// Valid reports whether c is one of the sixteen condition codes.
+func (c Cond) Valid() bool { return c < 16 }
+
+// String returns the condition suffix ("e", "ne", "le", ...).
+func (c Cond) String() string {
+	if !c.Valid() {
+		return "?"
+	}
+	return condNames[c]
+}
+
+// Inverse returns the negated condition (e <-> ne, l <-> ge, ...).
+// Hardware encodes inverse pairs as adjacent codes, so this is just a
+// low-bit toggle.
+func (c Cond) Inverse() Cond {
+	if !c.Valid() {
+		return c
+	}
+	return c ^ 1
+}
+
+// CondByName resolves a condition suffix to its code.
+func CondByName(name string) (Cond, bool) {
+	for i, n := range condNames {
+		if n == name {
+			return Cond(i), true
+		}
+	}
+	// Common aliases.
+	switch name {
+	case "z":
+		return CondE, true
+	case "nz":
+		return CondNE, true
+	case "c":
+		return CondB, true
+	case "nc":
+		return CondAE, true
+	case "nge":
+		return CondL, true
+	case "nl":
+		return CondGE, true
+	case "ng":
+		return CondLE, true
+	case "nle":
+		return CondG, true
+	case "nae":
+		return CondB, true
+	case "nb":
+		return CondAE, true
+	case "na":
+		return CondBE, true
+	case "nbe":
+		return CondA, true
+	}
+	return NoCond, false
+}
+
+// RFLAGS bit positions (the architectural layout pushed by PUSHFQ).
+const (
+	FlagCF uint64 = 1 << 0  // carry
+	FlagPF uint64 = 1 << 2  // parity
+	FlagAF uint64 = 1 << 4  // adjust
+	FlagZF uint64 = 1 << 6  // zero
+	FlagSF uint64 = 1 << 7  // sign
+	FlagTF uint64 = 1 << 8  // trap (unused here)
+	FlagIF uint64 = 1 << 9  // interrupt enable (always 1 in user code)
+	FlagDF uint64 = 1 << 10 // direction (unused here)
+	FlagOF uint64 = 1 << 11 // overflow
+
+	// FlagsFixed is the always-set reserved bit 1 plus IF, the value a
+	// user-mode PUSHFQ observes on Linux with no arithmetic flags set.
+	FlagsFixed uint64 = 1<<1 | FlagIF
+
+	// FlagsArithMask selects the six arithmetic flags.
+	FlagsArithMask uint64 = FlagCF | FlagPF | FlagAF | FlagZF | FlagSF | FlagOF
+)
+
+// CondHolds evaluates condition c against an RFLAGS value, following
+// the architectural definitions.
+func CondHolds(c Cond, rflags uint64) bool {
+	cf := rflags&FlagCF != 0
+	pf := rflags&FlagPF != 0
+	zf := rflags&FlagZF != 0
+	sf := rflags&FlagSF != 0
+	of := rflags&FlagOF != 0
+	switch c {
+	case CondO:
+		return of
+	case CondNO:
+		return !of
+	case CondB:
+		return cf
+	case CondAE:
+		return !cf
+	case CondE:
+		return zf
+	case CondNE:
+		return !zf
+	case CondBE:
+		return cf || zf
+	case CondA:
+		return !cf && !zf
+	case CondS:
+		return sf
+	case CondNS:
+		return !sf
+	case CondP:
+		return pf
+	case CondNP:
+		return !pf
+	case CondL:
+		return sf != of
+	case CondGE:
+		return sf == of
+	case CondLE:
+		return zf || sf != of
+	case CondG:
+		return !zf && sf == of
+	default:
+		panic(fmt.Sprintf("isa: CondHolds on invalid condition %d", uint8(c)))
+	}
+}

@@ -1,0 +1,333 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an instruction mnemonic in the supported x86-64 subset.
+type Op uint8
+
+// Supported mnemonics. ALU group order (ADD..CMP) mirrors the hardware
+// /digit extension order so the encoder and decoder can share tables.
+const (
+	BAD Op = iota
+
+	// Data movement.
+	MOV
+	MOVZX // zero-extending move (8 -> 32/64)
+	MOVSX // sign-extending move (8 -> 32/64)
+	LEA
+
+	// ALU, hardware group order: /0 /1 /2 /3 /4 /5 /6 /7.
+	ADD
+	OR
+	ADC
+	SBB
+	AND
+	SUB
+	XOR
+	CMP
+
+	TEST
+	NOT
+	NEG
+	INC
+	DEC
+	SHL
+	SHR
+	SAR
+	IMUL
+
+	// Stack.
+	PUSH
+	POP
+	PUSHFQ
+	POPFQ
+
+	// Control flow.
+	JMP
+	JCC
+	CALL
+	RET
+	SETCC
+
+	// System.
+	SYSCALL
+	NOP
+	HLT
+	UD2
+)
+
+var opNames = map[Op]string{
+	BAD: "(bad)", MOV: "mov", MOVZX: "movzx", MOVSX: "movsx", LEA: "lea",
+	ADD: "add", OR: "or", ADC: "adc", SBB: "sbb", AND: "and", SUB: "sub",
+	XOR: "xor", CMP: "cmp", TEST: "test", NOT: "not", NEG: "neg",
+	INC: "inc", DEC: "dec", SHL: "shl", SHR: "shr", SAR: "sar",
+	IMUL: "imul", PUSH: "push", POP: "pop", PUSHFQ: "pushfq",
+	POPFQ: "popfq", JMP: "jmp", JCC: "j", CALL: "call", RET: "ret",
+	SETCC: "set", SYSCALL: "syscall", NOP: "nop", HLT: "hlt", UD2: "ud2",
+}
+
+// String returns the base mnemonic (condition suffixes are appended by
+// Inst.String for JCC/SETCC).
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// IsBranch reports whether the op transfers control via a relative
+// target operand.
+func (o Op) IsBranch() bool { return o == JMP || o == JCC || o == CALL }
+
+// IsALU reports whether the op is in the two-operand ALU group that
+// shares the 80/81/83 immediate encodings.
+func (o Op) IsALU() bool { return o >= ADD && o <= CMP }
+
+// ALUDigit returns the /digit opcode extension for the ALU group
+// (ADD=/0 ... CMP=/7), shared by the encoder and decoder tables.
+func (o Op) ALUDigit() uint8 { return uint8(o - ADD) }
+
+// OpKind discriminates operand variants.
+type OpKind uint8
+
+// Operand kinds.
+const (
+	KindNone OpKind = iota
+	KindReg
+	KindImm
+	KindMem
+)
+
+// Mem is a memory operand: [Base + Index*Scale + Disp], or
+// [RIP + Disp] when RIPRel is set (Base and Index must be NoReg).
+type Mem struct {
+	Base   Reg
+	Index  Reg
+	Scale  uint8 // 1, 2, 4 or 8; meaningful only when Index != NoReg
+	Disp   int32
+	RIPRel bool
+}
+
+// String renders the memory operand in Intel syntax (without a size
+// prefix; Operand.String adds one where ambiguous).
+func (m Mem) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	wrote := false
+	if m.RIPRel {
+		b.WriteString("rip")
+		wrote = true
+	}
+	if m.Base != NoReg {
+		b.WriteString(m.Base.Name(8))
+		wrote = true
+	}
+	if m.Index != NoReg {
+		if wrote {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%s*%d", m.Index.Name(8), m.Scale)
+		wrote = true
+	}
+	switch {
+	case m.Disp == 0 && !wrote:
+		b.WriteByte('0')
+	case m.Disp > 0 && wrote:
+		fmt.Fprintf(&b, "+%d", m.Disp)
+	case m.Disp < 0:
+		fmt.Fprintf(&b, "-%d", -int64(m.Disp))
+	case m.Disp > 0:
+		fmt.Fprintf(&b, "%d", m.Disp)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Operand is a register, immediate, or memory operand together with its
+// access width in bytes (1, 4 or 8).
+type Operand struct {
+	Kind  OpKind
+	Width uint8 // operand size in bytes: 1, 4 or 8
+	Reg   Reg   // KindReg
+	Imm   int64 // KindImm (sign-extended to 64 bits)
+	Mem   Mem   // KindMem
+}
+
+// Convenience constructors.
+
+// R returns a 64-bit register operand.
+func R(r Reg) Operand { return Operand{Kind: KindReg, Width: 8, Reg: r} }
+
+// Rd returns a 32-bit (dword) register operand.
+func Rd(r Reg) Operand { return Operand{Kind: KindReg, Width: 4, Reg: r} }
+
+// Rb returns an 8-bit register operand (low byte, REX-style).
+func Rb(r Reg) Operand { return Operand{Kind: KindReg, Width: 1, Reg: r} }
+
+// Imm returns a 64-bit immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: KindImm, Width: 8, Imm: v} }
+
+// Imm8 returns an 8-bit immediate operand.
+func Imm8(v int64) Operand { return Operand{Kind: KindImm, Width: 1, Imm: v} }
+
+// M returns a 64-bit memory operand [base+disp].
+func M(base Reg, disp int32) Operand {
+	return Operand{Kind: KindMem, Width: 8, Mem: Mem{Base: base, Index: NoReg, Scale: 1, Disp: disp}}
+}
+
+// M8 returns an 8-bit memory operand [base+disp].
+func M8(base Reg, disp int32) Operand {
+	op := M(base, disp)
+	op.Width = 1
+	return op
+}
+
+// MSIB returns a 64-bit memory operand [base+index*scale+disp].
+func MSIB(base, index Reg, scale uint8, disp int32) Operand {
+	return Operand{Kind: KindMem, Width: 8, Mem: Mem{Base: base, Index: index, Scale: scale, Disp: disp}}
+}
+
+// MRIP returns a 64-bit RIP-relative memory operand [rip+disp].
+func MRIP(disp int32) Operand {
+	return Operand{Kind: KindMem, Width: 8, Mem: Mem{Base: NoReg, Index: NoReg, Scale: 1, Disp: disp, RIPRel: true}}
+}
+
+// IsReg reports whether the operand is the given 64-bit register.
+func (o Operand) IsReg(r Reg) bool { return o.Kind == KindReg && o.Reg == r }
+
+// UsesReg reports whether the operand reads the given register
+// (as a register operand or as a memory base/index).
+func (o Operand) UsesReg(r Reg) bool {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg == r
+	case KindMem:
+		return o.Mem.Base == r || o.Mem.Index == r
+	}
+	return false
+}
+
+// String renders the operand in Intel syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindNone:
+		return ""
+	case KindReg:
+		return o.Reg.Name(o.Width)
+	case KindImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case KindMem:
+		switch o.Width {
+		case 1:
+			return "byte ptr " + o.Mem.String()
+		case 4:
+			return "dword ptr " + o.Mem.String()
+		default:
+			return "qword ptr " + o.Mem.String()
+		}
+	}
+	return "?"
+}
+
+// Inst is a decoded or to-be-encoded instruction.
+//
+// For branch ops (JMP/JCC/CALL) the single operand is KindImm holding
+// the *relative* displacement from the end of the instruction, exactly
+// as encoded. The decoder additionally materializes the absolute target
+// in Target when the instruction address is known.
+type Inst struct {
+	Op   Op
+	Cond Cond // JCC / SETCC only; NoCond otherwise
+
+	Dst Operand // first operand (destination for two-operand forms)
+	Src Operand // second operand
+
+	// Decoder metadata (zero for hand-built instructions).
+	Addr   uint64 // virtual address this instruction was decoded from
+	EncLen int    // encoded length in bytes
+	Target uint64 // absolute branch target (branch ops, when Addr known)
+}
+
+// NewInst builds an instruction with explicit operands.
+func NewInst(op Op, operands ...Operand) Inst {
+	in := Inst{Op: op, Cond: NoCond}
+	if len(operands) > 0 {
+		in.Dst = operands[0]
+	}
+	if len(operands) > 1 {
+		in.Src = operands[1]
+	}
+	return in
+}
+
+// NewJcc builds a conditional jump with the given relative displacement.
+func NewJcc(c Cond, rel int64) Inst {
+	return Inst{Op: JCC, Cond: c, Dst: Operand{Kind: KindImm, Width: 8, Imm: rel}}
+}
+
+// NewSetcc builds a SETcc on an 8-bit register.
+func NewSetcc(c Cond, r Reg) Inst {
+	return Inst{Op: SETCC, Cond: c, Dst: Rb(r)}
+}
+
+// NumOperands reports how many operands the instruction carries.
+func (in Inst) NumOperands() int {
+	n := 0
+	if in.Dst.Kind != KindNone {
+		n++
+	}
+	if in.Src.Kind != KindNone {
+		n++
+	}
+	return n
+}
+
+// Mnemonic returns the full mnemonic including any condition suffix.
+func (in Inst) Mnemonic() string {
+	switch in.Op {
+	case JCC:
+		return "j" + in.Cond.String()
+	case SETCC:
+		return "set" + in.Cond.String()
+	default:
+		return in.Op.String()
+	}
+}
+
+// String renders the instruction in Intel syntax. Branch targets are
+// shown as absolute addresses when known, otherwise as relative offsets.
+func (in Inst) String() string {
+	m := in.Mnemonic()
+	if in.Op.IsBranch() {
+		if in.Target != 0 || in.Addr != 0 {
+			return fmt.Sprintf("%s 0x%x", m, in.Target)
+		}
+		return fmt.Sprintf("%s .%+d", m, in.Dst.Imm)
+	}
+	switch in.NumOperands() {
+	case 0:
+		return m
+	case 1:
+		return m + " " + in.Dst.String()
+	default:
+		return m + " " + in.Dst.String() + ", " + in.Src.String()
+	}
+}
+
+// UsesReg reports whether any operand references the register.
+func (in Inst) UsesReg(r Reg) bool { return in.Dst.UsesReg(r) || in.Src.UsesReg(r) }
+
+// MemOperand returns a pointer to the instruction's memory operand, or
+// nil if it has none. At most one operand can be memory in this subset.
+func (in *Inst) MemOperand() *Operand {
+	if in.Dst.Kind == KindMem {
+		return &in.Dst
+	}
+	if in.Src.Kind == KindMem {
+		return &in.Src
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	tests := []struct {
+		r     Reg
+		width uint8
+		want  string
+	}{
+		{RAX, 8, "rax"},
+		{RAX, 4, "eax"},
+		{RAX, 1, "al"},
+		{RSP, 8, "rsp"},
+		{RSP, 1, "spl"},
+		{RBP, 4, "ebp"},
+		{R8, 8, "r8"},
+		{R8, 4, "r8d"},
+		{R8, 1, "r8b"},
+		{R15, 8, "r15"},
+		{R15, 1, "r15b"},
+		{RDI, 1, "dil"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.Name(tt.width); got != tt.want {
+			t.Errorf("Reg(%d).Name(%d) = %q, want %q", tt.r, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	for i := Reg(0); i < NumRegs; i++ {
+		for _, w := range []uint8{1, 4, 8} {
+			name := i.Name(w)
+			r, width, ok := RegByName(name)
+			if !ok || r != i || width != w {
+				t.Errorf("RegByName(%q) = (%v, %d, %v), want (%v, %d, true)", name, r, width, ok, i, w)
+			}
+		}
+	}
+	if _, _, ok := RegByName("xmm0"); ok {
+		t.Error("RegByName accepted xmm0")
+	}
+	if _, _, ok := RegByName(""); ok {
+		t.Error("RegByName accepted empty name")
+	}
+}
+
+func TestCondInverse(t *testing.T) {
+	pairs := []struct{ a, b Cond }{
+		{CondE, CondNE}, {CondL, CondGE}, {CondLE, CondG},
+		{CondB, CondAE}, {CondBE, CondA}, {CondO, CondNO},
+		{CondS, CondNS}, {CondP, CondNP},
+	}
+	for _, p := range pairs {
+		if p.a.Inverse() != p.b || p.b.Inverse() != p.a {
+			t.Errorf("Inverse of %v/%v wrong", p.a, p.b)
+		}
+	}
+	// Inverse is an involution over all codes.
+	for c := Cond(0); c < 16; c++ {
+		if c.Inverse().Inverse() != c {
+			t.Errorf("Inverse not involutive for %v", c)
+		}
+	}
+}
+
+// TestCondInverseProperty checks, for random flag states, that exactly
+// one of (cond, inverse(cond)) holds.
+func TestCondInverseProperty(t *testing.T) {
+	f := func(rflags uint64, cc uint8) bool {
+		c := Cond(cc % 16)
+		return CondHolds(c, rflags) != CondHolds(c.Inverse(), rflags)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	tests := []struct {
+		c      Cond
+		rflags uint64
+		want   bool
+	}{
+		{CondE, FlagZF, true},
+		{CondE, 0, false},
+		{CondNE, 0, true},
+		{CondB, FlagCF, true},
+		{CondA, 0, true},
+		{CondA, FlagCF, false},
+		{CondA, FlagZF, false},
+		{CondBE, FlagZF, true},
+		{CondL, FlagSF, true},
+		{CondL, FlagSF | FlagOF, false},
+		{CondL, FlagOF, true},
+		{CondGE, 0, true},
+		{CondG, 0, true},
+		{CondG, FlagZF, false},
+		{CondLE, FlagZF, true},
+		{CondS, FlagSF, true},
+		{CondO, FlagOF, true},
+		{CondP, FlagPF, true},
+		{CondNP, FlagPF, false},
+	}
+	for _, tt := range tests {
+		if got := CondHolds(tt.c, tt.rflags); got != tt.want {
+			t.Errorf("CondHolds(%v, %#x) = %v, want %v", tt.c, tt.rflags, got, tt.want)
+		}
+	}
+}
+
+func TestCondByName(t *testing.T) {
+	tests := []struct {
+		name string
+		want Cond
+	}{
+		{"e", CondE}, {"z", CondE}, {"ne", CondNE}, {"nz", CondNE},
+		{"l", CondL}, {"nge", CondL}, {"g", CondG}, {"a", CondA},
+		{"ae", CondAE}, {"nb", CondAE}, {"c", CondB},
+	}
+	for _, tt := range tests {
+		got, ok := CondByName(tt.name)
+		if !ok || got != tt.want {
+			t.Errorf("CondByName(%q) = (%v,%v), want %v", tt.name, got, ok, tt.want)
+		}
+	}
+	if _, ok := CondByName("xyz"); ok {
+		t.Error("CondByName accepted bogus name")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{NewInst(MOV, R(RAX), M(RBX, 4)), "mov rax, qword ptr [rbx+4]"},
+		{NewInst(CMP, R(RBX), M(RCX, 4)), "cmp rbx, qword ptr [rcx+4]"},
+		{NewInst(MOV, M(RSP, -8), R(RDI)), "mov qword ptr [rsp-8], rdi"},
+		{NewInst(LEA, R(RSP), M(RSP, -128)), "lea rsp, qword ptr [rsp-128]"},
+		{NewInst(PUSH, R(RBX)), "push rbx"},
+		{NewInst(PUSHFQ), "pushfq"},
+		{NewJcc(CondE, 12), "je .+12"},
+		{NewSetcc(CondG, RCX), "setg cl"},
+		{NewInst(MOV, Rb(RCX), Imm8(0)), "mov cl, 0"},
+		{NewInst(MOV, R(RAX), Imm(60)), "mov rax, 60"},
+		{NewInst(SYSCALL), "syscall"},
+		{NewInst(MOV, R(RAX), MRIP(256)), "mov rax, qword ptr [rip+256]"},
+		{NewInst(MOV, R(RAX), MSIB(RBX, RCX, 8, -4)), "mov rax, qword ptr [rbx+rcx*8-4]"},
+		{NewInst(CMP, M8(R13, 0), Imm8(1)), "cmp byte ptr [r13], 1"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestUsesReg(t *testing.T) {
+	in := NewInst(MOV, R(RAX), MSIB(RBX, RCX, 2, 0))
+	for _, r := range []Reg{RAX, RBX, RCX} {
+		if !in.UsesReg(r) {
+			t.Errorf("UsesReg(%v) = false, want true", r)
+		}
+	}
+	if in.UsesReg(RDX) {
+		t.Error("UsesReg(rdx) = true, want false")
+	}
+}
+
+func TestMemOperand(t *testing.T) {
+	in := NewInst(MOV, R(RAX), M(RBX, 8))
+	if m := in.MemOperand(); m == nil || m.Mem.Base != RBX {
+		t.Fatalf("MemOperand = %v, want [rbx+8]", m)
+	}
+	in2 := NewInst(MOV, R(RAX), R(RBX))
+	if m := in2.MemOperand(); m != nil {
+		t.Fatalf("MemOperand on reg-reg = %v, want nil", m)
+	}
+	in3 := NewInst(MOV, M(RDI, 0), R(RAX))
+	if m := in3.MemOperand(); m == nil || m.Mem.Base != RDI {
+		t.Fatalf("MemOperand = %v, want [rdi]", m)
+	}
+}
+
+func TestOpQueries(t *testing.T) {
+	if !JMP.IsBranch() || !JCC.IsBranch() || !CALL.IsBranch() {
+		t.Error("branch ops not recognized")
+	}
+	if RET.IsBranch() || MOV.IsBranch() {
+		t.Error("non-branch recognized as branch")
+	}
+	for op := ADD; op <= CMP; op++ {
+		if !op.IsALU() {
+			t.Errorf("%v not ALU", op)
+		}
+	}
+	if MOV.IsALU() || TEST.IsALU() {
+		t.Error("non-ALU op recognized as ALU")
+	}
+	if CMP.ALUDigit() != 7 || ADD.ALUDigit() != 0 || XOR.ALUDigit() != 6 {
+		t.Error("ALU digits wrong")
+	}
+}
+
+func TestMnemonic(t *testing.T) {
+	if got := NewJcc(CondNE, 0).Mnemonic(); got != "jne" {
+		t.Errorf("Mnemonic = %q, want jne", got)
+	}
+	if got := NewSetcc(CondLE, RAX).Mnemonic(); got != "setle" {
+		t.Errorf("Mnemonic = %q, want setle", got)
+	}
+	if got := NewInst(PUSHFQ).Mnemonic(); got != "pushfq" {
+		t.Errorf("Mnemonic = %q, want pushfq", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package isa models the x86-64 instruction subset used throughout the
+// rewrite-to-reinforce toolchain: registers, condition codes, operands,
+// and the Inst type shared by the encoder, decoder, assembler, emulator,
+// binary IR, and lifter.
+//
+// The subset is real x86-64: REX prefixes, ModRM/SIB addressing,
+// RIP-relative data access, and standard RFLAGS semantics. Keeping the
+// encodings bit-exact matters because the paper's "single bit flip"
+// fault model mutates instruction bytes; a flipped bit must re-decode to
+// a different (or invalid) instruction exactly as it would on hardware.
+package isa
+
+import "fmt"
+
+// Reg identifies a general-purpose register by its hardware number
+// (RAX=0 ... R15=15, the encoding used in ModRM/SIB/REX fields).
+// The operand width is carried by the Operand, not the register.
+type Reg uint8
+
+// General purpose registers in x86-64 hardware encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NoReg marks an absent base or index register in a memory operand.
+	NoReg Reg = 0xFF
+)
+
+// NumRegs is the number of addressable general-purpose registers.
+const NumRegs = 16
+
+var regNames64 = [NumRegs]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+var regNames32 = [NumRegs]string{
+	"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+	"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+}
+
+var regNames8 = [NumRegs]string{
+	"al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+	"r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+}
+
+// Valid reports whether r names one of the sixteen GPRs.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Name returns the conventional register name at the given width in
+// bytes (1, 4 or 8). Unknown widths fall back to the 64-bit name.
+func (r Reg) Name(width uint8) string {
+	if !r.Valid() {
+		return fmt.Sprintf("reg?%d", uint8(r))
+	}
+	switch width {
+	case 1:
+		return regNames8[r]
+	case 4:
+		return regNames32[r]
+	default:
+		return regNames64[r]
+	}
+}
+
+// String returns the 64-bit name of the register.
+func (r Reg) String() string { return r.Name(8) }
+
+// RegByName resolves a register name of any supported width. The second
+// return value is the operand width in bytes implied by the name
+// (8 for "rax", 4 for "eax", 1 for "al"); ok is false if the name is not
+// a register.
+func RegByName(name string) (r Reg, width uint8, ok bool) {
+	for i := 0; i < NumRegs; i++ {
+		switch name {
+		case regNames64[i]:
+			return Reg(i), 8, true
+		case regNames32[i]:
+			return Reg(i), 4, true
+		case regNames8[i]:
+			return Reg(i), 1, true
+		}
+	}
+	return NoReg, 0, false
+}

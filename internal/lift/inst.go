@@ -1,0 +1,513 @@
+package lift
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/ir"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// widthType maps an operand width to an IR type.
+func widthType(w uint8) ir.Type {
+	switch w {
+	case 1:
+		return ir.I8
+	case 4:
+		return ir.I32
+	default:
+		return ir.I64
+	}
+}
+
+// liftInst appends the IR for one machine instruction. It returns true
+// when the instruction terminates its block.
+func (l *lifter) liftInst(b *ir.Builder, f *ir.Function, in isa.Inst, blocks map[uint64]*ir.Block) (bool, error) {
+	switch in.Op {
+	case isa.MOV:
+		v := l.readOp(b, in, in.Src)
+		l.writeOp(b, in, in.Dst, v)
+
+	case isa.MOVZX:
+		v := l.readOp(b, in, in.Src) // i8
+		l.writeReg(b, in.Dst, b.ZExt(v, widthType(in.Dst.Width)))
+
+	case isa.MOVSX:
+		v := l.readOp(b, in, in.Src)
+		l.writeReg(b, in.Dst, b.SExt(v, widthType(in.Dst.Width)))
+
+	case isa.LEA:
+		l.writeReg(b, in.Dst, l.effAddr(b, in, in.Src.Mem))
+
+	case isa.ADD, isa.ADC, isa.SUB, isa.SBB, isa.CMP, isa.AND, isa.OR, isa.XOR, isa.TEST:
+		l.liftALU(b, in)
+
+	case isa.NOT:
+		v := l.readOp(b, in, in.Dst)
+		l.writeOp(b, in, in.Dst, b.Not(v))
+
+	case isa.NEG:
+		l.liftNeg(b, in)
+
+	case isa.INC, isa.DEC:
+		l.liftIncDec(b, in)
+
+	case isa.SHL, isa.SHR, isa.SAR:
+		l.liftShift(b, in)
+
+	case isa.IMUL:
+		l.liftIMul(b, in)
+
+	case isa.PUSH:
+		l.push64(b, b.CellRead(RegCell(in.Dst.Reg)))
+
+	case isa.POP:
+		b.CellWrite(RegCell(in.Dst.Reg), l.pop64(b))
+
+	case isa.PUSHFQ:
+		l.push64(b, l.composeFlags(b))
+
+	case isa.POPFQ:
+		l.decomposeFlags(b, l.pop64(b))
+
+	case isa.SETCC:
+		v := b.ZExt(l.condValue(b, in.Cond), ir.I8)
+		l.writeOp(b, in, in.Dst, v)
+
+	case isa.SYSCALL:
+		b.Syscall()
+		// Deterministic clobbers (see package comment).
+		b.CellWrite("rcx", ir.C64(0))
+		b.CellWrite("r11", ir.C64(0))
+
+	case isa.NOP:
+		// nothing
+
+	case isa.JMP:
+		t, ok := blocks[in.Target]
+		if !ok {
+			return false, fmt.Errorf("lift: jmp %#x -> %#x leaves function", in.Addr, in.Target)
+		}
+		b.Jmp(t)
+		return true, nil
+
+	case isa.JCC:
+		t, ok := blocks[in.Target]
+		if !ok {
+			return false, fmt.Errorf("lift: jcc %#x -> %#x leaves function", in.Addr, in.Target)
+		}
+		nx, ok := l.next[in.Addr]
+		if !ok {
+			return false, fmt.Errorf("lift: jcc at %#x has no fall-through", in.Addr)
+		}
+		ft, ok := blocks[nx]
+		if !ok {
+			return false, fmt.Errorf("lift: jcc fall-through %#x is not a leader", nx)
+		}
+		b.Br(l.condValue(b, in.Cond), t, ft)
+		return true, nil
+
+	case isa.CALL:
+		callee := l.ensureFunc(in.Target)
+		b.Call(callee)
+
+	case isa.RET:
+		b.Ret()
+		return true, nil
+
+	case isa.HLT, isa.UD2:
+		b.Halt()
+		return true, nil
+
+	default:
+		return false, fmt.Errorf("%w: %s at %#x", ErrUnsupInst, in.Mnemonic(), in.Addr)
+	}
+	return false, nil
+}
+
+// effAddr computes a memory operand's effective address as an i64 value.
+func (l *lifter) effAddr(b *ir.Builder, in isa.Inst, m isa.Mem) ir.Value {
+	if m.RIPRel {
+		return ir.C64(in.Addr + uint64(in.EncLen) + uint64(int64(m.Disp)))
+	}
+	var v ir.Value
+	if m.Base != isa.NoReg {
+		v = b.CellRead(RegCell(m.Base))
+	}
+	if m.Index != isa.NoReg {
+		idx := b.CellRead(RegCell(m.Index))
+		if m.Scale > 1 {
+			shift := uint64(0)
+			for s := m.Scale; s > 1; s >>= 1 {
+				shift++
+			}
+			idx = b.Bin(ir.Shl, idx, ir.C64(shift))
+		}
+		if v == nil {
+			v = idx
+		} else {
+			v = b.Add(v, idx)
+		}
+	}
+	disp := ir.C64(uint64(int64(m.Disp)))
+	if v == nil {
+		return disp
+	}
+	if m.Disp != 0 {
+		v = b.Add(v, disp)
+	}
+	return v
+}
+
+// readOp loads an operand value at its width's IR type.
+func (l *lifter) readOp(b *ir.Builder, in isa.Inst, op isa.Operand) ir.Value {
+	ty := widthType(op.Width)
+	switch op.Kind {
+	case isa.KindReg:
+		v := b.CellRead(RegCell(op.Reg))
+		if ty != ir.I64 {
+			return b.Trunc(v, ty)
+		}
+		return v
+	case isa.KindImm:
+		return &ir.Const{Ty: ty, Val: uint64(op.Imm) & ty.Mask()}
+	case isa.KindMem:
+		return b.Load(ty, l.effAddr(b, in, op.Mem))
+	}
+	panic("lift: empty operand")
+}
+
+// writeReg stores a value into a register cell with x86-64 width
+// semantics (64-bit replace, 32-bit zero-extend, 8-bit merge).
+func (l *lifter) writeReg(b *ir.Builder, op isa.Operand, v ir.Value) {
+	cell := RegCell(op.Reg)
+	switch op.Width {
+	case 8:
+		b.CellWrite(cell, v)
+	case 4:
+		b.CellWrite(cell, b.ZExt(v, ir.I64))
+	case 1:
+		old := b.CellRead(cell)
+		masked := b.And(old, ir.C64(^uint64(0xFF)))
+		b.CellWrite(cell, b.Or(masked, b.ZExt(v, ir.I64)))
+	}
+}
+
+// writeOp stores a value to a register or memory operand.
+func (l *lifter) writeOp(b *ir.Builder, in isa.Inst, op isa.Operand, v ir.Value) {
+	switch op.Kind {
+	case isa.KindReg:
+		l.writeReg(b, op, v)
+	case isa.KindMem:
+		b.Store(v, l.effAddr(b, in, op.Mem))
+	default:
+		panic("lift: write to bad operand")
+	}
+}
+
+// push64 lifts a stack push of an i64 value.
+func (l *lifter) push64(b *ir.Builder, v ir.Value) {
+	sp := b.Sub(b.CellRead("rsp"), ir.C64(8))
+	b.CellWrite("rsp", sp)
+	b.Store(v, sp)
+}
+
+// pop64 lifts a stack pop.
+func (l *lifter) pop64(b *ir.Builder) ir.Value {
+	sp := b.CellRead("rsp")
+	v := b.Load(ir.I64, sp)
+	b.CellWrite("rsp", b.Add(sp, ir.C64(8)))
+	return v
+}
+
+// setSZP writes the sign/zero/parity flags from a result.
+func (l *lifter) setSZP(b *ir.Builder, r ir.Value) {
+	ty := r.Type()
+	zero := &ir.Const{Ty: ty, Val: 0}
+	b.CellWrite("zf", b.ICmp(ir.EQ, r, zero))
+	b.CellWrite("sf", b.ICmp(ir.SLT, r, zero))
+	// Parity of the low byte: fold bits with xor.
+	lowByte := r
+	if ty != ir.I8 {
+		lowByte = b.Trunc(r, ir.I8)
+	}
+	p := b.Xor(lowByte, b.Bin(ir.LShr, lowByte, ir.C8(4)))
+	p = b.Xor(p, b.Bin(ir.LShr, p, ir.C8(2)))
+	p = b.Xor(p, b.Bin(ir.LShr, p, ir.C8(1)))
+	one := b.And(p, ir.C8(1))
+	b.CellWrite("pf", b.ICmp(ir.EQ, one, ir.C8(0)))
+}
+
+// setAF writes the adjust flag from operands and result.
+func (l *lifter) setAF(b *ir.Builder, a, x, r ir.Value) {
+	ty := r.Type()
+	t := b.Xor(b.Xor(a, x), r)
+	bit := b.And(t, &ir.Const{Ty: ty, Val: 0x10})
+	b.CellWrite("af", b.ICmp(ir.NE, bit, &ir.Const{Ty: ty, Val: 0}))
+}
+
+// liftALU lifts the two-operand ALU group (including CMP/TEST).
+func (l *lifter) liftALU(b *ir.Builder, in isa.Inst) {
+	a := l.readOp(b, in, in.Dst)
+	x := l.readOp(b, in, in.Src)
+	ty := a.Type()
+	zero := &ir.Const{Ty: ty, Val: 0}
+
+	var r ir.Value
+	switch in.Op {
+	case isa.ADD, isa.ADC:
+		var cext ir.Value = &ir.Const{Ty: ty, Val: 0}
+		if in.Op == isa.ADC {
+			cext = b.ZExt(b.CellRead("cf"), ty)
+		}
+		t := b.Add(a, x)
+		c1 := b.ICmp(ir.ULT, t, a)
+		r = b.Add(t, cext)
+		c2 := b.ICmp(ir.ULT, r, t)
+		b.CellWrite("cf", b.Or(c1, c2))
+		// OF: sign of (~(a^x) & (a^r)).
+		t2 := b.And(b.Not(b.Xor(a, x)), b.Xor(a, r))
+		b.CellWrite("of", b.ICmp(ir.SLT, t2, zero))
+		l.setAF(b, a, x, r)
+		l.setSZP(b, r)
+
+	case isa.SUB, isa.SBB, isa.CMP:
+		var bext ir.Value = &ir.Const{Ty: ty, Val: 0}
+		if in.Op == isa.SBB {
+			bext = b.ZExt(b.CellRead("cf"), ty)
+		}
+		t := b.Sub(a, x)
+		b1 := b.ICmp(ir.ULT, a, x)
+		r = b.Sub(t, bext)
+		b2 := b.ICmp(ir.ULT, t, bext)
+		b.CellWrite("cf", b.Or(b1, b2))
+		// OF: sign of ((a^x) & (a^r)).
+		t2 := b.And(b.Xor(a, x), b.Xor(a, r))
+		b.CellWrite("of", b.ICmp(ir.SLT, t2, zero))
+		l.setAF(b, a, x, r)
+		l.setSZP(b, r)
+
+	case isa.AND, isa.OR, isa.XOR, isa.TEST:
+		switch in.Op {
+		case isa.AND, isa.TEST:
+			r = b.And(a, x)
+		case isa.OR:
+			r = b.Or(a, x)
+		case isa.XOR:
+			r = b.Xor(a, x)
+		}
+		b.CellWrite("cf", ir.C1(false))
+		b.CellWrite("of", ir.C1(false))
+		b.CellWrite("af", ir.C1(false))
+		l.setSZP(b, r)
+	}
+
+	if in.Op != isa.CMP && in.Op != isa.TEST {
+		l.writeOp(b, in, in.Dst, r)
+	}
+}
+
+func (l *lifter) liftNeg(b *ir.Builder, in isa.Inst) {
+	v := l.readOp(b, in, in.Dst)
+	ty := v.Type()
+	zero := &ir.Const{Ty: ty, Val: 0}
+	r := b.Sub(zero, v)
+	b.CellWrite("cf", b.ICmp(ir.NE, v, zero))
+	t2 := b.And(b.Xor(zero, v), b.Xor(zero, r))
+	b.CellWrite("of", b.ICmp(ir.SLT, t2, zero))
+	l.setAF(b, zero, v, r)
+	l.setSZP(b, r)
+	l.writeOp(b, in, in.Dst, r)
+}
+
+func (l *lifter) liftIncDec(b *ir.Builder, in isa.Inst) {
+	v := l.readOp(b, in, in.Dst)
+	ty := v.Type()
+	one := &ir.Const{Ty: ty, Val: 1}
+	var r ir.Value
+	if in.Op == isa.INC {
+		r = b.Add(v, one)
+		// OF iff result is exactly the minimum negative value.
+		b.CellWrite("of", b.ICmp(ir.EQ, r, &ir.Const{Ty: ty, Val: 1 << (ty.Bits() - 1)}))
+	} else {
+		r = b.Sub(v, one)
+		b.CellWrite("of", b.ICmp(ir.EQ, v, &ir.Const{Ty: ty, Val: 1 << (ty.Bits() - 1)}))
+	}
+	l.setAF(b, v, one, r)
+	l.setSZP(b, r)
+	l.writeOp(b, in, in.Dst, r)
+}
+
+func (l *lifter) liftShift(b *ir.Builder, in isa.Inst) {
+	count := uint64(in.Src.Imm) & 0x3F
+	if count == 0 {
+		return // no value or flag change
+	}
+	v := l.readOp(b, in, in.Dst)
+	ty := v.Type()
+	bits := uint64(ty.Bits())
+	cnt := &ir.Const{Ty: ty, Val: count}
+	zero := &ir.Const{Ty: ty, Val: 0}
+
+	var r, cf ir.Value
+	switch in.Op {
+	case isa.SHL:
+		r = b.Bin(ir.Shl, v, cnt)
+		if count <= bits {
+			bit := b.And(v, &ir.Const{Ty: ty, Val: 1 << (bits - count)})
+			cf = b.ICmp(ir.NE, bit, zero)
+		} else {
+			cf = ir.C1(false)
+		}
+		if count == 1 {
+			sign := b.ICmp(ir.SLT, r, zero)
+			b.CellWrite("of", b.Xor(sign, cf))
+		} else {
+			b.CellWrite("of", ir.C1(false))
+		}
+	case isa.SHR:
+		r = b.Bin(ir.LShr, v, cnt)
+		if count <= bits {
+			bit := b.And(v, &ir.Const{Ty: ty, Val: 1 << (count - 1)})
+			cf = b.ICmp(ir.NE, bit, zero)
+		} else {
+			cf = ir.C1(false)
+		}
+		if count == 1 {
+			b.CellWrite("of", b.ICmp(ir.SLT, v, zero))
+		} else {
+			b.CellWrite("of", ir.C1(false))
+		}
+	case isa.SAR:
+		r = b.Bin(ir.AShr, v, cnt)
+		sh := count - 1
+		if sh >= bits {
+			sh = bits - 1
+		}
+		bit := b.Bin(ir.AShr, v, &ir.Const{Ty: ty, Val: sh})
+		cf = b.ICmp(ir.NE, b.And(bit, &ir.Const{Ty: ty, Val: 1}), zero)
+		b.CellWrite("of", ir.C1(false))
+	}
+	b.CellWrite("cf", cf)
+	b.CellWrite("af", ir.C1(false))
+	l.setSZP(b, r)
+	l.writeOp(b, in, in.Dst, r)
+}
+
+// liftIMul lifts the two-operand signed multiply with an exact CF/OF
+// computation via 32x32 partial products.
+func (l *lifter) liftIMul(b *ir.Builder, in isa.Inst) {
+	a := l.readOp(b, in, in.Dst)
+	x := l.readOp(b, in, in.Src)
+	ty := a.Type()
+	r := b.Mul(a, x)
+
+	var overflow ir.Value
+	if ty == ir.I64 {
+		// Unsigned high 64 bits via 32-bit limbs.
+		mask32 := ir.C64(0xFFFFFFFF)
+		c32 := ir.C64(32)
+		aL := b.And(a, mask32)
+		aH := b.Bin(ir.LShr, a, c32)
+		xL := b.And(x, mask32)
+		xH := b.Bin(ir.LShr, x, c32)
+		t1 := b.Mul(aL, xL)
+		t2 := b.Mul(aL, xH)
+		t3 := b.Mul(aH, xL)
+		t4 := b.Mul(aH, xH)
+		mid := b.Add(b.Add(b.Bin(ir.LShr, t1, c32), b.And(t2, mask32)), b.And(t3, mask32))
+		uhi := b.Add(b.Add(t4, b.Bin(ir.LShr, t2, c32)),
+			b.Add(b.Bin(ir.LShr, t3, c32), b.Bin(ir.LShr, mid, c32)))
+		// Signed high: subtract x when a<0 and a when x<0.
+		zero := ir.C64(0)
+		aNeg := b.ICmp(ir.SLT, a, zero)
+		xNeg := b.ICmp(ir.SLT, x, zero)
+		hi := b.Sub(uhi, b.Select(aNeg, x, zero))
+		hi = b.Sub(hi, b.Select(xNeg, a, zero))
+		// Product fits iff hi == sign-extension of the low half.
+		signFill := b.Bin(ir.AShr, r, ir.C64(63))
+		overflow = b.ICmp(ir.NE, hi, signFill)
+	} else {
+		// Narrow widths: widen, multiply, compare round trip.
+		wa := b.SExt(a, ir.I64)
+		wx := b.SExt(x, ir.I64)
+		wr := b.Mul(wa, wx)
+		back := b.SExt(r, ir.I64)
+		overflow = b.ICmp(ir.NE, wr, back)
+	}
+	b.CellWrite("cf", overflow)
+	b.CellWrite("of", overflow)
+	b.CellWrite("af", ir.C1(false))
+	l.setSZP(b, r)
+	l.writeReg(b, in.Dst, r)
+}
+
+// composeFlags builds the RFLAGS image PUSHFQ stores.
+func (l *lifter) composeFlags(b *ir.Builder) ir.Value {
+	v := ir.Value(ir.C64(isa.FlagsFixed))
+	for _, fc := range FlagCells {
+		bit := b.ZExt(b.CellRead(fc.Name), ir.I64)
+		shift := uint64(0)
+		for m := fc.Bit; m > 1; m >>= 1 {
+			shift++
+		}
+		if shift > 0 {
+			bit = b.Bin(ir.Shl, bit, ir.C64(shift))
+		}
+		v = b.Or(v, bit)
+	}
+	return v
+}
+
+// decomposeFlags splits an RFLAGS image into the flag cells (POPFQ).
+func (l *lifter) decomposeFlags(b *ir.Builder, v ir.Value) {
+	for _, fc := range FlagCells {
+		bit := b.And(v, ir.C64(fc.Bit))
+		b.CellWrite(fc.Name, b.ICmp(ir.NE, bit, ir.C64(0)))
+	}
+}
+
+// condValue materializes a condition code as an i1 from the flag cells.
+func (l *lifter) condValue(b *ir.Builder, c isa.Cond) ir.Value {
+	cf := func() ir.Value { return b.CellRead("cf") }
+	zf := func() ir.Value { return b.CellRead("zf") }
+	sf := func() ir.Value { return b.CellRead("sf") }
+	of := func() ir.Value { return b.CellRead("of") }
+	pf := func() ir.Value { return b.CellRead("pf") }
+	not := func(v ir.Value) ir.Value { return b.Xor(v, ir.C1(true)) }
+
+	switch c {
+	case isa.CondO:
+		return of()
+	case isa.CondNO:
+		return not(of())
+	case isa.CondB:
+		return cf()
+	case isa.CondAE:
+		return not(cf())
+	case isa.CondE:
+		return zf()
+	case isa.CondNE:
+		return not(zf())
+	case isa.CondBE:
+		return b.Or(cf(), zf())
+	case isa.CondA:
+		return not(b.Or(cf(), zf()))
+	case isa.CondS:
+		return sf()
+	case isa.CondNS:
+		return not(sf())
+	case isa.CondP:
+		return pf()
+	case isa.CondNP:
+		return not(pf())
+	case isa.CondL:
+		return b.Xor(sf(), of())
+	case isa.CondGE:
+		return not(b.Xor(sf(), of()))
+	case isa.CondLE:
+		return b.Or(zf(), b.Xor(sf(), of()))
+	case isa.CondG:
+		return not(b.Or(zf(), b.Xor(sf(), of())))
+	}
+	panic(fmt.Sprintf("lift: bad condition %d", c))
+}

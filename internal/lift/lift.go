@@ -1,0 +1,336 @@
+// Package lift translates x86-64 subset binaries into the compiler IR
+// (paper §IV-C1): the "full translation" step of the Hybrid pipeline,
+// playing the role Rev.ng plays in the paper.
+//
+// Machine state maps onto IR cells (16 GPRs as i64, the six arithmetic
+// flags as i1), flag effects are materialized explicitly, and functions
+// are recovered from the call graph (entry point plus every direct call
+// target). Calls lift to IR calls — the virtual stack holds no return
+// addresses — and RIP-relative addresses become constants, since data
+// sections do not move during rewriting.
+//
+// Documented deviations from exact x86 semantics (none observable by
+// the case-study programs):
+//
+//   - IMUL lifts CF/OF from an explicit high-part computation, but the
+//     architecturally-undefined SF/ZF/PF after IMUL follow this
+//     toolchain's deterministic emulator (set from the result).
+//   - SYSCALL clobbers the rcx/r11 cells with zero rather than the
+//     return RIP / RFLAGS.
+package lift
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/r2r/reinforce/internal/decode"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/ir"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// Lift errors.
+var (
+	ErrNoText     = errors.New("lift: no .text section")
+	ErrBadCall    = errors.New("lift: call into the middle of a function")
+	ErrSharedCode = errors.New("lift: block reachable from two functions")
+	ErrUnsupInst  = errors.New("lift: unsupported instruction")
+)
+
+// Result is a lifted program: the IR module plus everything needed to
+// rebuild a runnable binary after transformation.
+type Result struct {
+	Module *ir.Module
+
+	// Data carries the original non-executable sections; their
+	// addresses are part of the IR's constant pool.
+	Data []*elf.Section
+
+	// TextBase is the original code base (the lowering reuses it).
+	TextBase uint64
+}
+
+// FlagCells lists the i1 flag cells in RFLAGS bit order.
+var FlagCells = []struct {
+	Name string
+	Bit  uint64
+}{
+	{"cf", isa.FlagCF},
+	{"pf", isa.FlagPF},
+	{"af", isa.FlagAF},
+	{"zf", isa.FlagZF},
+	{"sf", isa.FlagSF},
+	{"of", isa.FlagOF},
+}
+
+// RegCell returns the canonical cell name of a register.
+func RegCell(r isa.Reg) string { return r.Name(8) }
+
+// Lift translates a binary into an IR module.
+func Lift(bin *elf.Binary) (*Result, error) {
+	text := bin.Text()
+	if text == nil {
+		return nil, ErrNoText
+	}
+
+	// Decode the full text.
+	insts := make(map[uint64]isa.Inst)
+	order := []uint64{}
+	for off := 0; off < len(text.Data); {
+		in, err := decode.Decode(text.Data[off:], text.Addr+uint64(off))
+		if err != nil {
+			return nil, fmt.Errorf("lift: at %#x: %w", text.Addr+uint64(off), err)
+		}
+		insts[in.Addr] = in
+		order = append(order, in.Addr)
+		off += in.EncLen
+	}
+	next := make(map[uint64]uint64, len(order))
+	for i, a := range order {
+		if i+1 < len(order) {
+			next[a] = order[i+1]
+		}
+	}
+
+	// Function entries: program entry + call targets.
+	entrySet := map[uint64]bool{bin.Entry: true}
+	for _, a := range order {
+		in := insts[a]
+		if in.Op == isa.CALL {
+			if _, ok := insts[in.Target]; !ok {
+				return nil, fmt.Errorf("%w: call %#x -> %#x", ErrBadCall, a, in.Target)
+			}
+			entrySet[in.Target] = true
+		}
+	}
+	entries := make([]uint64, 0, len(entrySet))
+	for a := range entrySet {
+		entries = append(entries, a)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+
+	l := &lifter{
+		bin:     bin,
+		insts:   insts,
+		next:    next,
+		mod:     ir.NewModule(moduleName(bin)),
+		owner:   make(map[uint64]uint64),
+		funcOf:  make(map[uint64]*ir.Function),
+		entries: entrySet,
+	}
+	l.registerCells()
+
+	// Discover each function's blocks, then lift.
+	for _, e := range entries {
+		if err := l.discover(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range entries {
+		if err := l.liftFunc(e); err != nil {
+			return nil, err
+		}
+	}
+	l.mod.EntryFunc = l.funcOf[bin.Entry].Name
+
+	if err := ir.Verify(l.mod); err != nil {
+		return nil, fmt.Errorf("lift: produced invalid IR: %w", err)
+	}
+
+	res := &Result{Module: l.mod, TextBase: text.Addr}
+	for _, s := range bin.Sections {
+		if s.Flags&elf.FlagExec == 0 {
+			res.Data = append(res.Data, s)
+		}
+	}
+	return res, nil
+}
+
+func moduleName(bin *elf.Binary) string {
+	if name := bin.SymbolAt(bin.Entry); name != "" {
+		return name
+	}
+	return "lifted"
+}
+
+type lifter struct {
+	bin   *elf.Binary
+	insts map[uint64]isa.Inst
+	next  map[uint64]uint64
+	mod   *ir.Module
+
+	// owner maps an instruction address to its function entry.
+	owner map[uint64]uint64
+	// leaders per function entry.
+	leaders map[uint64]map[uint64]bool
+	funcOf  map[uint64]*ir.Function
+	// entries marks function entry addresses; straight-line execution
+	// that would fall into another function's entry is modeled as a
+	// halt (it cannot happen dynamically in a well-formed program —
+	// typically the predecessor is a never-returning exit syscall).
+	entries map[uint64]bool
+}
+
+func (l *lifter) registerCells() {
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		l.mod.EnsureCell(RegCell(r), ir.I64)
+	}
+	for _, f := range FlagCells {
+		l.mod.EnsureCell(f.Name, ir.I1)
+	}
+}
+
+// discover walks a function's intraprocedural CFG collecting leaders and
+// ownership.
+func (l *lifter) discover(entry uint64) error {
+	if l.leaders == nil {
+		l.leaders = make(map[uint64]map[uint64]bool)
+	}
+	leaders := map[uint64]bool{entry: true}
+	l.leaders[entry] = leaders
+
+	work := []uint64{entry}
+	seen := map[uint64]bool{}
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if owner, ok := l.owner[a]; ok && owner != entry {
+			return fmt.Errorf("%w: %#x owned by %#x and %#x", ErrSharedCode, a, owner, entry)
+		}
+		l.owner[a] = entry
+
+		in, ok := l.insts[a]
+		if !ok {
+			return fmt.Errorf("lift: control reaches non-instruction %#x", a)
+		}
+		nx, hasNext := l.next[a]
+
+		push := func(t uint64) {
+			work = append(work, t)
+		}
+		// fallthrough successors stop at other functions' entries.
+		fallTo := func(a uint64, leader bool) {
+			if l.entries[a] && a != entry {
+				return
+			}
+			if leader {
+				leaders[a] = true
+			}
+			push(a)
+		}
+		switch in.Op {
+		case isa.JMP:
+			leaders[in.Target] = true
+			push(in.Target)
+		case isa.JCC:
+			leaders[in.Target] = true
+			push(in.Target)
+			if hasNext {
+				fallTo(nx, true)
+			}
+		case isa.CALL:
+			// Call returns to the next instruction; the callee belongs
+			// to another function.
+			if hasNext {
+				fallTo(nx, true)
+			}
+		case isa.RET, isa.HLT, isa.UD2:
+			// terminal
+		default:
+			// Plain instructions — including syscall, whose exit form
+			// never returns but is statically indistinguishable.
+			if hasNext {
+				fallTo(nx, false)
+			}
+		}
+	}
+	return nil
+}
+
+// blockName picks a stable name for a block address.
+func (l *lifter) blockName(addr uint64) string {
+	if name := l.bin.SymbolAt(addr); name != "" {
+		return name
+	}
+	return fmt.Sprintf("L_%x", addr)
+}
+
+// funcName picks the function name.
+func (l *lifter) funcName(entry uint64) string {
+	if name := l.bin.SymbolAt(entry); name != "" {
+		return name
+	}
+	return fmt.Sprintf("sub_%x", entry)
+}
+
+// liftFunc materializes one function's IR. All functions must already
+// be discovered so calls can reference them; function objects are
+// created lazily here in entry order.
+func (l *lifter) liftFunc(entry uint64) error {
+	f := l.ensureFunc(entry)
+	leaders := l.leaders[entry]
+
+	// Create blocks in address order for readable output.
+	addrs := make([]uint64, 0, len(leaders))
+	for a := range leaders {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	blocks := make(map[uint64]*ir.Block, len(addrs))
+	for _, a := range addrs {
+		if a == entry {
+			blocks[a] = f.Entry()
+			continue
+		}
+		blocks[a] = f.NewBlock(l.blockName(a))
+	}
+
+	for _, start := range addrs {
+		b := ir.NewBuilder(blocks[start])
+		a := start
+		for {
+			in, ok := l.insts[a]
+			if !ok {
+				return fmt.Errorf("lift: fell off text at %#x", a)
+			}
+			done, err := l.liftInst(b, f, in, blocks)
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+			nx, hasNext := l.next[a]
+			if !hasNext || (l.entries[nx] && nx != entry) {
+				// Falling off the end of text or into another
+				// function's entry cannot happen dynamically (the
+				// typical predecessor is an exit syscall); model the
+				// impossible edge as a machine halt.
+				b.Halt()
+				break
+			}
+			if leaders[nx] {
+				// Fall through into the next block.
+				b.Jmp(blocks[nx])
+				break
+			}
+			a = nx
+		}
+	}
+	return nil
+}
+
+func (l *lifter) ensureFunc(entry uint64) *ir.Function {
+	if f, ok := l.funcOf[entry]; ok {
+		return f
+	}
+	f := l.mod.NewFunc(l.funcName(entry))
+	f.NewBlock(l.blockName(entry))
+	l.funcOf[entry] = f
+	return f
+}

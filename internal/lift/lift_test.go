@@ -1,0 +1,441 @@
+package lift
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/emu"
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+func build(t *testing.T, src string) *elf.Binary {
+	t.Helper()
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// diffTest runs a program on the machine emulator and its lifted IR on
+// the reference interpreter and requires identical observable behaviour.
+func diffTest(t *testing.T, src string, inputs ...[]byte) {
+	t.Helper()
+	bin := build(t, src)
+	res, err := Lift(bin)
+	if err != nil {
+		t.Fatalf("lift: %v", err)
+	}
+	if len(inputs) == 0 {
+		inputs = [][]byte{nil}
+	}
+	for _, input := range inputs {
+		mres, merr := emu.New(bin, emu.Config{Stdin: input}).Run()
+		ires, ierr := ir.Exec(res.Module, ir.ExecConfig{Stdin: input, Sections: res.Data})
+		if (merr == nil) != (ierr == nil) {
+			t.Fatalf("input %q: machine err %v, ir err %v", input, merr, ierr)
+		}
+		if merr != nil {
+			continue
+		}
+		if mres.ExitCode != ires.ExitCode {
+			t.Errorf("input %q: exit %d (machine) vs %d (ir)\n%s",
+				input, mres.ExitCode, ires.ExitCode, res.Module)
+		}
+		if string(mres.Stdout) != string(ires.Stdout) {
+			t.Errorf("input %q: stdout %q vs %q", input, mres.Stdout, ires.Stdout)
+		}
+	}
+}
+
+const pincheckSrc = `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rax, [rip+buf]
+	mov rbx, [rip+pin]
+	cmp rax, rbx
+	jne deny
+grant:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+no]
+	mov rdx, 7
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+no:  .ascii "DENIED\n"
+.bss
+buf: .zero 8
+`
+
+func TestLiftPincheckStructure(t *testing.T) {
+	res, err := Lift(build(t, pincheckSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Module
+	if m.EntryFunc != "_start" {
+		t.Errorf("entry func = %q", m.EntryFunc)
+	}
+	f := m.Func("_start")
+	if f == nil {
+		t.Fatal("_start missing")
+	}
+	for _, want := range []string{"_start", "grant", "deny"} {
+		if f.Block(want) == nil {
+			t.Errorf("block %q missing:\n%s", want, f)
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// The printout should contain a conditional branch on the zero flag.
+	s := m.String()
+	for _, want := range []string{"cellread i1 @zf", "br ", "label %deny", "syscall"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module missing %q", want)
+		}
+	}
+}
+
+func TestDiffPincheck(t *testing.T) {
+	diffTest(t, pincheckSrc,
+		[]byte("1234ABCD"), []byte("00000000"), []byte(""), []byte("1234ABC"))
+}
+
+func TestDiffArithmetic(t *testing.T) {
+	diffTest(t, `
+.text
+_start:
+	mov rax, 1000
+	add rax, 234
+	sub rax, 34
+	imul rax, rax
+	shr rax, 9
+	and rax, 0xff
+	mov rdi, rax
+	mov rax, 60
+	syscall
+`)
+}
+
+func TestDiffLoopAndConds(t *testing.T) {
+	// Exercises jcc on several conditions plus setcc.
+	diffTest(t, `
+.text
+_start:
+	xor rax, rax
+	mov rcx, 37
+loop:
+	add rax, rcx
+	dec rcx
+	jne loop
+	cmp rax, 700
+	setg bl
+	seta cl
+	setle dl
+	movzx rdi, bl
+	movzx rsi, cl
+	add rdi, rsi
+	movzx rsi, dl
+	add rdi, rsi
+	mov rax, 60
+	syscall
+`)
+}
+
+func TestDiffStackOps(t *testing.T) {
+	diffTest(t, `
+.text
+_start:
+	mov rbx, 111
+	push rbx
+	mov rbx, 0
+	pop rbx
+	cmp rbx, 111
+	jne bad
+	cmp rbx, 111
+	pushfq
+	cmp rbx, 0
+	popfq
+	jne bad
+	mov rdi, 0
+	mov rax, 60
+	syscall
+bad:
+	mov rdi, 1
+	mov rax, 60
+	syscall
+`)
+}
+
+func TestDiffCalls(t *testing.T) {
+	diffTest(t, `
+.text
+_start:
+	mov rdi, 10
+	call square
+	call square
+	mov rdi, rax
+	cmp rax, 10000
+	je fine
+	mov rdi, 99
+fine:
+	mov rax, 60
+	syscall
+square:
+	mov rax, rdi
+	imul rax, rax
+	mov rdi, rax
+	ret
+`)
+}
+
+func TestDiffByteOps(t *testing.T) {
+	diffTest(t, `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 2
+	syscall
+	movzx rax, byte ptr [rip+buf]
+	movsx rbx, byte ptr [rip+buf+1]
+	add rax, rbx
+	and rax, 0x7f
+	mov rdi, rax
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 2
+`, []byte{10, 20}, []byte{0xFF, 0x80}, []byte{0, 0})
+}
+
+func TestDiffShiftsAndFlags(t *testing.T) {
+	diffTest(t, `
+.text
+_start:
+	mov rax, 0x8000000000000000
+	shl rax, 1
+	setc bl          ; CF from the shifted-out bit
+	mov rax, 3
+	shr rax, 1
+	setc cl
+	mov rax, -16
+	sar rax, 2
+	cmp rax, -4
+	sete dl
+	movzx rdi, bl
+	movzx rsi, cl
+	add rdi, rsi
+	movzx rsi, dl
+	add rdi, rsi
+	mov rax, 60
+	syscall
+`)
+}
+
+func TestDiffNegNotIncDec(t *testing.T) {
+	diffTest(t, `
+.text
+_start:
+	mov rax, 5
+	neg rax
+	not rax
+	inc rax
+	inc rax
+	dec rax
+	cmp rax, 5
+	jne bad
+	mov rdi, 0
+	mov rax, 60
+	syscall
+bad:
+	mov rdi, 1
+	mov rax, 60
+	syscall
+`)
+}
+
+func TestDiffMemoryWrites(t *testing.T) {
+	diffTest(t, `
+.text
+_start:
+	lea rbx, [rip+slots]
+	mov qword ptr [rbx], 17
+	mov rcx, 1
+	mov qword ptr [rbx+rcx*8], 25
+	mov rax, [rbx]
+	add rax, [rbx+8]
+	mov rdi, rax
+	mov rax, 60
+	syscall
+.data
+slots: .zero 16
+`)
+}
+
+// TestDiffRandomPrograms lifts randomly generated (structured)
+// arithmetic programs and checks behavioural equivalence.
+func TestDiffRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	regs := []string{"rax", "rbx", "rcx", "rdx", "rsi", "r8", "r9", "r10"}
+	ops := []string{"add", "sub", "and", "or", "xor", "imul"}
+	for trial := 0; trial < 30; trial++ {
+		var sb strings.Builder
+		sb.WriteString(".text\n_start:\n")
+		for i, reg := range regs {
+			fmt.Fprintf(&sb, "\tmov %s, %d\n", reg, r.Intn(1<<16)-1<<15+i)
+		}
+		n := 10 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			op := ops[r.Intn(len(ops))]
+			a := regs[r.Intn(len(regs))]
+			bReg := regs[r.Intn(len(regs))]
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&sb, "\t%s %s, %s\n", op, a, bReg)
+			case 1:
+				if op == "imul" { // imul reg, imm is outside the subset
+					op = "add"
+				}
+				fmt.Fprintf(&sb, "\t%s %s, %d\n", op, a, r.Intn(1<<12))
+			case 2:
+				sh := []string{"shl", "shr", "sar"}[r.Intn(3)]
+				fmt.Fprintf(&sb, "\t%s %s, %d\n", sh, a, 1+r.Intn(8))
+			}
+		}
+		// Derive the exit code from the state so divergence is visible.
+		sb.WriteString("\txor rdi, rdi\n")
+		for _, reg := range regs {
+			fmt.Fprintf(&sb, "\txor rdi, %s\n", reg)
+		}
+		sb.WriteString("\tand rdi, 0xff\n\tmov rax, 60\n\tsyscall\n")
+		diffTest(t, sb.String())
+	}
+}
+
+// TestDiffRandomBranchPrograms adds data-dependent branches.
+func TestDiffRandomBranchPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	conds := []string{"e", "ne", "l", "g", "le", "ge", "a", "b", "ae", "be", "s", "ns"}
+	for trial := 0; trial < 30; trial++ {
+		cond := conds[r.Intn(len(conds))]
+		threshold := r.Intn(256)
+		src := fmt.Sprintf(`
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 1
+	syscall
+	movzx rax, byte ptr [rip+buf]
+	cmp rax, %d
+	j%s taken
+	mov rdi, 1
+	mov rax, 60
+	syscall
+taken:
+	mov rdi, 2
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 1
+`, threshold, cond)
+		inputs := [][]byte{{0}, {byte(threshold)}, {byte(threshold + 1)}, {byte(r.Intn(256))}, {255}}
+		diffTest(t, src, inputs...)
+	}
+}
+
+func TestLiftRejectsIndirectControlFlow(t *testing.T) {
+	// A binary whose call target is not an instruction boundary.
+	bin := &elf.Binary{
+		Entry: 0x401000,
+		Sections: []*elf.Section{{
+			Name: ".text", Addr: 0x401000,
+			// call +1 (into the middle of itself), then ret
+			Data:  []byte{0xE8, 0xFC, 0xFF, 0xFF, 0xFF, 0xC3},
+			Flags: elf.FlagRead | elf.FlagExec,
+		}},
+	}
+	if _, err := Lift(bin); !errors.Is(err, ErrBadCall) {
+		t.Errorf("err = %v, want ErrBadCall", err)
+	}
+}
+
+func TestLiftNoText(t *testing.T) {
+	if _, err := Lift(&elf.Binary{}); !errors.Is(err, ErrNoText) {
+		t.Errorf("err = %v, want ErrNoText", err)
+	}
+}
+
+func TestLiftFunctionRecovery(t *testing.T) {
+	res, err := Lift(build(t, `
+.text
+_start:
+	call helper
+	call helper2
+	mov rax, 60
+	mov rdi, 0
+	syscall
+helper:
+	nop
+	ret
+helper2:
+	nop
+	ret
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Module.Funcs) != 3 {
+		t.Fatalf("functions = %d, want 3:\n%s", len(res.Module.Funcs), res.Module)
+	}
+	for _, name := range []string{"_start", "helper", "helper2"} {
+		if res.Module.Func(name) == nil {
+			t.Errorf("function %q missing", name)
+		}
+	}
+}
+
+func TestLiftDataCarried(t *testing.T) {
+	res, err := Lift(build(t, pincheckSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range res.Data {
+		names[s.Name] = true
+	}
+	if !names[".rodata"] || !names[".bss"] {
+		t.Errorf("data sections missing: %v", names)
+	}
+	if res.TextBase != 0x401000 {
+		t.Errorf("text base = %#x", res.TextBase)
+	}
+}

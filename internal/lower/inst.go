@@ -1,0 +1,512 @@
+package lower
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+// loadInto emits code placing a value into the named scratch register.
+func (g *gen) loadInto(reg string, v ir.Value) error {
+	switch x := v.(type) {
+	case *ir.Const:
+		g.emit("\tmov %s, %d", reg, int64(x.Val&x.Ty.Mask()))
+		return nil
+	case *ir.Instr:
+		if reg == "rax" && g.acc == x && !g.opt.DisableAccCache {
+			return nil // already in the accumulator
+		}
+		slot, ok := g.slotOf[instID(x)]
+		if !ok {
+			return fmt.Errorf("%w: use of unslotted value %s", ErrUnsupported, x)
+		}
+		g.markSlotLoaded(slot)
+		g.emit("\tmov %s, [rbp-%d]", reg, slot)
+		return nil
+	}
+	return fmt.Errorf("%w: unknown value kind", ErrUnsupported)
+}
+
+// storeResult spills RAX into the instruction's slot (elided later if
+// nothing ever loads it back) and updates the accumulator cache.
+func (g *gen) storeResult(in *ir.Instr) {
+	g.emitSlotStore(g.slotOf[instID(in)])
+	g.acc = in
+}
+
+// maskAcc truncates RAX to the given type's width.
+func (g *gen) maskAcc(ty ir.Type) {
+	switch ty {
+	case ir.I1:
+		g.emit("\tand rax, 1")
+	case ir.I8:
+		g.emit("\tmovzx rax, al")
+	case ir.I32:
+		g.emit("\tmov eax, eax")
+	}
+}
+
+// signExtendAcc sign-extends RAX from the type's width to 64 bits.
+func (g *gen) signExtendAcc(ty ir.Type) {
+	switch ty {
+	case ir.I8:
+		g.emit("\tmovsx rax, al")
+	case ir.I32:
+		g.emit("\tshl rax, 32")
+		g.emit("\tsar rax, 32")
+	case ir.I1:
+		g.emit("\tand rax, 1")
+		g.emit("\tneg rax")
+	}
+}
+
+// signExtendReg sign-extends a scratch register via RAX-free shifts.
+func (g *gen) signExtendReg(reg string, ty ir.Type) {
+	bits := ty.Bits()
+	if bits == 64 {
+		return
+	}
+	g.emit("\tshl %s, %d", reg, 64-bits)
+	g.emit("\tsar %s, %d", reg, 64-bits)
+}
+
+// cellAddr renders the memory operand of a cell.
+func (g *gen) cellAddr(cell string) string {
+	off, ok := g.cellOff[cell]
+	if !ok {
+		panic("lower: unregistered cell " + cell)
+	}
+	if off == 0 {
+		return "[r15]"
+	}
+	return fmt.Sprintf("[r15+%d]", off)
+}
+
+// predJcc maps an ICmp predicate to the jcc suffix after a cmp.
+var predJcc = map[ir.Pred]string{
+	ir.EQ: "e", ir.NE: "ne",
+	ir.ULT: "b", ir.ULE: "be", ir.UGT: "a", ir.UGE: "ae",
+	ir.SLT: "l", ir.SLE: "le", ir.SGT: "g", ir.SGE: "ge",
+}
+
+// predSigned reports whether the predicate compares signed.
+func predSigned(p ir.Pred) bool { return p >= ir.SLT }
+
+// genInst lowers one IR instruction.
+func (g *gen) genInst(f *ir.Function, b *ir.Block, in *ir.Instr, next *ir.Block) error {
+	if g.fused[in] {
+		return nil // absorbed into the block's compare/branch
+	}
+	switch in.Op {
+	case ir.OpBin:
+		return g.genBin(in)
+
+	case ir.OpICmp:
+		return g.genICmp(in)
+
+	case ir.OpZExt:
+		// Values are stored zero-extended already.
+		if err := g.loadInto("rax", in.Args[0]); err != nil {
+			return err
+		}
+		g.storeResult(in)
+
+	case ir.OpSExt:
+		if err := g.loadInto("rax", in.Args[0]); err != nil {
+			return err
+		}
+		g.signExtendAcc(in.Args[0].Type())
+		g.maskAcc(in.Ty)
+		g.storeResult(in)
+
+	case ir.OpTrunc:
+		if err := g.loadInto("rax", in.Args[0]); err != nil {
+			return err
+		}
+		g.maskAcc(in.Ty)
+		g.storeResult(in)
+
+	case ir.OpSelect:
+		if err := g.loadInto("rcx", in.Args[0]); err != nil {
+			return err
+		}
+		if err := g.loadInto("rax", in.Args[1]); err != nil {
+			return err
+		}
+		keep := g.label()
+		g.emit("\ttest rcx, rcx")
+		g.emit("\tjne %s", keep)
+		if err := g.loadInto("rax", in.Args[2]); err != nil {
+			return err
+		}
+		g.emit("%s:", keep)
+		g.storeResult(in)
+
+	case ir.OpLoad:
+		if err := g.loadInto("rcx", in.Args[0]); err != nil {
+			return err
+		}
+		switch in.Ty {
+		case ir.I8, ir.I1:
+			g.emit("\tmovzx rax, byte ptr [rcx]")
+		case ir.I32:
+			g.emit("\tmov eax, dword ptr [rcx]")
+		default:
+			g.emit("\tmov rax, [rcx]")
+		}
+		if in.Ty == ir.I1 {
+			g.emit("\tand rax, 1")
+		}
+		g.storeResult(in)
+
+	case ir.OpStore:
+		if err := g.loadInto("rax", in.Args[0]); err != nil {
+			return err
+		}
+		if err := g.loadInto("rcx", in.Args[1]); err != nil {
+			return err
+		}
+		switch in.Args[0].Type() {
+		case ir.I8, ir.I1:
+			g.emit("\tmov byte ptr [rcx], al")
+		case ir.I32:
+			g.emit("\tmov dword ptr [rcx], eax")
+		default:
+			g.emit("\tmov [rcx], rax")
+		}
+
+	case ir.OpCellRead:
+		g.emit("\tmov rax, %s", g.cellAddr(in.Cell))
+		g.storeResult(in)
+
+	case ir.OpCellWrite:
+		// Constant writes go straight to memory.
+		if c, ok := in.Args[0].(*ir.Const); ok {
+			v := int64(c.Val & c.Ty.Mask())
+			if v == int64(int32(v)) {
+				g.emit("\tmov qword ptr %s, %d", g.cellAddr(in.Cell), v)
+				return nil
+			}
+		}
+		if err := g.loadInto("rax", in.Args[0]); err != nil {
+			return err
+		}
+		g.emit("\tmov %s, rax", g.cellAddr(in.Cell))
+		g.acc = nil // rax still holds the value, but keep it simple
+
+	case ir.OpCall:
+		g.emit("\tcall fn_%s", mangle(in.Callee.Name))
+		g.acc = nil
+
+	case ir.OpSyscall:
+		// Marshal argument cells into real registers; R15 survives.
+		// Cells the module never writes always hold zero, and the
+		// kernel ignores argument registers beyond a syscall's arity,
+		// so those loads are skipped.
+		for _, c := range []string{"rdi", "rsi", "rdx", "r10", "r8", "r9", "rax"} {
+			if g.writtenCells[c] {
+				g.emit("\tmov %s, %s", c, g.cellAddr(c))
+			} else if c == "rax" {
+				g.emit("\txor rax, rax")
+			}
+		}
+		g.emit("\tsyscall")
+		g.emit("\tmov %s, rax", g.cellAddr("rax"))
+		g.acc = nil
+
+	case ir.OpBr:
+		return g.genBr(f, b, in, next)
+
+	case ir.OpJmp:
+		if in.Then != next {
+			g.emit("\tjmp %s", g.blockLabel(f, in.Then))
+		}
+
+	case ir.OpRet:
+		g.emit("\tmov rsp, rbp")
+		g.emit("\tpop rbp")
+		g.emit("\tret")
+
+	case ir.OpHalt:
+		g.emit("\thlt")
+
+	case ir.OpFaultResp:
+		g.emit("\tjmp __faultresp")
+
+	default:
+		return fmt.Errorf("%w: opcode %s", ErrUnsupported, in.MnemonicString())
+	}
+	return nil
+}
+
+// genBin lowers arithmetic at 64 bits, re-normalizing narrow results.
+func (g *gen) genBin(in *ir.Instr) error {
+	a, x := in.Args[0], in.Args[1]
+	ty := in.Ty
+
+	// Shift counts must be constants (all lifted/generated shifts are).
+	if in.Bin == ir.Shl || in.Bin == ir.LShr || in.Bin == ir.AShr {
+		c, ok := x.(*ir.Const)
+		if !ok {
+			return fmt.Errorf("%w: variable shift count", ErrUnsupported)
+		}
+		count := c.Val
+		if err := g.loadInto("rax", a); err != nil {
+			return err
+		}
+		bits := uint64(ty.Bits())
+		switch in.Bin {
+		case ir.Shl:
+			if count >= bits {
+				g.emit("\txor rax, rax")
+			} else {
+				g.emit("\tshl rax, %d", count)
+			}
+		case ir.LShr:
+			if count >= bits {
+				g.emit("\txor rax, rax")
+			} else {
+				g.emit("\tshr rax, %d", count) // stored zero-extended
+			}
+		case ir.AShr:
+			sh := count
+			if sh >= bits {
+				sh = bits - 1
+			}
+			if bits < 64 {
+				g.signExtendAcc(ty)
+			}
+			g.emit("\tsar rax, %d", sh)
+		}
+		g.maskAcc(ty)
+		g.storeResult(in)
+		return nil
+	}
+
+	// Commutative ops reuse the accumulator when the value just
+	// computed is the right-hand operand.
+	if in.Bin == ir.Add || in.Bin == ir.Mul || in.Bin == ir.And || in.Bin == ir.Or || in.Bin == ir.Xor {
+		if xi, ok := x.(*ir.Instr); ok && g.acc == xi && !g.opt.DisableAccCache {
+			a, x = x, a
+		}
+	}
+	if err := g.loadInto("rax", a); err != nil {
+		return err
+	}
+	// Constant RHS folds into the instruction when it fits imm32.
+	if c, ok := x.(*ir.Const); ok && int64(c.Val) == int64(int32(c.Val)) && in.Bin != ir.Mul {
+		imm := int64(int32(c.Val))
+		switch in.Bin {
+		case ir.Add:
+			g.emit("\tadd rax, %d", imm)
+		case ir.Sub:
+			g.emit("\tsub rax, %d", imm)
+		case ir.And:
+			g.emit("\tand rax, %d", imm)
+		case ir.Or:
+			g.emit("\tor rax, %d", imm)
+		case ir.Xor:
+			if imm == -1 {
+				g.emit("\tnot rax") // shorter encoding, same effect
+			} else {
+				g.emit("\txor rax, %d", imm)
+			}
+		}
+	} else {
+		if err := g.loadInto("rcx", x); err != nil {
+			return err
+		}
+		switch in.Bin {
+		case ir.Add:
+			g.emit("\tadd rax, rcx")
+		case ir.Sub:
+			g.emit("\tsub rax, rcx")
+		case ir.Mul:
+			g.emit("\timul rax, rcx")
+		case ir.And:
+			g.emit("\tand rax, rcx")
+		case ir.Or:
+			g.emit("\tor rax, rcx")
+		case ir.Xor:
+			g.emit("\txor rax, rcx")
+		}
+	}
+	if ty != ir.I64 {
+		g.maskAcc(ty)
+	}
+	g.storeResult(in)
+	return nil
+}
+
+// genICmp lowers a comparison to cmp + setcc.
+func (g *gen) genICmp(in *ir.Instr) error {
+	if err := g.emitCmp(in); err != nil {
+		return err
+	}
+	g.emit("\tset%s al", predJcc[in.Pred])
+	g.emit("\tmovzx rax, al")
+	g.storeResult(in)
+	return nil
+}
+
+// emitCmp emits the flag-setting comparison for an icmp.
+func (g *gen) emitCmp(in *ir.Instr) error {
+	ty := in.Args[0].Type()
+	signed := predSigned(in.Pred) && ty != ir.I64
+
+	// A fused single-use cellread compared against a small constant
+	// becomes one memory-operand compare (the hardening pass's
+	// validation chains are exactly this shape).
+	if lhs, ok := cellReadCmpFusable(in, in.Block()); ok && g.fused[lhs] {
+		c := in.Args[1].(*ir.Const)
+		g.emit("\tcmp qword ptr %s, %d", g.cellAddr(lhs.Cell), int64(c.Val&c.Ty.Mask()))
+		return nil
+	}
+
+	if err := g.loadInto("rax", in.Args[0]); err != nil {
+		return err
+	}
+	// Constant RHS folds into the compare when it fits imm32 (after
+	// compile-time extension matching the predicate's signedness).
+	if c, ok := in.Args[1].(*ir.Const); ok {
+		v := int64(c.Val & c.Ty.Mask()) // zero-extended
+		if signed {
+			v = int64(ir.SignExtendValue(c.Val, ty))
+		}
+		if v == int64(int32(v)) {
+			if signed {
+				g.signExtendAcc(ty)
+				g.acc = nil
+			}
+			g.emit("\tcmp rax, %d", v)
+			return nil
+		}
+	}
+	if err := g.loadInto("rcx", in.Args[1]); err != nil {
+		return err
+	}
+	if signed {
+		g.signExtendAcc(ty)
+		g.signExtendReg("rcx", ty)
+		g.acc = nil // rax no longer holds a tracked value after sext
+	}
+	g.emit("\tcmp rax, rcx")
+	return nil
+}
+
+// cellReadCmpFusable reports whether an icmp's LHS is a cellread that
+// can be folded into a memory-operand compare (must mirror emitCmp's
+// emission conditions exactly, or a skipped cellread would leave a
+// garbage slot).
+func cellReadCmpFusable(icmp *ir.Instr, b *ir.Block) (*ir.Instr, bool) {
+	if predSigned(icmp.Pred) && icmp.Args[0].Type() != ir.I64 {
+		return nil, false
+	}
+	lhs, ok := icmp.Args[0].(*ir.Instr)
+	if !ok || lhs.Op != ir.OpCellRead || lhs.Block() != b || lhs.Ty != ir.I64 {
+		return nil, false
+	}
+	c, ok := icmp.Args[1].(*ir.Const)
+	if !ok {
+		return nil, false
+	}
+	v := int64(c.Val & c.Ty.Mask())
+	return lhs, v == int64(int32(v))
+}
+
+// fuseCandidate recognizes the icmp behind a br condition, seeing
+// through one i1 negation (`xor x, 1`). It returns the icmp, whether
+// the condition is inverted, and the chain of instructions the fusion
+// absorbs (possibly including a cellread folded into the compare).
+func fuseCandidate(b *ir.Block, term *ir.Instr) (*ir.Instr, bool, []*ir.Instr) {
+	cond, ok := term.Args[0].(*ir.Instr)
+	if !ok || cond.Block() != b {
+		return nil, false, nil
+	}
+	var icmp *ir.Instr
+	inverted := false
+	var chain []*ir.Instr
+	switch {
+	case cond.Op == ir.OpICmp:
+		icmp, chain = cond, []*ir.Instr{cond}
+	case cond.Op == ir.OpBin && cond.Bin == ir.Xor && cond.Ty == ir.I1:
+		inner, ok := cond.Args[0].(*ir.Instr)
+		c, cok := cond.Args[1].(*ir.Const)
+		if !ok || !cok || c.Val&1 != 1 || inner.Op != ir.OpICmp || inner.Block() != b {
+			return nil, false, nil
+		}
+		icmp, inverted, chain = inner, true, []*ir.Instr{cond, inner}
+	default:
+		return nil, false, nil
+	}
+	if lhs, ok := cellReadCmpFusable(icmp, b); ok {
+		chain = append(chain, lhs)
+	}
+	return icmp, inverted, chain
+}
+
+// countUses counts block-local uses of a value.
+func countUses(b *ir.Block, v *ir.Instr) int {
+	uses := 0
+	for _, in := range b.Insts {
+		for _, a := range in.Args {
+			if a == ir.Value(v) {
+				uses++
+			}
+		}
+	}
+	return uses
+}
+
+// genBr lowers a conditional branch, fusing a single-use icmp.
+func (g *gen) genBr(f *ir.Function, b *ir.Block, in *ir.Instr, next *ir.Block) error {
+	thenL := g.blockLabel(f, in.Then)
+	elseL := g.blockLabel(f, in.Else)
+
+	if cond, ok := in.Args[0].(*ir.Instr); ok && g.fused[cond] {
+		icmp, inverted, _ := fuseCandidate(b, in)
+		if err := g.emitCmp(icmp); err != nil {
+			return err
+		}
+		cc := predJcc[icmp.Pred]
+		if inverted {
+			cc = inverseCC(cc)
+		}
+		if in.Else == next {
+			g.emit("\tj%s %s", cc, thenL)
+			return nil
+		}
+		if in.Then == next {
+			g.emit("\tj%s %s", inverseCC(cc), elseL)
+			return nil
+		}
+		g.emit("\tj%s %s", cc, thenL)
+		g.emit("\tjmp %s", elseL)
+		return nil
+	}
+
+	if err := g.loadInto("rax", in.Args[0]); err != nil {
+		return err
+	}
+	g.emit("\ttest rax, rax")
+	switch {
+	case in.Else == next:
+		g.emit("\tjne %s", thenL)
+	case in.Then == next:
+		g.emit("\tje %s", elseL)
+	default:
+		g.emit("\tjne %s", thenL)
+		g.emit("\tjmp %s", elseL)
+	}
+	return nil
+}
+
+// inverseCC negates a condition-code suffix.
+func inverseCC(cc string) string {
+	inv := map[string]string{
+		"e": "ne", "ne": "e", "b": "ae", "ae": "b", "be": "a", "a": "be",
+		"l": "ge", "ge": "l", "le": "g", "g": "le", "s": "ns", "ns": "s",
+		"o": "no", "no": "o", "p": "np", "np": "p",
+	}
+	return inv[cc]
+}

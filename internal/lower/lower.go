@@ -1,0 +1,340 @@
+// Package lower translates IR modules back into x86-64 executables: the
+// "llc" step of the Hybrid pipeline (paper §IV-C3).
+//
+// The code generator is deliberately simple and predictable:
+//
+//   - virtual CPU cells live in a dedicated writable section; register
+//     R15 holds its base address for the whole program;
+//   - every IR value gets a stack slot in the frame of its function;
+//     RAX/RCX/RDX are scratch;
+//   - two peepholes keep the size overhead in the regime the paper
+//     reports for Rev.ng-based rewriting: compare/branch fusion (an
+//     icmp whose only consumer is its block's br lowers to cmp+jcc) and
+//     an accumulator cache that elides reloads of the value just
+//     computed. Both can be disabled for the ablation benchmarks.
+//
+// The generated program is a real static binary for this toolchain's
+// emulator, so the faulter can attack hardened Hybrid outputs exactly
+// like the originals.
+package lower
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/emu"
+	"github.com/r2r/reinforce/internal/ir"
+	"github.com/r2r/reinforce/internal/lift"
+)
+
+// Options tune the code generator.
+type Options struct {
+	// DisableFusion turns off compare/branch fusion (ablation).
+	DisableFusion bool
+	// DisableAccCache turns off the accumulator reuse peephole
+	// (ablation).
+	DisableAccCache bool
+}
+
+// Result of a lowering.
+type Result struct {
+	Binary *elf.Binary
+	Asm    string // generated assembly (for inspection)
+
+	VCPUBase uint64
+}
+
+// Errors.
+var (
+	ErrUnsupported = errors.New("lower: unsupported IR construct")
+)
+
+// cellSlotSize is the storage stride for one cell.
+const cellSlotSize = 8
+
+// Lower generates a runnable binary from a lifted (and possibly
+// transformed) module.
+func Lower(lr *lift.Result, opt Options) (*Result, error) {
+	m := lr.Module
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+
+	// Place the vcpu section after every existing section.
+	var maxEnd uint64
+	for _, s := range lr.Data {
+		if end := s.Addr + s.Size(); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	vcpuBase := (maxEnd + 0xFFFF) &^ 0xFFF
+	if vcpuBase < 0x7E0000 {
+		vcpuBase = 0x7E0000
+	}
+
+	g := &gen{
+		mod:      m,
+		opt:      opt,
+		vcpuBase: vcpuBase,
+		cellOff:  make(map[string]int32),
+	}
+	for i, c := range m.Cells {
+		g.cellOff[c.Name] = int32(i * cellSlotSize)
+	}
+	g.writtenCells = map[string]bool{"rsp": true, "rax": true} // shim + syscall returns
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if in.Op == ir.OpCellWrite {
+					g.writtenCells[in.Cell] = true
+				}
+			}
+		}
+	}
+
+	src, err := g.generate()
+	if err != nil {
+		return nil, err
+	}
+
+	bin, err := asm.Assemble(src, &asm.Options{
+		TextBase:   lr.TextBase,
+		RodataBase: 0x4F0000, // unused by generated code
+		DataBase:   0x4F8000, // unused by generated code
+		BSSBase:    0x4FC000, // unused by generated code
+		Entry:      "_start",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lower: assembling generated code: %w\n%s", err, src)
+	}
+
+	// Attach the original data sections and the vcpu block.
+	for _, s := range lr.Data {
+		bin.Sections = append(bin.Sections, s)
+	}
+	vcpuSize := uint64(len(m.Cells)*cellSlotSize + cellSlotSize)
+	bin.Sections = append(bin.Sections, &elf.Section{
+		Name:    ".vcpu",
+		Addr:    vcpuBase,
+		MemSize: vcpuSize,
+		Flags:   elf.FlagRead | elf.FlagWrite,
+	})
+	if err := bin.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return &Result{Binary: bin, Asm: src, VCPUBase: vcpuBase}, nil
+}
+
+// gen is the per-module code generator state.
+type gen struct {
+	mod      *ir.Module
+	opt      Options
+	vcpuBase uint64
+	cellOff  map[string]int32
+
+	sb    strings.Builder
+	seq   int // local label counter
+	fnTag string
+
+	// Per-function line buffer for the dead-store post-pass: every
+	// emitted line, with stores to value slots tagged by slot offset so
+	// stores whose slot is never loaded can be dropped.
+	lines      []string
+	storeSlots []int32 // parallel to lines; 0 = not a slot store
+	loadedSlot map[int32]bool
+
+	// slots: value id -> frame offset (per function).
+	slotOf map[int]int32
+	frame  int32
+
+	// accumulator cache: the instruction whose result currently sits
+	// in RAX, or nil.
+	acc *ir.Instr
+
+	// fused icmp instructions (lowered into their br).
+	fused map[*ir.Instr]bool
+
+	// writtenCells marks cells the module writes at least once; the
+	// rest always read as zero.
+	writtenCells map[string]bool
+}
+
+func (g *gen) emit(format string, args ...any) {
+	g.lines = append(g.lines, fmt.Sprintf(format, args...))
+	g.storeSlots = append(g.storeSlots, 0)
+}
+
+// emitSlotStore emits a spill of RAX into a value slot, tagged for the
+// dead-store post-pass.
+func (g *gen) emitSlotStore(slot int32) {
+	g.lines = append(g.lines, fmt.Sprintf("\tmov [rbp-%d], rax", slot))
+	g.storeSlots = append(g.storeSlots, slot)
+}
+
+// markSlotLoaded records that a slot's value is actually read.
+func (g *gen) markSlotLoaded(slot int32) {
+	if g.loadedSlot == nil {
+		g.loadedSlot = make(map[int32]bool)
+	}
+	g.loadedSlot[slot] = true
+}
+
+// flushLines appends the buffered function body to the output, dropping
+// stores to slots that are never loaded (the accumulator cache satisfies
+// most single-use values, leaving their spills dead).
+func (g *gen) flushLines() {
+	for i, line := range g.lines {
+		if s := g.storeSlots[i]; s != 0 && !g.loadedSlot[s] {
+			continue
+		}
+		g.sb.WriteString(line)
+		g.sb.WriteByte('\n')
+	}
+	g.lines = g.lines[:0]
+	g.storeSlots = g.storeSlots[:0]
+	g.loadedSlot = nil
+}
+
+func (g *gen) label() string {
+	g.seq++
+	return fmt.Sprintf(".Lx%d", g.seq)
+}
+
+// blockLabel returns the assembly label of a block.
+func (g *gen) blockLabel(f *ir.Function, b *ir.Block) string {
+	return fmt.Sprintf("fn_%s__%s", mangle(f.Name), mangle(b.Name))
+}
+
+func mangle(s string) string {
+	var out strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out.WriteRune(c)
+		default:
+			out.WriteByte('_')
+		}
+	}
+	return out.String()
+}
+
+// generate produces the whole assembly source.
+func (g *gen) generate() (string, error) {
+	g.emit(".text")
+	g.emit("_start:")
+	// Initialize the virtual stack pointer cell to the value the
+	// loader would hand the original program, then drop the real stack
+	// pointer well below it so virtual and native frames cannot meet.
+	g.emit("\tmov r15, %d", g.vcpuBase)
+	if off, ok := g.cellOff["rsp"]; ok {
+		g.emit("\tmov rax, %d", emu.DefaultStackTop-64)
+		g.emit("\tmov [r15+%d], rax", off)
+	}
+	g.emit("\tsub rsp, %d", 1<<20)
+	g.emit("\tcall fn_%s", mangle(g.mod.EntryFunc))
+	// If the entry function returns (it normally exits via syscall),
+	// exit cleanly.
+	g.emit("\tmov rax, 60")
+	g.emit("\txor rdi, rdi")
+	g.emit("\tsyscall")
+	g.emit("__faultresp:")
+	// Same fault-response the patcher injects: FAULT\n on stderr,
+	// exit 42.
+	g.emit("\tmov rax, %d", 0x0A544C554146)
+	g.emit("\tpush rax")
+	g.emit("\tmov rax, 1")
+	g.emit("\tmov rdi, 2")
+	g.emit("\tmov rsi, rsp")
+	g.emit("\tmov rdx, 6")
+	g.emit("\tsyscall")
+	g.emit("\tmov rax, 60")
+	g.emit("\tmov rdi, 42")
+	g.emit("\tsyscall")
+
+	for _, f := range g.mod.Funcs {
+		if err := g.genFunc(f); err != nil {
+			return "", err
+		}
+	}
+	return g.sb.String(), nil
+}
+
+// genFunc lowers one function.
+func (g *gen) genFunc(f *ir.Function) error {
+	g.fnTag = "fn_" + mangle(f.Name)
+	g.slotOf = make(map[int]int32)
+	g.fused = make(map[*ir.Instr]bool)
+
+	// Assign slots to all value-producing instructions.
+	g.frame = 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Type() != ir.Void {
+				g.frame += 8
+				g.slotOf[instID(in)] = g.frame
+			}
+		}
+	}
+	if g.frame%16 != 0 {
+		g.frame += 16 - g.frame%16
+	}
+
+	// Identify fusable compare/branch pairs: an icmp (optionally
+	// wrapped in an i1 `xor ..., 1` negation, the lifter's "not")
+	// consumed only by the block's terminating br.
+	if !g.opt.DisableFusion {
+		for _, b := range f.Blocks {
+			term := b.Terminator()
+			if term == nil || term.Op != ir.OpBr {
+				continue
+			}
+			icmp, _, chain := fuseCandidate(b, term)
+			if icmp == nil {
+				continue
+			}
+			ok := true
+			for _, link := range chain {
+				if countUses(b, link) != 1 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, link := range chain {
+					g.fused[link] = true
+				}
+			}
+		}
+	}
+
+	g.emit("%s:", g.fnTag)
+	g.emit("\tpush rbp")
+	g.emit("\tmov rbp, rsp")
+	if g.frame > 0 {
+		g.emit("\tsub rsp, %d", g.frame)
+	}
+
+	for bi, b := range f.Blocks {
+		// Every block gets a label (the entry's sits after the
+		// prologue so loop back-edges re-enter past it).
+		g.emit("%s:", g.blockLabel(f, b))
+		g.acc = nil
+		var next *ir.Block
+		if bi+1 < len(f.Blocks) {
+			next = f.Blocks[bi+1]
+		}
+		for _, in := range b.Insts {
+			if err := g.genInst(f, b, in, next); err != nil {
+				return err
+			}
+		}
+	}
+	g.flushLines()
+	return nil
+}
+
+// instID is the slot key for a value-producing instruction.
+func instID(in *ir.Instr) int { return in.ID() }

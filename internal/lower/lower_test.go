@@ -1,0 +1,299 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/emu"
+	"github.com/r2r/reinforce/internal/lift"
+	"github.com/r2r/reinforce/internal/passes"
+)
+
+func build(t *testing.T, src string) *elf.Binary {
+	t.Helper()
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// roundTrip lifts and lowers a binary, returning the new binary.
+func roundTrip(t *testing.T, bin *elf.Binary, ps []passes.Pass, opt Options) *elf.Binary {
+	t.Helper()
+	lr, err := lift.Lift(bin)
+	if err != nil {
+		t.Fatalf("lift: %v", err)
+	}
+	if len(ps) > 0 {
+		if err := passes.Run(lr.Module, ps...); err != nil {
+			t.Fatalf("passes: %v", err)
+		}
+	}
+	res, err := Lower(lr, opt)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res.Binary
+}
+
+// diffRun compares original and round-tripped behaviour.
+func diffRun(t *testing.T, orig, lowered *elf.Binary, inputs [][]byte) {
+	t.Helper()
+	for _, input := range inputs {
+		r1, e1 := emu.New(orig, emu.Config{Stdin: input}).Run()
+		r2, e2 := emu.New(lowered, emu.Config{Stdin: input, StepLimit: 16 << 20}).Run()
+		if e1 != nil {
+			t.Fatalf("original crashed: %v", e1)
+		}
+		if e2 != nil {
+			t.Fatalf("input %q: lowered binary crashed: %v", input, e2)
+		}
+		if r1.ExitCode != r2.ExitCode || string(r1.Stdout) != string(r2.Stdout) {
+			t.Errorf("input %q: (%q,%d) vs lowered (%q,%d)",
+				input, r1.Stdout, r1.ExitCode, r2.Stdout, r2.ExitCode)
+		}
+	}
+}
+
+const pincheckSrc = `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rax, [rip+buf]
+	mov rbx, [rip+pin]
+	cmp rax, rbx
+	jne deny
+grant:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+no]
+	mov rdx, 7
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+no:  .ascii "DENIED\n"
+.bss
+buf: .zero 8
+`
+
+var pinInputs = [][]byte{
+	[]byte("1234ABCD"), []byte("00000000"), []byte(""), []byte("1234ABCX"),
+}
+
+func TestLowerPincheckPlain(t *testing.T) {
+	orig := build(t, pincheckSrc)
+	lowered := roundTrip(t, orig, nil, Options{})
+	diffRun(t, orig, lowered, pinInputs)
+}
+
+func TestLowerPincheckCleaned(t *testing.T) {
+	orig := build(t, pincheckSrc)
+	lowered := roundTrip(t, orig, passes.CleanupPipeline(), Options{})
+	diffRun(t, orig, lowered, pinInputs)
+	// Cleanup must shrink the output substantially.
+	plain := roundTrip(t, orig, nil, Options{})
+	if lowered.CodeSize() >= plain.CodeSize() {
+		t.Errorf("cleanup did not shrink lowered code: %d vs %d",
+			lowered.CodeSize(), plain.CodeSize())
+	}
+}
+
+func TestLowerPincheckHardened(t *testing.T) {
+	orig := build(t, pincheckSrc)
+	ps := append(passes.CleanupPipeline(), append([]passes.Pass{passes.BranchHarden{}}, passes.PostHardenCleanup()...)...)
+	lowered := roundTrip(t, orig, ps, Options{})
+	diffRun(t, orig, lowered, pinInputs)
+}
+
+func TestLowerLoops(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	xor rax, rax
+	mov rcx, 8
+	lea rbx, [rip+buf]
+sum:
+	movzx rdx, byte ptr [rbx]
+	add rax, rdx
+	inc rbx
+	dec rcx
+	jne sum
+	and rax, 0x7f
+	mov rdi, rax
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 8
+`
+	orig := build(t, src)
+	lowered := roundTrip(t, orig, passes.CleanupPipeline(), Options{})
+	diffRun(t, orig, lowered, [][]byte{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{255, 255, 255, 255, 255, 255, 255, 255},
+		{},
+	})
+}
+
+func TestLowerCalls(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rdi, 3
+	call triple
+	call triple
+	mov rdi, rax
+	mov rax, 60
+	syscall
+triple:
+	mov rax, rdi
+	add rax, rax
+	add rax, rdi
+	mov rdi, rax
+	ret
+`
+	orig := build(t, src)
+	lowered := roundTrip(t, orig, passes.CleanupPipeline(), Options{})
+	diffRun(t, orig, lowered, [][]byte{nil})
+}
+
+func TestLowerVirtualStack(t *testing.T) {
+	// push/pop/pushfq must work through the virtual rsp cell.
+	src := `
+.text
+_start:
+	mov rbx, 77
+	push rbx
+	mov rbx, 0
+	pop rbx
+	cmp rbx, 77
+	jne bad
+	cmp rbx, 77
+	pushfq
+	cmp rbx, 0
+	popfq
+	jne bad
+	mov rdi, 0
+	mov rax, 60
+	syscall
+bad:
+	mov rdi, 1
+	mov rax, 60
+	syscall
+`
+	orig := build(t, src)
+	lowered := roundTrip(t, orig, passes.CleanupPipeline(), Options{})
+	diffRun(t, orig, lowered, [][]byte{nil})
+}
+
+func TestLowerSignedCompares(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 1
+	syscall
+	movsx rax, byte ptr [rip+buf]
+	cmp rax, -5
+	jl low
+	mov rdi, 1
+	mov rax, 60
+	syscall
+low:
+	mov rdi, 2
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 1
+`
+	orig := build(t, src)
+	lowered := roundTrip(t, orig, passes.CleanupPipeline(), Options{})
+	diffRun(t, orig, lowered, [][]byte{{0x00}, {0x80}, {0xFB}, {0xFA}, {0x7F}})
+}
+
+func TestLowerAblationOptions(t *testing.T) {
+	orig := build(t, pincheckSrc)
+	full := roundTrip(t, orig, passes.CleanupPipeline(), Options{})
+	noFuse := roundTrip(t, orig, passes.CleanupPipeline(), Options{DisableFusion: true})
+	noAcc := roundTrip(t, orig, passes.CleanupPipeline(), Options{DisableAccCache: true})
+	neither := roundTrip(t, orig, passes.CleanupPipeline(), Options{DisableFusion: true, DisableAccCache: true})
+
+	for _, bin := range []*elf.Binary{noFuse, noAcc, neither} {
+		diffRun(t, orig, bin, pinInputs)
+	}
+	if full.CodeSize() >= noFuse.CodeSize() {
+		t.Errorf("fusion saves nothing: %d vs %d", full.CodeSize(), noFuse.CodeSize())
+	}
+	if full.CodeSize() > neither.CodeSize() {
+		t.Logf("sizes: full=%d nofuse=%d noacc=%d neither=%d",
+			full.CodeSize(), noFuse.CodeSize(), noAcc.CodeSize(), neither.CodeSize())
+	}
+}
+
+func TestLowerEmitsVCPUSection(t *testing.T) {
+	orig := build(t, pincheckSrc)
+	lr, err := lift.Lift(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lower(lr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcpu := res.Binary.Section(".vcpu")
+	if vcpu == nil {
+		t.Fatal("no .vcpu section")
+	}
+	if vcpu.Flags&elf.FlagWrite == 0 {
+		t.Error(".vcpu not writable")
+	}
+	for _, s := range res.Binary.Sections {
+		if s.Name != ".vcpu" && s.Contains(res.VCPUBase) {
+			t.Errorf(".vcpu overlaps %s", s.Name)
+		}
+	}
+	if !strings.Contains(res.Asm, "_start:") || !strings.Contains(res.Asm, "__faultresp:") {
+		t.Error("generated asm missing runtime scaffolding")
+	}
+}
+
+func TestLowerOverheadRegime(t *testing.T) {
+	// The Hybrid pipeline's size overhead must stay well below blanket
+	// duplication (>=300%, paper §V-C) while being clearly nonzero.
+	orig := build(t, pincheckSrc)
+	lowered := roundTrip(t, orig, passes.CleanupPipeline(), Options{})
+	ratio := float64(lowered.CodeSize()) / float64(orig.CodeSize())
+	t.Logf("lift+lower code size: %d -> %d bytes (%.2fx)", orig.CodeSize(), lowered.CodeSize(), ratio)
+	if ratio < 1.0 {
+		t.Errorf("lowered smaller than original (%.2fx) — suspicious", ratio)
+	}
+	if ratio > 4.0 {
+		t.Errorf("lowered %.2fx the original — exceeds the duplication baseline", ratio)
+	}
+}

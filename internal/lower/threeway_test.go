@@ -1,0 +1,67 @@
+package lower
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/emu"
+	"github.com/r2r/reinforce/internal/ir"
+	"github.com/r2r/reinforce/internal/lift"
+	"github.com/r2r/reinforce/internal/passes"
+)
+
+// TestThreeWayConsistency cross-checks the three execution paths of a
+// hardened module — machine emulation of the original binary, the IR
+// reference interpreter on the hardened module, and machine emulation of
+// the lowered hardened binary — on both case studies and several
+// inputs. Any divergence means one of the layers (lifter, passes,
+// interpreter, code generator, emulator) disagrees about semantics.
+func TestThreeWayConsistency(t *testing.T) {
+	for _, c := range cases.All() {
+		bin := c.MustBuild()
+		lr, err := lift.Lift(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := append(passes.CleanupPipeline(),
+			append([]passes.Pass{passes.BranchHarden{}}, passes.PostHardenCleanup()...)...)
+		if err := passes.Run(lr.Module, ps...); err != nil {
+			t.Fatal(err)
+		}
+		low, err := Lower(lr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		inputs := [][]byte{c.Good, c.Bad, nil}
+		half := c.Good[:len(c.Good)/2]
+		inputs = append(inputs, half)
+
+		for _, input := range inputs {
+			mres, merr := emu.New(bin, emu.Config{Stdin: input}).Run()
+			if merr != nil {
+				t.Fatalf("%s: original crashed: %v", c.Name, merr)
+			}
+			ires, ierr := ir.Exec(lr.Module, ir.ExecConfig{Stdin: input, Sections: lr.Data})
+			if ierr != nil {
+				t.Fatalf("%s: IR interpreter: %v", c.Name, ierr)
+			}
+			lres, lerr := emu.New(low.Binary, emu.Config{Stdin: input, StepLimit: 32 << 20}).Run()
+			if lerr != nil {
+				t.Fatalf("%s: lowered binary crashed: %v", c.Name, lerr)
+			}
+
+			if mres.ExitCode != ires.ExitCode || string(mres.Stdout) != string(ires.Stdout) {
+				t.Errorf("%s input %q: machine (%q,%d) vs IR (%q,%d)",
+					c.Name, input, mres.Stdout, mres.ExitCode, ires.Stdout, ires.ExitCode)
+			}
+			if ires.ExitCode != lres.ExitCode || string(ires.Stdout) != string(lres.Stdout) {
+				t.Errorf("%s input %q: IR (%q,%d) vs lowered (%q,%d)",
+					c.Name, input, ires.Stdout, ires.ExitCode, lres.Stdout, lres.ExitCode)
+			}
+			if ires.Faulted {
+				t.Errorf("%s input %q: IR fault response fired on a clean run", c.Name, input)
+			}
+		}
+	}
+}

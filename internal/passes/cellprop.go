@@ -1,0 +1,72 @@
+package passes
+
+import (
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+// CellProp forwards cell stores to block-local loads: a CellRead whose
+// cell was written earlier in the same block (with no intervening call)
+// is replaced by the written value. Combined with FlagDCE this turns the
+// lifted flag traffic into direct dataflow — in particular, a lifted
+// cmp+jcc pair becomes an icmp feeding a br, which the lowering then
+// fuses into a machine cmp+jcc.
+//
+// SECURITY NOTE: this pass must run BEFORE BranchHarden, never after.
+// The hardening countermeasure's strength comes from physically
+// duplicated reads and checksum computations; forwarding would collapse
+// C2 onto C1 and remove exactly the redundancy the countermeasure
+// depends on (the paper's §IV-C3 remark that back-end steps must keep
+// countermeasures "retained unchanged" is this hazard).
+type CellProp struct{}
+
+// Name implements Pass.
+func (CellProp) Name() string { return "cellprop" }
+
+// Run implements Pass.
+func (CellProp) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			propBlock(b)
+			sweepDeadValues(b)
+		}
+	}
+	return nil
+}
+
+func propBlock(b *ir.Block) {
+	lastVal := make(map[string]ir.Value)
+	repl := make(map[*ir.Instr]ir.Value)
+	resolve := func(v ir.Value) ir.Value {
+		for {
+			in, ok := v.(*ir.Instr)
+			if !ok {
+				return v
+			}
+			r, ok := repl[in]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+
+	for _, in := range b.Insts {
+		for i, a := range in.Args {
+			in.Args[i] = resolve(a)
+		}
+		switch in.Op {
+		case ir.OpCellRead:
+			if v, ok := lastVal[in.Cell]; ok {
+				repl[in] = v
+			}
+		case ir.OpCellWrite:
+			lastVal[in.Cell] = in.Args[0]
+		case ir.OpCall:
+			lastVal = make(map[string]ir.Value)
+		case ir.OpSyscall:
+			for _, c := range syscallWrites {
+				delete(lastVal, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package passes
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+// DuplicateAll is the IR-level formulation of the paper's blanket
+// duplication baseline (§V-C: "duplicating every instruction, which is
+// the go-to protection scheme against fault injection"): every
+// computational instruction is executed twice, the results are compared,
+// and a per-block conjunction of the comparisons gates entry into the
+// block's successor — mismatch diverts to a fault-response block.
+//
+// This is the scheme the conditional branch hardening pass is measured
+// against on the Hybrid substrate; both run through the same lift,
+// cleanup and lowering stages, so their overheads compare the
+// countermeasures rather than the rewriter.
+type DuplicateAll struct {
+	// Stats is filled during Run when non-nil.
+	Stats *DupAllStats
+}
+
+// DupAllStats reports what the pass did.
+type DupAllStats struct {
+	Duplicated int // instructions executed twice
+	Checks     int // per-block validations inserted
+}
+
+// Name implements Pass.
+func (DuplicateAll) Name() string { return "duplicate-all" }
+
+// duplicable reports whether re-executing the instruction is safe and
+// meaningful: pure computations, register-cell reads, and memory loads
+// (duplicate reads are the paper's own redundancy mechanism — each
+// machine instruction's duplication re-reads its register and memory
+// operands).
+func duplicable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpBin, ir.OpICmp, ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpSelect,
+		ir.OpLoad, ir.OpCellRead:
+		return in.Ty != ir.Void
+	}
+	return false
+}
+
+// Run implements Pass.
+func (p DuplicateAll) Run(m *ir.Module) error {
+	stats := p.Stats
+	if stats == nil {
+		stats = &DupAllStats{}
+	}
+	seq := 0
+	for _, f := range m.Funcs {
+		original := append([]*ir.Block{}, f.Blocks...)
+		for _, b := range original {
+			seq++
+			if err := dupBlock(f, b, stats, seq); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func dupBlock(f *ir.Function, b *ir.Block, stats *DupAllStats, seq int) error {
+	term := b.Terminator()
+	if term == nil {
+		return fmt.Errorf("duplicate-all: unterminated block %s", b.Name)
+	}
+
+	// Duplicate each computational instruction in place and fold the
+	// agreement bits into one conjunction.
+	var newInsts []*ir.Instr
+	var okChain *ir.Instr
+	for _, in := range b.Insts[:len(b.Insts)-1] {
+		newInsts = append(newInsts, in)
+		if !duplicable(in) {
+			continue
+		}
+		clone := &ir.Instr{Op: in.Op, Ty: in.Ty, Bin: in.Bin, Pred: in.Pred, Cell: in.Cell,
+			Args: append([]ir.Value{}, in.Args...)}
+		agree := &ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: ir.EQ, Args: []ir.Value{in, clone}}
+		newInsts = append(newInsts, clone, agree)
+		if okChain == nil {
+			okChain = agree
+		} else {
+			okChain = &ir.Instr{Op: ir.OpBin, Ty: ir.I1, Bin: ir.And, Args: []ir.Value{okChain, agree}}
+			newInsts = append(newInsts, okChain)
+		}
+		stats.Duplicated++
+	}
+	if okChain == nil {
+		return nil // nothing to protect in this block
+	}
+
+	// Split: the terminator moves into a continuation block reached
+	// only when every duplicated computation agreed. A conditional
+	// terminator's block-local condition travels through a dedicated
+	// cell (values may not cross block boundaries).
+	cont := f.NewBlock(fmt.Sprintf("%s_dup_ok_%d", b.Name, seq))
+	if term.Op == ir.OpBr {
+		if cond, ok := term.Args[0].(*ir.Instr); ok {
+			cell := f.Module().EnsureCell(dupCondCell, ir.I1)
+			carry := &ir.Instr{Op: ir.OpCellWrite, Ty: ir.Void, Cell: cell.Name, Args: []ir.Value{cond}}
+			newInsts = append(newInsts, carry)
+			reread := &ir.Instr{Op: ir.OpCellRead, Ty: ir.I1, Cell: cell.Name}
+			term.Args[0] = reread
+			cont.Insts = append(cont.Insts, reread)
+		}
+	}
+	cont.Insts = append(cont.Insts, term)
+	flt := f.NewBlock(fmt.Sprintf("%s_dup_flt_%d", b.Name, seq))
+	ir.NewBuilder(flt).FaultResp()
+	placeAfter(f, b, []*ir.Block{cont, flt})
+
+	check := &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Args: []ir.Value{okChain}, Then: cont, Else: flt}
+	newInsts = append(newInsts, check)
+	b.Insts = newInsts
+	renumber(f, b)
+	renumber(f, cont)
+	stats.Checks++
+	return nil
+}
+
+// dupCondCell carries branch conditions across the per-block check.
+const dupCondCell = "dup.cond"
+
+// renumber reassigns ids to instructions missing one (inserted raw).
+func renumber(f *ir.Function, b *ir.Block) {
+	ir.Renumber(f, b)
+}

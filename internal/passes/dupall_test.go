@@ -1,0 +1,102 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+func TestDuplicateAllStructure(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	if err := Run(res.Module, CleanupPipeline()...); err != nil {
+		t.Fatal(err)
+	}
+	before := res.Module.NumInsts()
+
+	var stats DupAllStats
+	if err := Run(res.Module, DuplicateAll{Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Duplicated == 0 || stats.Checks == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Duplication at least doubles the computational payload: every
+	// duplicated instruction adds a clone and a comparison.
+	after := res.Module.NumInsts()
+	if after < before+2*stats.Duplicated {
+		t.Errorf("insts %d -> %d with %d duplicated: growth too small", before, after, stats.Duplicated)
+	}
+	s := res.Module.String()
+	for _, want := range []string{"_dup_ok_", "_dup_flt_", "faultresp"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module missing %q", want)
+		}
+	}
+}
+
+func TestDuplicateAllPreservesBehaviour(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	if err := Run(res.Module, CleanupPipeline()...); err != nil {
+		t.Fatal(err)
+	}
+	before := behaviours(t, res, pinInputs)
+	ps := append([]Pass{DuplicateAll{}}, PostHardenCleanup()...)
+	if err := Run(res.Module, ps...); err != nil {
+		t.Fatal(err)
+	}
+	after := behaviours(t, res, pinInputs)
+	sameBehaviour(t, "duplicate-all", before, after)
+	for _, r := range after {
+		if r.Faulted {
+			t.Error("fault response fired without a fault")
+		}
+	}
+}
+
+// TestDuplicateAllDetectsDivergence corrupts one clone's input so the
+// agreement check must fire.
+func TestDuplicateAllDetectsDivergence(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	if err := Run(res.Module, CleanupPipeline()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(res.Module, DuplicateAll{}); err != nil {
+		t.Fatal(err)
+	}
+	// Find an agreement icmp (its two args are an instruction and its
+	// clone) and skew the clone by replacing the comparison with a
+	// constant-false — simulating divergent duplicate computations.
+	f := res.Module.Func("_start")
+	done := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if done || in.Op != ir.OpICmp || in.Pred != ir.EQ || len(in.Args) != 2 {
+				continue
+			}
+			a, aok := in.Args[0].(*ir.Instr)
+			c, cok := in.Args[1].(*ir.Instr)
+			if aok && cok && a.Op == c.Op && a.Ty == ir.I64 {
+				in.Pred = ir.NE // invert agreement: now always "disagree"
+				done = true
+			}
+		}
+	}
+	if !done {
+		t.Skip("no agreement comparison found to corrupt")
+	}
+	r, err := ir.Exec(res.Module, ir.ExecConfig{Stdin: pinInputs[1], Sections: dataSectionsOf(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Faulted {
+		t.Errorf("corrupted duplication not detected: %+v", r)
+	}
+}
+
+func dataSectionsOf(t *testing.T) []*elf.Section {
+	t.Helper()
+	res := liftSrc(t, pincheckSrc)
+	return res.Data
+}

@@ -1,0 +1,209 @@
+package passes
+
+import (
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+// FlagDCE removes cell writes whose value is never observed, plus the
+// pure instructions that only fed them. The lifter materializes all six
+// arithmetic flags after every ALU instruction; almost all of those
+// writes are dead (the next ALU instruction overwrites them before any
+// branch reads them), and deleting them is what keeps the Hybrid
+// pipeline's code-size overhead in the same regime the paper reports.
+//
+// The analysis is a standard backward liveness over cells with
+// conservative boundaries: Ret and Call treat every cell as live;
+// Syscall reads the argument cells and writes rax/rcx/r11; Halt and
+// FaultResp end the program, so nothing is live past them.
+type FlagDCE struct{}
+
+// Name implements Pass.
+func (FlagDCE) Name() string { return "flagdce" }
+
+// syscallReads are the cells the syscall intrinsic may consume.
+var syscallReads = []string{"rax", "rdi", "rsi", "rdx", "r10", "r8", "r9"}
+
+// syscallWrites are the cells the syscall intrinsic overwrites.
+var syscallWrites = []string{"rax", "rcx", "r11"}
+
+// Run implements Pass.
+func (FlagDCE) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		runFlagDCEFunc(m, f)
+	}
+	return nil
+}
+
+type cellSet map[string]bool
+
+func (s cellSet) clone() cellSet {
+	c := make(cellSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s cellSet) addAll(m *ir.Module) {
+	for _, c := range m.Cells {
+		s[c.Name] = true
+	}
+}
+
+func runFlagDCEFunc(m *ir.Module, f *ir.Function) {
+	// Per-block gen/kill.
+	gen := make(map[*ir.Block]cellSet)
+	kill := make(map[*ir.Block]cellSet)
+	for _, b := range f.Blocks {
+		g, k := cellSet{}, cellSet{}
+		for _, in := range b.Insts {
+			switch in.Op {
+			case ir.OpCellRead:
+				if !k[in.Cell] {
+					g[in.Cell] = true
+				}
+			case ir.OpCellWrite:
+				k[in.Cell] = true
+			case ir.OpCall, ir.OpRet:
+				g.addAll(m) // conservative: everything may be read
+			case ir.OpSyscall:
+				for _, c := range syscallReads {
+					if !k[c] {
+						g[c] = true
+					}
+				}
+				for _, c := range syscallWrites {
+					k[c] = true
+				}
+			}
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+
+	// Backward dataflow to fixpoint.
+	liveIn := make(map[*ir.Block]cellSet)
+	liveOut := make(map[*ir.Block]cellSet)
+	for _, b := range f.Blocks {
+		liveIn[b] = cellSet{}
+		liveOut[b] = cellSet{}
+	}
+	succs := func(b *ir.Block) []*ir.Block {
+		t := b.Terminator()
+		if t == nil {
+			return nil
+		}
+		switch t.Op {
+		case ir.OpBr:
+			return []*ir.Block{t.Then, t.Else}
+		case ir.OpJmp:
+			return []*ir.Block{t.Then}
+		}
+		return nil
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := cellSet{}
+			for _, s := range succs(b) {
+				for c := range liveIn[s] {
+					out[c] = true
+				}
+			}
+			in := gen[b].clone()
+			for c := range out {
+				if !kill[b][c] {
+					in[c] = true
+				}
+			}
+			if len(out) != len(liveOut[b]) || len(in) != len(liveIn[b]) {
+				changed = true
+			}
+			liveOut[b] = out
+			liveIn[b] = in
+		}
+	}
+
+	// Remove dead cell writes walking each block backward.
+	for _, b := range f.Blocks {
+		live := liveOut[b].clone()
+		dead := make(map[*ir.Instr]bool)
+		for i := len(b.Insts) - 1; i >= 0; i-- {
+			in := b.Insts[i]
+			switch in.Op {
+			case ir.OpCellWrite:
+				if !live[in.Cell] {
+					dead[in] = true
+					continue
+				}
+				delete(live, in.Cell)
+			case ir.OpCellRead:
+				live[in.Cell] = true
+			case ir.OpCall, ir.OpRet:
+				live.addAll(m)
+			case ir.OpSyscall:
+				for _, c := range syscallWrites {
+					delete(live, c)
+				}
+				for _, c := range syscallReads {
+					live[c] = true
+				}
+			}
+		}
+		if len(dead) > 0 {
+			removeInsts(b, dead)
+		}
+		// Sweep pure instructions that lost all users.
+		sweepDeadValues(b)
+	}
+}
+
+// removeInsts drops the marked instructions from a block.
+func removeInsts(b *ir.Block, dead map[*ir.Instr]bool) {
+	out := b.Insts[:0]
+	for _, in := range b.Insts {
+		if !dead[in] {
+			out = append(out, in)
+		}
+	}
+	b.Insts = out
+}
+
+// pure reports whether an instruction has no side effects (so it is
+// removable when unused). Loads are pure in this memory model.
+func pure(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpBin, ir.OpICmp, ir.OpZExt, ir.OpSExt, ir.OpTrunc,
+		ir.OpSelect, ir.OpCellRead, ir.OpLoad:
+		return true
+	}
+	return false
+}
+
+// sweepDeadValues removes unused pure instructions in a block
+// (single backward sweep suffices because uses are block-local and
+// forward-only).
+func sweepDeadValues(b *ir.Block) {
+	used := make(map[*ir.Instr]bool)
+	for i := len(b.Insts) - 1; i >= 0; i-- {
+		in := b.Insts[i]
+		if pure(in) && !used[in] {
+			continue // dead; do not mark its args
+		}
+		for _, a := range in.Args {
+			if ai, ok := a.(*ir.Instr); ok {
+				used[ai] = true
+			}
+		}
+	}
+	out := b.Insts[:0]
+	for _, in := range b.Insts {
+		if pure(in) && !used[in] {
+			continue
+		}
+		out = append(out, in)
+	}
+	b.Insts = out
+}

@@ -1,0 +1,313 @@
+package passes
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+// Checksum cells used by the branch hardening countermeasure.
+const (
+	CellD1 = "chk.d1"
+	CellD2 = "chk.d2"
+)
+
+// ChecksumKind selects the edge-checksum function h (paper §V-B: "The
+// simplicity level of the h function can be decided based on the
+// required security properties").
+type ChecksumKind uint8
+
+// Checksum functions.
+const (
+	// ChecksumXOR is the paper's example: h = UIDdst ^ UIDsrc.
+	ChecksumXOR ChecksumKind = iota
+	// ChecksumAddRot mixes harder: h = rotl(UIDsrc,13) + UIDdst
+	// (ablation target; same runtime cost profile).
+	ChecksumAddRot
+)
+
+func (k ChecksumKind) combine(src, dst uint64) uint64 {
+	switch k {
+	case ChecksumAddRot:
+		return (src<<13 | src>>(64-13)) + dst
+	default:
+		return dst ^ src
+	}
+}
+
+// BranchHarden implements the paper's conditional branch hardening
+// (§V-B, Algorithm 1, Fig. 5):
+//
+//   - every basic block gets a compile-time unique ID;
+//   - before each protected conditional branch, the edge checksum
+//     h(UIDsrc, UIDdst, cmp_res) is computed twice (D1, D2) from the
+//     comparison result C1, using the branchless mask construction of
+//     Algorithm 1, and stored in dedicated cells;
+//   - the comparison is re-evaluated (C2) by cloning its computation
+//     (re-reading its inputs — redundancy through duplicate reads), and
+//     the branch dispatches on C2;
+//   - each outgoing edge gets a two-stage validation chain (Fig. 5's
+//     BB2_1/BB2_2) checking D1 then D2 against the edge's expected
+//     constant, diverting to a fault-response block on mismatch.
+//
+// A fault that skips or inverts one comparison evaluation makes C2
+// disagree with the checksum derived from C1 and is caught; defeating
+// the scheme requires injecting the identical fault into both
+// evaluations (paper §V-B).
+type BranchHarden struct {
+	Checksum ChecksumKind
+
+	// Stats is filled during Run when non-nil.
+	Stats *HardenStats
+}
+
+// HardenStats reports what the pass did.
+type HardenStats struct {
+	BranchesProtected int
+	BranchesSkipped   int // constant conditions, unclonable slices
+	BlocksAdded       int
+	ChecksumReuses    int // C2 fell back to C1 (unsafe-to-clone slice)
+}
+
+// Name implements Pass.
+func (BranchHarden) Name() string { return "branch-harden" }
+
+// Run implements Pass.
+func (p BranchHarden) Run(m *ir.Module) error {
+	m.EnsureCell(CellD1, ir.I64)
+	m.EnsureCell(CellD2, ir.I64)
+
+	stats := p.Stats
+	if stats == nil {
+		stats = &HardenStats{}
+	}
+
+	uid := uint64(0)
+	nextUID := func() uint64 {
+		uid++
+		// Spread the IDs so single bit flips cannot map one valid
+		// checksum onto another, but keep them in 31 bits: checksum
+		// constants then fit x86-64 imm32 fields and validation costs
+		// one instruction less per use. Odd multiplier mod 2^31 keeps
+		// the sequence injective.
+		v := (uid * 2654435761) & 0x7FFFFFFF
+		if v == 0 {
+			v = 0x2545F491
+		}
+		return v
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			if b.UID == 0 {
+				b.UID = nextUID()
+			}
+		}
+	}
+
+	seq := 0
+	for _, f := range m.Funcs {
+		// Snapshot: the pass appends validation blocks while iterating.
+		original := append([]*ir.Block{}, f.Blocks...)
+		for _, b := range original {
+			term := b.Terminator()
+			if term == nil || term.Op != ir.OpBr {
+				continue
+			}
+			if _, isConst := term.Args[0].(*ir.Const); isConst {
+				stats.BranchesSkipped++
+				continue
+			}
+			seq++
+			if err := hardenBranch(f, b, term, p.Checksum, stats, seq); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// hardenBranch rewrites one conditional branch per Fig. 5.
+func hardenBranch(f *ir.Function, src *ir.Block, br *ir.Instr, ck ChecksumKind, stats *HardenStats, seq int) error {
+	cond, ok := br.Args[0].(*ir.Instr)
+	if !ok {
+		return fmt.Errorf("branch-harden: non-instruction condition in %s", src.Name)
+	}
+	tdst, fdst := br.Then, br.Else
+	constT := ck.combine(src.UID, tdst.UID)
+	constF := ck.combine(src.UID, fdst.UID)
+
+	// Position of the terminator (last instruction).
+	idx := len(src.Insts) - 1
+
+	// Algorithm 1: checksum = (~mask & constT) | (mask & constF),
+	// mask = zext(cmp_res) - 1. Emitted twice (D1, D2) from C1.
+	var inserted []*ir.Instr
+	emitChecksum := func(cell string) {
+		ext := &ir.Instr{Op: ir.OpZExt, Ty: ir.I64, Args: []ir.Value{cond}}
+		mask := &ir.Instr{Op: ir.OpBin, Ty: ir.I64, Bin: ir.Sub, Args: []ir.Value{ext, ir.C64(1)}}
+		notm := &ir.Instr{Op: ir.OpBin, Ty: ir.I64, Bin: ir.Xor, Args: []ir.Value{mask, ir.C64(^uint64(0))}}
+		t1 := &ir.Instr{Op: ir.OpBin, Ty: ir.I64, Bin: ir.And, Args: []ir.Value{notm, ir.C64(constT)}}
+		t2 := &ir.Instr{Op: ir.OpBin, Ty: ir.I64, Bin: ir.And, Args: []ir.Value{mask, ir.C64(constF)}}
+		sum := &ir.Instr{Op: ir.OpBin, Ty: ir.I64, Bin: ir.Or, Args: []ir.Value{t1, t2}}
+		wr := &ir.Instr{Op: ir.OpCellWrite, Ty: ir.Void, Cell: cell, Args: []ir.Value{sum}}
+		inserted = append(inserted, ext, mask, notm, t1, t2, sum, wr)
+	}
+	emitChecksum(CellD1)
+	emitChecksum(CellD2)
+
+	// C2: clone the comparison's computation (duplicate reads).
+	c2Insts, c2Val := cloneSlice(src, cond, idx)
+	if c2Val == nil {
+		c2Val = cond // unsafe to re-execute; fall back to C1
+		stats.ChecksumReuses++
+	} else {
+		inserted = append(inserted, c2Insts...)
+	}
+	ir.InsertBefore(src, idx, inserted)
+
+	// Per-edge validation chains.
+	mkEdge := func(side string, expect uint64, dst *ir.Block) (v1, v2, flt *ir.Block) {
+		flt = f.NewBlock(fmt.Sprintf("flt_resp_%s%d", side, seq))
+		ir.NewBuilder(flt).FaultResp()
+
+		v2 = f.NewBlock(fmt.Sprintf("%s_%s2_%d", src.Name, side, seq))
+		b2 := ir.NewBuilder(v2)
+		d2 := b2.CellRead(CellD2)
+		ok2 := b2.ICmp(ir.EQ, d2, ir.C64(expect))
+		b2.Br(ok2, dst, flt)
+
+		v1 = f.NewBlock(fmt.Sprintf("%s_%s1_%d", src.Name, side, seq))
+		b1 := ir.NewBuilder(v1)
+		d1 := b1.CellRead(CellD1)
+		ok1 := b1.ICmp(ir.EQ, d1, ir.C64(expect))
+		b1.Br(ok1, v2, flt)
+
+		stats.BlocksAdded += 3
+		return v1, v2, flt
+	}
+	t1, t2, fltT := mkEdge("t", constT, tdst)
+	f1, f2, fltF := mkEdge("f", constF, fdst)
+
+	// Lay the chains out directly after the source block in
+	// fall-through order — the lowering then needs one conditional jump
+	// per validation instead of jcc+jmp pairs to end-of-function
+	// blocks.
+	placeAfter(f, src, []*ir.Block{t1, t2, fltT, f1, f2, fltF})
+
+	// Re-point the branch at the validation chains, on C2.
+	br.Args[0] = c2Val
+	br.Then = t1
+	br.Else = f1
+	stats.BranchesProtected++
+	return nil
+}
+
+// placeAfter moves the given blocks (already in f.Blocks) to sit
+// directly after block b, preserving their relative order.
+func placeAfter(f *ir.Function, b *ir.Block, blocks []*ir.Block) {
+	moving := make(map[*ir.Block]bool, len(blocks))
+	for _, blk := range blocks {
+		moving[blk] = true
+	}
+	var out []*ir.Block
+	for _, blk := range f.Blocks {
+		if moving[blk] {
+			continue
+		}
+		out = append(out, blk)
+		if blk == b {
+			out = append(out, blocks...)
+		}
+	}
+	f.Blocks = out
+}
+
+// cloneSlice duplicates the backward slice of value v inside block b
+// (pure ops, cell reads, loads), verifying re-execution at position
+// insertAt is safe: no store/call/syscall between a cloned load and the
+// insertion point, and no intervening write to a cloned cell. It
+// returns the cloned instructions and the clone of v, or (nil, nil)
+// when re-execution would be unsound.
+func cloneSlice(b *ir.Block, v *ir.Instr, insertAt int) ([]*ir.Instr, ir.Value) {
+	pos := make(map[*ir.Instr]int, len(b.Insts))
+	for i, in := range b.Insts {
+		pos[in] = i
+	}
+	vPos, ok := pos[v]
+	if !ok {
+		return nil, nil
+	}
+
+	// Collect the slice (DFS), checking clonability.
+	slice := map[*ir.Instr]bool{}
+	var visit func(in *ir.Instr) bool
+	visit = func(in *ir.Instr) bool {
+		if slice[in] {
+			return true
+		}
+		if !pure(in) {
+			return false
+		}
+		if _, inBlock := pos[in]; !inBlock {
+			return false
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			// Memory must be unchanged between the load and insertAt.
+			for i := pos[in] + 1; i < insertAt; i++ {
+				switch b.Insts[i].Op {
+				case ir.OpStore, ir.OpCall, ir.OpSyscall:
+					return false
+				}
+			}
+		case ir.OpCellRead:
+			// The cell must be unchanged between the read and insertAt.
+			for i := pos[in] + 1; i < insertAt; i++ {
+				x := b.Insts[i]
+				if x.Op == ir.OpCellWrite && x.Cell == in.Cell {
+					return false
+				}
+				if x.Op == ir.OpCall || x.Op == ir.OpSyscall {
+					return false
+				}
+			}
+		}
+		for _, a := range in.Args {
+			if ai, ok := a.(*ir.Instr); ok {
+				if !visit(ai) {
+					return false
+				}
+			}
+		}
+		slice[in] = true
+		return true
+	}
+	if !visit(v) {
+		return nil, nil
+	}
+	_ = vPos
+
+	// Clone in original order, remapping operands.
+	cloneOf := make(map[*ir.Instr]*ir.Instr, len(slice))
+	var out []*ir.Instr
+	for i := 0; i <= vPos; i++ {
+		in := b.Insts[i]
+		if !slice[in] {
+			continue
+		}
+		c := &ir.Instr{Op: in.Op, Ty: in.Ty, Bin: in.Bin, Pred: in.Pred, Cell: in.Cell}
+		c.Args = make([]ir.Value, len(in.Args))
+		for ai, a := range in.Args {
+			if av, ok := a.(*ir.Instr); ok {
+				if mapped, ok := cloneOf[av]; ok {
+					c.Args[ai] = mapped
+					continue
+				}
+			}
+			c.Args[ai] = a
+		}
+		cloneOf[in] = c
+		out = append(out, c)
+	}
+	return out, cloneOf[v]
+}

@@ -1,0 +1,142 @@
+package passes
+
+import (
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+// LocalOpt performs block-local constant folding and algebraic
+// simplification: instructions whose operands are constants are
+// evaluated at compile time, and identities (x+0, x^0, x&-1, x|0,
+// select on a constant condition, zext/trunc of constants) collapse.
+// Downstream users are rewired to the folded constants; the dead
+// originals are swept afterwards.
+type LocalOpt struct{}
+
+// Name implements Pass.
+func (LocalOpt) Name() string { return "localopt" }
+
+// Run implements Pass.
+func (LocalOpt) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			foldBlock(b)
+			sweepDeadValues(b)
+		}
+	}
+	return nil
+}
+
+func foldBlock(b *ir.Block) {
+	// Map of replaced instruction -> replacement value.
+	repl := make(map[*ir.Instr]ir.Value)
+	resolve := func(v ir.Value) ir.Value {
+		for {
+			in, ok := v.(*ir.Instr)
+			if !ok {
+				return v
+			}
+			r, ok := repl[in]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+
+	for _, in := range b.Insts {
+		for i, a := range in.Args {
+			in.Args[i] = resolve(a)
+		}
+		simplifyCmpZero(in)
+		if v := fold(in); v != nil {
+			repl[in] = v
+		}
+	}
+}
+
+// simplifyCmpZero rewrites `icmp eq/ne (sub a, b), 0` into
+// `icmp eq/ne a, b` in place — the dominant pattern left behind by
+// lifting cmp's zero-flag computation.
+func simplifyCmpZero(in *ir.Instr) {
+	if in.Op != ir.OpICmp || (in.Pred != ir.EQ && in.Pred != ir.NE) {
+		return
+	}
+	z, ok := asConst(in.Args[1])
+	if !ok || z.Val&z.Ty.Mask() != 0 {
+		return
+	}
+	sub, ok := in.Args[0].(*ir.Instr)
+	if !ok || sub.Op != ir.OpBin || sub.Bin != ir.Sub {
+		return
+	}
+	in.Args[0] = sub.Args[0]
+	in.Args[1] = sub.Args[1]
+}
+
+// asConst extracts a constant operand.
+func asConst(v ir.Value) (*ir.Const, bool) {
+	c, ok := v.(*ir.Const)
+	return c, ok
+}
+
+// fold returns a replacement value for the instruction, or nil.
+func fold(in *ir.Instr) ir.Value {
+	switch in.Op {
+	case ir.OpBin:
+		a, aok := asConst(in.Args[0])
+		x, xok := asConst(in.Args[1])
+		if aok && xok {
+			return &ir.Const{Ty: in.Ty, Val: ir.EvalBin(in.Bin, in.Ty, a.Val, x.Val)}
+		}
+		// Identities with a constant on either side.
+		if xok {
+			switch {
+			case x.Val == 0 && (in.Bin == ir.Add || in.Bin == ir.Sub || in.Bin == ir.Or ||
+				in.Bin == ir.Xor || in.Bin == ir.Shl || in.Bin == ir.LShr || in.Bin == ir.AShr):
+				return in.Args[0]
+			case x.Val&in.Ty.Mask() == in.Ty.Mask() && in.Bin == ir.And:
+				return in.Args[0]
+			case x.Val == 0 && in.Bin == ir.And:
+				return &ir.Const{Ty: in.Ty, Val: 0}
+			case x.Val == 1 && in.Bin == ir.Mul:
+				return in.Args[0]
+			}
+		}
+		if aok {
+			switch {
+			case a.Val == 0 && (in.Bin == ir.Add || in.Bin == ir.Or || in.Bin == ir.Xor):
+				return in.Args[1]
+			case a.Val == 0 && in.Bin == ir.And:
+				return &ir.Const{Ty: in.Ty, Val: 0}
+			case a.Val == 1 && in.Bin == ir.Mul:
+				return in.Args[1]
+			}
+		}
+	case ir.OpICmp:
+		a, aok := asConst(in.Args[0])
+		x, xok := asConst(in.Args[1])
+		if aok && xok {
+			return ir.C1(ir.EvalICmp(in.Pred, in.Args[0].Type(), a.Val, x.Val))
+		}
+	case ir.OpZExt:
+		if c, ok := asConst(in.Args[0]); ok {
+			return &ir.Const{Ty: in.Ty, Val: c.Val & c.Ty.Mask()}
+		}
+	case ir.OpSExt:
+		if c, ok := asConst(in.Args[0]); ok {
+			return &ir.Const{Ty: in.Ty, Val: ir.SignExtendValue(c.Val, c.Ty) & in.Ty.Mask()}
+		}
+	case ir.OpTrunc:
+		if c, ok := asConst(in.Args[0]); ok {
+			return &ir.Const{Ty: in.Ty, Val: c.Val & in.Ty.Mask()}
+		}
+	case ir.OpSelect:
+		if c, ok := asConst(in.Args[0]); ok {
+			if c.Val&1 != 0 {
+				return in.Args[1]
+			}
+			return in.Args[2]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package passes contains the IR transformation passes of the Hybrid
+// pipeline: the paper's conditional branch hardening countermeasure
+// (§V-B, Algorithm 1, Fig. 5), and supporting cleanups (dead flag
+// elimination, local constant folding) that keep the lift→lower round
+// trip's code growth honest.
+package passes
+
+import (
+	"fmt"
+
+	"github.com/r2r/reinforce/internal/ir"
+)
+
+// Pass is a named module transformation.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module) error
+}
+
+// Run applies passes in order, verifying the module after each.
+func Run(m *ir.Module, ps ...Pass) error {
+	for _, p := range ps {
+		if err := p.Run(m); err != nil {
+			return fmt.Errorf("passes: %s: %w", p.Name(), err)
+		}
+		if err := ir.Verify(m); err != nil {
+			return fmt.Errorf("passes: %s broke the module: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// CleanupPipeline returns the standard optimization sequence run on a
+// freshly lifted module, BEFORE any countermeasure pass (CellProp would
+// collapse a countermeasure's duplicated computations — see its doc).
+func CleanupPipeline() []Pass {
+	return []Pass{CellProp{}, LocalOpt{}, FlagDCE{}}
+}
+
+// PostHardenCleanup returns the countermeasure-safe cleanup run after
+// hardening passes: no forwarding, only constant folding and dead flag
+// elimination (which cannot touch the live checksum cells or the
+// duplicated reads feeding the re-evaluated branch).
+func PostHardenCleanup() []Pass {
+	return []Pass{LocalOpt{}, FlagDCE{}}
+}

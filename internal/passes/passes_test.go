@@ -1,0 +1,417 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/ir"
+	"github.com/r2r/reinforce/internal/lift"
+)
+
+const pincheckSrc = `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rax, [rip+buf]
+	mov rbx, [rip+pin]
+	cmp rax, rbx
+	jne deny
+grant:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+no]
+	mov rdx, 7
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+no:  .ascii "DENIED\n"
+.bss
+buf: .zero 8
+`
+
+func liftSrc(t *testing.T, src string) *lift.Result {
+	t.Helper()
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lift.Lift(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// behaviours runs the module on the listed inputs.
+func behaviours(t *testing.T, res *lift.Result, inputs [][]byte) []ir.ExecResult {
+	t.Helper()
+	out := make([]ir.ExecResult, len(inputs))
+	for i, in := range inputs {
+		r, err := ir.Exec(res.Module, ir.ExecConfig{Stdin: in, Sections: res.Data})
+		if err != nil {
+			t.Fatalf("input %q: %v", in, err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+var pinInputs = [][]byte{
+	[]byte("1234ABCD"), []byte("00000000"), []byte(""), []byte("1234ABCX"),
+}
+
+func sameBehaviour(t *testing.T, label string, a, b []ir.ExecResult) {
+	t.Helper()
+	for i := range a {
+		if a[i].ExitCode != b[i].ExitCode || string(a[i].Stdout) != string(b[i].Stdout) {
+			t.Errorf("%s: input %d diverged: (%q,%d) vs (%q,%d)",
+				label, i, a[i].Stdout, a[i].ExitCode, b[i].Stdout, b[i].ExitCode)
+		}
+	}
+}
+
+func TestFlagDCEShrinksAndPreserves(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	before := behaviours(t, res, pinInputs)
+	nBefore := res.Module.NumInsts()
+
+	if err := Run(res.Module, FlagDCE{}); err != nil {
+		t.Fatal(err)
+	}
+	nAfter := res.Module.NumInsts()
+	if nAfter >= nBefore {
+		t.Errorf("FlagDCE did not shrink: %d -> %d", nBefore, nAfter)
+	}
+	// Most flag computation is dead in straight-line code; expect a
+	// large cut.
+	if float64(nAfter) > 0.7*float64(nBefore) {
+		t.Errorf("FlagDCE only cut %d -> %d; expected more", nBefore, nAfter)
+	}
+	after := behaviours(t, res, pinInputs)
+	sameBehaviour(t, "flagdce", before, after)
+}
+
+func TestFlagDCEKeepsLiveFlags(t *testing.T) {
+	// The cmp feeding jne must keep its zf write.
+	res := liftSrc(t, pincheckSrc)
+	if err := Run(res.Module, FlagDCE{}); err != nil {
+		t.Fatal(err)
+	}
+	s := res.Module.String()
+	if !strings.Contains(s, "cellwrite @zf") {
+		t.Error("zf write eliminated but jne reads it")
+	}
+	if !strings.Contains(s, "cellread i1 @zf") {
+		t.Error("zf read missing")
+	}
+}
+
+func TestFlagDCEAcrossBlocks(t *testing.T) {
+	// Flags set in one block, consumed after an unconditional jump in
+	// another: liveness must keep them.
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 1
+	syscall
+	movzx rax, byte ptr [rip+buf]
+	cmp rax, 5
+	jmp check
+check:
+	jne differ
+	mov rdi, 10
+	mov rax, 60
+	syscall
+differ:
+	mov rdi, 20
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 1
+`
+	res := liftSrc(t, src)
+	before := behaviours(t, res, [][]byte{{5}, {6}})
+	if err := Run(res.Module, FlagDCE{}); err != nil {
+		t.Fatal(err)
+	}
+	after := behaviours(t, res, [][]byte{{5}, {6}})
+	sameBehaviour(t, "cross-block flags", before, after)
+	if before[0].ExitCode != 10 || before[1].ExitCode != 20 {
+		t.Fatalf("baseline behaviour wrong: %+v", before)
+	}
+}
+
+func TestLocalOptFolds(t *testing.T) {
+	m := ir.NewModule("fold")
+	m.EnsureCell("rax", ir.I64)
+	m.EnsureCell("rdi", ir.I64)
+	f := m.NewFunc("_start")
+	m.EntryFunc = "_start"
+	blk := f.NewBlock("entry")
+	b := ir.NewBuilder(blk)
+	v := b.Add(ir.C64(40), ir.C64(2)) // fold -> 42
+	w := b.Xor(v, ir.C64(0))          // identity -> 42
+	x := b.Mul(w, ir.C64(1))          // identity -> 42
+	y := b.Select(ir.C1(true), x, ir.C64(7))
+	b.CellWrite("rdi", y)
+	b.CellWrite("rax", ir.C64(60))
+	b.Syscall()
+	b.Ret()
+	if err := Run(m, LocalOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	// All the arithmetic should be folded away.
+	mix := m.InstMix()
+	if mix["add"]+mix["xor"]+mix["mul"]+mix["select"] != 0 {
+		t.Errorf("folds missed: %v\n%s", mix, m)
+	}
+	r, err := ir.Exec(m, ir.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", r.ExitCode)
+	}
+}
+
+func TestLocalOptPreservesBehaviour(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	before := behaviours(t, res, pinInputs)
+	if err := Run(res.Module, LocalOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	after := behaviours(t, res, pinInputs)
+	sameBehaviour(t, "localopt", before, after)
+}
+
+func TestCleanupPipeline(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	before := behaviours(t, res, pinInputs)
+	n0 := res.Module.NumInsts()
+	if err := Run(res.Module, CleanupPipeline()...); err != nil {
+		t.Fatal(err)
+	}
+	if res.Module.NumInsts() >= n0 {
+		t.Error("cleanup pipeline did not shrink module")
+	}
+	sameBehaviour(t, "cleanup", before, behaviours(t, res, pinInputs))
+}
+
+func TestBranchHardenStructure(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	f := res.Module.Func("_start")
+	blocksBefore := len(f.Blocks)
+
+	var stats HardenStats
+	if err := Run(res.Module, BranchHarden{Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BranchesProtected != 1 {
+		t.Fatalf("protected %d branches, want 1", stats.BranchesProtected)
+	}
+	// Fig. 5: two validation blocks per edge plus a fault-response per
+	// edge = 6 new blocks for one branch.
+	if got := len(f.Blocks) - blocksBefore; got != 6 {
+		t.Errorf("blocks added = %d, want 6", got)
+	}
+	// Checksum cells registered.
+	if _, ok := res.Module.CellType(CellD1); !ok {
+		t.Error("chk.d1 cell missing")
+	}
+	// UIDs assigned and unique on the original (pre-pass) blocks; the
+	// inserted validation blocks carry no UID.
+	seen := map[uint64]bool{}
+	withUID := 0
+	for _, b := range f.Blocks {
+		if b.UID == 0 {
+			continue
+		}
+		withUID++
+		if seen[b.UID] {
+			t.Errorf("duplicate UID %#x", b.UID)
+		}
+		seen[b.UID] = true
+	}
+	if withUID != blocksBefore {
+		t.Errorf("blocks with UIDs = %d, want %d (the original blocks)", withUID, blocksBefore)
+	}
+	s := res.Module.String()
+	for _, want := range []string{"cellwrite @chk.d1", "cellwrite @chk.d2", "faultresp", "cellread i64 @chk.d1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module missing %q", want)
+		}
+	}
+}
+
+func TestBranchHardenPreservesBehaviour(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	before := behaviours(t, res, pinInputs)
+	if err := Run(res.Module, BranchHarden{}); err != nil {
+		t.Fatal(err)
+	}
+	after := behaviours(t, res, pinInputs)
+	sameBehaviour(t, "branch-harden", before, after)
+	// No fault-response fired in a clean run.
+	for _, r := range after {
+		if r.Faulted {
+			t.Error("fault response fired without a fault")
+		}
+	}
+}
+
+func TestBranchHardenDuplicatesComparison(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	mixBefore := res.Module.InstMix()
+	if err := Run(res.Module, BranchHarden{}); err != nil {
+		t.Fatal(err)
+	}
+	mixAfter := res.Module.InstMix()
+	// Algorithm 1 adds 2 zext, 2 sub (mask), 2 xor (not), 4 and, 2 or
+	// per protected branch, plus the cloned comparison slice.
+	if d := mixAfter["zext"] - mixBefore["zext"]; d < 2 {
+		t.Errorf("zext delta = %d, want >= 2", d)
+	}
+	if d := mixAfter["and"] - mixBefore["and"]; d < 4 {
+		t.Errorf("and delta = %d, want >= 4", d)
+	}
+	if d := mixAfter["icmp"] - mixBefore["icmp"]; d < 4 {
+		t.Errorf("icmp delta = %d, want >= 4 (2 validations x 2 stages)", d)
+	}
+	if d := mixAfter["cellread"] - mixBefore["cellread"]; d < 4 {
+		t.Errorf("cellread delta = %d: comparison not re-executed + validations", d)
+	}
+}
+
+// TestBranchHardenDetectsCorruption simulates the fault the scheme is
+// designed for: the stored checksum (D1) is corrupted between
+// computation and validation; the run must end in the fault response.
+func TestBranchHardenDetectsCorruption(t *testing.T) {
+	res := liftSrc(t, pincheckSrc)
+	if err := Run(res.Module, BranchHarden{}); err != nil {
+		t.Fatal(err)
+	}
+	// Inject: flip chk.d1 right after it is written (simulating a
+	// register fault between D1 and its validation).
+	f := res.Module.Func("_start")
+	for _, b := range f.Blocks {
+		for i, in := range b.Insts {
+			if in.Op == ir.OpCellWrite && in.Cell == CellD1 {
+				// Build: read d1; xor 1<<17; write back.
+				rd := &ir.Instr{Op: ir.OpCellRead, Ty: ir.I64, Cell: CellD1}
+				fl := &ir.Instr{Op: ir.OpBin, Ty: ir.I64, Bin: ir.Xor, Args: []ir.Value{rd, ir.C64(1 << 17)}}
+				wr := &ir.Instr{Op: ir.OpCellWrite, Ty: ir.Void, Cell: CellD1, Args: []ir.Value{fl}}
+				ir.InsertBefore(b, i+1, []*ir.Instr{rd, fl, wr})
+				goto injected
+			}
+		}
+	}
+injected:
+	if err := ir.Verify(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ir.Exec(res.Module, ir.ExecConfig{Stdin: []byte("00000000"), Sections: res.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Faulted || r.ExitCode != 42 {
+		t.Errorf("corrupted checksum not detected: %+v", r)
+	}
+}
+
+func TestBranchHardenChecksumKinds(t *testing.T) {
+	for _, kind := range []ChecksumKind{ChecksumXOR, ChecksumAddRot} {
+		res := liftSrc(t, pincheckSrc)
+		before := behaviours(t, res, pinInputs)
+		if err := Run(res.Module, BranchHarden{Checksum: kind}); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		sameBehaviour(t, "checksum kind", before, behaviours(t, res, pinInputs))
+	}
+}
+
+func TestBranchHardenThenCleanup(t *testing.T) {
+	// The full Hybrid IR pipeline: harden, then clean.
+	res := liftSrc(t, pincheckSrc)
+	before := behaviours(t, res, pinInputs)
+	ps := append([]Pass{BranchHarden{}}, PostHardenCleanup()...)
+	if err := Run(res.Module, ps...); err != nil {
+		t.Fatal(err)
+	}
+	sameBehaviour(t, "harden+cleanup", before, behaviours(t, res, pinInputs))
+	// The protection must survive the cleanup.
+	s := res.Module.String()
+	if !strings.Contains(s, "faultresp") || !strings.Contains(s, "@chk.d1") {
+		t.Error("cleanup removed the countermeasure")
+	}
+}
+
+func TestHardenLoopedProgram(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	xor rax, rax
+	mov rcx, 8
+	lea rbx, [rip+buf]
+sum:
+	movzx rdx, byte ptr [rbx]
+	add rax, rdx
+	inc rbx
+	dec rcx
+	jne sum
+	cmp rax, 520
+	jne deny
+	mov rdi, 0
+	mov rax, 60
+	syscall
+deny:
+	mov rdi, 1
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 8
+`
+	res := liftSrc(t, src)
+	inputs := [][]byte{
+		{65, 65, 65, 65, 65, 65, 65, 65}, // sums to 520
+		{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	before := behaviours(t, res, inputs)
+	if before[0].ExitCode != 0 || before[1].ExitCode != 1 {
+		t.Fatalf("baseline wrong: %+v", before)
+	}
+	var stats HardenStats
+	ps := append([]Pass{BranchHarden{Stats: &stats}}, PostHardenCleanup()...)
+	if err := Run(res.Module, ps...); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BranchesProtected != 2 {
+		t.Errorf("protected %d branches, want 2 (loop + pin compare)", stats.BranchesProtected)
+	}
+	sameBehaviour(t, "looped", before, behaviours(t, res, inputs))
+}

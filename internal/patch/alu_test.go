@@ -1,0 +1,158 @@
+package patch
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// loopProgram sums stdin bytes with a dec/jne loop whose ALU
+// instructions feed flags directly into the branch — the hard case for
+// ALU duplication (the verification compare must not disturb the
+// consumer's flags).
+const loopProgram = `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	xor rax, rax
+	mov rcx, 8
+	lea rbx, [rip+buf]
+acc:
+	movzx rdx, byte ptr [rbx]
+	add rax, rdx
+	imul rax, rax
+	shr rax, 3
+	inc rbx
+	dec rcx
+	jne acc
+	and rax, 0x7f
+	mov rdi, rax
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 8
+`
+
+func applyAluAt(t *testing.T, src string, op isa.Op, style Style) *bir.Program {
+	t.Helper()
+	prog, _ := disassembled(t, src)
+	EnsureFaulthandler(prog)
+	for _, b := range prog.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].I.Op == op && !b.Insts[i].Protected {
+				ref := bir.InstRef{Block: b, Index: i}
+				site := b.Insts[i]
+				follow := prog.SplitAfter(ref)
+				blocks, err := AluPattern(prog, site, follow, style)
+				if err != nil {
+					t.Fatalf("%v: %v", op, err)
+				}
+				prog.ReplaceWithBlocks(ref, blocks)
+				return prog
+			}
+		}
+	}
+	t.Fatalf("no %v site", op)
+	return nil
+}
+
+func TestAluPatternPreservesLoopFlags(t *testing.T) {
+	orig := build(t, loopProgram)
+	inputs := [][]byte{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{255, 254, 253, 252, 251, 250, 249, 248},
+	}
+	// Protect each ALU op (incl. the dec feeding jne) independently and
+	// check behaviour is untouched.
+	for _, op := range []isa.Op{isa.ADD, isa.IMUL, isa.SHR, isa.DEC, isa.INC, isa.XOR, isa.AND} {
+		for _, style := range []Style{StylePaper, StyleFallthrough} {
+			prog := applyAluAt(t, loopProgram, op, style)
+			patched, err := prog.Reassemble()
+			if err != nil {
+				t.Fatalf("%v: %v", op, err)
+			}
+			for _, in := range inputs {
+				r1, e1 := runBin(t, orig, in)
+				r2, e2 := runBin(t, patched, in)
+				if e1 != nil || e2 != nil {
+					t.Fatalf("%v style %d input %v: %v / %v", op, style, in, e1, e2)
+				}
+				if r1.ExitCode != r2.ExitCode {
+					t.Errorf("%v style %d input %v: exit %d vs %d",
+						op, style, in, r1.ExitCode, r2.ExitCode)
+				}
+				if r2.ExitCode == DetectedExit {
+					t.Errorf("%v: faulthandler fired without a fault", op)
+				}
+			}
+		}
+	}
+}
+
+func TestAluPatternStructure(t *testing.T) {
+	prog := applyAluAt(t, loopProgram, isa.IMUL, StyleFallthrough)
+	l := prog.Listing()
+	// Two scratch computations, one verify compare, authoritative op
+	// last.
+	if got := strings.Count(l, "imul"); got != 3 {
+		t.Errorf("imul count = %d, want 3 (expected + recomputed + authoritative)\n%s", got, l)
+	}
+	if !strings.Contains(l, "cmp ") || !strings.Contains(l, "jne faulthandler") {
+		t.Errorf("verification missing:\n%s", l)
+	}
+}
+
+func TestAluPatternRejects(t *testing.T) {
+	prog, _ := disassembled(t, loopProgram)
+	// Carry-consuming ops.
+	adc := bir.Inst{I: isa.NewInst(isa.ADC, isa.R(isa.RAX), isa.R(isa.RBX))}
+	if _, err := AluPattern(prog, adc, "x", StyleFallthrough); !errors.Is(err, ErrUnpatchable) {
+		t.Errorf("adc: err = %v, want ErrUnpatchable", err)
+	}
+	// Narrow destinations.
+	addB := bir.Inst{I: isa.NewInst(isa.ADD, isa.Rb(isa.RCX), isa.Imm8(1))}
+	if _, err := AluPattern(prog, addB, "x", StyleFallthrough); !errors.Is(err, ErrUnpatchable) {
+		t.Errorf("byte add: err = %v, want ErrUnpatchable", err)
+	}
+	// Non-ALU op.
+	mov := bir.Inst{I: isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.R(isa.RBX))}
+	if _, err := AluPattern(prog, mov, "x", StyleFallthrough); !errors.Is(err, ErrUnpatchable) {
+		t.Errorf("mov: err = %v, want ErrUnpatchable", err)
+	}
+}
+
+func TestHardenAllOnLoopProgram(t *testing.T) {
+	orig := build(t, loopProgram)
+	res, err := HardenAll(orig, StyleFallthrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patched == 0 {
+		t.Fatal("nothing patched")
+	}
+	t.Logf("blanket: %d patched, %d skipped, overhead %.1f%%",
+		res.Patched, res.Skipped, res.Overhead()*100)
+	for _, in := range [][]byte{{1, 2, 3, 4, 5, 6, 7, 8}, {9, 9, 9, 9, 9, 9, 9, 9}} {
+		r1, _ := runBin(t, orig, in)
+		r2, err := runBin(t, res.Binary, in)
+		if err != nil {
+			t.Fatalf("input %v: %v", in, err)
+		}
+		if r1.ExitCode != r2.ExitCode {
+			t.Errorf("input %v: exit %d vs %d", in, r1.ExitCode, r2.ExitCode)
+		}
+	}
+	// The blanket scheme on an ALU-heavy program should land in the
+	// paper's >=300% regime.
+	if res.Overhead() < 2.0 {
+		t.Errorf("blanket overhead %.1f%% below the expected regime", res.Overhead()*100)
+	}
+}

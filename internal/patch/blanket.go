@@ -1,0 +1,77 @@
+package patch
+
+import (
+	"errors"
+
+	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/elf"
+)
+
+// BlanketResult reports a whole-program duplication run.
+type BlanketResult struct {
+	Binary           *elf.Binary
+	Patched          int // instructions protected
+	Skipped          int // instructions with no applicable pattern
+	OriginalCodeSize int
+}
+
+// Overhead returns the code-size overhead fraction.
+func (r *BlanketResult) Overhead() float64 {
+	if r.OriginalCodeSize == 0 {
+		return 0
+	}
+	return float64(r.Binary.CodeSize()-r.OriginalCodeSize) / float64(r.OriginalCodeSize)
+}
+
+// HardenAll is the blanket-duplication baseline the paper compares
+// against in §V-C ("duplicating every instruction, which is the go-to
+// protection scheme against fault injection, implies at least 300%
+// overhead in code size"): every instruction with an applicable local
+// pattern is protected, regardless of whether the faulter found it
+// vulnerable.
+func HardenAll(bin *elf.Binary, style Style) (*BlanketResult, error) {
+	prog, err := bir.Disassemble(bin)
+	if err != nil {
+		return nil, err
+	}
+	res := &BlanketResult{OriginalCodeSize: bin.CodeSize()}
+	EnsureFaulthandler(prog)
+
+	// Patch one site at a time, rescanning after each structural edit
+	// (patterns split blocks, invalidating earlier references).
+	for {
+		ref, ok := nextUnprotected(prog)
+		if !ok {
+			break
+		}
+		inst := &ref.Block.Insts[ref.Index]
+		if err := Apply(prog, ref, style); err != nil {
+			if errors.Is(err, ErrUnpatchable) {
+				inst.Protected = true
+				res.Skipped++
+				continue
+			}
+			return nil, err
+		}
+		res.Patched++
+	}
+
+	out, err := prog.Reassemble()
+	if err != nil {
+		return nil, err
+	}
+	res.Binary = out
+	return res, nil
+}
+
+// nextUnprotected finds the first instruction not yet marked protected.
+func nextUnprotected(prog *bir.Program) (bir.InstRef, bool) {
+	for _, b := range prog.Blocks {
+		for i := range b.Insts {
+			if !b.Insts[i].Protected {
+				return bir.InstRef{Block: b, Index: i}, true
+			}
+		}
+	}
+	return bir.InstRef{}, false
+}

@@ -1,0 +1,205 @@
+package patch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// Options configure the Faulter+Patcher loop.
+type Options struct {
+	Good []byte // input the program accepts
+	Bad  []byte // input the program rejects
+
+	Models     []fault.Model // default: skip + bitflip
+	StepLimit  uint64
+	Workers    int
+	DedupSites bool
+
+	// MaxIterations bounds the rinse-and-repeat loop (§IV-B3).
+	MaxIterations int // default 10
+
+	// Style selects the pattern flavour (StyleFallthrough default).
+	Style Style
+
+	// Log receives one line per iteration when non-nil.
+	Log func(string)
+}
+
+// IterationStats records one faulter+patcher round.
+type IterationStats struct {
+	Iteration  int
+	Injections int
+	Successes  int // successful faults (vulnerability instances)
+	Sites      int // distinct vulnerable instruction addresses
+	Patched    int // sites replaced with hardened patterns this round
+	Residual   int // vulnerable sites that could not be (re)patched
+	Detected   int
+	CodeSize   int // .text bytes after this round's patching
+}
+
+// Result is the outcome of the iterative hardening.
+type Result struct {
+	Binary     *elf.Binary  // final hardened binary
+	Program    *bir.Program // its symbolized form
+	Iterations []IterationStats
+	Final      *fault.Report // campaign on the final binary
+
+	OriginalCodeSize int
+}
+
+// Converged reports whether the loop ended with zero successful faults.
+func (r *Result) Converged() bool {
+	return r.Final != nil && len(r.Final.Successful()) == 0
+}
+
+// Overhead returns the code-size overhead fraction (e.g. 0.17 = 17%),
+// the paper's Table V metric.
+func (r *Result) Overhead() float64 {
+	if r.OriginalCodeSize == 0 {
+		return 0
+	}
+	return float64(r.Binary.CodeSize()-r.OriginalCodeSize) / float64(r.OriginalCodeSize)
+}
+
+// Harden runs the simulation-driven iterative hardening of §IV-B: run
+// the faulter, patch every vulnerable site with the matching Table I–III
+// pattern, reassemble, and repeat until no successful faults remain, no
+// further sites are patchable, or the iteration budget is exhausted.
+func Harden(bin *elf.Binary, opt Options) (*Result, error) {
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 10
+	}
+	logf := func(format string, args ...any) {
+		if opt.Log != nil {
+			opt.Log(fmt.Sprintf(format, args...))
+		}
+	}
+
+	prog, err := bir.Disassemble(bin)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Program: prog, OriginalCodeSize: bin.CodeSize()}
+
+	cur, err := prog.Reassemble() // refresh layout addresses
+	if err != nil {
+		return nil, err
+	}
+
+	var rep *fault.Report
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		rep, err = fault.Run(fault.Campaign{
+			Binary:     cur,
+			Good:       opt.Good,
+			Bad:        opt.Bad,
+			Models:     opt.Models,
+			StepLimit:  opt.StepLimit,
+			Workers:    opt.Workers,
+			DedupSites: opt.DedupSites,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("patch: iteration %d: %w", iter, err)
+		}
+
+		sites := rep.VulnerableSites()
+		stats := IterationStats{
+			Iteration:  iter,
+			Injections: len(rep.Injections),
+			Successes:  len(rep.Successful()),
+			Sites:      len(sites),
+			Detected:   rep.Count(fault.OutcomeDetected),
+			CodeSize:   cur.CodeSize(),
+		}
+		if len(sites) == 0 {
+			res.Iterations = append(res.Iterations, stats)
+			logf("iteration %d: no successful faults — converged", iter)
+			break
+		}
+
+		EnsureFaulthandler(prog)
+		for _, site := range sites {
+			ref, ok := prog.FindByAddr(site.Addr)
+			if !ok {
+				return nil, fmt.Errorf("patch: vulnerable site %#x not found in program", site.Addr)
+			}
+			inst := &ref.Block.Insts[ref.Index]
+			if inst.Protected {
+				stats.Residual++
+				continue
+			}
+			if err := Apply(prog, ref, opt.Style); err != nil {
+				if errors.Is(err, ErrUnpatchable) {
+					inst.Protected = true // do not retry
+					stats.Residual++
+					continue
+				}
+				return nil, err
+			}
+			stats.Patched++
+		}
+
+		cur, err = prog.Reassemble()
+		if err != nil {
+			return nil, err
+		}
+		stats.CodeSize = cur.CodeSize()
+		res.Iterations = append(res.Iterations, stats)
+		logf("iteration %d: %d injections, %d successes at %d sites, %d patched, %d residual, text %dB",
+			iter, stats.Injections, stats.Successes, stats.Sites, stats.Patched, stats.Residual, stats.CodeSize)
+
+		if stats.Patched == 0 {
+			logf("iteration %d: fixed point (nothing left to patch)", iter)
+			break
+		}
+	}
+
+	// Final verification campaign.
+	final, err := fault.Run(fault.Campaign{
+		Binary:     cur,
+		Good:       opt.Good,
+		Bad:        opt.Bad,
+		Models:     opt.Models,
+		StepLimit:  opt.StepLimit,
+		Workers:    opt.Workers,
+		DedupSites: opt.DedupSites,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("patch: final verification: %w", err)
+	}
+	res.Final = final
+	res.Binary = cur
+	return res, nil
+}
+
+// Apply replaces the instruction at ref with its hardened pattern.
+func Apply(prog *bir.Program, ref bir.InstRef, style Style) error {
+	site := ref.Block.Insts[ref.Index]
+	follow := prog.SplitAfter(ref)
+	blocks, err := PatternFor(prog, site, follow, style)
+	if err != nil {
+		return err
+	}
+	prog.ReplaceWithBlocks(ref, blocks)
+	return nil
+}
+
+// Summary renders the iteration history.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "original code size: %d bytes\n", r.OriginalCodeSize)
+	for _, it := range r.Iterations {
+		fmt.Fprintf(&sb, "iter %d: injections=%d successes=%d sites=%d patched=%d residual=%d detected=%d text=%dB\n",
+			it.Iteration, it.Injections, it.Successes, it.Sites, it.Patched, it.Residual, it.Detected, it.CodeSize)
+	}
+	if r.Final != nil {
+		fmt.Fprintf(&sb, "final: %s\n", r.Final.Summary())
+	}
+	fmt.Fprintf(&sb, "hardened code size: %d bytes (%.2f%% overhead)\n",
+		r.Binary.CodeSize(), r.Overhead()*100)
+	return sb.String()
+}

@@ -1,0 +1,532 @@
+package patch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/emu"
+	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+const pincheckSrc = `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rax, [rip+buf]
+	mov rbx, [rip+pin]
+	cmp rax, rbx
+	jne deny
+grant:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+no]
+	mov rdx, 7
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+no:  .ascii "DENIED\n"
+.bss
+buf: .zero 8
+`
+
+var (
+	goodPin = []byte("1234ABCD")
+	badPin  = []byte("00000000")
+)
+
+func build(t *testing.T, src string) *elf.Binary {
+	t.Helper()
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func runBin(t *testing.T, bin *elf.Binary, stdin []byte) (emu.Result, error) {
+	t.Helper()
+	return emu.New(bin, emu.Config{Stdin: stdin}).Run()
+}
+
+// findOp locates the first instruction with the given op (after a
+// Reassemble refreshed addresses).
+func findOp(t *testing.T, prog *bir.Program, op isa.Op) bir.InstRef {
+	t.Helper()
+	for _, b := range prog.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].I.Op == op && !b.Insts[i].Protected {
+				return bir.InstRef{Block: b, Index: i}
+			}
+		}
+	}
+	t.Fatalf("no %v instruction found", op)
+	return bir.InstRef{}
+}
+
+func disassembled(t *testing.T, src string) (*bir.Program, *elf.Binary) {
+	t.Helper()
+	bin := build(t, src)
+	prog, err := bir.Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Reassemble(); err != nil {
+		t.Fatal(err)
+	}
+	return prog, bin
+}
+
+// TestTableIMovPattern checks the structure of the mov protection.
+func TestTableIMovPattern(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	EnsureFaulthandler(prog)
+
+	// Find "mov rax, [rip+buf]" — a mov with a memory source.
+	var ref bir.InstRef
+	found := false
+	for _, b := range prog.Blocks {
+		for i := range b.Insts {
+			in := b.Insts[i]
+			if in.I.Op == isa.MOV && in.I.Src.Kind == isa.KindMem && !found {
+				ref = bir.InstRef{Block: b, Index: i}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no mov reg, [mem] site")
+	}
+	if err := Apply(prog, ref, StylePaper); err != nil {
+		t.Fatal(err)
+	}
+	l := prog.Listing()
+	// Table I shape: mov; cmp (same operands); je; call faulthandler.
+	for _, want := range []string{"cmp rax,", "je ", "call faulthandler"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+	bin2, err := prog.Reassemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behaviour preserved on both inputs.
+	for _, in := range [][]byte{goodPin, badPin} {
+		r, err := runBin(t, bin2, in)
+		if err != nil {
+			t.Fatalf("patched run crashed: %v", err)
+		}
+		if r.ExitCode == DetectedExit {
+			t.Fatal("faulthandler fired without a fault")
+		}
+	}
+}
+
+// DetectedExit mirrors fault.DetectedExitCode without the import cycle.
+const DetectedExit = 42
+
+// TestTableIICmpPattern checks the structure of the cmp protection.
+func TestTableIICmpPattern(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	EnsureFaulthandler(prog)
+	ref := findOp(t, prog, isa.CMP)
+	if err := Apply(prog, ref, StylePaper); err != nil {
+		t.Fatal(err)
+	}
+	l := prog.Listing()
+	for _, want := range []string{
+		"lea rsp, qword ptr [rsp-128]",
+		"pushfq",
+		"popfq",
+		"lea rsp, qword ptr [rsp+128]",
+		"call faulthandler",
+	} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+	// Exactly two copies of the original comparison must exist.
+	if got := strings.Count(l, "cmp rax, rbx"); got != 2 {
+		t.Errorf("comparison duplicated %d times, want 2\n%s", got, l)
+	}
+	bin2, err := prog.Reassemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in   []byte
+		out  string
+		code int
+	}{
+		{goodPin, "GRANTED\n", 0},
+		{badPin, "DENIED\n", 1},
+	} {
+		r, err := runBin(t, bin2, tc.in)
+		if err != nil {
+			t.Fatalf("patched run crashed: %v", err)
+		}
+		if string(r.Stdout) != tc.out || r.ExitCode != tc.code {
+			t.Errorf("input %q: got (%q,%d), want (%q,%d)", tc.in, r.Stdout, r.ExitCode, tc.out, tc.code)
+		}
+	}
+}
+
+// TestTableIIIJccPattern checks the structure of the conditional-jump
+// protection and that both branch directions still work.
+func TestTableIIIJccPattern(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	EnsureFaulthandler(prog)
+	ref := findOp(t, prog, isa.JCC)
+	if err := Apply(prog, ref, StylePaper); err != nil {
+		t.Fatal(err)
+	}
+	l := prog.Listing()
+	for _, want := range []string{
+		"newjumptarget", "newfallthroughjmp",
+		"setne cl", "cmp cl, 0", "cmp cl, 1",
+		"jne deny", // re-executed original branch on the taken side
+		"je grant", // inverted re-check on the fall-through side
+	} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+	bin2, err := prog.Reassemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in   []byte
+		out  string
+		code int
+	}{
+		{goodPin, "GRANTED\n", 0},
+		{badPin, "DENIED\n", 1},
+	} {
+		r, err := runBin(t, bin2, tc.in)
+		if err != nil {
+			t.Fatalf("patched run crashed: %v", err)
+		}
+		if string(r.Stdout) != tc.out || r.ExitCode != tc.code {
+			t.Errorf("input %q: got (%q,%d), want (%q,%d)", tc.in, r.Stdout, r.ExitCode, tc.out, tc.code)
+		}
+	}
+}
+
+// TestCmpPatternPreservesAllConditions: after a patched cmp, every
+// conditional consumer must see identical flags. The program materializes
+// eight conditions via setcc and prints the bitmask; patched and
+// unpatched binaries must agree on random inputs.
+func TestCmpPatternPreservesAllConditions(t *testing.T) {
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 2
+	syscall
+	movzx rax, byte ptr [rip+buf]
+	movzx rbx, byte ptr [rip+buf+1]
+	cmp rax, rbx
+	setb r8b
+	setbe r9b
+	sete r10b
+	setle r11b
+	movzx rdi, r8b
+	shl rdi, 1
+	movzx rdx, r9b
+	or rdi, rdx
+	shl rdi, 1
+	movzx rdx, r10b
+	or rdi, rdx
+	shl rdi, 1
+	movzx rdx, r11b
+	or rdi, rdx
+	mov rax, 60
+	syscall
+.bss
+buf: .zero 2
+`
+	orig := build(t, src)
+	prog, err := bir.Disassemble(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Reassemble(); err != nil {
+		t.Fatal(err)
+	}
+	EnsureFaulthandler(prog)
+	// Patch the 64-bit cmp rax, rbx.
+	var ref bir.InstRef
+	found := false
+	for _, b := range prog.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].I.Op == isa.CMP && b.Insts[i].I.Src.IsReg(isa.RBX) {
+				ref = bir.InstRef{Block: b, Index: i}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cmp rax, rbx not found")
+	}
+	if err := Apply(prog, ref, StylePaper); err != nil {
+		t.Fatal(err)
+	}
+	patched, err := prog.Reassemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		input := []byte{byte(r.Intn(256)), byte(r.Intn(256))}
+		r1, e1 := runBin(t, orig, input)
+		r2, e2 := runBin(t, patched, input)
+		if e1 != nil || e2 != nil {
+			t.Fatalf("input % X: errors %v / %v", input, e1, e2)
+		}
+		if r1.ExitCode != r2.ExitCode {
+			t.Fatalf("input % X: flags diverged: %d vs %d", input, r1.ExitCode, r2.ExitCode)
+		}
+	}
+}
+
+func TestUnpatchableImm64(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	site := bir.Inst{I: isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.Imm(1<<40))}
+	if _, err := MovPattern(prog, site, "x", StylePaper); !errors.Is(err, ErrUnpatchable) {
+		t.Errorf("imm64 mov: err = %v, want ErrUnpatchable", err)
+	}
+}
+
+func TestUnpatchableAliasing(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	site := bir.Inst{I: isa.NewInst(isa.MOV, isa.R(isa.RAX), isa.M(isa.RAX, 8))}
+	if _, err := MovPattern(prog, site, "x", StylePaper); !errors.Is(err, ErrUnpatchable) {
+		t.Errorf("aliasing mov: err = %v, want ErrUnpatchable", err)
+	}
+	lea := bir.Inst{I: isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, -128))}
+	if _, err := MovPattern(prog, lea, "x", StylePaper); !errors.Is(err, ErrUnpatchable) {
+		t.Errorf("aliasing lea: err = %v, want ErrUnpatchable", err)
+	}
+}
+
+func TestUnsupportedOpUnpatchable(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	site := bir.Inst{I: isa.NewInst(isa.SYSCALL)}
+	if _, err := PatternFor(prog, site, "x", StylePaper); !errors.Is(err, ErrUnpatchable) {
+		t.Errorf("syscall: err = %v, want ErrUnpatchable", err)
+	}
+}
+
+func TestEnsureFaulthandlerIdempotent(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	EnsureFaulthandler(prog)
+	n := len(prog.Blocks)
+	EnsureFaulthandler(prog)
+	if len(prog.Blocks) != n {
+		t.Error("EnsureFaulthandler appended twice")
+	}
+}
+
+// TestHardenPincheckSkipModel is the paper's headline Faulter+Patcher
+// result (§V-C): under the instruction-skip model, iterative patching
+// resolves ALL vulnerabilities.
+func TestHardenPincheckSkipModel(t *testing.T) {
+	res, err := Harden(build(t, pincheckSrc), Options{
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged() {
+		t.Fatalf("skip-model hardening did not converge:\n%s", res.Summary())
+	}
+	if len(res.Iterations) < 2 {
+		t.Errorf("expected at least 2 iterations, got %d", len(res.Iterations))
+	}
+	if res.Overhead() <= 0 {
+		t.Error("no code-size overhead recorded")
+	}
+	// Hardened binary still behaves correctly.
+	for _, tc := range []struct {
+		in   []byte
+		out  string
+		code int
+	}{
+		{goodPin, "GRANTED\n", 0},
+		{badPin, "DENIED\n", 1},
+	} {
+		r, err := runBin(t, res.Binary, tc.in)
+		if err != nil {
+			t.Fatalf("hardened binary crashed: %v", err)
+		}
+		if string(r.Stdout) != tc.out || r.ExitCode != tc.code {
+			t.Errorf("input %q: got (%q,%d), want (%q,%d)", tc.in, r.Stdout, r.ExitCode, tc.out, tc.code)
+		}
+	}
+	// The final campaign must see detections (countermeasures firing).
+	if res.Final.Count(fault.OutcomeDetected) == 0 {
+		t.Error("no detected faults in final campaign; countermeasures inert?")
+	}
+}
+
+// TestHardenPincheckBitflipReduces reproduces the §V-C bit-flip claim:
+// hardening reduces vulnerable points by at least half.
+func TestHardenPincheckBitflipReduces(t *testing.T) {
+	bin := build(t, pincheckSrc)
+	baseline, err := fault.Run(fault.Campaign{
+		Binary: bin, Good: goodPin, Bad: badPin,
+		Models: []fault.Model{fault.ModelBitFlip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(baseline.VulnerableSites())
+	if before == 0 {
+		t.Fatal("baseline has no bitflip vulnerabilities")
+	}
+
+	res, err := Harden(bin, Options{
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []fault.Model{fault.ModelBitFlip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := len(res.Final.VulnerableSites())
+	t.Logf("bitflip vulnerable sites: %d -> %d (overhead %.1f%%)", before, after, res.Overhead()*100)
+	if float64(after) > 0.5*float64(before) {
+		t.Errorf("bitflip sites %d -> %d: reduction below 50%%", before, after)
+	}
+}
+
+// TestHardenOverheadModest: targeted patching must stay far below the
+// >=300%% blanket-duplication overhead the paper compares against.
+func TestHardenOverheadModest(t *testing.T) {
+	res, err := Harden(build(t, pincheckSrc), Options{
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead() >= 3.0 {
+		t.Errorf("overhead %.1f%% not better than blanket duplication", res.Overhead()*100)
+	}
+}
+
+func TestHardenLogging(t *testing.T) {
+	var lines []string
+	_, err := Harden(build(t, pincheckSrc), Options{
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []fault.Model{fault.ModelSkip},
+		Log:    func(s string) { lines = append(lines, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Error("no log lines emitted")
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	res, err := Harden(build(t, pincheckSrc), Options{
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	for _, want := range []string{"original code size", "iter 1", "hardened code size", "overhead"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFaulthandlerRoutineWorks executes the injected handler directly.
+func TestFaulthandlerRoutineWorks(t *testing.T) {
+	prog, _ := disassembled(t, pincheckSrc)
+	EnsureFaulthandler(prog)
+	// Redirect entry to the faulthandler.
+	prog.EntryLabel = FaulthandlerLabel
+	bin, err := prog.Reassemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runBin(t, bin, nil)
+	if err != nil {
+		t.Fatalf("faulthandler crashed: %v", err)
+	}
+	if r.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", r.ExitCode)
+	}
+	if string(r.Stderr) != "FAULT\n" {
+		t.Errorf("stderr = %q, want FAULT\\n", r.Stderr)
+	}
+}
+
+// TestPatternsComposable: patching all three classes in one program.
+func TestAllPatternsTogether(t *testing.T) {
+	prog, orig := disassembled(t, pincheckSrc)
+	EnsureFaulthandler(prog)
+	for _, op := range []isa.Op{isa.CMP, isa.JCC, isa.MOV} {
+		ref := findOp(t, prog, op)
+		if err := Apply(prog, ref, StylePaper); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	bin, err := prog.Reassemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range [][]byte{goodPin, badPin} {
+		r1, _ := runBin(t, orig, input)
+		r2, err := runBin(t, bin, input)
+		if err != nil {
+			t.Fatalf("crashed: %v", err)
+		}
+		if string(r1.Stdout) != string(r2.Stdout) || r1.ExitCode != r2.ExitCode {
+			t.Errorf("input %q: behaviour changed", input)
+		}
+	}
+	if bin.CodeSize() <= orig.CodeSize() {
+		t.Error("patched binary not larger")
+	}
+	fmt.Fprintf(new(strings.Builder), "%s", prog.Listing()) // smoke the listing path
+}

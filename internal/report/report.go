@@ -1,0 +1,122 @@
+// Package report renders experiment results as aligned text tables with
+// paper-vs-measured columns, shared by the benchmark harness and the
+// CLI's `experiments` command.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Pct formats a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// Ratio formats a before/after pair.
+func Ratio(before, after int) string { return fmt.Sprintf("%d -> %d", before, after) }
+
+// MixString renders an instruction mix like Table IV's cells
+// ("1 cmp, 2 zext, ...") in a stable order given by keys.
+func MixString(mix map[string]int, keys []string) string {
+	var parts []string
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if n := mix[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, k))
+			seen[k] = true
+		}
+	}
+	// Remaining keys alphabetically-stable by first appearance order of
+	// the map is not deterministic; only include leftovers sorted.
+	var rest []string
+	for k, n := range mix {
+		if !seen[k] && n > 0 {
+			rest = append(rest, fmt.Sprintf("%d %s", n, k))
+		}
+	}
+	sortStrings(rest)
+	parts = append(parts, rest...)
+	return strings.Join(parts, ", ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MixDelta subtracts mixes (after - before), dropping zeros.
+func MixDelta(before, after map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range before {
+		if _, ok := after[k]; !ok {
+			out[k] = -v
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "Table V: overhead",
+		Header: []string{"case", "paper", "measured"},
+	}
+	tab.AddRow("pincheck", "17.61%", "21.30%")
+	tab.AddRow("bootloader", "19.67%", "18.02%")
+	tab.AddNote("shape holds: F+P well below Hybrid")
+	s := tab.String()
+	for _, want := range []string{"Table V", "case", "pincheck", "21.30%", "note: shape holds"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	// Alignment: header and rows share column offsets.
+	lines := strings.Split(s, "\n")
+	if !strings.HasPrefix(lines[1], "case") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if strings.Index(lines[1], "paper") != strings.Index(lines[3], "17.61%") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestPctRatio(t *testing.T) {
+	if Pct(85.875) != "85.88%" && Pct(85.875) != "85.87%" {
+		t.Errorf("Pct = %q", Pct(85.875))
+	}
+	if Ratio(6, 3) != "6 -> 3" {
+		t.Errorf("Ratio = %q", Ratio(6, 3))
+	}
+}
+
+func TestMixString(t *testing.T) {
+	mix := map[string]int{"cmp": 1, "zext": 2, "and": 4, "br": 1}
+	s := MixString(mix, []string{"cmp", "zext", "and", "br"})
+	if s != "1 cmp, 2 zext, 4 and, 1 br" {
+		t.Errorf("MixString = %q", s)
+	}
+	// Leftover keys appear sorted at the end.
+	mix["xor"] = 6
+	mix["or"] = 2
+	s = MixString(mix, []string{"cmp"})
+	if !strings.HasPrefix(s, "1 cmp, ") || !strings.Contains(s, "6 xor") {
+		t.Errorf("MixString leftovers = %q", s)
+	}
+}
+
+func TestMixDelta(t *testing.T) {
+	before := map[string]int{"cmp": 1, "br": 1, "mov": 3}
+	after := map[string]int{"cmp": 2, "br": 1, "mov": 1, "zext": 2}
+	d := MixDelta(before, after)
+	if d["cmp"] != 1 || d["zext"] != 2 || d["mov"] != -2 {
+		t.Errorf("delta = %v", d)
+	}
+	if _, ok := d["br"]; ok {
+		t.Error("zero delta retained")
+	}
+}

@@ -1,0 +1,156 @@
+package reinforce
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart mirrors the package documentation example.
+func TestPublicAPIQuickstart(t *testing.T) {
+	c := Pincheck()
+	bin := c.MustBuild()
+
+	rep, err := FaultScan(bin, c.Good, c.Bad, ModelSkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Successful()) == 0 {
+		t.Fatal("unprotected pincheck has no skip vulnerabilities?")
+	}
+
+	res, err := HardenFaulterPatcher(bin, FaulterPatcherOptions{
+		Good: c.Good, Bad: c.Bad, Models: []Model{ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged() {
+		t.Fatalf("did not converge:\n%s", res.Summary())
+	}
+	if err := c.Check(res.Binary); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleRunRoundTrip(t *testing.T) {
+	bin, err := Assemble(`
+.text
+_start:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg]
+	mov rdx, msg_len
+	syscall
+	mov rax, 60
+	mov rdi, 5
+	syscall
+.rodata
+msg: .ascii "public api\n"
+.equ msg_len, . - msg
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Stdout) != "public api\n" || res.ExitCode != 5 {
+		t.Errorf("run = (%q, %d)", res.Stdout, res.ExitCode)
+	}
+
+	img, err := bin.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseELF(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(back, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res2.Stdout) != "public api\n" {
+		t.Error("ELF round trip changed behaviour")
+	}
+}
+
+func TestTraceAndDisassemble(t *testing.T) {
+	c := Pincheck()
+	bin := c.MustBuild()
+	tr := CaptureTrace(bin, c.Good)
+	if tr.Err != nil || tr.Len() == 0 {
+		t.Fatalf("trace: %v len %d", tr.Err, tr.Len())
+	}
+	listing, err := Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"_start:", "grant:", "deny:", "syscall"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestLiftIRAndDescribe(t *testing.T) {
+	bin := Bootloader().MustBuild()
+	irText, err := LiftIR(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"func _start()", "hash_loop:", "mul i64"} {
+		if !strings.Contains(irText, want) {
+			t.Errorf("IR missing %q", want)
+		}
+	}
+	desc := Describe(bin)
+	if !strings.Contains(desc, ".text") || !strings.Contains(desc, "rx") {
+		t.Errorf("describe = %q", desc)
+	}
+}
+
+func TestHybridThroughPublicAPI(t *testing.T) {
+	c := Pincheck()
+	bin := c.MustBuild()
+	res, err := HardenHybrid(bin, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(res.Binary); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(bin, res.Binary, c.Good, c.Bad, ModelSkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SuccessAfter() != 0 {
+		t.Errorf("hybrid left %d skip vulns", ev.SuccessAfter())
+	}
+}
+
+func TestDecodeInst(t *testing.T) {
+	s, n, err := DecodeInst([]byte{0x48, 0x89, 0xD8}, 0x401000)
+	if err != nil || s != "mov rax, rbx" || n != 3 {
+		t.Errorf("DecodeInst = (%q, %d, %v)", s, n, err)
+	}
+	if _, _, err := DecodeInst([]byte{0x06}, 0); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestDuplicationThroughPublicAPI(t *testing.T) {
+	c := Pincheck()
+	bin := c.MustBuild()
+	dup, err := DuplicationBaseline(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(dup.Binary); err != nil {
+		t.Fatal(err)
+	}
+	if dup.Overhead() <= 1.0 {
+		t.Errorf("duplication overhead only %.0f%%", dup.Overhead()*100)
+	}
+}
