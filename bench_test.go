@@ -15,6 +15,7 @@ import (
 
 	"github.com/r2r/reinforce/internal/asm"
 	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/cases"
 	"github.com/r2r/reinforce/internal/decode"
 	"github.com/r2r/reinforce/internal/emu"
@@ -512,6 +513,67 @@ func BenchmarkFaultCampaign(b *testing.B) {
 		}
 		if len(rep.Injections) == 0 {
 			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkCampaignEngineBitflip measures the snapshot-cached engine on
+// the exhaustive pincheck bit-flip sweep — the workload the campaign
+// subsystem exists for (golden run memoized once, every injection forks
+// a copy-on-write snapshot, undecodable flips pre-screened).
+func BenchmarkCampaignEngineBitflip(b *testing.B) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	injections := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(fault.Campaign{
+			Binary: bin, Good: c.Good, Bad: c.Bad,
+			Models: []fault.Model{fault.ModelBitFlip},
+		}, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		injections += len(rep.Injections)
+	}
+	b.ReportMetric(float64(injections)/b.Elapsed().Seconds(), "injections/s")
+}
+
+// BenchmarkCampaignSessionReuse isolates the engine's per-injection
+// cost: one session, every fault simulated b.N-independent times.
+func BenchmarkCampaignSessionReuse(b *testing.B) {
+	c := cases.Pincheck()
+	s, err := fault.NewSession(fault.Campaign{
+		Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
+		Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := s.Faults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Simulate(faults[i%len(faults)])
+	}
+}
+
+// BenchmarkCampaignBatch measures the batch API sweeping both case
+// studies under the skip model, as the evaluation harness does.
+func BenchmarkCampaignBatch(b *testing.B) {
+	var jobs []campaign.Job
+	for _, c := range cases.All() {
+		jobs = append(jobs, campaign.Job{
+			Name: c.Name,
+			Campaign: fault.Campaign{
+				Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
+				Models: []fault.Model{fault.ModelSkip},
+			},
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		for _, r := range campaign.RunAll(jobs, campaign.Options{}) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }

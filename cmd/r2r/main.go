@@ -11,6 +11,7 @@
 //	r2r trace [-in STR] prog.elf        dynamic instruction trace
 //	r2r lift prog.elf                   print the compiler IR
 //	r2r faults -good G -bad B prog.elf  fault-injection campaign
+//	r2r campaign -good G -bad B prog.elf ...        batch campaigns (sharded, JSON/CSV)
 //	r2r patch -good G -bad B -o out.elf prog.elf    Faulter+Patcher pipeline
 //	r2r hybrid -o out.elf prog.elf                  Hybrid pipeline
 //	r2r cases -dir DIR                  write the case studies to disk
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"github.com/r2r/reinforce"
+	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/experiments"
 	"github.com/r2r/reinforce/internal/fault"
 	"github.com/r2r/reinforce/internal/report"
@@ -53,6 +55,8 @@ func main() {
 		err = cmdLift(args)
 	case "faults":
 		err = cmdFaults(args)
+	case "campaign":
+		err = cmdCampaign(args)
 	case "patch":
 		err = cmdPatch(args)
 	case "hybrid":
@@ -90,6 +94,10 @@ commands:
   lift BIN                       print the lifted compiler IR
   faults -good G -bad B [-model skip|bitflip|both] BIN
                                  run a fault-injection campaign
+  campaign -good G -bad B [-model ...] [-workers N] [-shard i/n]
+           [-json|-csv] [-q] BIN [BIN...]
+                                 batch campaigns on the parallel engine
+                                 with sharding and JSON/CSV export
   patch -good G -bad B [-model ...] [-o OUT] BIN
                                  harden via the Faulter+Patcher pipeline
   hybrid [-o OUT] BIN            harden via the Hybrid (lift/lower) pipeline
@@ -260,6 +268,91 @@ func cmdFaults(args []string) error {
 	for _, s := range rep.VulnerableSites() {
 		fmt.Printf("  vulnerable: %#x %-8s (%d successful faults, class %s)\n",
 			s.Addr, s.Mnemonic, s.Count, fault.Classify(s.Op))
+	}
+	return nil
+}
+
+// cmdCampaign drives the parallel campaign engine: one or more
+// binaries swept under the same oracles, with optional sharding and
+// machine-readable output.
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	good := fs.String("good", "", "accepted input")
+	bad := fs.String("bad", "", "rejected input")
+	model := fs.String("model", "both", "fault model: skip, bitflip, both")
+	workers := fs.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
+	shardSpec := fs.String("shard", "", "simulate only shard i/n of each fault list (e.g. 0/4)")
+	jsonOut := fs.Bool("json", false, "emit JSON summaries on stdout")
+	csvOut := fs.Bool("csv", false, "emit CSV summaries on stdout")
+	quiet := fs.Bool("q", false, "suppress the stderr progress meter")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("want at least one binary")
+	}
+	models, err := parseModels(*model)
+	if err != nil {
+		return err
+	}
+	var shard campaign.Shard
+	if *shardSpec != "" {
+		if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &shard.Index, &shard.Count); err != nil {
+			return fmt.Errorf("bad -shard %q: want i/n", *shardSpec)
+		}
+	}
+
+	var jobs []campaign.Job
+	for _, path := range fs.Args() {
+		bin, err := loadBinary(path)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, campaign.Job{
+			Name: filepath.Base(path),
+			Campaign: fault.Campaign{
+				Binary: bin,
+				Good:   []byte(*good),
+				Bad:    []byte(*bad),
+				Models: models,
+			},
+		})
+	}
+
+	opt := campaign.Options{Workers: *workers, Shard: shard}
+	if !*quiet {
+		opt.Progress = func(p campaign.Progress) {
+			// Redraw sparingly: every 256 injections and at completion.
+			if p.Done%256 == 0 || p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "\r[%d/%d %s] %d/%d injections",
+					p.JobIndex+1, p.Jobs, p.Job, p.Done, p.Total)
+				if p.Done == p.Total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	results := campaign.RunAll(jobs, opt)
+	var sums []campaign.Summary
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+		sum := campaign.Summarize(r.Name, r.Report)
+		sum.ElapsedMS = r.Elapsed.Milliseconds()
+		sums = append(sums, sum)
+	}
+	switch {
+	case *jsonOut:
+		return campaign.WriteJSON(os.Stdout, sums)
+	case *csvOut:
+		return campaign.WriteCSV(os.Stdout, sums)
+	}
+	fmt.Print(campaign.SummaryTable(sums))
+	for _, sum := range sums {
+		for _, site := range sum.Sites {
+			fmt.Printf("  %s vulnerable: %#x %-8s (%d successful faults, class %s)\n",
+				sum.Name, site.Addr, site.Mnemonic, site.Successes, site.Class)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module github.com/r2r/reinforce
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package campaign orchestrates fault-injection sweeps at production
+// scale. It layers batching, sharding, progress reporting, and
+// structured export on top of the snapshot-cached execution engine in
+// internal/fault:
+//
+//   - Run drives one campaign through the engine: fault sites are
+//     enumerated once per binary, the golden run is memoized, and every
+//     injection forks a copy-on-write machine snapshot instead of
+//     re-initializing memory and registers (the state-reuse strategy
+//     that makes exhaustive fault simulation tractable, cf. ARMORY).
+//   - Shard{I, N} restricts a run to every N-th fault, so one campaign
+//     can be split across processes or machines; Merge recombines the
+//     per-shard reports into a report bit-identical to an unsharded run.
+//   - RunAll sweeps many binaries/variants in one call with aggregate
+//     progress callbacks — the shape of the paper's evaluation, which
+//     compares the same campaign across original, Faulter+Patcher,
+//     Hybrid, and duplication-baseline variants.
+//
+// Results are deterministic: for a given campaign, the report is
+// bit-identical regardless of worker count or shard decomposition.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// Shard selects a round-robin slice of a campaign's fault list: fault j
+// is simulated iff j mod N == I. The zero value means "the whole
+// campaign".
+type Shard struct {
+	Index int // shard number in [0, Count)
+	Count int // total shards; <= 1 disables sharding
+}
+
+// String renders the shard as "i/n".
+func (s Shard) String() string {
+	if s.Count <= 1 {
+		return "1/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// normalize clamps the zero value and validates the rest.
+func (s Shard) normalize() (Shard, error) {
+	if s.Count <= 1 {
+		return Shard{Index: 0, Count: 1}, nil
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return s, fmt.Errorf("campaign: shard index %d outside [0,%d)", s.Index, s.Count)
+	}
+	return s, nil
+}
+
+// Progress is a point-in-time view of a running batch.
+type Progress struct {
+	Job      string // name of the campaign being executed
+	JobIndex int    // 0-based position in the batch
+	Jobs     int    // batch size (1 for Run)
+	Done     int    // injections finished in this job
+	Total    int    // injections in this job
+}
+
+// Options tune campaign execution without changing its results.
+type Options struct {
+	// Workers overrides the per-campaign worker count (default: the
+	// campaign's own setting, itself defaulting to GOMAXPROCS).
+	Workers int
+
+	// Shard restricts execution to one shard of the fault list.
+	Shard Shard
+
+	// Progress, when non-nil, receives serialized updates as
+	// injections complete: Done is monotonically non-decreasing and the
+	// last call of a job has Done == Total. Called from the executing
+	// goroutines but never concurrently.
+	Progress func(Progress)
+}
+
+// Run executes one fault campaign on the engine and assembles the
+// standard report. With a non-trivial shard, the report holds only that
+// shard's injections (in shard-local order); Merge recombines them.
+func Run(c fault.Campaign, opt Options) (*fault.Report, error) {
+	rep, _, err := run("", 0, 1, c, opt)
+	return rep, err
+}
+
+func run(name string, jobIndex, jobs int, c fault.Campaign, opt Options) (*fault.Report, fault.Tally, error) {
+	shard, err := opt.Shard.normalize()
+	if err != nil {
+		return nil, fault.Tally{}, err
+	}
+	s, err := fault.NewSession(c)
+	if err != nil {
+		return nil, fault.Tally{}, err
+	}
+	var progress func(done, total int)
+	if opt.Progress != nil {
+		var mu sync.Mutex
+		last := -1
+		progress = func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			// Workers race to deliver their counts; dropping the stale
+			// ones keeps Done monotonic, so the final callback a consumer
+			// sees is always Done == Total.
+			if done < last {
+				return
+			}
+			last = done
+			opt.Progress(Progress{
+				Job: name, JobIndex: jobIndex, Jobs: jobs,
+				Done: done, Total: total,
+			})
+		}
+	}
+	injections, tally := s.ExecuteShard(shard.Index, shard.Count, opt.Workers, progress)
+	return s.Report(injections), tally, nil
+}
+
+// Job names one campaign of a batch.
+type Job struct {
+	Name     string
+	Campaign fault.Campaign
+}
+
+// Result is the outcome of one batch job.
+type Result struct {
+	Name    string
+	Report  *fault.Report // nil when Err is set
+	Tally   fault.Tally
+	Elapsed time.Duration
+	Err     error
+}
+
+// RunAll executes a batch of campaigns — typically the same sweep over
+// many binaries or hardened variants. Jobs run sequentially (each one
+// already saturates the worker pool internally); a failing job records
+// its error and the batch continues.
+func RunAll(jobs []Job, opt Options) []Result {
+	out := make([]Result, len(jobs))
+	for i, job := range jobs {
+		start := time.Now()
+		rep, tally, err := run(job.Name, i, len(jobs), job.Campaign, opt)
+		out[i] = Result{
+			Name:    job.Name,
+			Report:  rep,
+			Tally:   tally,
+			Elapsed: time.Since(start),
+			Err:     err,
+		}
+	}
+	return out
+}
+
+// Merge recombines the reports of all Count shards of one campaign
+// (shards[i] produced with Shard{i, len(shards)}) into a single report
+// bit-identical to the unsharded run. The shard reports must come from
+// the same campaign and be passed in shard order.
+func Merge(shards []*fault.Report) (*fault.Report, error) {
+	n := len(shards)
+	if n == 0 {
+		return nil, errors.New("campaign: no shards to merge")
+	}
+	if n == 1 {
+		return shards[0], nil
+	}
+	total := 0
+	for i, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("campaign: shard %d is nil", i)
+		}
+		if sh.GoodOracle != shards[0].GoodOracle || sh.BadOracle != shards[0].BadOracle {
+			return nil, fmt.Errorf("campaign: shard %d oracles differ — not the same campaign", i)
+		}
+		total += len(sh.Injections)
+	}
+	// Round-robin assignment means shard i holds faults i, i+n, i+2n...
+	// — so shard sizes must match that decomposition exactly.
+	for i, sh := range shards {
+		want := (total - i + n - 1) / n
+		if len(sh.Injections) != want {
+			return nil, fmt.Errorf("campaign: shard %d has %d injections, want %d of %d total",
+				i, len(sh.Injections), want, total)
+		}
+	}
+	merged := &fault.Report{
+		Trace:      shards[0].Trace,
+		GoodOracle: shards[0].GoodOracle,
+		BadOracle:  shards[0].BadOracle,
+		Injections: make([]fault.Injection, 0, total),
+	}
+	cursor := make([]int, n)
+	for j := 0; j < total; j++ {
+		w := j % n
+		merged.Injections = append(merged.Injections, shards[w].Injections[cursor[w]])
+		cursor[w]++
+	}
+	return merged, nil
+}

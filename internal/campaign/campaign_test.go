@@ -1,0 +1,272 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+const miniPincheck = `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	mov rax, [rip+buf]
+	mov rbx, [rip+pin]
+	cmp rax, rbx
+	jne deny
+grant:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+ok]
+	mov rdx, 8
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+deny:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+no]
+	mov rdx, 7
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+pin: .ascii "1234ABCD"
+ok:  .ascii "GRANTED\n"
+no:  .ascii "DENIED\n"
+.bss
+buf: .zero 8
+`
+
+var (
+	goodPin = []byte("1234ABCD")
+	badPin  = []byte("00000000")
+)
+
+func buildMini(t *testing.T) *elf.Binary {
+	t.Helper()
+	bin, err := asm.Assemble(miniPincheck, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func miniCampaign(bin *elf.Binary, models ...fault.Model) fault.Campaign {
+	return fault.Campaign{Binary: bin, Good: goodPin, Bad: badPin, Models: models}
+}
+
+// TestWorkerCountInvariance: the engine's cornerstone guarantee — the
+// report is bit-identical for 1 worker and N workers, across both fault
+// models.
+func TestWorkerCountInvariance(t *testing.T) {
+	bin := buildMini(t)
+	c := miniCampaign(bin, fault.ModelSkip, fault.ModelBitFlip)
+	serial, err := Run(c, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(c, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Injections, parallel.Injections) {
+		t.Fatal("1-worker and 8-worker reports differ")
+	}
+	if serial.GoodOracle != parallel.GoodOracle || serial.BadOracle != parallel.BadOracle {
+		t.Fatal("oracles differ between runs")
+	}
+	// Outcome aggregates, not just raw slices.
+	for _, o := range []fault.Outcome{fault.OutcomeSuccess, fault.OutcomeDetected,
+		fault.OutcomeCrash, fault.OutcomeIgnored} {
+		if serial.Count(o) != parallel.Count(o) {
+			t.Errorf("%s: serial %d, parallel %d", o, serial.Count(o), parallel.Count(o))
+		}
+	}
+}
+
+// TestShardRecombination: running shards i/n separately and merging
+// reproduces the unsharded report exactly.
+func TestShardRecombination(t *testing.T) {
+	bin := buildMini(t)
+	c := miniCampaign(bin, fault.ModelSkip, fault.ModelBitFlip)
+	full, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	shards := make([]*fault.Report, n)
+	for i := 0; i < n; i++ {
+		shards[i], err = Run(c, Options{Shard: Shard{Index: i, Count: n}, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := Merge(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Injections, full.Injections) {
+		t.Fatal("merged shards differ from the unsharded run")
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	bin := buildMini(t)
+	if _, err := Run(miniCampaign(bin, fault.ModelSkip), Options{Shard: Shard{Index: 5, Count: 3}}); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	full, err := Run(miniCampaign(bin, fault.ModelSkip), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := &fault.Report{
+		GoodOracle: full.GoodOracle,
+		BadOracle:  full.BadOracle,
+		Injections: full.Injections[:1],
+	}
+	if _, err := Merge([]*fault.Report{truncated, full}); err == nil {
+		t.Error("size-inconsistent shards accepted")
+	}
+}
+
+// TestRunAllBatch: the batch API runs every job, reports progress
+// monotonically per job, and tallies match the reports.
+func TestRunAllBatch(t *testing.T) {
+	bin := buildMini(t)
+	var mu_last Progress
+	calls := 0
+	jobs := []Job{
+		{Name: "skip", Campaign: miniCampaign(bin, fault.ModelSkip)},
+		{Name: "bitflip", Campaign: miniCampaign(bin, fault.ModelBitFlip)},
+	}
+	results := RunAll(jobs, Options{Progress: func(p Progress) {
+		calls++
+		if p.Jobs != 2 {
+			t.Errorf("progress Jobs = %d, want 2", p.Jobs)
+		}
+		mu_last = p
+	}})
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	totalInjections := 0
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.Tally.Total() != len(r.Report.Injections) {
+			t.Errorf("%s: tally %d != injections %d", r.Name, r.Tally.Total(), len(r.Report.Injections))
+		}
+		totalInjections += len(r.Report.Injections)
+	}
+	if calls != totalInjections {
+		t.Errorf("progress calls = %d, want one per injection (%d)", calls, totalInjections)
+	}
+	if mu_last.Job != "bitflip" || mu_last.Done != mu_last.Total {
+		t.Errorf("final progress = %+v", mu_last)
+	}
+	if results[0].Report.Count(fault.OutcomeSuccess) == 0 {
+		t.Error("skip campaign found no vulnerabilities in unprotected pincheck")
+	}
+}
+
+// TestRunAllContinuesPastErrors: one bad job doesn't kill the batch.
+func TestRunAllContinuesPastErrors(t *testing.T) {
+	bin := buildMini(t)
+	jobs := []Job{
+		{Name: "broken", Campaign: fault.Campaign{Binary: bin, Good: goodPin, Bad: goodPin}},
+		{Name: "ok", Campaign: miniCampaign(bin, fault.ModelSkip)},
+	}
+	results := RunAll(jobs, Options{})
+	if results[0].Err == nil {
+		t.Error("indistinguishable oracles not reported")
+	}
+	if results[1].Err != nil || results[1].Report == nil {
+		t.Errorf("healthy job failed: %v", results[1].Err)
+	}
+}
+
+// TestExportJSONAndCSV: the machine-readable exports round-trip and
+// agree with the report.
+func TestExportJSONAndCSV(t *testing.T) {
+	c := cases.Pincheck()
+	rep, err := Run(fault.Campaign{
+		Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
+		Models: []fault.Model{fault.ModelSkip},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize("pincheck", rep)
+	if sum.Injections != len(rep.Injections) || sum.Success != rep.Count(fault.OutcomeSuccess) {
+		t.Errorf("summary counts wrong: %+v", sum)
+	}
+	if len(sum.Sites) != len(rep.VulnerableSites()) {
+		t.Errorf("summary sites = %d, want %d", len(sum.Sites), len(rep.VulnerableSites()))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Summary{sum}); err != nil {
+		t.Fatal(err)
+	}
+	var back []Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("exported JSON invalid: %v", err)
+	}
+	if len(back) != 1 || back[0].Injections != sum.Injections {
+		t.Errorf("JSON round-trip mismatch: %+v", back)
+	}
+
+	buf.Reset()
+	if err := WriteCSV(&buf, []Summary{sum}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "name,") {
+		t.Errorf("CSV shape wrong:\n%s", buf.String())
+	}
+}
+
+// TestEngineAgainstHardenedVariant: campaign results on a hardened
+// binary stay deterministic too (regression guard for snapshot reuse
+// interacting with injected fault handlers).
+func TestEngineAgainstHardenedVariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardening pipeline is slow; covered by the full suite")
+	}
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	camp := fault.Campaign{Binary: bin, Good: c.Good, Bad: c.Bad,
+		Models: []fault.Model{fault.ModelSkip}}
+	a, err := Run(camp, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(camp, Options{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Injections, b.Injections) {
+		t.Fatal("hardened-variant campaign not worker-invariant")
+	}
+	if a.Count(fault.OutcomeDetected) != b.Count(fault.OutcomeDetected) {
+		t.Fatal("detected counts differ")
+	}
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/report"
+)
+
+// SiteSummary is one vulnerable instruction site in machine-readable
+// form.
+type SiteSummary struct {
+	Addr      uint64 `json:"addr"`
+	Mnemonic  string `json:"mnemonic"`
+	Class     string `json:"class"`
+	Successes int    `json:"successes"`
+}
+
+// Summary is the machine-readable digest of one campaign, shaped for
+// JSON/CSV export and dashboard ingestion.
+type Summary struct {
+	Name       string        `json:"name,omitempty"`
+	Models     []string      `json:"models"`
+	TraceLen   int           `json:"trace_len"`
+	Injections int           `json:"injections"`
+	Success    int           `json:"success"`
+	Detected   int           `json:"detected"`
+	Crash      int           `json:"crash"`
+	Ignored    int           `json:"ignored"`
+	Sites      []SiteSummary `json:"vulnerable_sites"`
+	GoodExit   int           `json:"good_exit"`
+	BadExit    int           `json:"bad_exit"`
+	ElapsedMS  int64         `json:"elapsed_ms,omitempty"`
+}
+
+// Summarize digests a report for export.
+func Summarize(name string, rep *fault.Report) Summary {
+	s := Summary{
+		Name:       name,
+		TraceLen:   rep.Trace.Len(),
+		Injections: len(rep.Injections),
+		Success:    rep.Count(fault.OutcomeSuccess),
+		Detected:   rep.Count(fault.OutcomeDetected),
+		Crash:      rep.Count(fault.OutcomeCrash),
+		Ignored:    rep.Count(fault.OutcomeIgnored),
+		GoodExit:   rep.GoodOracle.ExitCode,
+		BadExit:    rep.BadOracle.ExitCode,
+	}
+	seen := map[fault.Model]bool{}
+	for _, inj := range rep.Injections {
+		if !seen[inj.Fault.Model] {
+			seen[inj.Fault.Model] = true
+			s.Models = append(s.Models, inj.Fault.Model.String())
+		}
+	}
+	sort.Strings(s.Models)
+	for _, site := range rep.VulnerableSites() {
+		s.Sites = append(s.Sites, SiteSummary{
+			Addr:      site.Addr,
+			Mnemonic:  site.Mnemonic,
+			Class:     string(fault.Classify(site.Op)),
+			Successes: site.Count,
+		})
+	}
+	return s
+}
+
+// SummaryTable renders a batch of summaries as the standard text table
+// (also the source for CSV export).
+func SummaryTable(sums []Summary) *report.Table {
+	tab := &report.Table{
+		Title:  "fault campaign results",
+		Header: []string{"name", "trace", "injections", "success", "detected", "crash", "ignored", "sites"},
+	}
+	for _, s := range sums {
+		tab.AddRow(s.Name,
+			fmt.Sprintf("%d", s.TraceLen),
+			fmt.Sprintf("%d", s.Injections),
+			fmt.Sprintf("%d", s.Success),
+			fmt.Sprintf("%d", s.Detected),
+			fmt.Sprintf("%d", s.Crash),
+			fmt.Sprintf("%d", s.Ignored),
+			fmt.Sprintf("%d", len(s.Sites)))
+	}
+	return tab
+}
+
+// WriteJSON exports summaries as an indented JSON array.
+func WriteJSON(w io.Writer, sums []Summary) error {
+	return report.WriteJSON(w, sums)
+}
+
+// WriteCSV exports the summary table as CSV.
+func WriteCSV(w io.Writer, sums []Summary) error {
+	return SummaryTable(sums).WriteCSV(w)
+}

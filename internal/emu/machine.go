@@ -57,8 +57,9 @@ type Config struct {
 	// mutate instruction bytes at a precise dynamic step index.
 	FetchHook func(m *Machine)
 
-	// StepHook runs after decode, before execution.
-	StepHook func(m *Machine, in isa.Inst) StepAction
+	// StepHook runs after decode, before execution. The instruction is
+	// shared with the machine's caches and must not be mutated.
+	StepHook func(m *Machine, in *isa.Inst) StepAction
 }
 
 // TraceEntry is one executed instruction in a recorded trace.
@@ -91,7 +92,7 @@ type Machine struct {
 	recordTrace bool
 
 	fetchHook func(m *Machine)
-	stepHook  func(m *Machine, in isa.Inst) StepAction
+	stepHook  func(m *Machine, in *isa.Inst) StepAction
 
 	fetchBuf [decode.MaxInstLen]byte
 
@@ -99,9 +100,73 @@ type Machine struct {
 	// Memory.CodeGeneration changes (pokes, bit flips, self-modifying
 	// stores). Fault campaigns execute the same instructions millions
 	// of times; decoding once per address is the difference between
-	// minutes and seconds per campaign.
-	icache    map[uint64]isa.Inst
+	// minutes and seconds per campaign. Allocated lazily: machines fully
+	// served by a shared CodeCache never touch it.
+	icache    map[uint64]*isa.Inst
 	icacheGen uint64
+
+	// icacheBase is an optional dense read-only cache seeded from a
+	// Snapshot's golden run; it is consulted first and dropped as soon
+	// as the code mutates. Never written (it is shared across machines).
+	icacheBase *CodeCache
+}
+
+// CodeCache is an immutable decoded-code cache, dense over the code
+// address range so the per-step lookup is an index instead of a map
+// hash. It is built once from a finished golden run and shared
+// read-only by every machine resumed from the run's snapshots.
+type CodeCache struct {
+	base  uint64
+	gen   uint64 // memory code generation the cache is valid for
+	insts []isa.Inst
+	have  []bool
+}
+
+// maxCodeCacheSpan bounds the dense cache's address range (the code of
+// any plausible rewritten binary is far below this; a sparse decode map
+// spanning more indicates address-space games not worth caching).
+const maxCodeCacheSpan = 16 << 20
+
+// BuildCodeCache converts a machine's decode map (see DecodeCache)
+// into a dense cache. Returns nil when there is nothing to cache or
+// the addresses span an implausibly large range.
+func BuildCodeCache(insts map[uint64]*isa.Inst, gen uint64) *CodeCache {
+	if len(insts) == 0 {
+		return nil
+	}
+	lo, hi := uint64(1<<63), uint64(0)
+	for a := range insts {
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	span := hi - lo + 1
+	if span > maxCodeCacheSpan {
+		return nil
+	}
+	cc := &CodeCache{
+		base:  lo,
+		gen:   gen,
+		insts: make([]isa.Inst, span),
+		have:  make([]bool, span),
+	}
+	for a, in := range insts {
+		cc.insts[a-lo] = *in
+		cc.have[a-lo] = true
+	}
+	return cc
+}
+
+// lookup returns the cached instruction at addr, or nil.
+func (c *CodeCache) lookup(addr uint64) *isa.Inst {
+	off := addr - c.base
+	if off < uint64(len(c.have)) && c.have[off] {
+		return &c.insts[off]
+	}
+	return nil
 }
 
 // New builds a machine with the binary's sections mapped, a stack, and
@@ -171,20 +236,31 @@ func (m *Machine) Step() error {
 	if m.fetchHook != nil {
 		m.fetchHook(m)
 	}
-	if gen := m.Mem.CodeGeneration(); m.icache == nil || gen != m.icacheGen {
-		m.icache = make(map[uint64]isa.Inst, 256)
-		m.icacheGen = gen
+	gen := m.Mem.CodeGeneration()
+	if m.icacheBase != nil && gen != m.icacheBase.gen {
+		m.icacheBase = nil // seeded cache is stale once code mutates
 	}
-	in, ok := m.icache[m.RIP]
-	if !ok {
+	var in *isa.Inst
+	if m.icacheBase != nil {
+		in = m.icacheBase.lookup(m.RIP)
+	}
+	if in == nil {
+		if m.icache == nil || gen != m.icacheGen {
+			m.icache = make(map[uint64]*isa.Inst, 64)
+			m.icacheGen = gen
+		}
+		in = m.icache[m.RIP]
+	}
+	if in == nil {
 		n, err := m.Mem.Fetch(m.RIP, m.fetchBuf[:])
 		if err != nil {
 			return err
 		}
-		in, err = decode.Decode(m.fetchBuf[:n], m.RIP)
+		dec, err := decode.Decode(m.fetchBuf[:n], m.RIP)
 		if err != nil {
 			return fmt.Errorf("at %#x: %w", m.RIP, err)
 		}
+		in = &dec
 		m.icache[m.RIP] = in
 	}
 	if m.recordTrace {
@@ -220,7 +296,7 @@ func (m *Machine) setReg(r isa.Reg, v uint64, w uint8) {
 
 // effAddr computes the effective address of a memory operand for the
 // instruction (RIP-relative uses the end of the instruction).
-func (m *Machine) effAddr(in isa.Inst, mem isa.Mem) uint64 {
+func (m *Machine) effAddr(in *isa.Inst, mem *isa.Mem) uint64 {
 	if mem.RIPRel {
 		return in.Addr + uint64(in.EncLen) + uint64(int64(mem.Disp))
 	}
@@ -235,26 +311,26 @@ func (m *Machine) effAddr(in isa.Inst, mem isa.Mem) uint64 {
 }
 
 // readOperand loads the value of a reg/imm/mem operand.
-func (m *Machine) readOperand(in isa.Inst, op isa.Operand) (uint64, error) {
+func (m *Machine) readOperand(in *isa.Inst, op *isa.Operand) (uint64, error) {
 	switch op.Kind {
 	case isa.KindReg:
 		return m.reg(op.Reg, op.Width), nil
 	case isa.KindImm:
 		return uint64(op.Imm) & widthMask(op.Width), nil
 	case isa.KindMem:
-		return m.Mem.ReadUint(m.effAddr(in, op.Mem), op.Width)
+		return m.Mem.ReadUint(m.effAddr(in, &op.Mem), op.Width)
 	}
 	return 0, fmt.Errorf("emu: read of empty operand in %s", in)
 }
 
 // writeOperand stores a value to a reg/mem operand.
-func (m *Machine) writeOperand(in isa.Inst, op isa.Operand, v uint64) error {
+func (m *Machine) writeOperand(in *isa.Inst, op *isa.Operand, v uint64) error {
 	switch op.Kind {
 	case isa.KindReg:
 		m.setReg(op.Reg, v, op.Width)
 		return nil
 	case isa.KindMem:
-		return m.Mem.WriteUint(m.effAddr(in, op.Mem), v, op.Width)
+		return m.Mem.WriteUint(m.effAddr(in, &op.Mem), v, op.Width)
 	}
 	return fmt.Errorf("emu: write to bad operand in %s", in)
 }
@@ -274,43 +350,43 @@ func (m *Machine) pop64() (uint64, error) {
 }
 
 // exec executes a decoded instruction and advances RIP.
-func (m *Machine) exec(in isa.Inst) error {
+func (m *Machine) exec(in *isa.Inst) error {
 	next := in.Addr + uint64(in.EncLen)
 	f := flagState{&m.Rflags}
 
 	switch in.Op {
 	case isa.MOV:
-		v, err := m.readOperand(in, in.Src)
+		v, err := m.readOperand(in, &in.Src)
 		if err != nil {
 			return err
 		}
-		if err := m.writeOperand(in, in.Dst, v); err != nil {
+		if err := m.writeOperand(in, &in.Dst, v); err != nil {
 			return err
 		}
 
 	case isa.MOVZX:
-		v, err := m.readOperand(in, in.Src)
+		v, err := m.readOperand(in, &in.Src)
 		if err != nil {
 			return err
 		}
 		m.setReg(in.Dst.Reg, v&0xFF, in.Dst.Width)
 
 	case isa.MOVSX:
-		v, err := m.readOperand(in, in.Src)
+		v, err := m.readOperand(in, &in.Src)
 		if err != nil {
 			return err
 		}
 		m.setReg(in.Dst.Reg, uint64(int64(int8(v))), in.Dst.Width)
 
 	case isa.LEA:
-		m.setReg(in.Dst.Reg, m.effAddr(in, in.Src.Mem), in.Dst.Width)
+		m.setReg(in.Dst.Reg, m.effAddr(in, &in.Src.Mem), in.Dst.Width)
 
 	case isa.ADD, isa.ADC, isa.SUB, isa.SBB, isa.CMP, isa.AND, isa.OR, isa.XOR:
-		a, err := m.readOperand(in, in.Dst)
+		a, err := m.readOperand(in, &in.Dst)
 		if err != nil {
 			return err
 		}
-		b, err := m.readOperand(in, in.Src)
+		b, err := m.readOperand(in, &in.Src)
 		if err != nil {
 			return err
 		}
@@ -340,43 +416,43 @@ func (m *Machine) exec(in isa.Inst) error {
 			f.logicFlags(r, w)
 		}
 		if in.Op != isa.CMP {
-			if err := m.writeOperand(in, in.Dst, r); err != nil {
+			if err := m.writeOperand(in, &in.Dst, r); err != nil {
 				return err
 			}
 		}
 
 	case isa.TEST:
-		a, err := m.readOperand(in, in.Dst)
+		a, err := m.readOperand(in, &in.Dst)
 		if err != nil {
 			return err
 		}
-		b, err := m.readOperand(in, in.Src)
+		b, err := m.readOperand(in, &in.Src)
 		if err != nil {
 			return err
 		}
 		f.logicFlags(a&b&widthMask(in.Dst.Width), in.Dst.Width)
 
 	case isa.NOT:
-		a, err := m.readOperand(in, in.Dst)
+		a, err := m.readOperand(in, &in.Dst)
 		if err != nil {
 			return err
 		}
-		if err := m.writeOperand(in, in.Dst, ^a&widthMask(in.Dst.Width)); err != nil {
+		if err := m.writeOperand(in, &in.Dst, ^a&widthMask(in.Dst.Width)); err != nil {
 			return err
 		}
 
 	case isa.NEG:
-		a, err := m.readOperand(in, in.Dst)
+		a, err := m.readOperand(in, &in.Dst)
 		if err != nil {
 			return err
 		}
 		r := f.subFlags(0, a, 0, in.Dst.Width)
-		if err := m.writeOperand(in, in.Dst, r); err != nil {
+		if err := m.writeOperand(in, &in.Dst, r); err != nil {
 			return err
 		}
 
 	case isa.INC, isa.DEC:
-		a, err := m.readOperand(in, in.Dst)
+		a, err := m.readOperand(in, &in.Dst)
 		if err != nil {
 			return err
 		}
@@ -386,12 +462,12 @@ func (m *Machine) exec(in isa.Inst) error {
 		} else {
 			r = f.decFlags(a, in.Dst.Width)
 		}
-		if err := m.writeOperand(in, in.Dst, r); err != nil {
+		if err := m.writeOperand(in, &in.Dst, r); err != nil {
 			return err
 		}
 
 	case isa.SHL, isa.SHR, isa.SAR:
-		a, err := m.readOperand(in, in.Dst)
+		a, err := m.readOperand(in, &in.Dst)
 		if err != nil {
 			return err
 		}
@@ -405,16 +481,16 @@ func (m *Machine) exec(in isa.Inst) error {
 		case isa.SAR:
 			r = f.sarFlags(a, count, in.Dst.Width)
 		}
-		if err := m.writeOperand(in, in.Dst, r); err != nil {
+		if err := m.writeOperand(in, &in.Dst, r); err != nil {
 			return err
 		}
 
 	case isa.IMUL:
-		a, err := m.readOperand(in, in.Dst)
+		a, err := m.readOperand(in, &in.Dst)
 		if err != nil {
 			return err
 		}
-		b, err := m.readOperand(in, in.Src)
+		b, err := m.readOperand(in, &in.Src)
 		if err != nil {
 			return err
 		}
@@ -477,7 +553,7 @@ func (m *Machine) exec(in isa.Inst) error {
 		if isa.CondHolds(in.Cond, m.Rflags) {
 			v = 1
 		}
-		if err := m.writeOperand(in, in.Dst, v); err != nil {
+		if err := m.writeOperand(in, &in.Dst, v); err != nil {
 			return err
 		}
 

@@ -395,7 +395,7 @@ _start:
 		t.Fatal(err)
 	}
 	step := 0
-	m := New(bin, Config{StepHook: func(m *Machine, in isa.Inst) StepAction {
+	m := New(bin, Config{StepHook: func(m *Machine, in *isa.Inst) StepAction {
 		step++
 		if step == 2 { // the mov rdi, 1
 			return ActSkip

@@ -18,6 +18,7 @@ const (
 	AccessExec
 )
 
+// String names the access kind for fault messages.
 func (k AccessKind) String() string {
 	switch k {
 	case AccessRead:
@@ -37,6 +38,7 @@ type MemFault struct {
 	Kind AccessKind
 }
 
+// Error implements the error interface.
 func (e *MemFault) Error() string {
 	return fmt.Sprintf("emu: memory fault: %s at %#x", e.Kind, e.Addr)
 }
@@ -44,6 +46,13 @@ func (e *MemFault) Error() string {
 type page struct {
 	data [pageSize]byte
 	perm uint32
+
+	// cow marks the page as shared with a frozen Snapshot: it must be
+	// cloned into a private copy before the first write. The flag is only
+	// ever set while freezing (single-threaded); machines resumed from a
+	// snapshot read it concurrently and clone into their own page tables,
+	// so the frozen page itself is never mutated.
+	cow bool
 }
 
 // region is a mapped address range whose pages materialize lazily on
@@ -56,14 +65,46 @@ type region struct {
 }
 
 // Memory is a sparse paged address space with per-page permissions.
+// A resumed memory (see Snapshot) layers a small private page table
+// over a frozen base: reads fall through to the base, writes clone the
+// touched page into the private table first.
 type Memory struct {
-	pages   map[uint64]*page
+	pages   map[uint64]*page // private overlay; may be nil until first use
+	base    map[uint64]*page // frozen snapshot pages, shared read-only; may be nil
 	regions []region
 
 	// codeGen increments whenever executable bytes may have changed
 	// (Poke/FlipBit, or a store into an executable page); the machine's
 	// decoded-instruction cache keys off it.
 	codeGen uint64
+}
+
+// clonePage replaces a copy-on-write page with a private mutable copy
+// in this address space's overlay and returns the copy. Every write
+// path must go through it before mutating a shared page.
+func (m *Memory) clonePage(pa uint64, p *page) *page {
+	q := &page{data: p.data, perm: p.perm}
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page, 8)
+	}
+	m.pages[pa] = q
+	return q
+}
+
+// lookupPage returns the visible page containing pa (private overlay
+// first, then the frozen base), without materializing anything.
+func (m *Memory) lookupPage(pa uint64) *page {
+	if m.pages != nil {
+		if p, ok := m.pages[pa]; ok {
+			return p
+		}
+	}
+	if m.base != nil {
+		if p, ok := m.base[pa]; ok {
+			return p
+		}
+	}
+	return nil
 }
 
 // CodeGeneration returns the current code-mutation epoch.
@@ -78,9 +119,13 @@ func NewMemory() *Memory {
 // zero-filled. Overlapping maps widen permissions.
 func (m *Memory) Map(addr, size uint64, perm uint32) {
 	m.regions = append(m.regions, region{addr: addr, size: size, perm: perm})
-	// Already-materialized pages in range get their perms widened.
+	// Already-materialized pages in range get their perms widened
+	// (cloning shared pages first — permissions are per-machine state).
 	for a := addr &^ (pageSize - 1); a < addr+size; a += pageSize {
-		if p, ok := m.pages[a]; ok {
+		if p := m.lookupPage(a); p != nil {
+			if p.cow {
+				p = m.clonePage(a, p)
+			}
 			p.perm |= perm
 		}
 	}
@@ -110,7 +155,7 @@ func (m *Memory) regionPerm(pageAddr uint64) (uint32, bool) {
 // a covering region if needed. Returns nil for unmapped addresses.
 func (m *Memory) page(addr uint64) *page {
 	pa := addr &^ (pageSize - 1)
-	if p, ok := m.pages[pa]; ok {
+	if p := m.lookupPage(pa); p != nil {
 		return p
 	}
 	perm, ok := m.regionPerm(pa)
@@ -118,14 +163,40 @@ func (m *Memory) page(addr uint64) *page {
 		return nil
 	}
 	p := &page{perm: perm}
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page, 8)
+	}
 	m.pages[pa] = p
+	return p
+}
+
+// writablePage returns a page safe to mutate: copy-on-write pages are
+// cloned into this address space first. Returns nil for unmapped
+// addresses.
+func (m *Memory) writablePage(addr uint64) *page {
+	pa := addr &^ (pageSize - 1)
+	p := m.lookupPage(pa)
+	switch {
+	case p == nil:
+		perm, ok := m.regionPerm(pa)
+		if !ok {
+			return nil
+		}
+		p = &page{perm: perm}
+		if m.pages == nil {
+			m.pages = make(map[uint64]*page, 8)
+		}
+		m.pages[pa] = p
+	case p.cow:
+		p = m.clonePage(pa, p)
+	}
 	return p
 }
 
 func (m *Memory) writeRaw(addr uint64, data []byte) {
 	for i := 0; i < len(data); {
 		a := addr + uint64(i)
-		p := m.page(a)
+		p := m.writablePage(a)
 		n := copy(p.data[a&(pageSize-1):], data[i:])
 		i += n
 	}
@@ -134,7 +205,7 @@ func (m *Memory) writeRaw(addr uint64, data []byte) {
 // permAt returns the effective permissions of the page containing addr
 // without materializing it.
 func (m *Memory) permAt(pageAddr uint64) (uint32, bool) {
-	if p, ok := m.pages[pageAddr]; ok {
+	if p := m.lookupPage(pageAddr); p != nil {
 		return p.perm, true
 	}
 	return m.regionPerm(pageAddr)
@@ -182,7 +253,7 @@ func (m *Memory) readRaw(addr uint64, buf []byte) {
 	for i := 0; i < len(buf); {
 		pa := (addr + uint64(i)) &^ (pageSize - 1)
 		off := (addr + uint64(i)) & (pageSize - 1)
-		p := m.pages[pa]
+		p := m.lookupPage(pa)
 		if p == nil {
 			buf[i] = 0
 			i++
@@ -213,6 +284,18 @@ func (m *Memory) Write(addr uint64, data []byte) error {
 // ReadUint reads a little-endian unsigned integer of the given byte
 // width with read permission enforcement.
 func (m *Memory) ReadUint(addr uint64, width uint8) (uint64, error) {
+	// Fast path: the access sits in one materialized readable page, so
+	// a single lookup serves it (this is every operand load of the hot
+	// interpreter loop).
+	if off := addr & (pageSize - 1); off+uint64(width) <= pageSize {
+		if p := m.lookupPage(addr &^ (pageSize - 1)); p != nil && p.perm&elf.FlagRead != 0 {
+			var v uint64
+			for i := uint8(0); i < width; i++ {
+				v |= uint64(p.data[off+uint64(i)]) << (8 * i)
+			}
+			return v, nil
+		}
+	}
 	var buf [8]byte
 	if err := m.Read(addr, buf[:width]); err != nil {
 		return 0, err
@@ -226,6 +309,22 @@ func (m *Memory) ReadUint(addr uint64, width uint8) (uint64, error) {
 
 // WriteUint writes a little-endian unsigned integer of the given width.
 func (m *Memory) WriteUint(addr uint64, v uint64, width uint8) error {
+	// Fast path mirroring ReadUint: one page, writable, no region scan.
+	if off := addr & (pageSize - 1); off+uint64(width) <= pageSize {
+		pa := addr &^ (pageSize - 1)
+		if p := m.lookupPage(pa); p != nil && p.perm&elf.FlagWrite != 0 {
+			if p.perm&elf.FlagExec != 0 {
+				m.codeGen++ // self-modifying store, like Write
+			}
+			if p.cow {
+				p = m.clonePage(pa, p)
+			}
+			for i := uint8(0); i < width; i++ {
+				p.data[off+uint64(i)] = byte(v >> (8 * i))
+			}
+			return nil
+		}
+	}
 	var buf [8]byte
 	for i := uint8(0); i < width; i++ {
 		buf[i] = byte(v >> (8 * i))
@@ -257,7 +356,7 @@ func (m *Memory) Fetch(addr uint64, buf []byte) (int, error) {
 // Poke overwrites a single byte ignoring permissions. The fault injector
 // uses it to mutate instruction bytes the way a hardware glitch would.
 func (m *Memory) Poke(addr uint64, b byte) error {
-	p := m.page(addr)
+	p := m.writablePage(addr)
 	if p == nil {
 		return &MemFault{Addr: addr, Kind: AccessWrite}
 	}

@@ -1,0 +1,139 @@
+package emu
+
+import (
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// memImage is a frozen view of an address space: a page table whose
+// pages are shared copy-on-write with the donor machine and with every
+// machine resumed from the snapshot.
+type memImage struct {
+	pages   map[uint64]*page
+	regions []region
+	codeGen uint64
+}
+
+// freeze marks every visible page copy-on-write and returns an
+// immutable image holding the union of the base and private page
+// tables. The donor memory keeps working: its next write to a frozen
+// page clones it privately first.
+func (m *Memory) freeze() memImage {
+	pages := make(map[uint64]*page, len(m.pages)+len(m.base))
+	for a, p := range m.base {
+		pages[a] = p // already cow from the freeze that shared them
+	}
+	for a, p := range m.pages {
+		p.cow = true
+		pages[a] = p
+	}
+	return memImage{pages: pages, regions: m.regions, codeGen: m.codeGen}
+}
+
+// resumeMemory builds a private address space layered over a frozen
+// image: no pages are copied up front, reads fall through to the
+// image, and writes clone single pages on demand.
+func resumeMemory(img memImage) *Memory {
+	return &Memory{base: img.pages, regions: img.regions, codeGen: img.codeGen}
+}
+
+// Snapshot is an immutable machine image taken at an instruction
+// boundary. Any number of machines can be resumed from it concurrently;
+// memory pages are shared copy-on-write, so a resume costs one small
+// map copy instead of re-loading the binary and re-zeroing the stack.
+//
+// Fault campaigns are the intended user: the golden run is executed
+// once, snapshots are taken along the way, and each of the thousands of
+// injection runs forks from the nearest snapshot instead of replaying
+// the whole prefix from _start (the state-reuse trick that makes
+// exhaustive fault simulation tractable, cf. ARMORY).
+type Snapshot struct {
+	regs   [isa.NumRegs]uint64
+	rip    uint64
+	rflags uint64
+	steps  uint64
+
+	stdin  []byte
+	inPos  int
+	stdout []byte // capacity-clamped: resumed appends reallocate
+	stderr []byte
+
+	mem memImage
+
+	// Optional warm decoded-code cache, shared read-only by all resumed
+	// machines while their code generation still matches.
+	code *CodeCache
+}
+
+// Snapshot freezes the machine's current state. The machine remains
+// usable afterwards (its next write to any frozen page clones it).
+// Must not be called concurrently with resumed machines running; the
+// intended sequence is: run + snapshot single-threaded, then fan out.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{
+		regs:   m.Regs,
+		rip:    m.RIP,
+		rflags: m.Rflags,
+		steps:  m.Steps,
+		stdin:  m.Stdin,
+		inPos:  m.inPos,
+		stdout: m.Stdout[:len(m.Stdout):len(m.Stdout)],
+		stderr: m.Stderr[:len(m.Stderr):len(m.Stderr)],
+		mem:    m.Mem.freeze(),
+	}
+}
+
+// Steps returns the number of instructions executed before the snapshot
+// was taken.
+func (s *Snapshot) Steps() uint64 { return s.steps }
+
+// SeedDecodeCache attaches a warm decoded-code cache (built with
+// BuildCodeCache from a finished golden run) so resumed machines skip
+// re-decoding instructions the golden run already decoded. Ignored when
+// the cache's code generation does not match the snapshot's.
+func (s *Snapshot) SeedDecodeCache(cache *CodeCache) {
+	if cache != nil && cache.gen == s.mem.codeGen {
+		s.code = cache
+	}
+}
+
+// Resume forks a fresh machine from the snapshot. cfg supplies the run
+// controls (StepLimit, hooks, RecordTrace); cfg.Stdin, when non-nil,
+// replaces the snapshot's input stream (only meaningful for snapshots
+// taken before the first read). StepLimit counts total steps including
+// the snapshot's prefix, so absolute step budgets behave identically to
+// a from-scratch run.
+func (s *Snapshot) Resume(cfg Config) *Machine {
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = DefaultStepLimit
+	}
+	m := &Machine{
+		Regs:        s.regs,
+		RIP:         s.rip,
+		Rflags:      s.rflags,
+		Steps:       s.steps,
+		Mem:         resumeMemory(s.mem),
+		Stdin:       s.stdin,
+		inPos:       s.inPos,
+		Stdout:      s.stdout,
+		Stderr:      s.stderr,
+		StepLimit:   cfg.StepLimit,
+		recordTrace: cfg.RecordTrace,
+		fetchHook:   cfg.FetchHook,
+		stepHook:    cfg.StepHook,
+	}
+	if cfg.Stdin != nil {
+		m.Stdin = cfg.Stdin
+	}
+	if s.code != nil && s.code.gen == m.Mem.CodeGeneration() {
+		m.icacheBase = s.code
+	}
+	return m
+}
+
+// DecodeCache exposes the machine's decoded-instruction cache and the
+// code generation it is valid for, so a finished golden run can donate
+// its decode work to a Snapshot (via BuildCodeCache). The caller must
+// not mutate the map or the instructions it points to.
+func (m *Machine) DecodeCache() (map[uint64]*isa.Inst, uint64) {
+	return m.icache, m.icacheGen
+}

@@ -225,22 +225,12 @@ func TableV() (*report.Table, []TableVData, error) {
 	}
 	var out []TableVData
 	for _, c := range cases.All() {
-		bin := c.MustBuild()
-
-		fp, err := harden.FaulterPatcher(bin, harden.FaulterPatcherOptions{
-			Good: c.Good, Bad: c.Bad, Models: bothModels, StepLimit: stepLimit,
-		})
+		fp, err := memo.fpFor(c, bothModels)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s faulter+patcher: %w", c.Name, err)
-		}
-		hy, err := harden.Hybrid(bin, harden.HybridOptions{})
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s hybrid: %w", c.Name, err)
-		}
-		if err := c.Check(fp.Binary); err != nil {
 			return nil, nil, err
 		}
-		if err := c.Check(hy.Binary); err != nil {
+		hy, err := memo.hybridFor(c)
+		if err != nil {
 			return nil, nil, err
 		}
 
@@ -281,13 +271,12 @@ func ClaimSkip() (*report.Table, []ClaimData, error) {
 	var out []ClaimData
 	models := []fault.Model{fault.ModelSkip}
 	for _, c := range cases.All() {
-		bin := c.MustBuild()
-		variants, err := hardenBoth(c, bin, models)
+		variants, baseline, err := hardenBoth(c, models)
 		if err != nil {
 			return nil, nil, err
 		}
 		for _, v := range variants {
-			ev, err := harden.Evaluate(bin, v.bin, c.Good, c.Bad, models, stepLimit)
+			ev, err := harden.EvaluateAgainst(baseline, v.bin, c.Good, c.Bad, models, stepLimit)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -317,13 +306,12 @@ func ClaimBitflip() (*report.Table, []ClaimData, error) {
 	var out []ClaimData
 	models := []fault.Model{fault.ModelBitFlip}
 	for _, c := range cases.All() {
-		bin := c.MustBuild()
-		variants, err := hardenBoth(c, bin, models)
+		variants, baseline, err := hardenBoth(c, models)
 		if err != nil {
 			return nil, nil, err
 		}
 		for _, v := range variants {
-			ev, err := harden.Evaluate(bin, v.bin, c.Good, c.Bad, models, stepLimit)
+			ev, err := harden.EvaluateAgainst(baseline, v.bin, c.Good, c.Bad, models, stepLimit)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -349,28 +337,26 @@ type variant struct {
 	bin  *elf.Binary
 }
 
-// hardenBoth produces the F+P and Hybrid hardened binaries for a case.
-func hardenBoth(c *cases.Case, bin *elf.Binary, models []fault.Model) ([]variant, error) {
-	fp, err := harden.FaulterPatcher(bin, harden.FaulterPatcherOptions{
-		Good: c.Good, Bad: c.Bad, Models: models, StepLimit: stepLimit,
-	})
+// hardenBoth produces the F+P and Hybrid hardened binaries for a case
+// (memoized) along with the case's baseline campaign report under the
+// same models, so evaluations share one baseline sweep per case.
+func hardenBoth(c *cases.Case, models []fault.Model) ([]variant, *fault.Report, error) {
+	fp, err := memo.fpFor(c, models)
 	if err != nil {
-		return nil, fmt.Errorf("%s faulter+patcher: %w", c.Name, err)
+		return nil, nil, err
 	}
-	hy, err := harden.Hybrid(bin, harden.HybridOptions{})
+	hy, err := memo.hybridFor(c)
 	if err != nil {
-		return nil, fmt.Errorf("%s hybrid: %w", c.Name, err)
+		return nil, nil, err
 	}
-	if err := c.Check(fp.Binary); err != nil {
-		return nil, err
-	}
-	if err := c.Check(hy.Binary); err != nil {
-		return nil, err
+	baseline, err := memo.baselineFor(c, models)
+	if err != nil {
+		return nil, nil, err
 	}
 	return []variant{
 		{"faulter+patcher", fp.Binary},
 		{"hybrid", hy.Binary},
-	}, nil
+	}, baseline, nil
 }
 
 // ClaimClassData records the vulnerability class census.
@@ -388,10 +374,7 @@ func ClaimClass() (*report.Table, []ClaimClassData, error) {
 	}
 	var out []ClaimClassData
 	for _, c := range cases.All() {
-		rep, err := fault.Run(fault.Campaign{
-			Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
-			Models: bothModels, StepLimit: stepLimit,
-		})
+		rep, err := memo.baselineFor(c, bothModels)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -434,13 +417,11 @@ func ClaimDup() (*report.Table, []ClaimDupData, error) {
 	var out []ClaimDupData
 	for _, c := range cases.All() {
 		bin := c.MustBuild()
-		fp, err := harden.FaulterPatcher(bin, harden.FaulterPatcherOptions{
-			Good: c.Good, Bad: c.Bad, Models: bothModels, StepLimit: stepLimit,
-		})
+		fp, err := memo.fpFor(c, bothModels)
 		if err != nil {
 			return nil, nil, err
 		}
-		hy, err := harden.Hybrid(bin, harden.HybridOptions{})
+		hy, err := memo.hybridFor(c)
 		if err != nil {
 			return nil, nil, err
 		}

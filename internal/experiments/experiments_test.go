@@ -38,6 +38,9 @@ func TestTableIV(t *testing.T) {
 }
 
 func TestTableV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both hardening pipelines on both cases; run without -short")
+	}
 	tab, data, err := TableV()
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +67,9 @@ func TestTableV(t *testing.T) {
 }
 
 func TestClaimSkip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both hardening pipelines plus campaigns; run without -short")
+	}
 	tab, data, err := ClaimSkip()
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +86,9 @@ func TestClaimSkip(t *testing.T) {
 }
 
 func TestClaimBitflip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive bit-flip sweeps over hardened binaries; run without -short")
+	}
 	tab, data, err := ClaimBitflip()
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +129,9 @@ func TestClaimClass(t *testing.T) {
 }
 
 func TestClaimDup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every rewriting pipeline on both cases; run without -short")
+	}
 	tab, data, err := ClaimDup()
 	if err != nil {
 		t.Fatal(err)

@@ -15,9 +15,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/r2r/reinforce/internal/elf"
 	"github.com/r2r/reinforce/internal/emu"
@@ -34,6 +32,7 @@ const (
 	ModelBitFlip              // flip one bit of one instruction's encoding
 )
 
+// String names the fault model as in the paper.
 func (m Model) String() string {
 	switch m {
 	case ModelSkip:
@@ -81,6 +80,7 @@ const (
 	OutcomeDetected                // countermeasure fault handler fired
 )
 
+// String renders the outcome for reports and summaries.
 func (o Outcome) String() string {
 	switch o {
 	case OutcomeIgnored:
@@ -156,70 +156,17 @@ var (
 	ErrBadRun = errors.New("fault: reference run failed")
 )
 
-// Run executes the campaign: capture oracles and the bad-input trace,
-// then simulate every fault in parallel.
+// Run executes the campaign: capture oracles and the bad-input trace
+// once, then simulate every fault in parallel from copy-on-write
+// snapshots of the reference run (see Session). Results are
+// bit-identical regardless of worker count.
 func Run(c Campaign) (*Report, error) {
-	if c.StepLimit == 0 {
-		c.StepLimit = emu.DefaultStepLimit
+	s, err := NewSession(c)
+	if err != nil {
+		return nil, err
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
-	if len(c.Models) == 0 {
-		c.Models = []Model{ModelSkip, ModelBitFlip}
-	}
-
-	goodTrace := trace.Capture(c.Binary, c.Good, c.StepLimit)
-	if goodTrace.Err != nil {
-		return nil, fmt.Errorf("%w: good input: %v", ErrBadRun, goodTrace.Err)
-	}
-	badTrace := trace.Capture(c.Binary, c.Bad, c.StepLimit)
-	if badTrace.Err != nil {
-		return nil, fmt.Errorf("%w: bad input: %v", ErrBadRun, badTrace.Err)
-	}
-	rep := &Report{
-		Trace:      badTrace,
-		GoodOracle: observe(goodTrace.Result),
-		BadOracle:  observe(badTrace.Result),
-	}
-	if rep.GoodOracle == rep.BadOracle {
-		return nil, ErrOracle
-	}
-
-	if c.InjectionStepLimit == 0 {
-		ref := badTrace.Result.Steps
-		if goodTrace.Result.Steps > ref {
-			ref = goodTrace.Result.Steps
-		}
-		c.InjectionStepLimit = 8*ref + 4096
-	}
-
-	faults := enumerate(c, badTrace)
-	if c.MaxFaults > 0 && len(faults) > c.MaxFaults {
-		faults = faults[:c.MaxFaults]
-	}
-
-	rep.Injections = make([]Injection, len(faults))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < c.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				rep.Injections[i] = Injection{
-					Fault:   faults[i],
-					Outcome: simulate(c, faults[i], rep),
-				}
-			}
-		}()
-	}
-	for i := range faults {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return rep, nil
+	injections, _ := s.ExecuteShard(0, 1, s.c.Workers, nil)
+	return s.Report(injections), nil
 }
 
 // enumerate expands the campaign into individual faults.
@@ -267,55 +214,43 @@ func enumerate(c Campaign, badTrace *trace.Trace) []Fault {
 	return out
 }
 
-// simulate runs one injection and classifies its outcome.
-func simulate(c Campaign, f Fault, rep *Report) Outcome {
-	cfg := emu.Config{
-		Stdin:     c.Bad,
-		StepLimit: c.InjectionStepLimit,
-	}
-	switch f.Model {
-	case ModelSkip:
-		step := 0
-		cfg.StepHook = func(m *emu.Machine, in isa.Inst) emu.StepAction {
-			step++
-			if step-1 == f.TraceIndex {
-				return emu.ActSkip
-			}
-			return emu.ActContinue
-		}
-	case ModelBitFlip:
-		fetch := 0
-		flipAddr := f.Addr + uint64(f.Bit/8)
-		flipBit := uint(f.Bit % 8)
-		cfg.FetchHook = func(m *emu.Machine) {
-			switch fetch {
-			case f.TraceIndex:
-				_ = m.Mem.FlipBit(flipAddr, flipBit)
-			case f.TraceIndex + 1:
-				if f.Transient {
-					_ = m.Mem.FlipBit(flipAddr, flipBit)
-				}
-			}
-			fetch++
-		}
-	}
-	m := emu.New(c.Binary, cfg)
-	res, err := m.Run()
-	return classify(res, err, rep)
-}
-
-func classify(res emu.Result, err error, rep *Report) Outcome {
+// classify maps a finished injection run to its outcome against the
+// good-input oracle.
+func classify(res emu.Result, err error, good Observable) Outcome {
 	if err != nil || !res.Exited {
 		return OutcomeCrash
 	}
 	if res.ExitCode == DetectedExitCode || bytes.Contains(res.Stderr, []byte("FAULT")) {
 		return OutcomeDetected
 	}
-	obs := observe(res)
-	if obs == rep.GoodOracle {
+	if observe(res) == good {
 		return OutcomeSuccess
 	}
 	return OutcomeIgnored
+}
+
+// FilterModels returns a view of the report restricted to the given
+// fault models, preserving campaign order. Because campaigns enumerate
+// each model's faults independently, the filtered view is bit-identical
+// to a campaign run with only those models (as long as MaxFaults did
+// not truncate the original). The trace and oracles are shared, not
+// copied.
+func (r *Report) FilterModels(models ...Model) *Report {
+	keep := make(map[Model]bool, len(models))
+	for _, m := range models {
+		keep[m] = true
+	}
+	out := &Report{
+		Trace:      r.Trace,
+		GoodOracle: r.GoodOracle,
+		BadOracle:  r.BadOracle,
+	}
+	for _, inj := range r.Injections {
+		if keep[inj.Fault.Model] {
+			out.Injections = append(out.Injections, inj)
+		}
+	}
+	return out
 }
 
 // Successful returns the injections that constitute vulnerabilities.

@@ -1,0 +1,390 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/r2r/reinforce/internal/decode"
+	"github.com/r2r/reinforce/internal/emu"
+	"github.com/r2r/reinforce/internal/isa"
+	"github.com/r2r/reinforce/internal/trace"
+)
+
+// Checkpoint policy: the reference run is snapshotted every
+// checkpointInterval steps so injections replay at most one interval of
+// prefix instead of the whole trace. When a long run would exceed
+// maxCheckpoints, every other checkpoint is dropped and the interval
+// doubles, bounding memory at O(maxCheckpoints) page tables.
+const (
+	checkpointInterval = 64
+	maxCheckpoints     = 256
+)
+
+// Session is the reusable execution state of a fault campaign against
+// one binary: the memoized golden (fault-free) runs and their oracles,
+// a chain of copy-on-write machine snapshots along the reference trace,
+// the warm decode cache, and the deterministically enumerated fault
+// list.
+//
+// Building the session performs all per-binary work exactly once; each
+// of the (often tens of thousands of) injections then forks the nearest
+// snapshot instead of re-initializing memory and registers and
+// re-executing the whole prefix from _start. Sessions are safe for
+// concurrent Simulate/ExecuteShard calls once constructed.
+type Session struct {
+	c      Campaign
+	good   Observable
+	bad    Observable
+	trace  *trace.Trace
+	faults []Fault
+	ckpts  []*emu.Snapshot // ascending by step; ckpts[0] is the entry state
+
+	// probes caches the fetchable instruction bytes at each traced
+	// address, for the bit-flip decode pre-screen (see Simulate). Nil
+	// when the pre-screen is disabled (self-modifying reference run).
+	probes map[uint64]probe
+}
+
+// probe is the byte window the emulator would fetch at an address.
+type probe struct {
+	buf [decode.MaxInstLen]byte
+	n   int
+}
+
+// NewSession captures the oracles and reference trace, snapshots the
+// execution at regular intervals, and enumerates every fault of the
+// campaign. It fails like Run does: ErrBadRun when a golden run
+// crashes, ErrOracle when the two inputs are indistinguishable.
+func NewSession(c Campaign) (*Session, error) {
+	if c.StepLimit == 0 {
+		c.StepLimit = emu.DefaultStepLimit
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Models) == 0 {
+		c.Models = []Model{ModelSkip, ModelBitFlip}
+	}
+
+	// Pristine entry-state snapshot: sections loaded, stack mapped, RIP
+	// at entry. Both golden runs and checkpoint 0 fork from it.
+	base := emu.New(c.Binary, emu.Config{Stdin: c.Bad, StepLimit: c.StepLimit}).Snapshot()
+
+	// Resume only overrides stdin when non-nil, and the snapshot carries
+	// the bad input — so a nil good input must be pinned to empty here
+	// or the good run would silently consume the bad bytes.
+	goodIn := c.Good
+	if goodIn == nil {
+		goodIn = []byte{}
+	}
+	gm := base.Resume(emu.Config{Stdin: goodIn, StepLimit: c.StepLimit, RecordTrace: true})
+	goodRes, goodErr := gm.Run()
+	if goodErr != nil {
+		return nil, fmt.Errorf("%w: good input: %v", ErrBadRun, goodErr)
+	}
+
+	s := &Session{c: c, ckpts: []*emu.Snapshot{base}}
+	rm := base.Resume(emu.Config{StepLimit: c.StepLimit, RecordTrace: true})
+	badRes, badErr := s.runReference(rm)
+	if badErr != nil {
+		return nil, fmt.Errorf("%w: bad input: %v", ErrBadRun, badErr)
+	}
+
+	s.trace = &trace.Trace{Entries: rm.Trace, Result: badRes}
+	s.good = observe(goodRes)
+	s.bad = observe(badRes)
+	if s.good == s.bad {
+		return nil, ErrOracle
+	}
+
+	// Donate the reference run's decode work to every snapshot whose
+	// code image still matches, so injections skip re-decoding.
+	cache, gen := rm.DecodeCache()
+	cc := emu.BuildCodeCache(cache, gen)
+	for _, cp := range s.ckpts {
+		cp.SeedDecodeCache(cc)
+	}
+
+	if s.c.InjectionStepLimit == 0 {
+		ref := badRes.Steps
+		if goodRes.Steps > ref {
+			ref = goodRes.Steps
+		}
+		s.c.InjectionStepLimit = 8*ref + 4096
+	}
+
+	s.faults = enumerate(s.c, s.trace)
+	if s.c.MaxFaults > 0 && len(s.faults) > s.c.MaxFaults {
+		s.faults = s.faults[:s.c.MaxFaults]
+	}
+
+	// Bit-flip decode pre-screen: when the reference run never mutated
+	// code (generation still zero), the bytes fetched at any traced
+	// address are the load-time bytes, so whether a given flip still
+	// decodes can be answered once per (address, bit) with a single
+	// decode instead of a full simulation. Only valid while code is
+	// pristine; a self-modifying reference run disables it.
+	if gen == 0 {
+		needsProbe := false
+		for _, f := range s.faults {
+			if f.Model == ModelBitFlip {
+				needsProbe = true
+				break
+			}
+		}
+		if needsProbe {
+			pm := base.Resume(emu.Config{})
+			s.probes = make(map[uint64]probe, len(s.trace.Entries))
+			for _, e := range s.trace.Entries {
+				if _, ok := s.probes[e.Addr]; ok {
+					continue
+				}
+				var p probe
+				n, err := pm.Mem.Fetch(e.Addr, p.buf[:])
+				if err != nil {
+					s.probes = nil // be conservative: simulate everything
+					break
+				}
+				p.n = n
+				s.probes[e.Addr] = p
+			}
+		}
+	}
+	return s, nil
+}
+
+// runReference executes the bad-input reference run, snapshotting the
+// machine every checkpointInterval steps (with geometric thinning once
+// maxCheckpoints is reached).
+func (s *Session) runReference(m *emu.Machine) (emu.Result, error) {
+	interval := uint64(checkpointInterval)
+	next := interval
+	var err error
+	for !m.Exited {
+		if m.Steps >= m.StepLimit {
+			err = emu.ErrStepLimit
+			break
+		}
+		if m.Steps == next {
+			s.ckpts = append(s.ckpts, m.Snapshot())
+			if len(s.ckpts) > maxCheckpoints {
+				kept := s.ckpts[:0]
+				for i := 0; i < len(s.ckpts); i += 2 {
+					kept = append(kept, s.ckpts[i])
+				}
+				s.ckpts = kept
+				interval *= 2
+			}
+			next = m.Steps + interval
+		}
+		if err = m.Step(); err != nil {
+			break
+		}
+	}
+	return emu.Result{
+		Exited:   m.Exited,
+		ExitCode: m.ExitCode,
+		Steps:    m.Steps,
+		Stdout:   m.Stdout,
+		Stderr:   m.Stderr,
+	}, err
+}
+
+// Faults returns the enumerated fault list in campaign order. Callers
+// must not mutate it.
+func (s *Session) Faults() []Fault { return s.faults }
+
+// NumFaults returns the campaign's total injection count.
+func (s *Session) NumFaults() int { return len(s.faults) }
+
+// Oracles returns the observable behaviour of the good and bad golden
+// runs.
+func (s *Session) Oracles() (good, bad Observable) { return s.good, s.bad }
+
+// Report assembles a campaign report around a set of injections (as
+// produced by ExecuteShard, or merged from several shards).
+func (s *Session) Report(injections []Injection) *Report {
+	return &Report{
+		Trace:      s.trace,
+		GoodOracle: s.good,
+		BadOracle:  s.bad,
+		Injections: injections,
+	}
+}
+
+// checkpointFor returns the latest snapshot taken at or before the
+// given trace index.
+func (s *Session) checkpointFor(traceIndex uint64) *emu.Snapshot {
+	lo, hi := 0, len(s.ckpts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.ckpts[mid].Steps() <= traceIndex {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return s.ckpts[lo]
+}
+
+// injectionConfig builds the emulator hooks for one fault. The hooks
+// key off the machine's absolute step counter, so they behave
+// identically whether the run starts from _start or resumes from a
+// mid-trace snapshot.
+func (s *Session) injectionConfig(f Fault) emu.Config {
+	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+	ti := uint64(f.TraceIndex)
+	switch f.Model {
+	case ModelSkip:
+		cfg.StepHook = func(m *emu.Machine, in *isa.Inst) emu.StepAction {
+			// Steps is incremented before the hook runs, so the
+			// currently executing instruction has index Steps-1.
+			if m.Steps-1 == ti {
+				return emu.ActSkip
+			}
+			return emu.ActContinue
+		}
+	case ModelBitFlip:
+		flipAddr := f.Addr + uint64(f.Bit/8)
+		flipBit := uint(f.Bit % 8)
+		transient := f.Transient
+		cfg.FetchHook = func(m *emu.Machine) {
+			// The hook runs before Steps is incremented, so the
+			// instruction about to be fetched has index Steps.
+			switch m.Steps {
+			case ti:
+				_ = m.Mem.FlipBit(flipAddr, flipBit)
+			case ti + 1:
+				if transient {
+					_ = m.Mem.FlipBit(flipAddr, flipBit)
+				}
+			}
+		}
+	}
+	return cfg
+}
+
+// Simulate runs one injection and classifies its outcome. Safe for
+// concurrent use.
+//
+// Bit flips that corrupt the instruction encoding beyond decodability
+// are classified as crashes without simulation: the reference run
+// proves execution reaches the fault site, the flipped fetch then
+// fails to decode, and a decode failure is a crash regardless of any
+// output produced earlier (and a too-small InjectionStepLimit that
+// would stop the run before the fault site is also a crash). Everything
+// else resumes the nearest copy-on-write snapshot.
+func (s *Session) Simulate(f Fault) Outcome {
+	if f.Model == ModelBitFlip && s.probes != nil {
+		if p, ok := s.probes[f.Addr]; ok && f.Bit/8 < p.n {
+			p.buf[f.Bit/8] ^= 1 << (f.Bit % 8)
+			if _, err := decode.Decode(p.buf[:p.n], f.Addr); err != nil {
+				return OutcomeCrash
+			}
+		}
+	}
+	m := s.checkpointFor(uint64(f.TraceIndex)).Resume(s.injectionConfig(f))
+	res, err := m.Run()
+	return classify(res, err, s.good)
+}
+
+// SimulateCold runs one injection from a freshly initialized machine,
+// replaying the whole prefix — the reference semantics the snapshot
+// path must match bit for bit. Tests cross-validate the two paths; the
+// engine never uses it.
+func (s *Session) SimulateCold(f Fault) Outcome {
+	cfg := s.injectionConfig(f)
+	cfg.Stdin = s.c.Bad
+	m := emu.New(s.c.Binary, cfg)
+	res, err := m.Run()
+	return classify(res, err, s.good)
+}
+
+// Tally counts injection outcomes, indexed by Outcome.
+type Tally [4]int
+
+// Count returns the number of injections with the given outcome.
+func (t Tally) Count(o Outcome) int { return t[o] }
+
+// Total returns the number of injections tallied.
+func (t Tally) Total() int {
+	n := 0
+	for _, v := range t {
+		n += v
+	}
+	return n
+}
+
+// Add accumulates another tally.
+func (t *Tally) Add(u Tally) {
+	for i, v := range u {
+		t[i] += v
+	}
+}
+
+// ExecuteShard simulates the faults of shard shardIndex (of shardCount
+// round-robin shards: fault j belongs to shard j mod shardCount) on a
+// worker pool. Work is distributed through a lock-free atomic cursor
+// and every worker accumulates outcomes into its own tally, merged once
+// at the end; results land at fixed slice positions, so the returned
+// injections are bit-identical regardless of worker count.
+//
+// progress, when non-nil, is invoked after every completed injection
+// with the shard-local completion count; it may be called from multiple
+// goroutines concurrently.
+func (s *Session) ExecuteShard(shardIndex, shardCount, workers int, progress func(done, total int)) ([]Injection, Tally) {
+	if shardCount <= 1 {
+		shardIndex, shardCount = 0, 1
+	}
+	if shardIndex < 0 || shardIndex >= shardCount {
+		// Out-of-range shards would silently drop faults (or index out
+		// of range below); fail loudly like a slice-bounds misuse.
+		panic(fmt.Sprintf("fault: shard index %d outside [0,%d)", shardIndex, shardCount))
+	}
+	var idx []int
+	for j := shardIndex; j < len(s.faults); j += shardCount {
+		idx = append(idx, j)
+	}
+	out := make([]Injection, len(idx))
+	if len(idx) == 0 {
+		return out, Tally{}
+	}
+	if workers <= 0 {
+		workers = s.c.Workers
+	}
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+
+	var next, done atomic.Int64
+	tallies := make([]Tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(idx) {
+					return
+				}
+				f := s.faults[idx[i]]
+				o := s.Simulate(f)
+				out[i] = Injection{Fault: f, Outcome: o}
+				tallies[w][o]++
+				if progress != nil {
+					progress(int(done.Add(1)), len(idx))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total Tally
+	for _, t := range tallies {
+		total.Add(t)
+	}
+	return out, total
+}

@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+)
+
+// TestSnapshotPathMatchesColdPath is the engine's ground truth: every
+// injection simulated from a mid-trace copy-on-write snapshot must
+// classify exactly as the same injection replayed from scratch.
+func TestSnapshotPathMatchesColdPath(t *testing.T) {
+	for _, models := range [][]Model{{ModelSkip}, {ModelBitFlip}} {
+		s, err := NewSession(Campaign{
+			Binary: buildMini(t),
+			Good:   goodPin,
+			Bad:    badPin,
+			Models: models,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range s.Faults() {
+			warm := s.Simulate(f)
+			cold := s.SimulateCold(f)
+			if warm != cold {
+				t.Errorf("%v [%s]: snapshot path %v, cold path %v", f, f.Model, warm, cold)
+			}
+		}
+	}
+}
+
+// TestSessionTransientBitflipMatchesCold covers the restore-after-one-
+// fetch variant, whose second FlipBit lands mid-replay.
+func TestSessionTransientBitflipMatchesCold(t *testing.T) {
+	s, err := NewSession(Campaign{
+		Binary:    buildMini(t),
+		Good:      goodPin,
+		Bad:       badPin,
+		Models:    []Model{ModelBitFlip},
+		Transient: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range s.Faults() {
+		if warm, cold := s.Simulate(f), s.SimulateCold(f); warm != cold {
+			t.Errorf("%v: snapshot path %v, cold path %v", f, warm, cold)
+		}
+	}
+}
+
+// TestNilGoodInputReadsEOF: a nil good input must behave as an empty
+// stdin (reads return EOF), not silently inherit the snapshot's bad
+// input.
+func TestNilGoodInputReadsEOF(t *testing.T) {
+	// Good oracle: EOF (short read) denies with exit 2; only the exact
+	// pin is accepted. With nil Good the good run must take the
+	// short-read path, keeping the oracles distinguishable.
+	src := `
+.text
+_start:
+	mov rax, 0
+	mov rdi, 0
+	lea rsi, [rip+buf]
+	mov rdx, 8
+	syscall
+	cmp rax, 8
+	jne short_read
+	mov rax, 60
+	mov rdi, 1
+	syscall
+short_read:
+	mov rax, 60
+	mov rdi, 2
+	syscall
+.bss
+buf: .zero 8
+`
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(Campaign{
+		Binary: bin,
+		Good:   nil, // EOF oracle
+		Bad:    badPin,
+		Models: []Model{ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad := s.Oracles()
+	if good.ExitCode != 2 || bad.ExitCode != 1 {
+		t.Errorf("oracles = good exit %d, bad exit %d; want 2 and 1 (nil good input leaked the bad bytes?)",
+			good.ExitCode, bad.ExitCode)
+	}
+}
+
+// TestExecuteShardRejectsBadIndex: an out-of-range shard must fail
+// loudly, not silently drop faults.
+func TestExecuteShardRejectsBadIndex(t *testing.T) {
+	s, err := NewSession(Campaign{
+		Binary: buildMini(t), Good: goodPin, Bad: badPin,
+		Models: []Model{ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExecuteShard(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			s.ExecuteShard(bad[0], bad[1], 1, nil)
+		}()
+	}
+}
+
+// TestExecuteShardCoversAllFaults: round-robin shards partition the
+// fault list, and recombining them reproduces the unsharded order.
+func TestExecuteShardCoversAllFaults(t *testing.T) {
+	s, err := NewSession(Campaign{
+		Binary: buildMini(t),
+		Good:   goodPin,
+		Bad:    badPin,
+		Models: []Model{ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, fullTally := s.ExecuteShard(0, 1, 2, nil)
+	if fullTally.Total() != len(full) || len(full) != s.NumFaults() {
+		t.Fatalf("full shard: %d injections, tally %d, faults %d",
+			len(full), fullTally.Total(), s.NumFaults())
+	}
+
+	const n = 3
+	var shards [n][]Injection
+	for i := 0; i < n; i++ {
+		shards[i], _ = s.ExecuteShard(i, n, 1, nil)
+	}
+	var merged []Injection
+	cursor := [n]int{}
+	for j := 0; j < len(full); j++ {
+		w := j % n
+		merged = append(merged, shards[w][cursor[w]])
+		cursor[w]++
+	}
+	if !reflect.DeepEqual(merged, full) {
+		t.Error("recombined shards differ from the unsharded run")
+	}
+}
+
+// TestTallyMatchesReportCounts: the lock-free per-worker tallies must
+// agree with recounting the report.
+func TestTallyMatchesReportCounts(t *testing.T) {
+	s, err := NewSession(Campaign{
+		Binary: buildMini(t),
+		Good:   goodPin,
+		Bad:    badPin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, tally := s.ExecuteShard(0, 1, 4, nil)
+	rep := s.Report(inj)
+	for _, o := range []Outcome{OutcomeIgnored, OutcomeSuccess, OutcomeCrash, OutcomeDetected} {
+		if tally.Count(o) != rep.Count(o) {
+			t.Errorf("%s: tally %d, report %d", o, tally.Count(o), rep.Count(o))
+		}
+	}
+}
+
+// TestFilterModels: filtering a both-models report by one model equals
+// running that model alone.
+func TestFilterModels(t *testing.T) {
+	bin := buildMini(t)
+	both, err := Run(Campaign{Binary: bin, Good: goodPin, Bad: badPin,
+		Models: []Model{ModelSkip, ModelBitFlip}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Model{ModelSkip, ModelBitFlip} {
+		solo, err := Run(Campaign{Binary: bin, Good: goodPin, Bad: badPin, Models: []Model{m}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := both.FilterModels(m)
+		if !reflect.DeepEqual(got.Injections, solo.Injections) {
+			t.Errorf("%s: filtered view differs from single-model campaign", m)
+		}
+	}
+}

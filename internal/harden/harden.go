@@ -14,6 +14,7 @@ package harden
 import (
 	"fmt"
 
+	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/elf"
 	"github.com/r2r/reinforce/internal/fault"
 	"github.com/r2r/reinforce/internal/lift"
@@ -180,24 +181,44 @@ func (e *Evaluation) Reduction() float64 {
 	return 1 - float64(e.SuccessAfter())/float64(e.SuccessBefore())
 }
 
-// Evaluate runs the same campaign on the original and hardened binaries.
+// Evaluate runs the same campaign on the original and hardened binaries
+// through the batch engine. EvaluateAgainst avoids re-running the
+// baseline when it is already known.
 func Evaluate(original, hardened *elf.Binary, good, bad []byte, models []fault.Model, stepLimit uint64) (*Evaluation, error) {
-	run := func(b *elf.Binary) (*fault.Report, error) {
-		return fault.Run(fault.Campaign{
+	camp := func(b *elf.Binary) fault.Campaign {
+		return fault.Campaign{
 			Binary:    b,
 			Good:      good,
 			Bad:       bad,
 			Models:    models,
 			StepLimit: stepLimit,
-		})
+		}
 	}
-	before, err := run(original)
-	if err != nil {
-		return nil, err
+	results := campaign.RunAll([]campaign.Job{
+		{Name: "original", Campaign: camp(original)},
+		{Name: "hardened", Campaign: camp(hardened)},
+	}, campaign.Options{})
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("harden: %s campaign: %w", r.Name, r.Err)
+		}
 	}
-	after, err := run(hardened)
+	return &Evaluation{Before: results[0].Report, After: results[1].Report}, nil
+}
+
+// EvaluateAgainst compares a memoized baseline report against a fresh
+// campaign on the hardened binary — the batch-evaluation fast path when
+// many hardened variants share one baseline.
+func EvaluateAgainst(before *fault.Report, hardened *elf.Binary, good, bad []byte, models []fault.Model, stepLimit uint64) (*Evaluation, error) {
+	after, err := campaign.Run(fault.Campaign{
+		Binary:    hardened,
+		Good:      good,
+		Bad:       bad,
+		Models:    models,
+		StepLimit: stepLimit,
+	}, campaign.Options{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("harden: hardened campaign: %w", err)
 	}
 	return &Evaluation{Before: before, After: after}, nil
 }

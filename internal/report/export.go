@@ -1,0 +1,31 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// WriteCSV renders the table as RFC-4180 CSV: one header record, one
+// record per row. Title and notes are presentation-only and omitted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON marshals any value as indented JSON followed by a newline —
+// the shared encoder for machine-readable campaign/experiment output.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
