@@ -1,0 +1,83 @@
+// Machine-readable benchmark export: `go test -run TestWriteBenchJSON
+// -benchjson BENCH_campaign.json .` measures the campaign-engine
+// benchmarks via testing.Benchmark and writes their headline numbers as
+// JSON. CI uploads the file as an artifact on every push, so the
+// engine's performance trajectory is tracked across commits instead of
+// living only in scrollback.
+package reinforce
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/report"
+)
+
+var benchJSON = flag.String("benchjson", "", "write campaign benchmark results as JSON to this file")
+
+// BenchRecord is one benchmark's machine-readable result.
+type BenchRecord struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iterations"`
+	NsPerOp int64              `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// TestWriteBenchJSON runs the campaign benchmark suite and exports the
+// results; it is a no-op unless -benchjson is set (CI's perf-tracking
+// step), so the regular test run stays fast.
+func TestWriteBenchJSON(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("enable with -benchjson PATH")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"FaultCampaign", BenchmarkFaultCampaign},
+		{"CampaignEngineBitflip", BenchmarkCampaignEngineBitflip},
+		{"CampaignSessionReuse", BenchmarkCampaignSessionReuse},
+		{"CampaignBatch", BenchmarkCampaignBatch},
+		{"CampaignNewModels", BenchmarkCampaignNewModels},
+		{"CampaignOrder2", BenchmarkCampaignOrder2},
+		{"Emulator", BenchmarkEmulator},
+	}
+	var records []BenchRecord
+	for _, b := range benches {
+		res := testing.Benchmark(b.fn)
+		rec := BenchRecord{
+			Name:    b.name,
+			Iters:   res.N,
+			NsPerOp: res.NsPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			rec.Metrics = map[string]float64{}
+			for k, v := range res.Extra {
+				rec.Metrics[k] = v
+			}
+		}
+		records = append(records, rec)
+		t.Logf("%s: %d ns/op %v", rec.Name, rec.NsPerOp, rec.Metrics)
+	}
+	f, err := os.Create(*benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f, records); err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRecord
+	data, err := os.ReadFile(*benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written benchmark JSON invalid: %v", err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round-trip lost records: %d of %d", len(back), len(records))
+	}
+}

@@ -578,6 +578,44 @@ func BenchmarkCampaignBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignNewModels measures the extended fault catalog
+// (register flips, multi-skips, data flips) on pincheck.
+func BenchmarkCampaignNewModels(b *testing.B) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	injections := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(fault.Campaign{
+			Binary: bin, Good: c.Good, Bad: c.Bad,
+			Models: []fault.Model{fault.ModelRegFlip, fault.ModelMultiSkip, fault.ModelDataFlip},
+		}, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		injections += len(rep.Injections)
+	}
+	b.ReportMetric(float64(injections)/b.Elapsed().Seconds(), "injections/s")
+}
+
+// BenchmarkCampaignOrder2 measures an order-2 skip-pair campaign on
+// pincheck (solo sweep + pruned pair enumeration + pair simulation).
+func BenchmarkCampaignOrder2(b *testing.B) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	pairs := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.RunOrder2(fault.Campaign{
+			Binary: bin, Good: c.Good, Bad: c.Bad,
+			Models: []fault.Model{fault.ModelSkip},
+		}, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs += len(rep.Pairs)
+	}
+	b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+}
+
 // BenchmarkLift measures lifting the bootloader to IR.
 func BenchmarkLift(b *testing.B) {
 	bin := cases.Bootloader().MustBuild()

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/r2r/reinforce"
 	"github.com/r2r/reinforce/internal/campaign"
@@ -92,12 +93,13 @@ commands:
   run [-in STR] BIN              execute in the emulator
   trace [-in STR] BIN            record the dynamic instruction trace
   lift BIN                       print the lifted compiler IR
-  faults -good G -bad B [-model skip|bitflip|both] BIN
+  faults -good G -bad B [-model MODELS] BIN
                                  run a fault-injection campaign
-  campaign -good G -bad B [-model ...] [-workers N] [-shard i/n]
-           [-json|-csv] [-q] BIN [BIN...]
+  campaign -good G -bad B [-model MODELS] [-order 1|2] [-max-pairs N]
+           [-workers N] [-shard i/n] [-json|-csv] [-q] BIN [BIN...]
                                  batch campaigns on the parallel engine
-                                 with sharding and JSON/CSV export
+                                 with sharding and JSON/CSV export;
+                                 -order 2 adds multi-fault pairs
   patch -good G -bad B [-model ...] [-o OUT] BIN
                                  harden via the Faulter+Patcher pipeline
   hybrid [-o OUT] BIN            harden via the Hybrid (lift/lower) pipeline
@@ -106,6 +108,9 @@ commands:
                                  (figures 4/5 with -harden)
   experiments [-only NAME]       regenerate the paper's tables and claims
   pipeline                       describe the two pipelines
+
+MODELS is a comma-separated list of fault models: skip, bitflip,
+reg-flip, multi-skip, data-flip — or both (skip+bitflip), all.
 `)
 }
 
@@ -232,22 +237,14 @@ func cmdLift(args []string) error {
 }
 
 func parseModels(s string) ([]reinforce.Model, error) {
-	switch s {
-	case "skip":
-		return []reinforce.Model{reinforce.ModelSkip}, nil
-	case "bitflip":
-		return []reinforce.Model{reinforce.ModelBitFlip}, nil
-	case "both", "":
-		return []reinforce.Model{reinforce.ModelSkip, reinforce.ModelBitFlip}, nil
-	}
-	return nil, fmt.Errorf("unknown fault model %q", s)
+	return reinforce.ParseModels(s)
 }
 
 func cmdFaults(args []string) error {
 	fs := flag.NewFlagSet("faults", flag.ExitOnError)
 	good := fs.String("good", "", "accepted input")
 	bad := fs.String("bad", "", "rejected input")
-	model := fs.String("model", "both", "fault model: skip, bitflip, both")
+	model := fs.String("model", "both", "comma-separated fault models: skip, bitflip, reg-flip, multi-skip, data-flip, both, all")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one binary")
@@ -273,21 +270,26 @@ func cmdFaults(args []string) error {
 }
 
 // cmdCampaign drives the parallel campaign engine: one or more
-// binaries swept under the same oracles, with optional sharding and
-// machine-readable output.
+// binaries swept under the same oracles, with optional sharding,
+// order-2 multi-fault pairs, and machine-readable output.
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	good := fs.String("good", "", "accepted input")
 	bad := fs.String("bad", "", "rejected input")
-	model := fs.String("model", "both", "fault model: skip, bitflip, both")
+	model := fs.String("model", "both", "comma-separated fault models: skip, bitflip, reg-flip, multi-skip, data-flip, both, all")
+	order := fs.Int("order", 1, "fault order: 1 = single faults, 2 = add fault pairs pruned from the order-1 sweep")
+	maxPairs := fs.Int("max-pairs", 0, "order-2 pair budget (default 4096)")
 	workers := fs.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
-	shardSpec := fs.String("shard", "", "simulate only shard i/n of each fault list (e.g. 0/4)")
+	shardSpec := fs.String("shard", "", "simulate only shard i/n of each fault list (e.g. 0/4); with -order 2 the shard applies to the pair list")
 	jsonOut := fs.Bool("json", false, "emit JSON summaries on stdout")
 	csvOut := fs.Bool("csv", false, "emit CSV summaries on stdout")
 	quiet := fs.Bool("q", false, "suppress the stderr progress meter")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("want at least one binary")
+	}
+	if *order != 1 && *order != 2 {
+		return fmt.Errorf("unsupported fault order %d: want 1 or 2", *order)
 	}
 	models, err := parseModels(*model)
 	if err != nil {
@@ -317,7 +319,7 @@ func cmdCampaign(args []string) error {
 		})
 	}
 
-	opt := campaign.Options{Workers: *workers, Shard: shard}
+	opt := campaign.Options{Workers: *workers, Shard: shard, MaxPairs: *maxPairs}
 	if !*quiet {
 		opt.Progress = func(p campaign.Progress) {
 			// Redraw sparingly: every 256 injections and at completion.
@@ -331,15 +333,30 @@ func cmdCampaign(args []string) error {
 		}
 	}
 
-	results := campaign.RunAll(jobs, opt)
 	var sums []campaign.Summary
-	for _, r := range results {
-		if r.Err != nil {
-			return fmt.Errorf("%s: %w", r.Name, r.Err)
+	if *order == 2 {
+		// Order-2 runs per binary: the pair list is derived from each
+		// binary's own order-1 sweep, so there is no batch fast path.
+		for _, job := range jobs {
+			start := time.Now()
+			rep, err := campaign.RunOrder2(job.Campaign, opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", job.Name, err)
+			}
+			sum := campaign.SummarizeOrder2(job.Name, rep)
+			sum.ElapsedMS = time.Since(start).Milliseconds()
+			sums = append(sums, sum)
 		}
-		sum := campaign.Summarize(r.Name, r.Report)
-		sum.ElapsedMS = r.Elapsed.Milliseconds()
-		sums = append(sums, sum)
+	} else {
+		results := campaign.RunAll(jobs, opt)
+		for _, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("%s: %w", r.Name, r.Err)
+			}
+			sum := campaign.Summarize(r.Name, r.Report)
+			sum.ElapsedMS = r.Elapsed.Milliseconds()
+			sums = append(sums, sum)
+		}
 	}
 	switch {
 	case *jsonOut:
@@ -361,7 +378,7 @@ func cmdPatch(args []string) error {
 	fs := flag.NewFlagSet("patch", flag.ExitOnError)
 	good := fs.String("good", "", "accepted input")
 	bad := fs.String("bad", "", "rejected input")
-	model := fs.String("model", "both", "fault model: skip, bitflip, both")
+	model := fs.String("model", "both", "comma-separated fault models to harden against")
 	out := fs.String("o", "", "output path (default: overwrite input with .hardened suffix)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -479,7 +496,7 @@ func cmdCFG(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	only := fs.String("only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures")
+	only := fs.String("only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond")
 	fs.Parse(args)
 
 	type exp struct {
@@ -494,6 +511,7 @@ func cmdExperiments(args []string) error {
 		{"class", func() (*report.Table, error) { t, _, err := experiments.ClaimClass(); return t, err }},
 		{"dup", func() (*report.Table, error) { t, _, err := experiments.ClaimDup(); return t, err }},
 		{"figures", func() (*report.Table, error) { t, _, err := experiments.Figures(); return t, err }},
+		{"beyond", func() (*report.Table, error) { t, _, err := experiments.TableBeyond(); return t, err }},
 	}
 	ran := 0
 	for _, e := range all {

@@ -71,13 +71,19 @@ type Options struct {
 	// campaign's own setting, itself defaulting to GOMAXPROCS).
 	Workers int
 
-	// Shard restricts execution to one shard of the fault list.
+	// Shard restricts execution to one shard of the fault list (for
+	// RunOrder2, one shard of the pair list — see there).
 	Shard Shard
+
+	// MaxPairs caps order-2 pair enumeration (RunOrder2 only;
+	// 0 = fault.DefaultMaxPairs).
+	MaxPairs int
 
 	// Progress, when non-nil, receives serialized updates as
 	// injections complete: Done is monotonically non-decreasing and the
 	// last call of a job has Done == Total. Called from the executing
-	// goroutines but never concurrently.
+	// goroutines but never concurrently. RunOrder2 reports its two
+	// phases as separate jobs ("order-1", "order-2").
 	Progress func(Progress)
 }
 
@@ -98,28 +104,34 @@ func run(name string, jobIndex, jobs int, c fault.Campaign, opt Options) (*fault
 	if err != nil {
 		return nil, fault.Tally{}, err
 	}
-	var progress func(done, total int)
-	if opt.Progress != nil {
-		var mu sync.Mutex
-		last := -1
-		progress = func(done, total int) {
-			mu.Lock()
-			defer mu.Unlock()
-			// Workers race to deliver their counts; dropping the stale
-			// ones keeps Done monotonic, so the final callback a consumer
-			// sees is always Done == Total.
-			if done < last {
-				return
-			}
-			last = done
-			opt.Progress(Progress{
-				Job: name, JobIndex: jobIndex, Jobs: jobs,
-				Done: done, Total: total,
-			})
-		}
-	}
+	progress := progressFunc(opt, name, jobIndex, jobs)
 	injections, tally := s.ExecuteShard(shard.Index, shard.Count, opt.Workers, progress)
 	return s.Report(injections), tally, nil
+}
+
+// progressFunc adapts the Options callback to the engine's raw
+// (done, total) firehose: workers race to deliver their counts, and
+// dropping the stale ones keeps Done monotonic, so the final callback a
+// consumer sees is always Done == Total. Returns nil when no callback
+// is configured.
+func progressFunc(opt Options, name string, jobIndex, jobs int) func(done, total int) {
+	if opt.Progress == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	last := -1
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done < last {
+			return
+		}
+		last = done
+		opt.Progress(Progress{
+			Job: name, JobIndex: jobIndex, Jobs: jobs,
+			Done: done, Total: total,
+		})
+	}
 }
 
 // Job names one campaign of a batch.
@@ -155,6 +167,116 @@ func RunAll(jobs []Job, opt Options) []Result {
 		}
 	}
 	return out
+}
+
+// Order2Report is the outcome of an order-2 multi-fault campaign: the
+// order-1 sweep it was pruned from, plus the simulated fault pairs.
+type Order2Report struct {
+	Solo  *fault.Report         // the complete order-1 campaign
+	Pairs []fault.PairInjection // simulated pairs, in enumeration order
+
+	// PairTally is the engine-provided outcome aggregate of Pairs
+	// (populated by RunOrder2 and MergeOrder2, like Result.Tally for
+	// order-1 batches). PairCount and SummarizeOrder2 derive from
+	// Pairs directly, so they are exact on any report.
+	PairTally fault.Tally
+}
+
+// PairCount returns how many pairs had the given outcome.
+func (r *Order2Report) PairCount(o fault.Outcome) int {
+	n := 0
+	for _, p := range r.Pairs {
+		if p.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// SuccessfulPairs returns the pairs that constitute order-2
+// vulnerabilities.
+func (r *Order2Report) SuccessfulPairs() []fault.PairInjection {
+	var out []fault.PairInjection
+	for _, p := range r.Pairs {
+		if p.Outcome == fault.OutcomeSuccess {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunOrder2 executes an order-2 multi-fault campaign: the complete
+// order-1 sweep runs first (always unsharded — pair pruning needs every
+// solo outcome), then the deterministically enumerated pair list (see
+// fault.EnumeratePairs) is simulated. opt.Shard applies to the pair
+// list only; opt.MaxPairs caps it. Because the pair list is a pure
+// function of the (deterministic) solo sweep, results are bit-identical
+// across worker counts and shard decompositions.
+func RunOrder2(c fault.Campaign, opt Options) (*Order2Report, error) {
+	shard, err := opt.Shard.normalize()
+	if err != nil {
+		return nil, err
+	}
+	s, err := fault.NewSession(c)
+	if err != nil {
+		return nil, err
+	}
+	solo, _ := s.ExecuteShard(0, 1, opt.Workers, progressFunc(opt, "order-1", 0, 2))
+	pairs := fault.EnumeratePairs(solo, opt.MaxPairs)
+	injections, tally := s.ExecutePairShard(pairs, shard.Index, shard.Count, opt.Workers,
+		progressFunc(opt, "order-2", 1, 2))
+	return &Order2Report{
+		Solo:      s.Report(solo),
+		Pairs:     injections,
+		PairTally: tally,
+	}, nil
+}
+
+// MergeOrder2 recombines the pair shards of one order-2 campaign
+// (shards[i] produced with Shard{i, len(shards)}) into a report
+// bit-identical to the unsharded run. Every shard carries the same
+// (unsharded) solo report; the pair lists recombine round-robin.
+func MergeOrder2(shards []*Order2Report) (*Order2Report, error) {
+	n := len(shards)
+	if n == 0 {
+		return nil, errors.New("campaign: no shards to merge")
+	}
+	if n == 1 {
+		return shards[0], nil
+	}
+	total := 0
+	for i, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("campaign: shard %d is nil", i)
+		}
+		if sh.Solo.GoodOracle != shards[0].Solo.GoodOracle ||
+			sh.Solo.BadOracle != shards[0].Solo.BadOracle ||
+			len(sh.Solo.Injections) != len(shards[0].Solo.Injections) {
+			return nil, fmt.Errorf("campaign: shard %d solo sweep differs — not the same campaign", i)
+		}
+		total += len(sh.Pairs)
+	}
+	for i, sh := range shards {
+		want := (total - i + n - 1) / n
+		if len(sh.Pairs) != want {
+			return nil, fmt.Errorf("campaign: shard %d has %d pairs, want %d of %d total",
+				i, len(sh.Pairs), want, total)
+		}
+	}
+	merged := &Order2Report{
+		Solo:  shards[0].Solo,
+		Pairs: make([]fault.PairInjection, 0, total),
+	}
+	cursor := make([]int, n)
+	for j := 0; j < total; j++ {
+		w := j % n
+		merged.Pairs = append(merged.Pairs, shards[w].Pairs[cursor[w]])
+		cursor[w]++
+	}
+	for _, p := range merged.Pairs {
+		merged.PairTally[p.Outcome]++
+	}
+	return merged, nil
 }
 
 // Merge recombines the reports of all Count shards of one campaign

@@ -244,6 +244,149 @@ func TestExportJSONAndCSV(t *testing.T) {
 	}
 }
 
+// TestOrder2WorkerInvariance is the acceptance gate for multi-fault
+// campaigns on the real pincheck case: order-2 results are bit-identical
+// for 1 worker and N workers, across the paper's and the extended
+// models.
+func TestOrder2WorkerInvariance(t *testing.T) {
+	c := cases.Pincheck()
+	camp := fault.Campaign{
+		Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
+		Models:     []fault.Model{fault.ModelSkip, fault.ModelRegFlip, fault.ModelMultiSkip, fault.ModelDataFlip},
+		DedupSites: true,
+	}
+	serial, err := RunOrder2(camp, Options{Workers: 1, MaxPairs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunOrder2(camp, Options{Workers: 8, MaxPairs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Solo.Injections, parallel.Solo.Injections) {
+		t.Fatal("order-1 stage not worker-invariant")
+	}
+	if !reflect.DeepEqual(serial.Pairs, parallel.Pairs) {
+		t.Fatal("order-2 pair stage not worker-invariant")
+	}
+	if serial.PairTally != parallel.PairTally {
+		t.Fatalf("pair tallies differ: %v vs %v", serial.PairTally, parallel.PairTally)
+	}
+	if len(serial.Pairs) == 0 {
+		t.Fatal("no pairs simulated")
+	}
+}
+
+// TestOrder2ShardRecombination: pair shards run separately merge into a
+// report bit-identical to the unsharded order-2 run.
+func TestOrder2ShardRecombination(t *testing.T) {
+	c := cases.Pincheck()
+	camp := fault.Campaign{
+		Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
+		Models:     []fault.Model{fault.ModelSkip, fault.ModelBitFlip},
+		DedupSites: true,
+	}
+	full, err := RunOrder2(camp, Options{MaxPairs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	shards := make([]*Order2Report, n)
+	for i := 0; i < n; i++ {
+		shards[i], err = RunOrder2(camp, Options{Shard: Shard{Index: i, Count: n}, Workers: 2, MaxPairs: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeOrder2(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Pairs, full.Pairs) {
+		t.Fatal("merged pair shards differ from the unsharded run")
+	}
+	if merged.PairTally != full.PairTally {
+		t.Fatalf("merged tally %v != full tally %v", merged.PairTally, full.PairTally)
+	}
+	// Degenerate and invalid merges.
+	if _, err := MergeOrder2(nil); err == nil {
+		t.Error("empty order-2 merge accepted")
+	}
+	truncated := &Order2Report{Solo: full.Solo, Pairs: full.Pairs[:1]}
+	if _, err := MergeOrder2([]*Order2Report{truncated, full}); err == nil {
+		t.Error("size-inconsistent pair shards accepted")
+	}
+}
+
+// TestSummarizePerModel: the per-model breakdown partitions the
+// campaign exactly, and the typed model lists marshal as the canonical
+// name strings (no hand-rolled stringification).
+func TestSummarizePerModel(t *testing.T) {
+	bin := buildMini(t)
+	rep, err := Run(miniCampaign(bin, fault.ModelSkip, fault.ModelBitFlip, fault.ModelMultiSkip), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize("mini", rep)
+	if len(sum.PerModel) != 3 {
+		t.Fatalf("per-model rows = %d, want 3", len(sum.PerModel))
+	}
+	totals := map[string]int{}
+	for _, b := range sum.PerModel {
+		totals["injections"] += b.Injections
+		totals["success"] += b.Success
+		totals["detected"] += b.Detected
+		totals["crash"] += b.Crash
+		totals["ignored"] += b.Ignored
+		view := rep.FilterModels(b.Model)
+		if b.Injections != len(view.Injections) || b.Success != view.Count(fault.OutcomeSuccess) {
+			t.Errorf("%s breakdown %+v disagrees with filtered report", b.Model, b)
+		}
+	}
+	if totals["injections"] != sum.Injections || totals["success"] != sum.Success ||
+		totals["detected"] != sum.Detected || totals["crash"] != sum.Crash ||
+		totals["ignored"] != sum.Ignored {
+		t.Errorf("per-model breakdown does not partition the campaign: %v vs %+v", totals, sum)
+	}
+
+	data, err := json.Marshal(sum.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `["instruction-skip","multi-instruction-skip","single-bit-flip"]`
+	if string(data) != want {
+		t.Errorf("models marshal to %s, want %s", data, want)
+	}
+}
+
+// TestOrder2SummaryRoundTrip: order-2 summaries survive the JSON
+// round trip with the pair stage intact.
+func TestOrder2SummaryRoundTrip(t *testing.T) {
+	bin := buildMini(t)
+	rep, err := RunOrder2(miniCampaign(bin, fault.ModelSkip), Options{MaxPairs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeOrder2("mini", rep)
+	if sum.Order2 == nil || sum.Order2.Pairs != len(rep.Pairs) {
+		t.Fatalf("order-2 stage missing from summary: %+v", sum.Order2)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Summary{sum}); err != nil {
+		t.Fatal(err)
+	}
+	var back []Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Order2 == nil || *back[0].Order2 != *sum.Order2 {
+		t.Errorf("order-2 summary did not round-trip: %+v", back)
+	}
+	if !reflect.DeepEqual(back[0].Models, sum.Models) || !reflect.DeepEqual(back[0].PerModel, sum.PerModel) {
+		t.Errorf("typed model fields did not round-trip: %+v", back[0])
+	}
+}
+
 // TestEngineAgainstHardenedVariant: campaign results on a hardened
 // binary stay deterministic too (regression guard for snapshot reuse
 // interacting with injected fault handlers).

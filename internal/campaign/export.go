@@ -18,21 +18,46 @@ type SiteSummary struct {
 	Successes int    `json:"successes"`
 }
 
+// ModelBreakdown is one fault model's share of a campaign. fault.Model
+// marshals as its canonical name, so the JSON reads as
+// {"model": "register-bit-flip", ...}.
+type ModelBreakdown struct {
+	Model      fault.Model `json:"model"`
+	Injections int         `json:"injections"`
+	Success    int         `json:"success"`
+	Detected   int         `json:"detected"`
+	Crash      int         `json:"crash"`
+	Ignored    int         `json:"ignored"`
+}
+
+// Order2Summary digests the pair stage of an order-2 campaign.
+type Order2Summary struct {
+	Pairs    int `json:"pairs"`
+	Success  int `json:"success"`
+	Detected int `json:"detected"`
+	Crash    int `json:"crash"`
+	Ignored  int `json:"ignored"`
+}
+
 // Summary is the machine-readable digest of one campaign, shaped for
-// JSON/CSV export and dashboard ingestion.
+// JSON/CSV export and dashboard ingestion. Models and PerModel rely on
+// fault.Model's JSON marshaling (string forms) instead of hand-rolled
+// stringification.
 type Summary struct {
-	Name       string        `json:"name,omitempty"`
-	Models     []string      `json:"models"`
-	TraceLen   int           `json:"trace_len"`
-	Injections int           `json:"injections"`
-	Success    int           `json:"success"`
-	Detected   int           `json:"detected"`
-	Crash      int           `json:"crash"`
-	Ignored    int           `json:"ignored"`
-	Sites      []SiteSummary `json:"vulnerable_sites"`
-	GoodExit   int           `json:"good_exit"`
-	BadExit    int           `json:"bad_exit"`
-	ElapsedMS  int64         `json:"elapsed_ms,omitempty"`
+	Name       string           `json:"name,omitempty"`
+	Models     []fault.Model    `json:"models"`
+	TraceLen   int              `json:"trace_len"`
+	Injections int              `json:"injections"`
+	Success    int              `json:"success"`
+	Detected   int              `json:"detected"`
+	Crash      int              `json:"crash"`
+	Ignored    int              `json:"ignored"`
+	PerModel   []ModelBreakdown `json:"per_model,omitempty"`
+	Order2     *Order2Summary   `json:"order2,omitempty"`
+	Sites      []SiteSummary    `json:"vulnerable_sites"`
+	GoodExit   int              `json:"good_exit"`
+	BadExit    int              `json:"bad_exit"`
+	ElapsedMS  int64            `json:"elapsed_ms,omitempty"`
 }
 
 // Summarize digests a report for export.
@@ -48,14 +73,30 @@ func Summarize(name string, rep *fault.Report) Summary {
 		GoodExit:   rep.GoodOracle.ExitCode,
 		BadExit:    rep.BadOracle.ExitCode,
 	}
-	seen := map[fault.Model]bool{}
+	byModel := map[fault.Model]*ModelBreakdown{}
 	for _, inj := range rep.Injections {
-		if !seen[inj.Fault.Model] {
-			seen[inj.Fault.Model] = true
-			s.Models = append(s.Models, inj.Fault.Model.String())
+		b, ok := byModel[inj.Fault.Model]
+		if !ok {
+			b = &ModelBreakdown{Model: inj.Fault.Model}
+			byModel[inj.Fault.Model] = b
+			s.Models = append(s.Models, inj.Fault.Model)
+		}
+		b.Injections++
+		switch inj.Outcome {
+		case fault.OutcomeSuccess:
+			b.Success++
+		case fault.OutcomeDetected:
+			b.Detected++
+		case fault.OutcomeCrash:
+			b.Crash++
+		case fault.OutcomeIgnored:
+			b.Ignored++
 		}
 	}
-	sort.Strings(s.Models)
+	sort.Slice(s.Models, func(i, j int) bool { return s.Models[i].String() < s.Models[j].String() })
+	for _, m := range s.Models {
+		s.PerModel = append(s.PerModel, *byModel[m])
+	}
 	for _, site := range rep.VulnerableSites() {
 		s.Sites = append(s.Sites, SiteSummary{
 			Addr:      site.Addr,
@@ -67,22 +108,70 @@ func Summarize(name string, rep *fault.Report) Summary {
 	return s
 }
 
+// SummarizeOrder2 digests an order-2 campaign: the solo sweep summary
+// with the pair stage attached. Counts derive from the pair list itself
+// (one pass), so summaries stay correct for any Order2Report, not just
+// ones whose tally the engine populated.
+func SummarizeOrder2(name string, rep *Order2Report) Summary {
+	s := Summarize(name, rep.Solo)
+	o2 := &Order2Summary{Pairs: len(rep.Pairs)}
+	for _, p := range rep.Pairs {
+		switch p.Outcome {
+		case fault.OutcomeSuccess:
+			o2.Success++
+		case fault.OutcomeDetected:
+			o2.Detected++
+		case fault.OutcomeCrash:
+			o2.Crash++
+		case fault.OutcomeIgnored:
+			o2.Ignored++
+		}
+	}
+	s.Order2 = o2
+	return s
+}
+
 // SummaryTable renders a batch of summaries as the standard text table
-// (also the source for CSV export).
+// (also the source for CSV export). Order-2 summaries grow pair-stage
+// columns, so no result is visible in one output format but not
+// another.
 func SummaryTable(sums []Summary) *report.Table {
+	order2 := false
+	for _, s := range sums {
+		if s.Order2 != nil {
+			order2 = true
+			break
+		}
+	}
 	tab := &report.Table{
 		Title:  "fault campaign results",
 		Header: []string{"name", "trace", "injections", "success", "detected", "crash", "ignored", "sites"},
 	}
+	if order2 {
+		tab.Header = append(tab.Header,
+			"pairs", "pair_success", "pair_detected", "pair_crash", "pair_ignored")
+	}
 	for _, s := range sums {
-		tab.AddRow(s.Name,
+		row := []string{s.Name,
 			fmt.Sprintf("%d", s.TraceLen),
 			fmt.Sprintf("%d", s.Injections),
 			fmt.Sprintf("%d", s.Success),
 			fmt.Sprintf("%d", s.Detected),
 			fmt.Sprintf("%d", s.Crash),
 			fmt.Sprintf("%d", s.Ignored),
-			fmt.Sprintf("%d", len(s.Sites)))
+			fmt.Sprintf("%d", len(s.Sites))}
+		switch {
+		case s.Order2 != nil:
+			row = append(row,
+				fmt.Sprintf("%d", s.Order2.Pairs),
+				fmt.Sprintf("%d", s.Order2.Success),
+				fmt.Sprintf("%d", s.Order2.Detected),
+				fmt.Sprintf("%d", s.Order2.Crash),
+				fmt.Sprintf("%d", s.Order2.Ignored))
+		case order2:
+			row = append(row, "", "", "", "", "")
+		}
+		tab.AddRow(row...)
 	}
 	return tab
 }

@@ -62,6 +62,35 @@ type Config struct {
 	StepHook func(m *Machine, in *isa.Inst) StepAction
 }
 
+// AddFetchHook chains h after any already-installed fetch hook, so
+// several fault models can be composed onto one run (the order-2
+// multi-fault campaigns inject two independent faults this way).
+func (c *Config) AddFetchHook(h func(m *Machine)) {
+	if prev := c.FetchHook; prev != nil {
+		c.FetchHook = func(m *Machine) { prev(m); h(m) }
+	} else {
+		c.FetchHook = h
+	}
+}
+
+// AddStepHook chains h after any already-installed step hook. Hooks
+// compose permissively: if any hook in the chain asks to skip the
+// instruction, it is skipped (later hooks still run, so their own
+// step-indexed state machines observe every step).
+func (c *Config) AddStepHook(h func(m *Machine, in *isa.Inst) StepAction) {
+	if prev := c.StepHook; prev != nil {
+		c.StepHook = func(m *Machine, in *isa.Inst) StepAction {
+			a := prev(m, in)
+			if b := h(m, in); b == ActSkip {
+				return ActSkip
+			}
+			return a
+		}
+	} else {
+		c.StepHook = h
+	}
+}
+
 // TraceEntry is one executed instruction in a recorded trace.
 type TraceEntry struct {
 	Addr uint64
@@ -292,6 +321,23 @@ func (m *Machine) setReg(r isa.Reg, v uint64, w uint8) {
 	case 1:
 		m.Regs[r] = (m.Regs[r] &^ 0xFF) | (v & 0xFF)
 	}
+}
+
+// OperandAddr computes the effective address a memory operand resolves
+// to in the machine's current state (RIP-relative addressing uses the
+// instruction's decoder metadata). Fault injectors use it to locate the
+// memory cell an instruction is about to access; op must be a KindMem
+// operand of in.
+func (m *Machine) OperandAddr(in *isa.Inst, op *isa.Operand) uint64 {
+	return m.effAddr(in, &op.Mem)
+}
+
+// FlipRegBit toggles one bit (0..63) of a general-purpose register —
+// the register-fault primitive. Resumed machines carry private register
+// files, so flipping a register never leaks into the snapshot the run
+// was forked from.
+func (m *Machine) FlipRegBit(r isa.Reg, bit uint) {
+	m.Regs[r] ^= 1 << (bit & 63)
 }
 
 // effAddr computes the effective address of a memory operand for the

@@ -382,3 +382,31 @@ func (m *Memory) FlipBit(addr uint64, bit uint) error {
 	}
 	return m.Poke(addr, b^(1<<bit))
 }
+
+// PokeData overwrites a single byte ignoring permissions, like Poke,
+// but only invalidates decoded-code caches when the byte actually lives
+// in an executable page. The data-fault models glitch operand cells on
+// every injection; evicting the warm shared code cache for a write that
+// cannot alias code would make those campaigns decode-bound. Writes go
+// through the copy-on-write machinery, so snapshot pages stay intact.
+func (m *Memory) PokeData(addr uint64, b byte) error {
+	p := m.writablePage(addr)
+	if p == nil {
+		return &MemFault{Addr: addr, Kind: AccessWrite}
+	}
+	if p.perm&elf.FlagExec != 0 {
+		m.codeGen++
+	}
+	p.data[addr&(pageSize-1)] = b
+	return nil
+}
+
+// FlipDataBit toggles one bit at addr (bit 0..7) with PokeData's
+// cache-preserving semantics — the transient-data-fault primitive.
+func (m *Memory) FlipDataBit(addr uint64, bit uint) error {
+	b, err := m.Peek(addr)
+	if err != nil {
+		return err
+	}
+	return m.PokeData(addr, b^(1<<bit))
+}

@@ -155,6 +155,35 @@ func TestClaimDup(t *testing.T) {
 	}
 }
 
+func TestTableBeyond(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every variant under the extended fault catalog; run without -short")
+	}
+	tab, data, err := TableBeyond()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	if len(data) != 6 {
+		t.Fatalf("rows = %d, want 2 cases x 3 pipelines", len(data))
+	}
+	for _, d := range data {
+		for _, m := range beyondModels {
+			if d.Injections[m] == 0 {
+				t.Errorf("%s/%s: no %s injections enumerated", d.Case, d.Pipeline, m)
+			}
+		}
+		if d.Pairs == 0 {
+			t.Errorf("%s/%s: no order-2 pairs enumerated", d.Case, d.Pipeline)
+		}
+		// Shape: the original binaries fall to the wide-skip model the
+		// countermeasures were never designed against.
+		if d.Pipeline == "original" && d.Success[fault.ModelMultiSkip] == 0 {
+			t.Errorf("%s/original: multi-skip found no vulnerabilities", d.Case)
+		}
+	}
+}
+
 func TestFigures(t *testing.T) {
 	tab, data, err := Figures()
 	if err != nil {

@@ -1,7 +1,14 @@
 // Package fault implements the paper's faulter (§IV-B1): simulation of
-// hardware fault injection against a target binary, under the
-// "instruction skip" and "single bit flip" fault models, with outcome
-// classification against good/bad input oracles.
+// hardware fault injection against a target binary under a pluggable
+// catalog of fault models, with outcome classification against good/bad
+// input oracles.
+//
+// The paper's two models (instruction skip, single bit flip) plus
+// register bit-flip, multi-instruction skip, and transient data flip
+// are built in; new models implement ModelSpec and plug in through
+// Register (see model.go). Order-2 campaigns inject deterministic
+// *pairs* of faults (see pair.go), the attack that defeats
+// single-fault-hardened binaries.
 //
 // A fault is "successful" when the program, running on the *bad* input,
 // produces the observable behaviour of the *good* input — e.g. a pin
@@ -13,9 +20,11 @@ package fault
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/r2r/reinforce/internal/elf"
 	"github.com/r2r/reinforce/internal/emu"
@@ -23,50 +32,46 @@ import (
 	"github.com/r2r/reinforce/internal/trace"
 )
 
-// Model is a fault model.
-type Model uint8
-
-// Supported fault models (paper §IV-B1 and §V-C).
-const (
-	ModelSkip    Model = iota // skip one instruction
-	ModelBitFlip              // flip one bit of one instruction's encoding
-)
-
-// String names the fault model as in the paper.
-func (m Model) String() string {
-	switch m {
-	case ModelSkip:
-		return "instruction-skip"
-	case ModelBitFlip:
-		return "single-bit-flip"
-	}
-	return "?"
-}
-
 // DetectedExitCode is the exit status of the injected faulthandler; runs
 // ending with it count as detected faults.
 const DetectedExitCode = 42
 
 // Fault identifies one injection: a fault model applied at a dynamic
-// trace offset (and bit position, for bit flips).
+// trace offset, plus the model-specific coordinates (bit position,
+// register, window length).
 type Fault struct {
 	Model      Model
 	TraceIndex int    // dynamic occurrence index in the bad-input trace
 	Addr       uint64 // static address of the faulted instruction
 	Op         isa.Op // mnemonic at that address (from the trace)
 	Cond       isa.Cond
-	Bit        int  // bit offset into the encoded instruction (bitflip)
-	Transient  bool // restore the flipped bit after one fetch
+	Bit        int     // bit offset: instruction encoding (bitflip), register (reg-flip), operand cell (data-flip)
+	Transient  bool    // restore the flipped bit after one fetch (bitflip)
+	Reg        isa.Reg // faulted register (reg-flip)
+	Window     int     // consecutive instructions skipped (multi-skip)
 }
 
 // String renders the fault for reports.
 func (f Fault) String() string {
+	var s string
 	switch f.Model {
 	case ModelSkip:
-		return fmt.Sprintf("skip @%d (%#x %s)", f.TraceIndex, f.Addr, f.Op)
+		s = fmt.Sprintf("skip @%d (%#x %s)", f.TraceIndex, f.Addr, f.Op)
+	case ModelBitFlip:
+		s = fmt.Sprintf("bitflip bit %d @%d (%#x %s)", f.Bit, f.TraceIndex, f.Addr, f.Op)
+	case ModelRegFlip:
+		s = fmt.Sprintf("regflip %s bit %d @%d (%#x %s)", f.Reg, f.Bit, f.TraceIndex, f.Addr, f.Op)
+	case ModelMultiSkip:
+		s = fmt.Sprintf("skip %d @%d..%d (%#x %s)", f.Window, f.TraceIndex, f.TraceIndex+f.Window-1, f.Addr, f.Op)
+	case ModelDataFlip:
+		s = fmt.Sprintf("dataflip bit %d @%d (%#x %s)", f.Bit, f.TraceIndex, f.Addr, f.Op)
 	default:
-		return fmt.Sprintf("bitflip bit %d @%d (%#x %s)", f.Bit, f.TraceIndex, f.Addr, f.Op)
+		s = fmt.Sprintf("%s @%d (%#x %s)", f.Model, f.TraceIndex, f.Addr, f.Op)
 	}
+	if f.Transient {
+		s += " transient"
+	}
+	return s
 }
 
 // Outcome classifies an injection run.
@@ -93,6 +98,33 @@ func (o Outcome) String() string {
 		return "detected"
 	}
 	return "?"
+}
+
+// MarshalJSON renders the outcome as its string form.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.String())
+}
+
+// UnmarshalJSON accepts the string forms emitted by MarshalJSON
+// (case-insensitively, so "success" round-trips too).
+func (o *Outcome) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch strings.ToLower(s) {
+	case "ignored":
+		*o = OutcomeIgnored
+	case "success":
+		*o = OutcomeSuccess
+	case "crash":
+		*o = OutcomeCrash
+	case "detected":
+		*o = OutcomeDetected
+	default:
+		return fmt.Errorf("fault: unknown outcome %q", s)
+	}
+	return nil
 }
 
 // Observable is the externally visible behaviour the attacker cares
@@ -152,8 +184,9 @@ type Report struct {
 
 // Errors returned by Run.
 var (
-	ErrOracle = errors.New("fault: good and bad runs are indistinguishable")
-	ErrBadRun = errors.New("fault: reference run failed")
+	ErrOracle       = errors.New("fault: good and bad runs are indistinguishable")
+	ErrBadRun       = errors.New("fault: reference run failed")
+	ErrUnknownModel = errors.New("fault: unregistered fault model")
 )
 
 // Run executes the campaign: capture oracles and the bad-input trace
@@ -169,49 +202,22 @@ func Run(c Campaign) (*Report, error) {
 	return s.Report(injections), nil
 }
 
-// enumerate expands the campaign into individual faults.
-func enumerate(c Campaign, badTrace *trace.Trace) []Fault {
+// enumerate expands the campaign into individual faults by dispatching
+// to each selected model's registered spec. Each model enumerates with
+// a fresh dedup scope, so multi-model fault lists concatenate exactly
+// like independent single-model campaigns (the FilterModels guarantee).
+func enumerate(c Campaign, badTrace *trace.Trace, insts map[uint64]*isa.Inst) ([]Fault, error) {
 	var out []Fault
+	ctx := &EnumContext{Campaign: &c, Trace: badTrace, insts: insts}
 	for _, model := range c.Models {
-		seen := make(map[uint64]map[int]bool)
-		mark := func(addr uint64, bit int) bool {
-			if !c.DedupSites {
-				return true
-			}
-			bits, ok := seen[addr]
-			if !ok {
-				bits = make(map[int]bool)
-				seen[addr] = bits
-			}
-			if bits[bit] {
-				return false
-			}
-			bits[bit] = true
-			return true
+		spec := SpecOf(model)
+		if spec == nil {
+			return nil, fmt.Errorf("%w: model %d", ErrUnknownModel, model)
 		}
-		for i, e := range badTrace.Entries {
-			switch model {
-			case ModelSkip:
-				if mark(e.Addr, 0) {
-					out = append(out, Fault{
-						Model: ModelSkip, TraceIndex: i,
-						Addr: e.Addr, Op: e.Op, Cond: e.Cond,
-					})
-				}
-			case ModelBitFlip:
-				for bit := 0; bit < e.Len*8; bit++ {
-					if mark(e.Addr, bit) {
-						out = append(out, Fault{
-							Model: ModelBitFlip, TraceIndex: i,
-							Addr: e.Addr, Op: e.Op, Cond: e.Cond,
-							Bit: bit, Transient: c.Transient,
-						})
-					}
-				}
-			}
-		}
+		ctx.seen = make(map[uint64]map[int]bool)
+		spec.Enumerate(ctx, func(f Fault) { out = append(out, f) })
 	}
-	return out
+	return out, nil
 }
 
 // classify maps a finished injection run to its outcome against the

@@ -1,0 +1,130 @@
+// Order-2 multi-fault campaigns: deterministic enumeration and
+// simulation of fault *pairs*. Single-fault-hardened binaries routinely
+// fall to a second, coordinated injection (Boespflug et al.) — the
+// classic example being a skip of a protected instruction paired with a
+// skip of the countermeasure's check. Pair campaigns make that attack
+// class simulable while keeping the engine's determinism guarantees:
+// the pair list is a pure function of the order-1 sweep, and pair
+// results are bit-identical across worker counts and shard
+// decompositions.
+package fault
+
+import "github.com/r2r/reinforce/internal/emu"
+
+// FaultPair is an ordered pair of faults injected into one run; Second
+// always strikes strictly later in the trace than First.
+type FaultPair struct {
+	First  Fault
+	Second Fault
+}
+
+// String renders the pair for reports.
+func (p FaultPair) String() string {
+	return p.First.String() + " + " + p.Second.String()
+}
+
+// PairInjection is the result of simulating one fault pair.
+type PairInjection struct {
+	Pair    FaultPair
+	Outcome Outcome
+}
+
+// DefaultMaxPairs caps order-2 enumeration when the caller supplies no
+// budget. The unpruned pair space is quadratic in the fault list;
+// campaigns that want it wider (or narrower) pass their own cap.
+const DefaultMaxPairs = 4096
+
+// EnumeratePairs builds the deterministic order-2 work list from a
+// completed order-1 sweep, pruned and budget-capped:
+//
+//   - both components are drawn only from faults whose solo outcome was
+//     detected or ignored — a fault that already succeeds alone needs no
+//     partner, and a fault that crashes alone leaves no program state
+//     for a second fault to steer;
+//   - the second fault must strike strictly later in the trace than the
+//     first, which both orders the injection physically and halves the
+//     symmetric pair space;
+//   - enumeration walks candidates in campaign order (first fault outer,
+//     second inner) and stops at max pairs (0 means DefaultMaxPairs),
+//     so the same solo sweep always yields the same work list.
+func EnumeratePairs(solo []Injection, max int) []FaultPair {
+	if max <= 0 {
+		max = DefaultMaxPairs
+	}
+	var cand []Fault
+	for _, inj := range solo {
+		if inj.Outcome == OutcomeDetected || inj.Outcome == OutcomeIgnored {
+			cand = append(cand, inj.Fault)
+		}
+	}
+	var out []FaultPair
+	for i := range cand {
+		for j := range cand {
+			if cand[j].TraceIndex <= cand[i].TraceIndex {
+				continue
+			}
+			out = append(out, FaultPair{First: cand[i], Second: cand[j]})
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// pairConfig composes both faults' emulator hooks onto one run. The
+// hooks chain (Config.AddFetchHook/AddStepHook), and each keys off the
+// absolute step counter, so the two injections are independent: the
+// second fires at its step index even when the first has already sent
+// execution down a different path.
+func (s *Session) pairConfig(p FaultPair) emu.Config {
+	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+	if spec := SpecOf(p.First.Model); spec != nil {
+		spec.Hooks(p.First, &cfg)
+	}
+	if spec := SpecOf(p.Second.Model); spec != nil {
+		spec.Hooks(p.Second, &cfg)
+	}
+	return cfg
+}
+
+// SimulatePair runs one order-2 injection from the copy-on-write
+// snapshot nearest the first fault and classifies its outcome. The
+// bit-flip decode pre-screen does not apply here: it relies on the
+// reference run reaching the fault site, which the other fault of the
+// pair may prevent. Safe for concurrent use.
+func (s *Session) SimulatePair(p FaultPair) Outcome {
+	first := p.First.TraceIndex
+	if p.Second.TraceIndex < first {
+		first = p.Second.TraceIndex
+	}
+	m := s.checkpointFor(uint64(first)).Resume(s.pairConfig(p))
+	res, err := m.Run()
+	return classify(res, err, s.good)
+}
+
+// SimulatePairCold replays an order-2 injection from a freshly
+// initialized machine — the reference semantics the snapshot path must
+// match bit for bit. Tests cross-validate the two paths; the engine
+// never uses it.
+func (s *Session) SimulatePairCold(p FaultPair) Outcome {
+	cfg := s.pairConfig(p)
+	cfg.Stdin = s.c.Bad
+	m := emu.New(s.c.Binary, cfg)
+	res, err := m.Run()
+	return classify(res, err, s.good)
+}
+
+// ExecutePairShard simulates the pairs of shard shardIndex (of
+// shardCount round-robin shards) on a worker pool, exactly like
+// ExecuteShard does for single faults: lock-free cursor, per-worker
+// tallies, results at fixed positions — bit-identical regardless of
+// worker count.
+func (s *Session) ExecutePairShard(pairs []FaultPair, shardIndex, shardCount, workers int, progress func(done, total int)) ([]PairInjection, Tally) {
+	sel, outcomes, tally := runShard(pairs, shardIndex, shardCount, s.pool(workers), s.SimulatePair, progress)
+	out := make([]PairInjection, len(sel))
+	for i, p := range sel {
+		out[i] = PairInjection{Pair: p, Outcome: outcomes[i]}
+	}
+	return out, tally
+}

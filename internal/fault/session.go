@@ -115,7 +115,21 @@ func NewSession(c Campaign) (*Session, error) {
 		s.c.InjectionStepLimit = 8*ref + 4096
 	}
 
-	s.faults = enumerate(s.c, s.trace)
+	// Models whose enumeration inspects operands (register/data faults)
+	// get the decoded instruction at each traced address, recycled from
+	// the reference run's decode cache when the code never mutated.
+	var insts map[uint64]*isa.Inst
+	for _, model := range s.c.Models {
+		if spec := SpecOf(model); spec != nil && spec.NeedsInsts() {
+			insts = buildInstMap(base, s.trace, cache, gen)
+			break
+		}
+	}
+	faults, err := enumerate(s.c, s.trace, insts)
+	if err != nil {
+		return nil, err
+	}
+	s.faults = faults
 	if s.c.MaxFaults > 0 && len(s.faults) > s.c.MaxFaults {
 		s.faults = s.faults[:s.c.MaxFaults]
 	}
@@ -153,6 +167,43 @@ func NewSession(c Campaign) (*Session, error) {
 		}
 	}
 	return s, nil
+}
+
+// buildInstMap collects the decoded instruction behind every unique
+// traced address, for fault models that enumerate over operands. While
+// the reference run never mutated code (gen 0), its decode cache
+// already holds every instruction; anything missing (or any campaign
+// against self-modifying code) is re-fetched from the entry snapshot
+// and decoded once. Addresses that no longer decode are left out — the
+// spec sees a nil Inst and skips the site.
+func buildInstMap(base *emu.Snapshot, tr *trace.Trace, cache map[uint64]*isa.Inst, gen uint64) map[uint64]*isa.Inst {
+	insts := make(map[uint64]*isa.Inst)
+	var pm *emu.Machine
+	for _, e := range tr.Entries {
+		if _, done := insts[e.Addr]; done {
+			continue
+		}
+		if gen == 0 {
+			if in, ok := cache[e.Addr]; ok {
+				insts[e.Addr] = in
+				continue
+			}
+		}
+		if pm == nil {
+			pm = base.Resume(emu.Config{})
+		}
+		var buf [decode.MaxInstLen]byte
+		n, err := pm.Mem.Fetch(e.Addr, buf[:])
+		if err != nil {
+			continue
+		}
+		in, err := decode.Decode(buf[:n], e.Addr)
+		if err != nil {
+			continue
+		}
+		insts[e.Addr] = &in
+	}
+	return insts
 }
 
 // runReference executes the bad-input reference run, snapshotting the
@@ -229,39 +280,15 @@ func (s *Session) checkpointFor(traceIndex uint64) *emu.Snapshot {
 	return s.ckpts[lo]
 }
 
-// injectionConfig builds the emulator hooks for one fault. The hooks
-// key off the machine's absolute step counter, so they behave
-// identically whether the run starts from _start or resumes from a
-// mid-trace snapshot.
+// injectionConfig builds the emulator hooks for one fault by asking
+// its registered spec. Specs key any step-indexed behaviour off the
+// machine's absolute step counter, so the hooks behave identically
+// whether the run starts from _start or resumes from a mid-trace
+// snapshot (the contract TestSnapshotPathMatchesColdPath enforces).
 func (s *Session) injectionConfig(f Fault) emu.Config {
 	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
-	ti := uint64(f.TraceIndex)
-	switch f.Model {
-	case ModelSkip:
-		cfg.StepHook = func(m *emu.Machine, in *isa.Inst) emu.StepAction {
-			// Steps is incremented before the hook runs, so the
-			// currently executing instruction has index Steps-1.
-			if m.Steps-1 == ti {
-				return emu.ActSkip
-			}
-			return emu.ActContinue
-		}
-	case ModelBitFlip:
-		flipAddr := f.Addr + uint64(f.Bit/8)
-		flipBit := uint(f.Bit % 8)
-		transient := f.Transient
-		cfg.FetchHook = func(m *emu.Machine) {
-			// The hook runs before Steps is incremented, so the
-			// instruction about to be fetched has index Steps.
-			switch m.Steps {
-			case ti:
-				_ = m.Mem.FlipBit(flipAddr, flipBit)
-			case ti + 1:
-				if transient {
-					_ = m.Mem.FlipBit(flipAddr, flipBit)
-				}
-			}
-		}
+	if spec := SpecOf(f.Model); spec != nil {
+		spec.Hooks(f, &cfg)
 	}
 	return cfg
 }
@@ -326,15 +353,37 @@ func (t *Tally) Add(u Tally) {
 
 // ExecuteShard simulates the faults of shard shardIndex (of shardCount
 // round-robin shards: fault j belongs to shard j mod shardCount) on a
-// worker pool. Work is distributed through a lock-free atomic cursor
-// and every worker accumulates outcomes into its own tally, merged once
-// at the end; results land at fixed slice positions, so the returned
+// worker pool; results land at fixed slice positions, so the returned
 // injections are bit-identical regardless of worker count.
 //
 // progress, when non-nil, is invoked after every completed injection
 // with the shard-local completion count; it may be called from multiple
 // goroutines concurrently.
 func (s *Session) ExecuteShard(shardIndex, shardCount, workers int, progress func(done, total int)) ([]Injection, Tally) {
+	sel, outcomes, tally := runShard(s.faults, shardIndex, shardCount, s.pool(workers), s.Simulate, progress)
+	out := make([]Injection, len(sel))
+	for i, f := range sel {
+		out[i] = Injection{Fault: f, Outcome: outcomes[i]}
+	}
+	return out, tally
+}
+
+// pool resolves a caller-supplied worker count against the campaign
+// default.
+func (s *Session) pool(workers int) int {
+	if workers <= 0 {
+		return s.c.Workers
+	}
+	return workers
+}
+
+// runShard is the engine's shared execution core: it selects the
+// round-robin shard of items, simulates each on a worker pool fed by a
+// lock-free atomic cursor, and accumulates outcomes into per-worker
+// tallies merged once at the end. Outcomes land at fixed positions, so
+// results are bit-identical regardless of worker count. Both the
+// order-1 fault sweep and the order-2 pair sweep run on it.
+func runShard[T any](items []T, shardIndex, shardCount, workers int, sim func(T) Outcome, progress func(done, total int)) ([]T, []Outcome, Tally) {
 	if shardCount <= 1 {
 		shardIndex, shardCount = 0, 1
 	}
@@ -343,19 +392,19 @@ func (s *Session) ExecuteShard(shardIndex, shardCount, workers int, progress fun
 		// of range below); fail loudly like a slice-bounds misuse.
 		panic(fmt.Sprintf("fault: shard index %d outside [0,%d)", shardIndex, shardCount))
 	}
-	var idx []int
-	for j := shardIndex; j < len(s.faults); j += shardCount {
-		idx = append(idx, j)
+	var sel []T
+	for j := shardIndex; j < len(items); j += shardCount {
+		sel = append(sel, items[j])
 	}
-	out := make([]Injection, len(idx))
-	if len(idx) == 0 {
-		return out, Tally{}
+	outcomes := make([]Outcome, len(sel))
+	if len(sel) == 0 {
+		return sel, outcomes, Tally{}
 	}
 	if workers <= 0 {
-		workers = s.c.Workers
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(idx) {
-		workers = len(idx)
+	if workers > len(sel) {
+		workers = len(sel)
 	}
 
 	var next, done atomic.Int64
@@ -367,15 +416,14 @@ func (s *Session) ExecuteShard(shardIndex, shardCount, workers int, progress fun
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= len(idx) {
+				if i >= len(sel) {
 					return
 				}
-				f := s.faults[idx[i]]
-				o := s.Simulate(f)
-				out[i] = Injection{Fault: f, Outcome: o}
+				o := sim(sel[i])
+				outcomes[i] = o
 				tallies[w][o]++
 				if progress != nil {
-					progress(int(done.Add(1)), len(idx))
+					progress(int(done.Add(1)), len(sel))
 				}
 			}
 		}(w)
@@ -386,5 +434,5 @@ func (s *Session) ExecuteShard(shardIndex, shardCount, workers int, progress fun
 	for _, t := range tallies {
 		total.Add(t)
 	}
-	return out, total
+	return sel, outcomes, total
 }

@@ -9,9 +9,12 @@ import (
 
 // TestSnapshotPathMatchesColdPath is the engine's ground truth: every
 // injection simulated from a mid-trace copy-on-write snapshot must
-// classify exactly as the same injection replayed from scratch.
+// classify exactly as the same injection replayed from scratch — for
+// every registered fault model.
 func TestSnapshotPathMatchesColdPath(t *testing.T) {
-	for _, models := range [][]Model{{ModelSkip}, {ModelBitFlip}} {
+	for _, models := range [][]Model{
+		{ModelSkip}, {ModelBitFlip}, {ModelRegFlip}, {ModelMultiSkip}, {ModelDataFlip},
+	} {
 		s, err := NewSession(Campaign{
 			Binary: buildMini(t),
 			Good:   goodPin,

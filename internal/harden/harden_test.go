@@ -7,6 +7,41 @@ import (
 	"github.com/r2r/reinforce/internal/fault"
 )
 
+// TestEvaluateOrder2: the order-2 evaluation runs the same pair
+// campaign on both binaries; hardening against single skips must
+// resolve the order-1 successes while the pair stage reports the
+// residual multi-fault surface.
+func TestEvaluateOrder2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Faulter+Patcher pipeline plus two order-2 campaigns; run without -short")
+	}
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	fp, err := FaulterPatcher(bin, FaulterPatcherOptions{
+		Good: c.Good, Bad: c.Bad, Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := EvaluateOrder2(bin, fp.Binary, c.Good, c.Bad,
+		[]fault.Model{fault.ModelSkip}, 32<<20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Before.Solo.Count(fault.OutcomeSuccess) == 0 {
+		t.Error("no order-1 skip successes on the unprotected binary")
+	}
+	if after := ev.After.Solo.Count(fault.OutcomeSuccess); after != 0 {
+		t.Errorf("%d order-1 skip successes remain after hardening", after)
+	}
+	if len(ev.Before.Pairs) == 0 || len(ev.After.Pairs) == 0 {
+		t.Fatalf("pair stages empty: before %d, after %d", len(ev.Before.Pairs), len(ev.After.Pairs))
+	}
+	t.Logf("order-2 pairs: before %d/%d successful, after %d/%d successful",
+		ev.PairSuccessBefore(), len(ev.Before.Pairs),
+		ev.PairSuccessAfter(), len(ev.After.Pairs))
+}
+
 // TestHybridPincheckBehaviour: the Hybrid output must satisfy the case
 // oracle.
 func TestHybridPincheckBehaviour(t *testing.T) {

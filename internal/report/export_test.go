@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWriteCSVRoundTrip: the CSV export parses back to exactly the
+// header and rows, with title and notes omitted.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tab := &Table{
+		Title:  "campaign results",
+		Header: []string{"name", "injections", "success"},
+	}
+	tab.AddRow("pincheck", "1139", "6")
+	tab.AddRow("bootloader", "5120", "0")
+	tab.AddNote("presentation only — must not appear in CSV")
+
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV invalid: %v", err)
+	}
+	want := [][]string{
+		{"name", "injections", "success"},
+		{"pincheck", "1139", "6"},
+		{"bootloader", "5120", "0"},
+	}
+	if !reflect.DeepEqual(records, want) {
+		t.Errorf("CSV round-trip = %v, want %v", records, want)
+	}
+}
+
+// TestWriteCSVQuoting: cells containing commas and quotes survive the
+// round trip (summary cells carry instruction mixes like "1 cmp, 2 br").
+func TestWriteCSVQuoting(t *testing.T) {
+	tab := &Table{
+		Header: []string{"name", "mix"},
+	}
+	tab.AddRow("one-branch", `1 cmp, 1 "jx", 2 mov`)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV invalid: %v", err)
+	}
+	if records[1][1] != `1 cmp, 1 "jx", 2 mov` {
+		t.Errorf("quoted cell = %q", records[1][1])
+	}
+}
+
+// TestWriteJSON: the shared JSON encoder emits indented output ending
+// in a newline and round-trips structured values.
+func TestWriteJSON(t *testing.T) {
+	type row struct {
+		Name    string `json:"name"`
+		Success int    `json:"success"`
+	}
+	in := []row{{"pincheck", 6}, {"bootloader", 0}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasSuffix(s, "\n") {
+		t.Error("JSON output not newline-terminated")
+	}
+	if !strings.Contains(s, "\n  ") {
+		t.Error("JSON output not indented")
+	}
+	var back []row
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, in) {
+		t.Errorf("JSON round-trip = %v, want %v", back, in)
+	}
+}

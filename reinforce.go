@@ -95,11 +95,23 @@ func CaptureTrace(bin *Binary, stdin []byte) *Trace {
 // Fault model selection.
 type Model = fault.Model
 
-// Fault models (paper §IV-B1).
+// Fault models: the paper's two (§IV-B1) plus the extended catalog
+// (register bit flip, multi-instruction skip window, transient data
+// flip). New models plug in via fault.Register.
 const (
-	ModelSkip    = fault.ModelSkip
-	ModelBitFlip = fault.ModelBitFlip
+	ModelSkip      = fault.ModelSkip
+	ModelBitFlip   = fault.ModelBitFlip
+	ModelRegFlip   = fault.ModelRegFlip
+	ModelMultiSkip = fault.ModelMultiSkip
+	ModelDataFlip  = fault.ModelDataFlip
 )
+
+// ParseModels resolves a comma-separated fault-model list (canonical
+// names or CLI aliases; "both" = the paper's pair, "all" = every
+// registered model).
+func ParseModels(spec string) ([]Model, error) {
+	return fault.ParseModels(spec)
+}
 
 // FaultReport is a completed fault-injection campaign.
 type FaultReport = fault.Report
