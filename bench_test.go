@@ -1,5 +1,5 @@
 // Benchmark harness regenerating every table, figure and claim of the
-// paper's evaluation (§V), plus the ablations called out in DESIGN.md §5
+// paper's evaluation (§V), plus ablations of the hardening pipelines
 // and microbenchmarks of the substrate layers.
 //
 //	go test -bench=. -benchmem
@@ -267,7 +267,7 @@ func BenchmarkFigure5(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
-// Ablations (DESIGN.md §5).
+// Ablations: each knob of the Hybrid pipeline toggled in isolation.
 // ---------------------------------------------------------------------
 
 // BenchmarkAblationTargeting compares targeted patching against blanket

@@ -17,11 +17,16 @@
 //	r2r cases -dir DIR                  write the case studies to disk
 //	r2r experiments [-only NAME]        regenerate the paper's tables
 //	r2r pipeline                        describe the two pipelines
+//
+// The flag surface of every subcommand is defined in internal/cli,
+// shared with the docs checker (tools/doccheck).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +34,7 @@ import (
 
 	"github.com/r2r/reinforce"
 	"github.com/r2r/reinforce/internal/campaign"
+	"github.com/r2r/reinforce/internal/cli"
 	"github.com/r2r/reinforce/internal/experiments"
 	"github.com/r2r/reinforce/internal/fault"
 	"github.com/r2r/reinforce/internal/report"
@@ -57,9 +63,9 @@ func main() {
 	case "faults":
 		err = cmdFaults(args)
 	case "campaign":
-		err = cmdCampaign(args)
+		err = cmdCampaign(args, os.Stdout)
 	case "patch":
-		err = cmdPatch(args)
+		err = cmdPatch(args, os.Stdout)
 	case "hybrid":
 		err = cmdHybrid(args)
 	case "cases":
@@ -100,9 +106,15 @@ commands:
                                  batch campaigns on the parallel engine
                                  with sharding and JSON/CSV export;
                                  -order 2 adds multi-fault pairs
-  patch -good G -bad B [-model ...] [-o OUT] BIN
-                                 harden via the Faulter+Patcher pipeline
-  hybrid [-o OUT] BIN            harden via the Hybrid (lift/lower) pipeline
+  patch -good G -bad B [-model ...] [-order 1|2] [-max-pairs N]
+        [-json|-csv] [-o OUT] BIN
+                                 harden via the Faulter+Patcher pipeline;
+                                 -order 2 escalates fault-pair sites to
+                                 the order-2-aware patterns
+  hybrid [-harden branch|order2] [-o OUT] BIN
+                                 harden via the Hybrid (lift/lower)
+                                 pipeline; order2 adds the skip-window
+                                 multi-fault countermeasure pass
   cases -dir DIR                 emit the pincheck/bootloader case studies
   cfg [-harden] BIN              CFG of the lifted IR in Graphviz dot
                                  (figures 4/5 with -harden)
@@ -112,6 +124,21 @@ commands:
 MODELS is a comma-separated list of fault models: skip, bitflip,
 reg-flip, multi-skip, data-flip — or both (skip+bitflip), all.
 `)
+}
+
+// parse runs a subcommand's flag set over args. The cli package builds
+// silent flag sets (errors returned, nothing printed), so -h/-help is
+// handled here: print the flag defaults to stderr and exit 0 — a help
+// request is not an error.
+func parse(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "usage: r2r %s [flags] ...\nflags:\n", fs.Name())
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		os.Exit(0)
+	}
+	return err
 }
 
 func loadBinary(path string) (*reinforce.Binary, error) {
@@ -131,9 +158,10 @@ func saveBinary(bin *reinforce.Binary, path string) error {
 }
 
 func cmdAsm(args []string) error {
-	fs := flag.NewFlagSet("asm", flag.ExitOnError)
-	out := fs.String("o", "a.elf", "output path")
-	fs.Parse(args)
+	fs, f := cli.Asm()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one source file")
 	}
@@ -145,10 +173,10 @@ func cmdAsm(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := saveBinary(bin, *out); err != nil {
+	if err := saveBinary(bin, f.Out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d bytes of code)\n", *out, bin.CodeSize())
+	fmt.Printf("wrote %s (%d bytes of code)\n", f.Out, bin.CodeSize())
 	return nil
 }
 
@@ -181,9 +209,10 @@ func cmdDisasm(args []string) error {
 }
 
 func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	in := fs.String("in", "", "stdin contents")
-	fs.Parse(args)
+	fs, f := cli.Run()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one binary")
 	}
@@ -191,7 +220,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := reinforce.Run(bin, []byte(*in))
+	res, err := reinforce.Run(bin, []byte(f.In))
 	if err != nil {
 		return fmt.Errorf("crashed after %d steps: %w", res.Steps, err)
 	}
@@ -202,9 +231,10 @@ func cmdRun(args []string) error {
 }
 
 func cmdTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	in := fs.String("in", "", "stdin contents")
-	fs.Parse(args)
+	fs, f := cli.Trace()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one binary")
 	}
@@ -212,7 +242,7 @@ func cmdTrace(args []string) error {
 	if err != nil {
 		return err
 	}
-	tr := reinforce.CaptureTrace(bin, []byte(*in))
+	tr := reinforce.CaptureTrace(bin, []byte(f.In))
 	for _, e := range tr.Entries {
 		fmt.Printf("%#x\n", e.Addr)
 	}
@@ -241,15 +271,14 @@ func parseModels(s string) ([]reinforce.Model, error) {
 }
 
 func cmdFaults(args []string) error {
-	fs := flag.NewFlagSet("faults", flag.ExitOnError)
-	good := fs.String("good", "", "accepted input")
-	bad := fs.String("bad", "", "rejected input")
-	model := fs.String("model", "both", "comma-separated fault models: skip, bitflip, reg-flip, multi-skip, data-flip, both, all")
-	fs.Parse(args)
+	fs, f := cli.Faults()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one binary")
 	}
-	models, err := parseModels(*model)
+	models, err := parseModels(f.Model)
 	if err != nil {
 		return err
 	}
@@ -257,7 +286,7 @@ func cmdFaults(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := reinforce.FaultScan(bin, []byte(*good), []byte(*bad), models...)
+	rep, err := reinforce.FaultScan(bin, []byte(f.Good), []byte(f.Bad), models...)
 	if err != nil {
 		return err
 	}
@@ -272,33 +301,25 @@ func cmdFaults(args []string) error {
 // cmdCampaign drives the parallel campaign engine: one or more
 // binaries swept under the same oracles, with optional sharding,
 // order-2 multi-fault pairs, and machine-readable output.
-func cmdCampaign(args []string) error {
-	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
-	good := fs.String("good", "", "accepted input")
-	bad := fs.String("bad", "", "rejected input")
-	model := fs.String("model", "both", "comma-separated fault models: skip, bitflip, reg-flip, multi-skip, data-flip, both, all")
-	order := fs.Int("order", 1, "fault order: 1 = single faults, 2 = add fault pairs pruned from the order-1 sweep")
-	maxPairs := fs.Int("max-pairs", 0, "order-2 pair budget (default 4096)")
-	workers := fs.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
-	shardSpec := fs.String("shard", "", "simulate only shard i/n of each fault list (e.g. 0/4); with -order 2 the shard applies to the pair list")
-	jsonOut := fs.Bool("json", false, "emit JSON summaries on stdout")
-	csvOut := fs.Bool("csv", false, "emit CSV summaries on stdout")
-	quiet := fs.Bool("q", false, "suppress the stderr progress meter")
-	fs.Parse(args)
+func cmdCampaign(args []string, out io.Writer) error {
+	fs, f := cli.Campaign()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() < 1 {
 		return fmt.Errorf("want at least one binary")
 	}
-	if *order != 1 && *order != 2 {
-		return fmt.Errorf("unsupported fault order %d: want 1 or 2", *order)
+	if f.Order != 1 && f.Order != 2 {
+		return fmt.Errorf("unsupported fault order %d: want 1 or 2", f.Order)
 	}
-	models, err := parseModels(*model)
+	models, err := parseModels(f.Model)
 	if err != nil {
 		return err
 	}
 	var shard campaign.Shard
-	if *shardSpec != "" {
-		if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &shard.Index, &shard.Count); err != nil {
-			return fmt.Errorf("bad -shard %q: want i/n", *shardSpec)
+	if f.Shard != "" {
+		if _, err := fmt.Sscanf(f.Shard, "%d/%d", &shard.Index, &shard.Count); err != nil {
+			return fmt.Errorf("bad -shard %q: want i/n", f.Shard)
 		}
 	}
 
@@ -312,15 +333,15 @@ func cmdCampaign(args []string) error {
 			Name: filepath.Base(path),
 			Campaign: fault.Campaign{
 				Binary: bin,
-				Good:   []byte(*good),
-				Bad:    []byte(*bad),
+				Good:   []byte(f.Good),
+				Bad:    []byte(f.Bad),
 				Models: models,
 			},
 		})
 	}
 
-	opt := campaign.Options{Workers: *workers, Shard: shard, MaxPairs: *maxPairs}
-	if !*quiet {
+	opt := campaign.Options{Workers: f.Workers, Shard: shard, MaxPairs: f.MaxPairs}
+	if !f.Quiet {
 		opt.Progress = func(p campaign.Progress) {
 			// Redraw sparingly: every 256 injections and at completion.
 			if p.Done%256 == 0 || p.Done == p.Total {
@@ -334,7 +355,7 @@ func cmdCampaign(args []string) error {
 	}
 
 	var sums []campaign.Summary
-	if *order == 2 {
+	if f.Order == 2 {
 		// Order-2 runs per binary: the pair list is derived from each
 		// binary's own order-1 sweep, so there is no batch fast path.
 		for _, job := range jobs {
@@ -359,32 +380,33 @@ func cmdCampaign(args []string) error {
 		}
 	}
 	switch {
-	case *jsonOut:
-		return campaign.WriteJSON(os.Stdout, sums)
-	case *csvOut:
-		return campaign.WriteCSV(os.Stdout, sums)
+	case f.JSON:
+		return campaign.WriteJSON(out, sums)
+	case f.CSV:
+		return campaign.WriteCSV(out, sums)
 	}
-	fmt.Print(campaign.SummaryTable(sums))
+	fmt.Fprint(out, campaign.SummaryTable(sums))
 	for _, sum := range sums {
 		for _, site := range sum.Sites {
-			fmt.Printf("  %s vulnerable: %#x %-8s (%d successful faults, class %s)\n",
+			fmt.Fprintf(out, "  %s vulnerable: %#x %-8s (%d successful faults, class %s)\n",
 				sum.Name, site.Addr, site.Mnemonic, site.Successes, site.Class)
 		}
 	}
 	return nil
 }
 
-func cmdPatch(args []string) error {
-	fs := flag.NewFlagSet("patch", flag.ExitOnError)
-	good := fs.String("good", "", "accepted input")
-	bad := fs.String("bad", "", "rejected input")
-	model := fs.String("model", "both", "comma-separated fault models to harden against")
-	out := fs.String("o", "", "output path (default: overwrite input with .hardened suffix)")
-	fs.Parse(args)
+func cmdPatch(args []string, out io.Writer) error {
+	fs, f := cli.Patch()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one binary")
 	}
-	models, err := parseModels(*model)
+	if f.Order != 1 && f.Order != 2 {
+		return fmt.Errorf("unsupported hardening order %d: want 1 or 2", f.Order)
+	}
+	models, err := parseModels(f.Model)
 	if err != nil {
 		return err
 	}
@@ -392,49 +414,73 @@ func cmdPatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := reinforce.HardenFaulterPatcher(bin, reinforce.FaulterPatcherOptions{
-		Good:   []byte(*good),
-		Bad:    []byte(*bad),
-		Models: models,
-		Log:    func(s string) { fmt.Println(s) },
-	})
+	quiet := f.JSON || f.CSV
+	opt := reinforce.FaulterPatcherOptions{
+		Good:     []byte(f.Good),
+		Bad:      []byte(f.Bad),
+		Models:   models,
+		Order:    f.Order,
+		MaxPairs: f.MaxPairs,
+	}
+	if !quiet {
+		opt.Log = func(s string) { fmt.Fprintln(out, s) }
+	}
+	res, err := reinforce.HardenFaulterPatcher(bin, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Summary())
-	path := *out
+	path := f.Out
 	if path == "" {
 		path = fs.Arg(0) + ".hardened"
 	}
 	if err := saveBinary(res.Binary, path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	switch {
+	case f.JSON:
+		return res.WriteJSON(out)
+	case f.CSV:
+		return res.WriteCSV(out)
+	}
+	fmt.Fprint(out, res.Summary())
+	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }
 
 func cmdHybrid(args []string) error {
-	fs := flag.NewFlagSet("hybrid", flag.ExitOnError)
-	out := fs.String("o", "", "output path (default: input + .hybrid)")
-	dumpAsm := fs.Bool("S", false, "print the generated assembly")
-	fs.Parse(args)
+	fs, f := cli.Hybrid()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one binary")
+	}
+	opt := reinforce.HybridOptions{}
+	switch f.Harden {
+	case "", "branch":
+	case "order2":
+		opt.SkipWindow = true
+	default:
+		return fmt.Errorf("unknown -harden %q: want branch or order2", f.Harden)
 	}
 	bin, err := loadBinary(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	res, err := reinforce.HardenHybrid(bin, reinforce.HybridOptions{})
+	res, err := reinforce.HardenHybrid(bin, opt)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("protected %d branches; code size %d -> %d bytes (%.2f%% overhead)\n",
 		res.Stats.BranchesProtected, res.OriginalCodeSize, res.Binary.CodeSize(), res.Overhead()*100)
-	if *dumpAsm {
+	if opt.SkipWindow {
+		fmt.Printf("skip-window: %d blocks instrumented, %d computations duplicated, %d counter increments\n",
+			res.SWStats.BlocksInstrumented, res.SWStats.Duplicated, res.SWStats.Increments)
+	}
+	if f.DumpAsm {
 		fmt.Print(res.Asm)
 	}
-	path := *out
+	path := f.Out
 	if path == "" {
 		path = fs.Arg(0) + ".hybrid"
 	}
@@ -446,11 +492,12 @@ func cmdHybrid(args []string) error {
 }
 
 func cmdCases(args []string) error {
-	fs := flag.NewFlagSet("cases", flag.ExitOnError)
-	dir := fs.String("dir", ".", "output directory")
-	fs.Parse(args)
+	fs, f := cli.Cases()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	for _, c := range []*reinforce.Case{reinforce.Pincheck(), reinforce.Bootloader()} {
-		srcPath := filepath.Join(*dir, c.Name+".s")
+		srcPath := filepath.Join(f.Dir, c.Name+".s")
 		if err := os.WriteFile(srcPath, []byte(c.Source), 0o644); err != nil {
 			return err
 		}
@@ -458,15 +505,15 @@ func cmdCases(args []string) error {
 		if err != nil {
 			return err
 		}
-		binPath := filepath.Join(*dir, c.Name+".elf")
+		binPath := filepath.Join(f.Dir, c.Name+".elf")
 		if err := saveBinary(bin, binPath); err != nil {
 			return err
 		}
-		goodPath := filepath.Join(*dir, c.Name+".good")
+		goodPath := filepath.Join(f.Dir, c.Name+".good")
 		if err := os.WriteFile(goodPath, c.Good, 0o644); err != nil {
 			return err
 		}
-		badPath := filepath.Join(*dir, c.Name+".bad")
+		badPath := filepath.Join(f.Dir, c.Name+".bad")
 		if err := os.WriteFile(badPath, c.Bad, 0o644); err != nil {
 			return err
 		}
@@ -476,9 +523,10 @@ func cmdCases(args []string) error {
 }
 
 func cmdCFG(args []string) error {
-	fs := flag.NewFlagSet("cfg", flag.ExitOnError)
-	hardened := fs.Bool("harden", false, "apply conditional branch hardening first (figure 5)")
-	fs.Parse(args)
+	fs, f := cli.CFG()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one binary")
 	}
@@ -486,7 +534,7 @@ func cmdCFG(args []string) error {
 	if err != nil {
 		return err
 	}
-	dot, err := reinforce.CFGDot(bin, *hardened)
+	dot, err := reinforce.CFGDot(bin, f.Harden)
 	if err != nil {
 		return err
 	}
@@ -495,9 +543,10 @@ func cmdCFG(args []string) error {
 }
 
 func cmdExperiments(args []string) error {
-	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	only := fs.String("only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond")
-	fs.Parse(args)
+	fs, f := cli.Experiments()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 
 	type exp struct {
 		name string
@@ -512,10 +561,11 @@ func cmdExperiments(args []string) error {
 		{"dup", func() (*report.Table, error) { t, _, err := experiments.ClaimDup(); return t, err }},
 		{"figures", func() (*report.Table, error) { t, _, err := experiments.Figures(); return t, err }},
 		{"beyond", func() (*report.Table, error) { t, _, err := experiments.TableBeyond(); return t, err }},
+		{"beyond2", func() (*report.Table, error) { t, _, err := experiments.TableBeyond2(); return t, err }},
 	}
 	ran := 0
 	for _, e := range all {
-		if *only != "" && e.name != *only {
+		if f.Only != "" && e.name != f.Only {
 			continue
 		}
 		tab, err := e.run()
@@ -526,7 +576,7 @@ func cmdExperiments(args []string) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q", *only)
+		return fmt.Errorf("unknown experiment %q", f.Only)
 	}
 	return nil
 }
@@ -545,6 +595,9 @@ Faulter+Patcher (reassembleable disassembly, targeted):
                   ▼
           patched binary ──▶ faulter again ... until no fault remains
                              or none is fixable (fixed point)
+                  │ with -order 2: fault *pairs* next, escalating the
+                  ▼ sites of successful pairs to order-2 patterns
+          multi-fault-hardened binary
 
 Hybrid compiler-binary (full translation, holistic):
 
@@ -554,6 +607,8 @@ Hybrid compiler-binary (full translation, holistic):
                conditional branch hardening pass (§V-B, Alg. 1, Fig. 5):
                   per-block UIDs, duplicated edge checksums D1/D2,
                   re-evaluated comparison C2, per-edge validation chains
+                  │ with -harden order2: the skip-window pass next —
+                  │ spaced duplicates, step counters, chained checks
                   │ countermeasure-safe cleanup
                   ▼
                lower to x86-64 (cells in .vcpu, cmp/br fusion)

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// writeCase builds a case study into a temp dir and returns the binary
+// path plus its oracle inputs.
+func writeCase(t *testing.T, c *cases.Case) (path string, good, bad string) {
+	t.Helper()
+	bin := c.MustBuild()
+	img, err := bin.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(t.TempDir(), c.Name+".elf")
+	if err := os.WriteFile(path, img, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path, string(c.Good), string(c.Bad)
+}
+
+// normalizeJSON zeroes the wall-clock fields so golden comparisons are
+// deterministic, and re-indents canonically.
+func normalizeJSON(t *testing.T, data []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	var scrub func(any)
+	scrub = func(n any) {
+		switch x := n.(type) {
+		case map[string]any:
+			delete(x, "elapsed_ms")
+			for _, vv := range x {
+				scrub(vv)
+			}
+		case []any:
+			for _, vv := range x {
+				scrub(vv)
+			}
+		}
+	}
+	scrub(v)
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out) + "\n"
+}
+
+// checkGolden compares normalized JSON against a golden file
+// (regenerate with `go test ./cmd/r2r -run Golden -update`).
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestCampaignJSONGolden pins the `r2r campaign -json` output schema:
+// summary fields, per-model breakdowns, and vulnerable sites for the
+// pincheck case. The engine is deterministic, so values — not just
+// structure — are stable.
+func TestCampaignJSONGolden(t *testing.T) {
+	bin, good, bad := writeCase(t, cases.Pincheck())
+	var out bytes.Buffer
+	err := cmdCampaign([]string{"-good", good, "-bad", bad, "-model", "skip,bitflip", "-q", "-json", bin}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign_pincheck.json", normalizeJSON(t, out.Bytes()))
+}
+
+// TestCampaignOrder2JSONGolden pins the order-2 summary schema — the
+// order2 block with the pair-stage outcome counts.
+func TestCampaignOrder2JSONGolden(t *testing.T) {
+	bin, good, bad := writeCase(t, cases.Pincheck())
+	var out bytes.Buffer
+	err := cmdCampaign([]string{"-good", good, "-bad", bad, "-model", "skip",
+		"-order", "2", "-max-pairs", "64", "-q", "-json", bin}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeJSON(t, out.Bytes())
+	if !strings.Contains(got, `"order2"`) {
+		t.Fatalf("order-2 summary missing the order2 block:\n%s", got)
+	}
+	checkGolden(t, "campaign_pincheck_order2.json", got)
+}
+
+// TestPatchOrder2JSONGolden pins the `r2r patch -order 2 -json` export:
+// order-1 iterations, pair iterations, and the convergence verdict.
+func TestPatchOrder2JSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full order-2 Faulter+Patcher pipeline; run without -short")
+	}
+	bin, good, bad := writeCase(t, cases.Pincheck())
+	var out bytes.Buffer
+	err := cmdPatch([]string{"-good", good, "-bad", bad, "-model", "skip",
+		"-order", "2", "-max-pairs", "1024", "-o", bin + ".h2", "-json", bin}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeJSON(t, out.Bytes())
+	for _, want := range []string{`"pair_iterations"`, `"pair_converged": true`, `"final_pair_success": 0`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("patch JSON missing %s:\n%s", want, got)
+		}
+	}
+	checkGolden(t, "patch_pincheck_order2.json", got)
+}
+
+// TestCampaignUnknownModelListsCatalog: the fix for the opaque
+// -model failure — the error must enumerate the registered models.
+func TestCampaignUnknownModelListsCatalog(t *testing.T) {
+	bin, good, bad := writeCase(t, cases.Pincheck())
+	err := cmdCampaign([]string{"-good", good, "-bad", bad, "-model", "skipp", "-q", bin}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	for _, want := range []string{"skipp", "registered:", "instruction-skip", "single-bit-flip", "multi-instruction-skip"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestCampaignRejectsBadOrder and friends: flag-value validation that
+// lives in the command layer, above the flag parser.
+func TestCampaignRejectsBadOrder(t *testing.T) {
+	err := cmdCampaign([]string{"-order", "3", "x.elf"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "order") {
+		t.Errorf("order 3 not rejected: %v", err)
+	}
+}
+
+func TestPatchRejectsBadOrder(t *testing.T) {
+	err := cmdPatch([]string{"-order", "0", "x.elf"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "order") {
+		t.Errorf("order 0 not rejected: %v", err)
+	}
+}
+
+func TestHybridRejectsUnknownHarden(t *testing.T) {
+	err := cmdHybrid([]string{"-harden", "mystery", "x.elf"})
+	if err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Errorf("unknown -harden not rejected: %v", err)
+	}
+}
+
+func TestCampaignRejectsUnknownFlag(t *testing.T) {
+	err := cmdCampaign([]string{"-frobnicate"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("unknown flag not rejected: %v", err)
+	}
+}

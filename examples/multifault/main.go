@@ -1,0 +1,78 @@
+// Multifault: why single-fault hardening is not enough, and what
+// closing the gap costs.
+//
+// The paper's pincheck case study is hardened with the single-fault
+// Faulter+Patcher pipeline until no individual instruction skip works,
+// then attacked with *fault pairs* — two coordinated skips in one run
+// (one removing a protected computation, the other its verification
+// branch). The order-1-hardened binary falls; re-hardening with
+// `Order: 2` escalates the pair sites to the chained order-2 patterns
+// and the pair campaign comes back clean.
+//
+//	go run ./examples/multifault
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/r2r/reinforce"
+)
+
+func main() {
+	c := reinforce.Pincheck()
+	bin := c.MustBuild()
+
+	// 1. Single-fault hardening: the paper's pipeline, converged.
+	order1, err := reinforce.HardenFaulterPatcher(bin, reinforce.FaulterPatcherOptions{
+		Good: c.Good, Bad: c.Bad,
+		Models: []reinforce.Model{reinforce.ModelSkip},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("order-1 hardened: %d iterations, code size %+.1f%%, clean under single skips\n",
+		len(order1.Iterations), order1.Overhead()*100)
+
+	// 2. Attack it with fault pairs.
+	pairs, err := reinforce.FaultScanOrder2(order1.Binary, c.Good, c.Bad, 0, reinforce.ModelSkip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\norder-2 attack on it: %d pairs simulated, %d SUCCESSFUL\n",
+		len(pairs.Pairs), len(pairs.SuccessfulPairs()))
+	for _, p := range pairs.SuccessfulPairs() {
+		fmt.Printf("  %s\n  ^ one skip removes the computation, the other its check\n", p.Pair)
+	}
+
+	// 3. Re-harden at order 2: sites of successful pairs escalate to
+	//    the chained double-verification patterns.
+	order2, err := reinforce.HardenFaulterPatcher(bin, reinforce.FaulterPatcherOptions{
+		Good: c.Good, Bad: c.Bad,
+		Models: []reinforce.Model{reinforce.ModelSkip},
+		Order:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\norder-2 hardened: code size %+.1f%% (was %+.1f%%)\n",
+		order2.Overhead()*100, order1.Overhead()*100)
+
+	// 4. Attack again.
+	pairs2, err := reinforce.FaultScanOrder2(order2.Binary, c.Good, c.Bad, 0, reinforce.ModelSkip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("order-2 attack on it: %d pairs simulated, %d successful\n",
+		len(pairs2.Pairs), len(pairs2.SuccessfulPairs()))
+	if len(pairs2.SuccessfulPairs()) == 0 && order2.PairConverged() {
+		fmt.Println("\nno pair of instruction skips grants access any more")
+	}
+
+	// The hardened binary still works.
+	r, err := reinforce.Run(order2.Binary, c.Good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("functional check: correct PIN -> %q... (exit %d)\n", r.Stdout[:15], r.ExitCode)
+}

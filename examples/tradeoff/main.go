@@ -4,7 +4,8 @@
 // duplication baselines, then prints the Table-V-style comparison and
 // the guidance that follows from it.
 //
-// Duplication is compared per rewriting substrate (see DESIGN.md §6):
+// Duplication is compared per rewriting substrate (see
+// docs/COUNTERMEASURES.md):
 // targeted patching vs duplicating every instruction on the reassembly
 // route, and branch hardening vs duplicating every IR computation on
 // the lift/lower route — so each comparison isolates the countermeasure

@@ -37,6 +37,11 @@ type Inst struct {
 	// patcher; the fixed-point driver will not patch them again.
 	Protected bool
 
+	// Order2 marks instructions belonging to an order-2-aware pattern
+	// (patch.StyleOrder2); the pair-campaign driver escalates Protected
+	// sites once but never re-patches an Order2 one.
+	Order2 bool
+
 	// OrigAddr is the address this instruction had in the source
 	// binary (0 for inserted instructions).
 	OrigAddr uint64

@@ -1,0 +1,212 @@
+// Package cli defines the r2r subcommand surface — every command's
+// flag set and argument arity — as data. Both the CLI binary
+// (cmd/r2r) and the documentation checker (tools/doccheck) consume the
+// same definitions, so a flag added, renamed, or removed here is
+// validated against every `./r2r …` invocation quoted in README and
+// docs by the CI docs job: command-line drift breaks the build instead
+// of the documentation.
+package cli
+
+import (
+	"flag"
+	"io"
+)
+
+// modelHelp documents the -model syntax once for every command that
+// accepts it.
+const modelHelp = "comma-separated fault models: skip, bitflip, reg-flip, multi-skip, data-flip, both, all"
+
+// newFS builds a silent flag set: parse errors are returned, not
+// printed, so callers control the error surface.
+func newFS(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// AsmFlags are the `r2r asm` flags.
+type AsmFlags struct {
+	Out string
+}
+
+// Asm builds the `r2r asm` flag set.
+func Asm() (*flag.FlagSet, *AsmFlags) {
+	fs, f := newFS("asm"), &AsmFlags{}
+	fs.StringVar(&f.Out, "o", "a.elf", "output path")
+	return fs, f
+}
+
+// RunFlags are the `r2r run` / `r2r trace` flags.
+type RunFlags struct {
+	In string
+}
+
+// Run builds the `r2r run` flag set.
+func Run() (*flag.FlagSet, *RunFlags) {
+	fs, f := newFS("run"), &RunFlags{}
+	fs.StringVar(&f.In, "in", "", "stdin contents")
+	return fs, f
+}
+
+// Trace builds the `r2r trace` flag set.
+func Trace() (*flag.FlagSet, *RunFlags) {
+	fs, f := newFS("trace"), &RunFlags{}
+	fs.StringVar(&f.In, "in", "", "stdin contents")
+	return fs, f
+}
+
+// FaultsFlags are the `r2r faults` flags.
+type FaultsFlags struct {
+	Good, Bad, Model string
+}
+
+// Faults builds the `r2r faults` flag set.
+func Faults() (*flag.FlagSet, *FaultsFlags) {
+	fs, f := newFS("faults"), &FaultsFlags{}
+	fs.StringVar(&f.Good, "good", "", "accepted input")
+	fs.StringVar(&f.Bad, "bad", "", "rejected input")
+	fs.StringVar(&f.Model, "model", "both", modelHelp)
+	return fs, f
+}
+
+// CampaignFlags are the `r2r campaign` flags.
+type CampaignFlags struct {
+	Good, Bad, Model, Shard string
+	Order, MaxPairs         int
+	Workers                 int
+	JSON, CSV, Quiet        bool
+}
+
+// Campaign builds the `r2r campaign` flag set.
+func Campaign() (*flag.FlagSet, *CampaignFlags) {
+	fs, f := newFS("campaign"), &CampaignFlags{}
+	fs.StringVar(&f.Good, "good", "", "accepted input")
+	fs.StringVar(&f.Bad, "bad", "", "rejected input")
+	fs.StringVar(&f.Model, "model", "both", modelHelp)
+	fs.IntVar(&f.Order, "order", 1, "fault order: 1 = single faults, 2 = add fault pairs pruned from the order-1 sweep")
+	fs.IntVar(&f.MaxPairs, "max-pairs", 0, "order-2 pair budget (default 4096)")
+	fs.IntVar(&f.Workers, "workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
+	fs.StringVar(&f.Shard, "shard", "", "simulate only shard i/n of each fault list (e.g. 0/4); with -order 2 the shard applies to the pair list")
+	fs.BoolVar(&f.JSON, "json", false, "emit JSON summaries on stdout")
+	fs.BoolVar(&f.CSV, "csv", false, "emit CSV summaries on stdout")
+	fs.BoolVar(&f.Quiet, "q", false, "suppress the stderr progress meter")
+	return fs, f
+}
+
+// PatchFlags are the `r2r patch` flags.
+type PatchFlags struct {
+	Good, Bad, Model, Out string
+	Order, MaxPairs       int
+	JSON, CSV             bool
+}
+
+// Patch builds the `r2r patch` flag set.
+func Patch() (*flag.FlagSet, *PatchFlags) {
+	fs, f := newFS("patch"), &PatchFlags{}
+	fs.StringVar(&f.Good, "good", "", "accepted input")
+	fs.StringVar(&f.Bad, "bad", "", "rejected input")
+	fs.StringVar(&f.Model, "model", "both", modelHelp)
+	fs.StringVar(&f.Out, "o", "", "output path (default: input with .hardened suffix)")
+	fs.IntVar(&f.Order, "order", 1, "hardening order: 1 = single-fault fixed point, 2 = escalate sites of successful fault pairs to order-2 patterns")
+	fs.IntVar(&f.MaxPairs, "max-pairs", 0, "order-2 pair budget per escalation round (default 4096)")
+	fs.BoolVar(&f.JSON, "json", false, "emit the iteration history as JSON on stdout")
+	fs.BoolVar(&f.CSV, "csv", false, "emit the iteration history as CSV on stdout")
+	return fs, f
+}
+
+// HybridFlags are the `r2r hybrid` flags.
+type HybridFlags struct {
+	Out, Harden string
+	DumpAsm     bool
+}
+
+// Hybrid builds the `r2r hybrid` flag set.
+func Hybrid() (*flag.FlagSet, *HybridFlags) {
+	fs, f := newFS("hybrid"), &HybridFlags{}
+	fs.StringVar(&f.Out, "o", "", "output path (default: input + .hybrid)")
+	fs.StringVar(&f.Harden, "harden", "branch", "countermeasure set: branch (conditional branch hardening) or order2 (branch + skip-window multi-fault hardening)")
+	fs.BoolVar(&f.DumpAsm, "S", false, "print the generated assembly")
+	return fs, f
+}
+
+// CasesFlags are the `r2r cases` flags.
+type CasesFlags struct {
+	Dir string
+}
+
+// Cases builds the `r2r cases` flag set.
+func Cases() (*flag.FlagSet, *CasesFlags) {
+	fs, f := newFS("cases"), &CasesFlags{}
+	fs.StringVar(&f.Dir, "dir", ".", "output directory")
+	return fs, f
+}
+
+// CFGFlags are the `r2r cfg` flags.
+type CFGFlags struct {
+	Harden bool
+}
+
+// CFG builds the `r2r cfg` flag set.
+func CFG() (*flag.FlagSet, *CFGFlags) {
+	fs, f := newFS("cfg"), &CFGFlags{}
+	fs.BoolVar(&f.Harden, "harden", false, "apply conditional branch hardening first (figure 5)")
+	return fs, f
+}
+
+// ExperimentsFlags are the `r2r experiments` flags.
+type ExperimentsFlags struct {
+	Only string
+}
+
+// Experiments builds the `r2r experiments` flag set.
+func Experiments() (*flag.FlagSet, *ExperimentsFlags) {
+	fs, f := newFS("experiments"), &ExperimentsFlags{}
+	fs.StringVar(&f.Only, "only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond, beyond2")
+	return fs, f
+}
+
+// Spec describes one subcommand for validation: its flag surface and
+// positional-argument arity.
+type Spec struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // < 0 means unbounded
+	Flags   func() *flag.FlagSet
+}
+
+// noFlags builds an empty flag set for flagless commands.
+func noFlags(name string) func() *flag.FlagSet {
+	return func() *flag.FlagSet { return newFS(name) }
+}
+
+// Specs returns every r2r subcommand. The docs checker parses each
+// documented invocation against the matching spec.
+func Specs() []Spec {
+	return []Spec{
+		{"asm", 1, 1, func() *flag.FlagSet { fs, _ := Asm(); return fs }},
+		{"info", 1, 1, noFlags("info")},
+		{"disasm", 1, 1, noFlags("disasm")},
+		{"run", 1, 1, func() *flag.FlagSet { fs, _ := Run(); return fs }},
+		{"trace", 1, 1, func() *flag.FlagSet { fs, _ := Trace(); return fs }},
+		{"lift", 1, 1, noFlags("lift")},
+		{"faults", 1, 1, func() *flag.FlagSet { fs, _ := Faults(); return fs }},
+		{"campaign", 1, -1, func() *flag.FlagSet { fs, _ := Campaign(); return fs }},
+		{"patch", 1, 1, func() *flag.FlagSet { fs, _ := Patch(); return fs }},
+		{"hybrid", 1, 1, func() *flag.FlagSet { fs, _ := Hybrid(); return fs }},
+		{"cases", 0, 0, func() *flag.FlagSet { fs, _ := Cases(); return fs }},
+		{"cfg", 1, 1, func() *flag.FlagSet { fs, _ := CFG(); return fs }},
+		{"experiments", 0, 0, func() *flag.FlagSet { fs, _ := Experiments(); return fs }},
+		{"pipeline", 0, 0, noFlags("pipeline")},
+		{"help", 0, 0, noFlags("help")},
+	}
+}
+
+// Lookup resolves a subcommand name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -8,7 +8,7 @@ package core
 // Experiment identifies a reproduced artifact of the paper.
 type Experiment string
 
-// The paper's evaluation artifacts (see DESIGN.md §1).
+// The paper's evaluation artifacts (see docs/EXPERIMENTS.md).
 const (
 	TableI     Experiment = "table-1"       // mov protection pattern
 	TableII    Experiment = "table-2"       // cmp protection pattern

@@ -5,7 +5,12 @@
 // It plays the role Qiling/Unicorn play in the paper: the substrate the
 // faulter drives to simulate instruction-skip and bit-flip faults and to
 // observe whether the program's externally visible behaviour (stdout +
-// exit status) changes.
+// exit status) changes. Two additions make exhaustive campaigns cheap
+// and fault models composable: copy-on-write machine snapshots
+// (snapshot.go) that let thousands of injection runs fork a shared
+// golden run, and chaining fetch/step hooks
+// (Config.AddFetchHook/AddStepHook) so several faults can compose onto
+// one run (order-2 pair campaigns).
 package emu
 
 import (

@@ -26,7 +26,9 @@ import (
 type suite struct {
 	mu       sync.Mutex
 	hybrid   map[string]*harden.HybridResult
+	hybridSW map[string]*harden.HybridResult
 	fp       map[string]*harden.FaulterPatcherResult
+	fpO2     map[string]*harden.FaulterPatcherResult
 	baseline map[string]*fault.Report
 }
 
@@ -34,7 +36,9 @@ type suite struct {
 // point.
 var memo = &suite{
 	hybrid:   make(map[string]*harden.HybridResult),
+	hybridSW: make(map[string]*harden.HybridResult),
 	fp:       make(map[string]*harden.FaulterPatcherResult),
+	fpO2:     make(map[string]*harden.FaulterPatcherResult),
 	baseline: make(map[string]*fault.Report),
 }
 
@@ -83,6 +87,49 @@ func (s *suite) fpFor(c *cases.Case, models []fault.Model) (*harden.FaulterPatch
 		return nil, err
 	}
 	s.fp[key] = r
+	return r, nil
+}
+
+// hybridSWFor returns the (memoized) order-2 Hybrid rewrite — branch
+// hardening plus the skip-window pass — of a case study.
+func (s *suite) hybridSWFor(c *cases.Case) (*harden.HybridResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.hybridSW[c.Name]; ok {
+		return r, nil
+	}
+	r, err := harden.Hybrid(c.MustBuild(), harden.HybridOptions{SkipWindow: true})
+	if err != nil {
+		return nil, fmt.Errorf("%s hybrid+skipwindow: %w", c.Name, err)
+	}
+	if err := c.Check(r.Binary); err != nil {
+		return nil, err
+	}
+	s.hybridSW[c.Name] = r
+	return r, nil
+}
+
+// fpOrder2For returns the (memoized) order-2 Faulter+Patcher result of
+// a case study: the skip-model fixed point followed by the pair
+// escalation stage.
+func (s *suite) fpOrder2For(c *cases.Case) (*harden.FaulterPatcherResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.fpO2[c.Name]; ok {
+		return r, nil
+	}
+	r, err := harden.FaulterPatcher(c.MustBuild(), harden.FaulterPatcherOptions{
+		Good: c.Good, Bad: c.Bad, Models: []fault.Model{fault.ModelSkip},
+		StepLimit: stepLimit, DedupSites: true,
+		Order: 2, MaxPairs: beyond2MaxPairs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s faulter+patcher order-2: %w", c.Name, err)
+	}
+	if err := c.Check(r.Binary); err != nil {
+		return nil, err
+	}
+	s.fpO2[c.Name] = r
 	return r, nil
 }
 

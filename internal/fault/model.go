@@ -176,13 +176,45 @@ func RegisteredModels() []Model {
 	return out
 }
 
-// ParseModel resolves a canonical model name or alias.
+// CatalogNames renders every registered model as
+// "canonical-name (alias, ...)" in ascending id order — the list error
+// messages and help text show users.
+func CatalogNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	models := make([]Model, 0, len(registry))
+	for m := range registry {
+		models = append(models, m)
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i] < models[j] })
+	extras := map[Model][]string{}
+	for name, m := range aliases {
+		if name != registry[m].Name() {
+			extras[m] = append(extras[m], name)
+		}
+	}
+	out := make([]string, 0, len(models))
+	for _, m := range models {
+		s := registry[m].Name()
+		if ex := extras[m]; len(ex) > 0 {
+			sort.Strings(ex)
+			s += " (" + strings.Join(ex, ", ") + ")"
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ParseModel resolves a canonical model name or alias. Unknown names
+// fail with the registered catalog spelled out, so a typo on the
+// command line is self-correcting.
 func ParseModel(name string) (Model, error) {
 	regMu.RLock()
 	m, ok := aliases[strings.TrimSpace(name)]
 	regMu.RUnlock()
 	if !ok {
-		return 0, fmt.Errorf("fault: unknown fault model %q", name)
+		return 0, fmt.Errorf("fault: unknown fault model %q (registered: %s; plus the keywords both, all)",
+			name, strings.Join(CatalogNames(), ", "))
 	}
 	return m, nil
 }

@@ -162,6 +162,43 @@ func TestParseModels(t *testing.T) {
 	}
 }
 
+// TestParseModelErrorListsCatalog: unknown names must fail with the
+// registered catalog spelled out, not opaquely.
+func TestParseModelErrorListsCatalog(t *testing.T) {
+	_, err := ParseModel("warp-core-breach")
+	if err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"warp-core-breach", "registered:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	for _, m := range RegisteredModels() {
+		if !strings.Contains(msg, m.String()) {
+			t.Errorf("error %q does not list %s", msg, m)
+		}
+	}
+}
+
+// TestCatalogNames: canonical names first, aliases in parentheses, in
+// id order.
+func TestCatalogNames(t *testing.T) {
+	names := CatalogNames()
+	if len(names) != len(RegisteredModels()) {
+		t.Fatalf("%d catalog entries for %d models", len(names), len(RegisteredModels()))
+	}
+	if !strings.HasPrefix(names[0], "instruction-skip") || !strings.Contains(names[0], "skip") {
+		t.Errorf("first entry %q: want instruction-skip with its alias", names[0])
+	}
+	for _, n := range names {
+		if strings.HasPrefix(n, "(") {
+			t.Errorf("entry %q starts with an alias group", n)
+		}
+	}
+}
+
 func TestModelJSONRoundTrip(t *testing.T) {
 	for _, m := range RegisteredModels() {
 		data, err := json.Marshal(m)

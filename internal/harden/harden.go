@@ -2,13 +2,17 @@
 // pipelines end to end (§IV, Fig. 3):
 //
 //   - FaulterPatcher: the simulation-driven iterative rewriting loop
-//     (reassembleable-disassembly route, lower half of Fig. 3);
-//   - Hybrid: lift to IR, apply the conditional branch hardening pass,
-//     lower back to a binary (compiler-IR route, upper half of Fig. 3);
-//   - Duplication: the blanket instruction-duplication baseline.
+//     (reassembleable-disassembly route, lower half of Fig. 3), with
+//     an order-2 pair-escalation mode (Options.Order);
+//   - Hybrid: lift to IR, apply the conditional branch hardening pass
+//     — and, with HybridOptions.SkipWindow, the order-2 skip-window
+//     pass — then lower back to a binary (compiler-IR route, upper
+//     half of Fig. 3);
+//   - Duplication / DuplicationIR: the blanket duplication baselines.
 //
 // Evaluate runs the same fault campaign against any binary so the
-// pipelines can be compared on equal terms.
+// pipelines can be compared on equal terms; EvaluateOrder2 does the
+// same for order-2 pair campaigns.
 package harden
 
 import (
@@ -44,6 +48,17 @@ type HybridOptions struct {
 	// the paper discusses in §IV-D.
 	SkipHardening bool
 
+	// SkipWindow additionally applies the multi-fault-resistant
+	// SkipWindowHarden pass after branch hardening: spaced duplicate
+	// computations, interleaved step counters, and two-stage validation
+	// chains that survive order-2 fault pairs and sustained skip
+	// windows (the `-harden order2` pipeline).
+	SkipWindow bool
+
+	// SkipWindowSize overrides the widest skip window the pass defends
+	// against (0 = passes.DefaultSkipWindow).
+	SkipWindowSize int
+
 	// SkipCleanup disables the optimization pipelines (ablation).
 	SkipCleanup bool
 
@@ -57,6 +72,10 @@ type HybridResult struct {
 	Asm    string
 
 	Stats passes.HardenStats
+
+	// SWStats reports the skip-window pass (zero unless
+	// HybridOptions.SkipWindow was set).
+	SWStats passes.SkipWindowStats
 
 	OriginalCodeSize int
 	IRInstsLifted    int // after cleanup, before hardening
@@ -92,6 +111,12 @@ func Hybrid(bin *elf.Binary, opt HybridOptions) (*HybridResult, error) {
 		hp := passes.BranchHarden{Checksum: opt.Checksum, Stats: &res.Stats}
 		if err := passes.Run(lr.Module, hp); err != nil {
 			return nil, fmt.Errorf("harden: %w", err)
+		}
+		if opt.SkipWindow {
+			sw := passes.SkipWindowHarden{Window: opt.SkipWindowSize, Stats: &res.SWStats}
+			if err := passes.Run(lr.Module, sw); err != nil {
+				return nil, fmt.Errorf("harden: %w", err)
+			}
 		}
 		if !opt.SkipCleanup {
 			if err := passes.Run(lr.Module, passes.PostHardenCleanup()...); err != nil {

@@ -1,8 +1,18 @@
 // Package passes contains the IR transformation passes of the Hybrid
-// pipeline: the paper's conditional branch hardening countermeasure
-// (§V-B, Algorithm 1, Fig. 5), and supporting cleanups (dead flag
-// elimination, local constant folding) that keep the lift→lower round
-// trip's code growth honest.
+// pipeline:
+//
+//   - BranchHarden — the paper's conditional branch hardening
+//     countermeasure (§V-B, Algorithm 1, Fig. 5);
+//   - DuplicateAll — the blanket instruction-duplication baseline the
+//     paper prices at >= 300% (§V-C);
+//   - SkipWindowHarden — the order-2 countermeasure (beyond the
+//     paper): duplicate computations spaced beyond the widest skip
+//     window, per-block step counters, and two-stage chained
+//     validation, so neither a sustained glitch nor a pair of
+//     instruction skips removes a computation with its check;
+//   - supporting cleanups (cell propagation, local constant folding,
+//     dead flag elimination) that keep the lift→lower round trip's
+//     code growth honest.
 package passes
 
 import (

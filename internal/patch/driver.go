@@ -3,6 +3,7 @@ package patch
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/r2r/reinforce/internal/bir"
@@ -20,11 +21,25 @@ type Options struct {
 	Workers    int
 	DedupSites bool
 
-	// MaxIterations bounds the rinse-and-repeat loop (§IV-B3).
+	// MaxIterations bounds the rinse-and-repeat loop (§IV-B3), and the
+	// order-2 escalation loop separately.
 	MaxIterations int // default 10
 
 	// Style selects the pattern flavour (StyleFallthrough default).
 	Style Style
+
+	// Order selects the fault order the driver drives to a fixed
+	// point: 1 (default) single faults only; 2 additionally runs pair
+	// campaigns (fault.EnumeratePairs over the order-1 survivors) after
+	// the single-fault fixed point, escalating every site involved in a
+	// successful pair to the order-2-aware StyleOrder2 pattern, until
+	// no pair succeeds, nothing is left to escalate, or MaxIterations
+	// rounds have run.
+	Order int
+
+	// MaxPairs caps each pair campaign's enumeration
+	// (0 = fault.DefaultMaxPairs).
+	MaxPairs int
 
 	// Log receives one line per iteration when non-nil.
 	Log func(string)
@@ -42,6 +57,17 @@ type IterationStats struct {
 	CodeSize   int // .text bytes after this round's patching
 }
 
+// PairIterationStats records one order-2 escalation round.
+type PairIterationStats struct {
+	Iteration int
+	Solo      int // order-1 faults in the pruning sweep
+	Pairs     int // pairs simulated
+	Successes int // successful pairs (order-2 vulnerabilities)
+	Escalated int // sites re-patched with order-2 patterns this round
+	Residual  int // pair sites that could not be escalated
+	CodeSize  int // .text bytes after this round's escalation
+}
+
 // Result is the outcome of the iterative hardening.
 type Result struct {
 	Binary     *elf.Binary  // final hardened binary
@@ -49,12 +75,32 @@ type Result struct {
 	Iterations []IterationStats
 	Final      *fault.Report // campaign on the final binary
 
+	// PairIterations and FinalPairs record the order-2 escalation
+	// stage (Options.Order >= 2); FinalPairs is the pair campaign on
+	// the final binary.
+	PairIterations []PairIterationStats
+	FinalPairs     []fault.PairInjection
+
 	OriginalCodeSize int
 }
 
 // Converged reports whether the loop ended with zero successful faults.
 func (r *Result) Converged() bool {
 	return r.Final != nil && len(r.Final.Successful()) == 0
+}
+
+// PairConverged reports whether the order-2 stage ended with zero
+// successful fault pairs (vacuously false when it never ran).
+func (r *Result) PairConverged() bool {
+	if len(r.PairIterations) == 0 {
+		return false
+	}
+	for _, p := range r.FinalPairs {
+		if p.Outcome == fault.OutcomeSuccess {
+			return false
+		}
+	}
+	return true
 }
 
 // Overhead returns the code-size overhead fraction (e.g. 0.17 = 17%),
@@ -158,6 +204,15 @@ func Harden(bin *elf.Binary, opt Options) (*Result, error) {
 		}
 	}
 
+	// Order-2 escalation stage: only after the single-fault fixed
+	// point, so pair campaigns prune from a binary that is already
+	// clean under solo faults.
+	if opt.Order >= 2 {
+		if cur, err = hardenPairs(prog, cur, opt, res, logf); err != nil {
+			return nil, err
+		}
+	}
+
 	// Final verification campaign.
 	final, err := fault.Run(fault.Campaign{
 		Binary:     cur,
@@ -174,6 +229,102 @@ func Harden(bin *elf.Binary, opt Options) (*Result, error) {
 	res.Final = final
 	res.Binary = cur
 	return res, nil
+}
+
+// hardenPairs is the order-2 escalation loop: simulate fault pairs
+// (pruned from a fresh order-1 sweep, as in fault.EnumeratePairs),
+// escalate every site involved in a successful pair to the
+// order-2-aware StyleOrder2 pattern, reassemble, and repeat until no
+// pair succeeds, nothing is left to escalate, or the iteration budget
+// is exhausted. Returns the (possibly re-patched) current binary.
+func hardenPairs(prog *bir.Program, cur *elf.Binary, opt Options, res *Result, logf func(string, ...any)) (*elf.Binary, error) {
+	campaign := func(bin *elf.Binary) ([]fault.Injection, []fault.PairInjection, error) {
+		s, err := fault.NewSession(fault.Campaign{
+			Binary: bin, Good: opt.Good, Bad: opt.Bad, Models: opt.Models,
+			StepLimit: opt.StepLimit, Workers: opt.Workers, DedupSites: opt.DedupSites,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		solo, _ := s.ExecuteShard(0, 1, opt.Workers, nil)
+		pairs := fault.EnumeratePairs(solo, opt.MaxPairs)
+		injs, _ := s.ExecutePairShard(pairs, 0, 1, opt.Workers, nil)
+		return solo, injs, nil
+	}
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		solo, injs, err := campaign(cur)
+		if err != nil {
+			return nil, fmt.Errorf("patch: pair iteration %d: %w", iter, err)
+		}
+		res.FinalPairs = injs
+		stats := PairIterationStats{Iteration: iter, Solo: len(solo), Pairs: len(injs), CodeSize: cur.CodeSize()}
+
+		// Distinct sites of successful pairs, in address order: both
+		// components are escalated — protecting either alone leaves the
+		// pair exploitable through a different partner.
+		siteSet := map[uint64]bool{}
+		for _, pi := range injs {
+			if pi.Outcome != fault.OutcomeSuccess {
+				continue
+			}
+			stats.Successes++
+			siteSet[pi.Pair.First.Addr] = true
+			siteSet[pi.Pair.Second.Addr] = true
+		}
+		if stats.Successes == 0 {
+			res.PairIterations = append(res.PairIterations, stats)
+			logf("pair iteration %d: %d pairs, no successes — converged", iter, stats.Pairs)
+			return cur, nil
+		}
+		// The order-1 loop only inserts the fault handler when it
+		// patched something; a binary clean under solo faults but
+		// vulnerable to a pair reaches here without one.
+		EnsureFaulthandler(prog)
+		sites := make([]uint64, 0, len(siteSet))
+		for a := range siteSet {
+			sites = append(sites, a)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, addr := range sites {
+			ref, ok := prog.FindByAddr(addr)
+			if !ok {
+				return nil, fmt.Errorf("patch: pair site %#x not found in program", addr)
+			}
+			inst := &ref.Block.Insts[ref.Index]
+			if inst.Order2 {
+				stats.Residual++
+				continue
+			}
+			if err := Apply(prog, ref, StyleOrder2); err != nil {
+				if errors.Is(err, ErrUnpatchable) {
+					inst.Order2 = true // do not retry
+					stats.Residual++
+					continue
+				}
+				return nil, err
+			}
+			stats.Escalated++
+		}
+		if cur, err = prog.Reassemble(); err != nil {
+			return nil, err
+		}
+		stats.CodeSize = cur.CodeSize()
+		res.PairIterations = append(res.PairIterations, stats)
+		logf("pair iteration %d: %d solo, %d pairs, %d successes, %d escalated, %d residual, text %dB",
+			iter, stats.Solo, stats.Pairs, stats.Successes, stats.Escalated, stats.Residual, stats.CodeSize)
+		if stats.Escalated == 0 {
+			logf("pair iteration %d: fixed point (nothing left to escalate)", iter)
+			return cur, nil
+		}
+	}
+	// Budget exhausted right after an escalation round: refresh the
+	// final pair report so it describes the binary actually returned.
+	_, injs, err := campaign(cur)
+	if err != nil {
+		return nil, fmt.Errorf("patch: final pair verification: %w", err)
+	}
+	res.FinalPairs = injs
+	return cur, nil
 }
 
 // Apply replaces the instruction at ref with its hardened pattern.
@@ -196,8 +347,21 @@ func (r *Result) Summary() string {
 		fmt.Fprintf(&sb, "iter %d: injections=%d successes=%d sites=%d patched=%d residual=%d detected=%d text=%dB\n",
 			it.Iteration, it.Injections, it.Successes, it.Sites, it.Patched, it.Residual, it.Detected, it.CodeSize)
 	}
+	for _, it := range r.PairIterations {
+		fmt.Fprintf(&sb, "pair iter %d: solo=%d pairs=%d successes=%d escalated=%d residual=%d text=%dB\n",
+			it.Iteration, it.Solo, it.Pairs, it.Successes, it.Escalated, it.Residual, it.CodeSize)
+	}
 	if r.Final != nil {
 		fmt.Fprintf(&sb, "final: %s\n", r.Final.Summary())
+	}
+	if len(r.PairIterations) > 0 {
+		succ := 0
+		for _, p := range r.FinalPairs {
+			if p.Outcome == fault.OutcomeSuccess {
+				succ++
+			}
+		}
+		fmt.Fprintf(&sb, "final pairs: %d/%d successful\n", succ, len(r.FinalPairs))
 	}
 	fmt.Fprintf(&sb, "hardened code size: %d bytes (%.2f%% overhead)\n",
 		r.Binary.CodeSize(), r.Overhead()*100)

@@ -1,0 +1,284 @@
+// Order-2-aware protection patterns: the StyleOrder2 variants of the
+// paper's Tables I–III. The as-printed patterns verify once, so a pair
+// of single-instruction skips — one on the protected computation, one
+// on the verification branch — defeats them (the residual surface the
+// `beyond` experiments measure). The order-2 variants chain *two*
+// independent verifications, re-deriving the checked state between them
+// (a second compare, a flag reload, a re-executed authoritative
+// instruction), so any two coordinated skips leave at least one check
+// standing: defeating them needs an order-3 attack.
+package patch
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// order2PatternFor dispatches a site to its order-2-aware pattern.
+func order2PatternFor(p *bir.Program, site bir.Inst, followLabel string) ([]*bir.Block, error) {
+	switch site.I.Op {
+	case isa.MOV, isa.MOVZX, isa.MOVSX, isa.LEA:
+		return movPatternOrder2(p, site, followLabel)
+	case isa.CMP, isa.TEST:
+		return cmpPatternOrder2(p, site)
+	case isa.JCC:
+		return jccPatternOrder2(p, site, followLabel)
+	default:
+		if blocks, err := aluPatternOrder2(p, site); err == nil {
+			return blocks, nil
+		}
+		return nil, fmt.Errorf("%w: %s (order 2)", ErrUnpatchable, site.I.Mnemonic())
+	}
+}
+
+// movPatternOrder2 doubles the Table I verification, re-executing the
+// comparison itself between the checks:
+//
+//	mov D, S
+//	cmp D, S
+//	jne faulthandler     ; check 1
+//	cmp D, S             ; re-derived, not just re-tested
+//	jne faulthandler     ; check 2
+//
+// Skipping the mov plus either check still fails the other, because
+// each check's flags come from its own compare. The scratch-register
+// flavour (movzx/movsx/lea) recomputes into the scratch twice for the
+// same reason.
+func movPatternOrder2(p *bir.Program, site bir.Inst, happyLabel string) ([]*bir.Block, error) {
+	in := site.I
+	switch in.Op {
+	case isa.MOV:
+		if in.Src.Kind == isa.KindImm && (in.Src.Imm < math.MinInt32 || in.Src.Imm > math.MaxInt32) {
+			return nil, fmt.Errorf("%w: mov with 64-bit immediate", ErrUnpatchable)
+		}
+		if aliasesDst(in) {
+			return nil, fmt.Errorf("%w: destination aliases source address", ErrUnpatchable)
+		}
+		cmp := isa.NewInst(isa.CMP, in.Dst, in.Src)
+		insts := []bir.Inst{
+			{I: in, Protected: true, Order2: true, DataTarget: site.DataTarget, OrigAddr: site.OrigAddr},
+			order2(protData(cmp, site.DataTarget)),
+			order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+			order2(protData(cmp, site.DataTarget)),
+			order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		}
+		return []*bir.Block{{Insts: insts}}, nil
+	case isa.MOVZX, isa.MOVSX, isa.LEA:
+		return movScratchOrder2(p, site)
+	default:
+		return nil, fmt.Errorf("%w: %s is not a mov-class op", ErrUnpatchable, in.Op)
+	}
+}
+
+// order2 marks a protected instruction as part of an order-2 pattern.
+func order2(in bir.Inst) bir.Inst {
+	in.Order2 = true
+	return in
+}
+
+// movScratchOrder2 is the scratch-register mov variant with two
+// independent recompute-and-compare rounds, built on the same
+// scaffold as the order-1 pattern.
+func movScratchOrder2(p *bir.Program, site bir.Inst) ([]*bir.Block, error) {
+	in := site.I
+	scr, redo, dstFull, scrOp, err := movScratchScaffold(in)
+	if err != nil {
+		return nil, err
+	}
+
+	insts := []bir.Inst{
+		{I: in, Protected: true, Order2: true, DataTarget: site.DataTarget, OrigAddr: site.OrigAddr},
+		order2(prot(isa.NewInst(isa.PUSH, isa.R(scr)))),
+		order2(protData(redo, site.DataTarget)),
+		order2(prot(isa.NewInst(isa.CMP, dstFull, scrOp))),
+		order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		order2(protData(redo, site.DataTarget)), // recompute again
+		order2(prot(isa.NewInst(isa.CMP, dstFull, scrOp))),
+		order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		order2(prot(isa.NewInst(isa.POP, isa.R(scr)))),
+	}
+	return []*bir.Block{{Insts: insts}}, nil
+}
+
+// cmpPatternOrder2 extends the Table II fallthrough pattern with a
+// third comparison execution verified against the first flags snapshot,
+// and re-executes the authoritative final comparison twice:
+//
+//	lea rsp, [rsp-128]
+//	cmp X, Y               ; #1 -> flags1 (saved)
+//	push SCR
+//	pushfq
+//	cmp X, Y               ; #2
+//	pushfq / pop SCR       ; SCR = flags2
+//	cmp SCR, [rsp]
+//	jne faulthandler       ; check 1: flags2 == flags1
+//	cmp X, Y               ; #3
+//	pushfq / pop SCR       ; SCR = flags3
+//	cmp SCR, [rsp]
+//	jne faulthandler       ; check 2: flags3 == flags1
+//	popfq / pop SCR / lea rsp, [rsp+128]
+//	cmp X, Y               ; authoritative
+//	cmp X, Y               ; authoritative, doubled
+//
+// The doubled authoritative tail closes the order-2 hole of the
+// single-check pattern: skipping the popfq together with the (single)
+// final compare would hand the consumer the verification compare's
+// "equal" flags. Here any two skips still leave the consumer with
+// correctly derived flags.
+func cmpPatternOrder2(p *bir.Program, site bir.Inst) ([]*bir.Block, error) {
+	in := site.I
+	if in.Op != isa.CMP && in.Op != isa.TEST {
+		return nil, fmt.Errorf("%w: %s is not a compare", ErrUnpatchable, in.Op)
+	}
+	scr, err := pickScratch(in)
+	if err != nil {
+		return nil, err
+	}
+	adjusted := func(delta int32) (isa.Inst, error) {
+		c := in
+		d, err := adjustRSP(c.Dst, delta)
+		if err != nil {
+			return c, err
+		}
+		s, err := adjustRSP(c.Src, delta)
+		if err != nil {
+			return c, err
+		}
+		c.Dst, c.Src = d, s
+		return c, nil
+	}
+	cmp1, err := adjusted(redZone)
+	if err != nil {
+		return nil, err
+	}
+	cmp2, err := adjusted(redZone + 16) // after push SCR + pushfq
+	if err != nil {
+		return nil, err
+	}
+
+	insts := []bir.Inst{
+		order2(prot(isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, -redZone)))),
+		order2(protData(cmp1, site.DataTarget)),
+		order2(prot(isa.NewInst(isa.PUSH, isa.R(scr)))),
+		order2(prot(isa.NewInst(isa.PUSHFQ))),
+		order2(protData(cmp2, site.DataTarget)),
+		order2(prot(isa.NewInst(isa.PUSHFQ))),
+		order2(prot(isa.NewInst(isa.POP, isa.R(scr)))),
+		order2(prot(isa.NewInst(isa.CMP, isa.R(scr), isa.M(isa.RSP, 0)))),
+		order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		order2(protData(cmp2, site.DataTarget)), // third execution
+		order2(prot(isa.NewInst(isa.PUSHFQ))),
+		order2(prot(isa.NewInst(isa.POP, isa.R(scr)))),
+		order2(prot(isa.NewInst(isa.CMP, isa.R(scr), isa.M(isa.RSP, 0)))),
+		order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		order2(prot(isa.NewInst(isa.POPFQ))),
+		order2(prot(isa.NewInst(isa.POP, isa.R(scr)))),
+		order2(prot(isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, redZone)))),
+		order2(protData(in, site.DataTarget)),
+		order2(protData(in, site.DataTarget)),
+	}
+	return []*bir.Block{{Insts: insts}}, nil
+}
+
+// jccPatternOrder2 is the Table III fallthrough pattern with the
+// SETcc verification performed twice per side, reloading the saved
+// original flags between the checks (the first check's compare
+// clobbers them):
+//
+//	j!cc newfallthrough
+//	; taken side
+//	lea rsp,[rsp-128]; push rcx; pushfq
+//	setcc cl; cmp cl,1; jne faulthandler     ; check 1
+//	popfq; pushfq                            ; reload original flags
+//	setcc cl; cmp cl,1; jne faulthandler     ; check 2
+//	popfq; pop rcx; lea rsp,[rsp+128]
+//	jcc target
+//	call faulthandler
+//	newfallthrough:                          ; same, expecting 0
+//	...
+//	jcc faulthandler
+func jccPatternOrder2(p *bir.Program, site bir.Inst, fallLabel string) ([]*bir.Block, error) {
+	in := site.I
+	if in.Op != isa.JCC {
+		return nil, fmt.Errorf("%w: %s is not a conditional jump", ErrUnpatchable, in.Op)
+	}
+	cond := in.Cond
+	target := site.TargetLabel
+
+	verify2 := func(expect int64) []bir.Inst {
+		return []bir.Inst{
+			order2(prot(isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, -redZone)))),
+			order2(prot(isa.NewInst(isa.PUSH, isa.R(isa.RCX)))),
+			order2(prot(isa.NewInst(isa.PUSHFQ))),
+			order2(prot(isa.NewSetcc(cond, isa.RCX))),
+			order2(prot(isa.NewInst(isa.CMP, isa.Rb(isa.RCX), isa.Imm8(expect)))),
+			order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+			order2(prot(isa.NewInst(isa.POPFQ))), // reload the original flags
+			order2(prot(isa.NewInst(isa.PUSHFQ))),
+			order2(prot(isa.NewSetcc(cond, isa.RCX))),
+			order2(prot(isa.NewInst(isa.CMP, isa.Rb(isa.RCX), isa.Imm8(expect)))),
+			order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		}
+	}
+	unwind := []bir.Inst{
+		order2(prot(isa.NewInst(isa.POPFQ))),
+		order2(prot(isa.NewInst(isa.POP, isa.R(isa.RCX)))),
+		order2(prot(isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, redZone)))),
+	}
+
+	nft := p.NewLabel("newfallthrough")
+	jtSide := &bir.Block{Insts: append([]bir.Inst{
+		order2(protBranch(isa.NewJcc(cond.Inverse(), 0), nft)),
+	}, append(verify2(1), append(append([]bir.Inst{}, unwind...),
+		order2(protBranch(isa.NewJcc(cond, 0), target)),
+		order2(callFaulthandler()),
+	)...)...)}
+	ftSide := &bir.Block{Label: nft, Insts: append(verify2(0), append(append([]bir.Inst{}, unwind...),
+		order2(protBranch(isa.NewJcc(cond, 0), FaulthandlerLabel)),
+	)...)}
+	_ = fallLabel // the driver lays the continuation directly after
+	return []*bir.Block{jtSide, ftSide}, nil
+}
+
+// aluPatternOrder2 is the ALU duplication scheme with the result
+// comparison verified twice (same operands; the second compare
+// re-derives the flags, so skipping the first compare or its branch is
+// caught by the second):
+//
+//	push SCR
+//	mov SCR, D ; op SCR, S    ; expected result
+//	push SCR
+//	mov SCR, D ; op SCR, S    ; recomputed result
+//	cmp SCR, [rsp]
+//	jne faulthandler          ; check 1
+//	cmp SCR, [rsp]
+//	jne faulthandler          ; check 2
+//	lea rsp,[rsp+8] ; pop SCR
+//	op D, S                   ; authoritative update
+func aluPatternOrder2(p *bir.Program, site bir.Inst) ([]*bir.Block, error) {
+	in := site.I
+	scr, mov1, op1, mov2, op2, err := aluScaffold(in)
+	if err != nil {
+		return nil, err
+	}
+
+	insts := []bir.Inst{
+		order2(prot(isa.NewInst(isa.PUSH, isa.R(scr)))),
+		order2(protData(mov1, site.DataTarget)),
+		order2(protData(op1, site.DataTarget)),
+		order2(prot(isa.NewInst(isa.PUSH, isa.R(scr)))),
+		order2(protData(mov2, site.DataTarget)),
+		order2(protData(op2, site.DataTarget)),
+		order2(prot(isa.NewInst(isa.CMP, isa.R(scr), isa.M(isa.RSP, 0)))),
+		order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		order2(prot(isa.NewInst(isa.CMP, isa.R(scr), isa.M(isa.RSP, 0)))),
+		order2(protBranch(isa.NewJcc(isa.CondNE, 0), FaulthandlerLabel)),
+		order2(prot(isa.NewInst(isa.LEA, isa.R(isa.RSP), isa.M(isa.RSP, 8)))),
+		order2(prot(isa.NewInst(isa.POP, isa.R(scr)))),
+		{I: in, Protected: true, Order2: true, DataTarget: site.DataTarget, OrigAddr: site.OrigAddr},
+	}
+	return []*bir.Block{{Insts: insts}}, nil
+}

@@ -1,0 +1,130 @@
+package patch
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// order2Harden runs the full order-2 driver on a case study.
+func order2Harden(t *testing.T, c *cases.Case) *Result {
+	t.Helper()
+	res, err := Harden(c.MustBuild(), Options{
+		Good: c.Good, Bad: c.Bad, Models: []fault.Model{fault.ModelSkip},
+		StepLimit: 32 << 20, DedupSites: true,
+		Order: 2, MaxPairs: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestOrder2DriverConverges: the escalation loop must drive the pair
+// success count to zero on both case studies while preserving the
+// oracle behaviour — the tentpole claim on the reassembly substrate.
+func TestOrder2DriverConverges(t *testing.T) {
+	for _, c := range cases.All() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			res := order2Harden(t, c)
+			if err := c.Check(res.Binary); err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged() {
+				t.Errorf("order-1 faults remain:\n%s", res.Summary())
+			}
+			if len(res.PairIterations) == 0 {
+				t.Fatal("pair stage never ran")
+			}
+			if !res.PairConverged() {
+				t.Errorf("successful pairs remain:\n%s", res.Summary())
+			}
+			// The first pair round must have found the order-2 residual
+			// the single-fault patterns leave (otherwise the escalation
+			// stage is vacuous and this test proves nothing).
+			if res.PairIterations[0].Successes == 0 {
+				t.Error("no successful pairs on the order-1-hardened binary; escalation untested")
+			}
+			last := res.PairIterations[len(res.PairIterations)-1]
+			if last.Successes != 0 {
+				t.Errorf("last pair iteration still has %d successes", last.Successes)
+			}
+			t.Logf("%s: %s", c.Name, res.Summary())
+		})
+	}
+}
+
+// TestOrder2DriverEscalatesInPlace: escalated sites carry the Order2
+// marker so a later round cannot patch them again.
+func TestOrder2DriverEscalates(t *testing.T) {
+	res := order2Harden(t, cases.Pincheck())
+	order2Insts := 0
+	for _, b := range res.Program.Blocks {
+		for _, in := range b.Insts {
+			if in.Order2 {
+				order2Insts++
+			}
+		}
+	}
+	if order2Insts == 0 {
+		t.Error("no Order2-marked instructions in the final program")
+	}
+	escalated := 0
+	for _, it := range res.PairIterations {
+		escalated += it.Escalated
+	}
+	if escalated == 0 {
+		t.Error("driver never escalated a site")
+	}
+}
+
+// TestOrder2BlanketBehaviour: the StyleOrder2 patterns, applied
+// blanket-style to every instruction of both case studies, must
+// preserve the oracle (this exercises every order-2 pattern on real
+// code, not just the sites the driver picked).
+func TestOrder2BlanketBehaviour(t *testing.T) {
+	for _, c := range cases.All() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			res, err := HardenAll(c.MustBuild(), StyleOrder2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Patched == 0 {
+				t.Fatal("nothing patched")
+			}
+			if err := c.Check(res.Binary); err != nil {
+				t.Errorf("order-2 blanket binary misbehaves: %v", err)
+			}
+			t.Logf("%s: %d patched, %d skipped, overhead %.1f%%",
+				c.Name, res.Patched, res.Skipped, res.Overhead()*100)
+		})
+	}
+}
+
+// TestOrder2PatternDoubleChecks: every order-2 pattern must emit at
+// least two detection branches to the fault handler (the property that
+// makes a single pair insufficient).
+func TestOrder2PatternDoubleChecks(t *testing.T) {
+	c := cases.Pincheck()
+	res := order2Harden(t, c)
+	// Find a block containing Order2 instructions and count its
+	// detection branches.
+	for _, b := range res.Program.Blocks {
+		checks := 0
+		order2 := false
+		for _, in := range b.Insts {
+			if in.Order2 {
+				order2 = true
+			}
+			if in.Order2 && in.TargetLabel == FaulthandlerLabel {
+				checks++
+			}
+		}
+		if order2 && checks > 0 && checks < 2 {
+			t.Errorf("block %s: order-2 pattern with only %d detection branch(es)", b.Label, checks)
+		}
+	}
+}

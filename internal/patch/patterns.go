@@ -2,6 +2,12 @@
 // fault-vulnerable instructions with the hardened local patterns of
 // Tables I–III, and the iterative Faulter+Patcher fixed-point driver
 // (§IV-B3) that re-runs the fault simulation after each patch round.
+//
+// Beyond the paper, the driver has an order-2 mode (Options.Order = 2):
+// after the single-fault fixed point it simulates fault *pairs* and
+// escalates the sites of successful pairs to the order-2-aware
+// StyleOrder2 patterns (see order2.go), iterating until no pair
+// succeeds.
 package patch
 
 import (
@@ -35,6 +41,12 @@ const (
 	// StylePaper reproduces Tables I–III as printed: a je jumps *over*
 	// a call-faulthandler into the happy flow.
 	StylePaper
+
+	// StyleOrder2 chains two independent verifications per site (see
+	// order2.go), so a pair of single-instruction skips cannot remove a
+	// computation together with its check — the multi-fault-resistant
+	// patterns the order-2 driver escalates to.
+	StyleOrder2
 )
 
 // FaulthandlerLabel names the injected fault-response routine.
@@ -184,20 +196,24 @@ func movPatternDirect(p *bir.Program, site bir.Inst, happyLabel string, style St
 	return []*bir.Block{{Insts: insts}}, nil
 }
 
-func movPatternScratch(p *bir.Program, site bir.Inst, happyLabel string, style Style) ([]*bir.Block, error) {
-	in := site.I
+// movScratchScaffold validates a scratch-register mov-class site
+// (movzx/movsx/lea) and builds the shared machinery of both the
+// order-1 and order-2 patterns: the chosen scratch register, the
+// recompute-into-scratch instruction (rsp-adjusted for the scratch
+// push), and the width-matched comparison operands.
+func movScratchScaffold(in isa.Inst) (scr isa.Reg, redo isa.Inst, dstFull, scrOp isa.Operand, err error) {
 	if in.Dst.Kind != isa.KindReg {
-		return nil, fmt.Errorf("%w: %s with non-register destination", ErrUnpatchable, in.Op)
+		return scr, redo, dstFull, scrOp, fmt.Errorf("%w: %s with non-register destination", ErrUnpatchable, in.Op)
 	}
 	if aliasesDst(in) || (in.Op == isa.LEA && in.Src.UsesReg(in.Dst.Reg)) {
-		return nil, fmt.Errorf("%w: destination aliases source address", ErrUnpatchable)
+		return scr, redo, dstFull, scrOp, fmt.Errorf("%w: destination aliases source address", ErrUnpatchable)
 	}
-	scr, err := pickScratch(in)
+	scr, err = pickScratch(in)
 	if err != nil {
-		return nil, err
+		return scr, redo, dstFull, scrOp, err
 	}
 	// Recompute into scratch (reading S again), compare, restore.
-	redo := in
+	redo = in
 	redo.Dst = isa.R(scr)
 	if in.Op == isa.MOVZX || in.Op == isa.MOVSX {
 		redo.Dst.Width = in.Dst.Width
@@ -206,15 +222,23 @@ func movPatternScratch(p *bir.Program, site bir.Inst, happyLabel string, style S
 	// The push moves RSP by -8; adjust any rsp-based source.
 	redoSrc, err := adjustRSP(redo.Src, 8)
 	if err != nil {
-		return nil, err
+		return scr, redo, dstFull, scrOp, err
 	}
 	redo.Src = redoSrc
 
-	dstFull := isa.R(in.Dst.Reg)
+	dstFull = isa.R(in.Dst.Reg)
 	dstFull.Width = in.Dst.Width
-	scrOp := isa.R(scr)
+	scrOp = isa.R(scr)
 	scrOp.Width = in.Dst.Width
+	return scr, redo, dstFull, scrOp, nil
+}
 
+func movPatternScratch(p *bir.Program, site bir.Inst, happyLabel string, style Style) ([]*bir.Block, error) {
+	in := site.I
+	scr, redo, dstFull, scrOp, err := movScratchScaffold(in)
+	if err != nil {
+		return nil, err
+	}
 	insts := []bir.Inst{
 		{I: in, Protected: true, DataTarget: site.DataTarget, OrigAddr: site.OrigAddr},
 		prot(isa.NewInst(isa.PUSH, isa.R(scr))),
@@ -320,7 +344,8 @@ func CmpPattern(p *bir.Program, site bir.Inst, happyLabel string, style Style) (
 // both outcomes of the branch re-verify the condition via SETcc before
 // committing, and each side re-executes the branch as a second check.
 //
-// Two deviations from the table as printed (documented in DESIGN.md):
+// Two deviations from the table as printed (documented in
+// docs/COUNTERMEASURES.md):
 // the rsp red-zone adjustment is restored with lea rsp,[rsp+128] on both
 // paths (the printed pattern leaks 128 bytes of stack), and the
 // fall-through side re-checks with the *inverted* condition (as printed,
@@ -425,46 +450,7 @@ func JccPattern(p *bir.Program, site bir.Inst, fallLabel string, style Style) ([
 // would corrupt their input flag.
 func AluPattern(p *bir.Program, site bir.Inst, happyLabel string, style Style) ([]*bir.Block, error) {
 	in := site.I
-	switch in.Op {
-	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
-		isa.INC, isa.DEC, isa.NOT, isa.NEG,
-		isa.SHL, isa.SHR, isa.SAR, isa.IMUL:
-		// supported
-	default:
-		return nil, fmt.Errorf("%w: %s is not a duplicable ALU op", ErrUnpatchable, in.Op)
-	}
-	if in.Dst.Kind == isa.KindReg && in.Dst.Width != 8 || in.Dst.Kind == isa.KindMem && in.Dst.Width != 8 {
-		// Narrow destinations would need masked comparisons; keep the
-		// pattern to the 64-bit common case.
-		return nil, fmt.Errorf("%w: %d-byte ALU destination", ErrUnpatchable, in.Dst.Width)
-	}
-	scr, err := pickScratch(in)
-	if err != nil {
-		return nil, err
-	}
-
-	// Rebuild the op with D replaced by the scratch register and
-	// rsp-relative displacements shifted by delta.
-	redo := func(delta int32) (mov, op isa.Inst, err error) {
-		d, err := adjustRSP(in.Dst, delta)
-		if err != nil {
-			return mov, op, err
-		}
-		s, err := adjustRSP(in.Src, delta)
-		if err != nil {
-			return mov, op, err
-		}
-		mov = isa.NewInst(isa.MOV, isa.R(scr), d)
-		op = in
-		op.Dst = isa.R(scr)
-		op.Src = s
-		return mov, op, nil
-	}
-	mov1, op1, err := redo(8)
-	if err != nil {
-		return nil, err
-	}
-	mov2, op2, err := redo(16)
+	scr, mov1, op1, mov2, op2, err := aluScaffold(in)
 	if err != nil {
 		return nil, err
 	}
@@ -503,8 +489,60 @@ func AluPattern(p *bir.Program, site bir.Inst, happyLabel string, style Style) (
 	return blocks, nil
 }
 
+// aluScaffold validates an ALU site and builds the shared machinery of
+// both the order-1 and order-2 duplication patterns: the scratch
+// register and the two compute-into-scratch instruction pairs, with
+// rsp-relative displacements shifted for the one and two pushes that
+// precede them. Carry-consuming ops and narrow destinations (which
+// would need masked comparisons) are rejected.
+func aluScaffold(in isa.Inst) (scr isa.Reg, mov1, op1, mov2, op2 isa.Inst, err error) {
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.INC, isa.DEC, isa.NOT, isa.NEG,
+		isa.SHL, isa.SHR, isa.SAR, isa.IMUL:
+		// supported
+	default:
+		return scr, mov1, op1, mov2, op2, fmt.Errorf("%w: %s is not a duplicable ALU op", ErrUnpatchable, in.Op)
+	}
+	if in.Dst.Kind == isa.KindReg && in.Dst.Width != 8 || in.Dst.Kind == isa.KindMem && in.Dst.Width != 8 {
+		// Narrow destinations would need masked comparisons; keep the
+		// pattern to the 64-bit common case.
+		return scr, mov1, op1, mov2, op2, fmt.Errorf("%w: %d-byte ALU destination", ErrUnpatchable, in.Dst.Width)
+	}
+	scr, err = pickScratch(in)
+	if err != nil {
+		return scr, mov1, op1, mov2, op2, err
+	}
+
+	// Rebuild the op with D replaced by the scratch register and
+	// rsp-relative displacements shifted by delta.
+	redo := func(delta int32) (mov, op isa.Inst, err error) {
+		d, err := adjustRSP(in.Dst, delta)
+		if err != nil {
+			return mov, op, err
+		}
+		s, err := adjustRSP(in.Src, delta)
+		if err != nil {
+			return mov, op, err
+		}
+		mov = isa.NewInst(isa.MOV, isa.R(scr), d)
+		op = in
+		op.Dst = isa.R(scr)
+		op.Src = s
+		return mov, op, nil
+	}
+	if mov1, op1, err = redo(8); err != nil {
+		return scr, mov1, op1, mov2, op2, err
+	}
+	mov2, op2, err = redo(16)
+	return scr, mov1, op1, mov2, op2, err
+}
+
 // PatternFor dispatches on the site's op class.
 func PatternFor(p *bir.Program, site bir.Inst, followLabel string, style Style) ([]*bir.Block, error) {
+	if style == StyleOrder2 {
+		return order2PatternFor(p, site, followLabel)
+	}
 	switch site.I.Op {
 	case isa.MOV, isa.MOVZX, isa.MOVSX, isa.LEA:
 		return MovPattern(p, site, followLabel, style)

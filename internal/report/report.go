@@ -70,6 +70,9 @@ func (t *Table) String() string {
 // Pct formats a percentage.
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
 
+// Int renders an integer cell.
+func Int(n int) string { return fmt.Sprintf("%d", n) }
+
 // Ratio formats a before/after pair.
 func Ratio(before, after int) string { return fmt.Sprintf("%d -> %d", before, after) }
 

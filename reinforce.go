@@ -19,8 +19,9 @@
 //
 // Everything runs against this repository's own substrate: assembler,
 // ELF64 reader/writer, x86-64 subset emulator, binary IR, compiler IR.
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured results.
+// See docs/ARCHITECTURE.md for the system walkthrough,
+// docs/COUNTERMEASURES.md for each countermeasure's threat model, and
+// docs/EXPERIMENTS.md for the paper-vs-measured results.
 //
 // Quick start:
 //
@@ -41,6 +42,7 @@ import (
 
 	"github.com/r2r/reinforce/internal/asm"
 	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/cases"
 	"github.com/r2r/reinforce/internal/decode"
 	"github.com/r2r/reinforce/internal/elf"
@@ -127,6 +129,24 @@ func FaultScan(bin *Binary, good, bad []byte, models ...Model) (*FaultReport, er
 		Bad:    bad,
 		Models: models,
 	})
+}
+
+// Order2Report is the outcome of an order-2 multi-fault campaign: the
+// order-1 sweep plus the simulated fault pairs pruned from it.
+type Order2Report = campaign.Order2Report
+
+// FaultScanOrder2 runs an order-2 multi-fault campaign: the order-1
+// sweep first, then deterministic fault *pairs* (both components
+// individually detected or ignored, the second striking strictly later
+// in the trace), capped at maxPairs (0 = the default budget). This is
+// the attack that defeats single-fault-hardened binaries.
+func FaultScanOrder2(bin *Binary, good, bad []byte, maxPairs int, models ...Model) (*Order2Report, error) {
+	return campaign.RunOrder2(fault.Campaign{
+		Binary: bin,
+		Good:   good,
+		Bad:    bad,
+		Models: models,
+	}, campaign.Options{MaxPairs: maxPairs})
 }
 
 // FaulterPatcherOptions configure the iterative hardening loop.

@@ -1,0 +1,179 @@
+// Command doccheck validates every `./r2r …` invocation quoted in the
+// given markdown files against the real CLI surface (internal/cli):
+// the subcommand must exist, every flag must parse against the
+// command's actual flag set, the positional-argument count must be in
+// range, and literal -model values must name registered fault models.
+// CI runs it over README.md and docs/*.md, so a flag rename or removal
+// that outruns the documentation fails the build (the doc rot the PR-2
+// flag renames caused).
+//
+// Only fenced code blocks are scanned. A command line is one whose
+// first token is `r2r` or `./r2r`; backslash continuations are joined
+// and trailing `# comments` stripped. Shell substitutions like
+// "$(cat f)" and `...` ellipses count as opaque flag values.
+//
+// Usage: go run ./tools/doccheck README.md docs/*.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/r2r/reinforce/internal/cli"
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		checked := 0
+		for _, cmd := range extractCommands(string(data)) {
+			checked++
+			if err := checkCommand(cmd.tokens); err != nil {
+				failed = true
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n    %s\n", path, cmd.line, err, cmd.text)
+			}
+		}
+		fmt.Printf("doccheck: %s: %d r2r invocation(s) checked\n", path, checked)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// command is one documented r2r invocation.
+type command struct {
+	line   int // 1-based line of the first physical line
+	text   string
+	tokens []string
+}
+
+// extractCommands scans fenced code blocks for r2r invocations.
+func extractCommands(doc string) []command {
+	var out []command
+	inFence := false
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			continue
+		}
+		start := i
+		// Join backslash continuations.
+		full := line
+		for strings.HasSuffix(full, "\\") && i+1 < len(lines) {
+			i++
+			full = strings.TrimSuffix(full, "\\") + " " + strings.TrimSpace(lines[i])
+		}
+		// Strip trailing comments.
+		if idx := strings.Index(full, " #"); idx >= 0 {
+			full = strings.TrimSpace(full[:idx])
+		}
+		toks := splitShell(full)
+		if len(toks) == 0 {
+			continue
+		}
+		if toks[0] != "r2r" && toks[0] != "./r2r" {
+			continue
+		}
+		out = append(out, command{line: start + 1, text: full, tokens: toks[1:]})
+	}
+	return out
+}
+
+// splitShell splits a command line on whitespace, keeping
+// double-quoted strings (including $(...) substitutions) as single
+// tokens and dropping the quotes.
+func splitShell(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	depth := 0 // $( ) nesting inside quotes
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' && depth == 0:
+			inQuote = !inQuote
+		case inQuote && c == '(':
+			depth++
+			cur.WriteByte(c)
+		case inQuote && c == ')':
+			depth--
+			cur.WriteByte(c)
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// opaque reports whether a documented value is a placeholder rather
+// than a literal (shell substitution, ellipsis, ALL-CAPS metavariable).
+func opaque(v string) bool {
+	if strings.Contains(v, "$") || strings.Contains(v, "...") {
+		return true
+	}
+	return v != "" && strings.ToUpper(v) == v && strings.ContainsAny(v, "ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+}
+
+// checkCommand validates one invocation's tokens (subcommand first).
+func checkCommand(tokens []string) error {
+	if len(tokens) == 0 {
+		return fmt.Errorf("bare r2r invocation")
+	}
+	name := tokens[0]
+	spec, ok := cli.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown subcommand %q", name)
+	}
+	fs := spec.Flags()
+	if err := fs.Parse(tokens[1:]); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if n := fs.NArg(); n < spec.MinArgs || (spec.MaxArgs >= 0 && n > spec.MaxArgs) {
+		max := fmt.Sprintf("%d", spec.MaxArgs)
+		if spec.MaxArgs < 0 {
+			max = "∞"
+		}
+		return fmt.Errorf("%s: %d positional argument(s), want %d..%s", name, n, spec.MinArgs, max)
+	}
+	// Literal -model values must name registered fault models.
+	var modelErr error
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "model" || modelErr != nil {
+			return
+		}
+		v := f.Value.String()
+		if opaque(v) {
+			return
+		}
+		if _, err := fault.ParseModels(v); err != nil {
+			modelErr = fmt.Errorf("%s: %v", name, err)
+		}
+	})
+	return modelErr
+}
