@@ -15,7 +15,10 @@ import (
 	"github.com/r2r/reinforce/internal/report"
 )
 
-var benchJSON = flag.String("benchjson", "", "write campaign benchmark results as JSON to this file")
+var (
+	benchJSON      = flag.String("benchjson", "", "write campaign benchmark results as JSON to this file")
+	benchJSONPatch = flag.String("benchjson-patch", "", "write patch/order-2 benchmark results as JSON to this file")
+)
 
 // BenchRecord is one benchmark's machine-readable result.
 type BenchRecord struct {
@@ -25,25 +28,16 @@ type BenchRecord struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// TestWriteBenchJSON runs the campaign benchmark suite and exports the
-// results; it is a no-op unless -benchjson is set (CI's perf-tracking
-// step), so the regular test run stays fast.
-func TestWriteBenchJSON(t *testing.T) {
-	if *benchJSON == "" {
-		t.Skip("enable with -benchjson PATH")
-	}
-	benches := []struct {
-		name string
-		fn   func(*testing.B)
-	}{
-		{"FaultCampaign", BenchmarkFaultCampaign},
-		{"CampaignEngineBitflip", BenchmarkCampaignEngineBitflip},
-		{"CampaignSessionReuse", BenchmarkCampaignSessionReuse},
-		{"CampaignBatch", BenchmarkCampaignBatch},
-		{"CampaignNewModels", BenchmarkCampaignNewModels},
-		{"CampaignOrder2", BenchmarkCampaignOrder2},
-		{"Emulator", BenchmarkEmulator},
-	}
+// namedBench is one entry of an exported benchmark set.
+type namedBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// writeBenchJSON measures a benchmark set and writes (then round-trip
+// validates) its JSON export.
+func writeBenchJSON(t *testing.T, path string, benches []namedBench) {
+	t.Helper()
 	var records []BenchRecord
 	for _, b := range benches {
 		res := testing.Benchmark(b.fn)
@@ -61,7 +55,7 @@ func TestWriteBenchJSON(t *testing.T) {
 		records = append(records, rec)
 		t.Logf("%s: %d ns/op %v", rec.Name, rec.NsPerOp, rec.Metrics)
 	}
-	f, err := os.Create(*benchJSON)
+	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +64,7 @@ func TestWriteBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var back []BenchRecord
-	data, err := os.ReadFile(*benchJSON)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,4 +74,40 @@ func TestWriteBenchJSON(t *testing.T) {
 	if len(back) != len(records) {
 		t.Fatalf("round-trip lost records: %d of %d", len(back), len(records))
 	}
+}
+
+// TestWriteBenchJSON runs the campaign benchmark suite and exports the
+// results; it is a no-op unless -benchjson is set (CI's perf-tracking
+// step), so the regular test run stays fast.
+func TestWriteBenchJSON(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("enable with -benchjson PATH")
+	}
+	writeBenchJSON(t, *benchJSON, []namedBench{
+		{"FaultCampaign", BenchmarkFaultCampaign},
+		{"CampaignEngineBitflip", BenchmarkCampaignEngineBitflip},
+		{"CampaignSessionReuse", BenchmarkCampaignSessionReuse},
+		{"CampaignBatch", BenchmarkCampaignBatch},
+		{"CampaignNewModels", BenchmarkCampaignNewModels},
+		{"CampaignOrder2", BenchmarkCampaignOrder2},
+		{"Emulator", BenchmarkEmulator},
+	})
+}
+
+// TestWriteBenchPatchJSON exports the patch fixed-point and order-2
+// pair benchmarks as BENCH_patch.json — the trajectory that makes the
+// incremental engine's speedups (memo reuse, store replay, snapshot
+// tree vs per-pair) visible across commits. No-op unless
+// -benchjson-patch is set.
+func TestWriteBenchPatchJSON(t *testing.T) {
+	if *benchJSONPatch == "" {
+		t.Skip("enable with -benchjson-patch PATH")
+	}
+	writeBenchJSON(t, *benchJSONPatch, []namedBench{
+		{"PatchFixedPoint", BenchmarkPatchFixedPoint},
+		{"PatchFixedPointWarm", BenchmarkPatchFixedPointWarm},
+		{"PatchOrder2FixedPoint", BenchmarkPatchOrder2FixedPoint},
+		{"Order2PairSweep", BenchmarkOrder2PairSweep},
+		{"Order2PairSweepPerPair", BenchmarkOrder2PairSweepPerPair},
+	})
 }

@@ -1,0 +1,159 @@
+// Benchmarks for the incremental plan → execute → store campaign
+// engine: the Faulter+Patcher fixed point (cold, and warm from a
+// content-addressed store) and the order-2 pair sweep on the
+// first-fault snapshot tree. CI exports them as BENCH_patch.json next
+// to BENCH_campaign.json, so the driver's and pair engine's speedups —
+// and regressions — are visible in the tracked trajectory.
+package reinforce
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/campaign"
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/harden"
+)
+
+// patchOptions is the standing fixed-point configuration the patch
+// benchmarks share.
+func patchOptions(c *cases.Case, order int, st *campaign.Store) harden.FaulterPatcherOptions {
+	return harden.FaulterPatcherOptions{
+		Good:   c.Good,
+		Bad:    c.Bad,
+		Models: []fault.Model{fault.ModelSkip},
+		Order:  order,
+		Store:  st,
+	}
+}
+
+// BenchmarkPatchFixedPoint measures the order-1 Faulter+Patcher fixed
+// point cold: every iteration's campaign planned and executed with only
+// the in-process footprint memo carrying outcomes across rounds.
+func BenchmarkPatchFixedPoint(b *testing.B) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	reused := 0
+	for i := 0; i < b.N; i++ {
+		res, err := harden.FaulterPatcher(bin, patchOptions(c, 1, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reused += res.Cache.Reused
+	}
+	b.ReportMetric(float64(reused)/float64(b.N), "reused/op")
+}
+
+// BenchmarkPatchFixedPointWarm measures the same fixed point answered
+// from a pre-warmed content-addressed store — the `r2r patch
+// -cache-dir` re-invocation path, which should replay without
+// simulating a single injection.
+func BenchmarkPatchFixedPointWarm(b *testing.B) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	st, err := campaign.NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := harden.FaulterPatcher(bin, patchOptions(c, 1, st)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		res, err := harden.FaulterPatcher(bin, patchOptions(c, 1, st))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cache.Misses != 0 {
+			b.Fatalf("warm fixed point missed the store: %+v", res.Cache)
+		}
+		hits += res.Cache.Hits
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+}
+
+// BenchmarkPatchOrder2FixedPoint measures the order-2 escalation fixed
+// point (solo sweeps memo-reused across rounds, pair sweeps on the
+// snapshot tree).
+func BenchmarkPatchOrder2FixedPoint(b *testing.B) {
+	c := cases.Pincheck()
+	bin := c.MustBuild()
+	for i := 0; i < b.N; i++ {
+		res, err := harden.FaulterPatcher(bin, patchOptions(c, 2, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.PairIterations) == 0 {
+			b.Fatal("order-2 stage did not run")
+		}
+	}
+}
+
+// BenchmarkOrder2PairSweep isolates the pair stage: one session, the
+// full pruned pair list executed on the first-fault snapshot tree
+// (O(distinct first faults) prefix replays instead of O(pairs)).
+func BenchmarkOrder2PairSweep(b *testing.B) {
+	c := cases.Bootloader()
+	s, err := fault.NewSession(fault.Campaign{
+		Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
+		Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	solo, _ := s.ExecuteShard(0, 1, 0, nil)
+	pairs := fault.EnumeratePairs(solo, 0)
+	if len(pairs) == 0 {
+		b.Fatal("no pairs to sweep")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ExecutePairShard(pairs, 0, 1, 0, nil)
+	}
+	b.ReportMetric(float64(len(pairs)*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// BenchmarkOrder2PairSweepPerPair is the pre-tree baseline: the same
+// pair list simulated one SimulatePair call per pair — each replaying
+// its prefix from the nearest golden checkpoint — on the same
+// GOMAXPROCS worker pool the engine uses, so the tracked tree-vs-
+// per-pair comparison isolates the snapshot forking, not parallelism.
+func BenchmarkOrder2PairSweepPerPair(b *testing.B) {
+	c := cases.Bootloader()
+	s, err := fault.NewSession(fault.Campaign{
+		Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
+		Models: []fault.Model{fault.ModelSkip},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	solo, _ := s.ExecuteShard(0, 1, 0, nil)
+	pairs := fault.EnumeratePairs(solo, 0)
+	if len(pairs) == 0 {
+		b.Fatal("no pairs to sweep")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1) - 1)
+					if j >= len(pairs) {
+						return
+					}
+					s.SimulatePair(pairs[j])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(len(pairs)*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}

@@ -298,6 +298,15 @@ func cmdFaults(args []string) error {
 	return nil
 }
 
+// openStore builds the content-addressed campaign result cache behind
+// -cache-dir, or nil when the flag is unset (no caching).
+func openStore(dir string) (*campaign.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return campaign.NewStore(dir)
+}
+
 // cmdCampaign drives the parallel campaign engine: one or more
 // binaries swept under the same oracles, with optional sharding,
 // order-2 multi-fault pairs, and machine-readable output.
@@ -316,11 +325,13 @@ func cmdCampaign(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var shard campaign.Shard
-	if f.Shard != "" {
-		if _, err := fmt.Sscanf(f.Shard, "%d/%d", &shard.Index, &shard.Count); err != nil {
-			return fmt.Errorf("bad -shard %q: want i/n", f.Shard)
-		}
+	shard, err := campaign.ParseShard(f.Shard)
+	if err != nil {
+		return err
+	}
+	store, err := openStore(f.CacheDir)
+	if err != nil {
+		return err
 	}
 
 	var jobs []campaign.Job
@@ -340,7 +351,7 @@ func cmdCampaign(args []string, out io.Writer) error {
 		})
 	}
 
-	opt := campaign.Options{Workers: f.Workers, Shard: shard, MaxPairs: f.MaxPairs}
+	opt := campaign.Options{Workers: f.Workers, Shard: shard, MaxPairs: f.MaxPairs, Store: store}
 	if !f.Quiet {
 		opt.Progress = func(p campaign.Progress) {
 			// Redraw sparingly: every 256 injections and at completion.
@@ -360,12 +371,27 @@ func cmdCampaign(args []string, out io.Writer) error {
 		// binary's own order-1 sweep, so there is no batch fast path.
 		for _, job := range jobs {
 			start := time.Now()
-			rep, err := campaign.RunOrder2(job.Campaign, opt)
-			if err != nil {
-				return fmt.Errorf("%s: %w", job.Name, err)
+			var rep *campaign.Order2Report
+			var cache campaign.CacheStats
+			if store != nil {
+				res, err := campaign.RunOrder2Incremental(job.Campaign, opt, nil)
+				if err != nil {
+					return fmt.Errorf("%s: %w", job.Name, err)
+				}
+				rep, cache = res.Report, res.Cache
+			} else {
+				// No cache requested: RunOrder2 keeps the plain
+				// simulation hot path (no footprint recording).
+				var err error
+				if rep, err = campaign.RunOrder2(job.Campaign, opt); err != nil {
+					return fmt.Errorf("%s: %w", job.Name, err)
+				}
 			}
 			sum := campaign.SummarizeOrder2(job.Name, rep)
 			sum.ElapsedMS = time.Since(start).Milliseconds()
+			if store != nil {
+				sum.Cache = &cache
+			}
 			sums = append(sums, sum)
 		}
 	} else {
@@ -376,6 +402,10 @@ func cmdCampaign(args []string, out io.Writer) error {
 			}
 			sum := campaign.Summarize(r.Name, r.Report)
 			sum.ElapsedMS = r.Elapsed.Milliseconds()
+			if store != nil {
+				cache := r.Cache
+				sum.Cache = &cache
+			}
 			sums = append(sums, sum)
 		}
 	}
@@ -414,6 +444,10 @@ func cmdPatch(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	store, err := openStore(f.CacheDir)
+	if err != nil {
+		return err
+	}
 	quiet := f.JSON || f.CSV
 	opt := reinforce.FaulterPatcherOptions{
 		Good:     []byte(f.Good),
@@ -421,6 +455,7 @@ func cmdPatch(args []string, out io.Writer) error {
 		Models:   models,
 		Order:    f.Order,
 		MaxPairs: f.MaxPairs,
+		Store:    store,
 	}
 	if !quiet {
 		opt.Log = func(s string) { fmt.Fprintln(out, s) }

@@ -23,6 +23,8 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,6 +45,35 @@ func (s Shard) String() string {
 		return "1/1"
 	}
 	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// ParseShard parses the CLI's "i/n" shard syntax. The empty string is
+// the whole campaign (the zero Shard); anything else must be exactly
+// two base-10 integers around one slash, with n >= 1 and i in [0, n).
+func ParseShard(s string) (Shard, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Shard{}, nil
+	}
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("campaign: bad shard %q: want i/n", s)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(idx))
+	if err != nil {
+		return Shard{}, fmt.Errorf("campaign: bad shard index in %q: %v", s, err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(cnt))
+	if err != nil {
+		return Shard{}, fmt.Errorf("campaign: bad shard count in %q: %v", s, err)
+	}
+	if n < 1 {
+		return Shard{}, fmt.Errorf("campaign: shard count %d in %q: want >= 1", n, s)
+	}
+	if i < 0 || i >= n {
+		return Shard{}, fmt.Errorf("campaign: shard index %d outside [0,%d)", i, n)
+	}
+	return Shard{Index: i, Count: n}, nil
 }
 
 // normalize clamps the zero value and validates the rest.
@@ -83,30 +114,76 @@ type Options struct {
 	// injections complete: Done is monotonically non-decreasing and the
 	// last call of a job has Done == Total. Called from the executing
 	// goroutines but never concurrently. RunOrder2 reports its two
-	// phases as separate jobs ("order-1", "order-2").
+	// phases as separate jobs ("order-1", "order-2"). A campaign
+	// answered entirely from the store reports a single Done == Total
+	// update.
 	Progress func(Progress)
+
+	// Store, when non-nil, is the content-addressed result cache the
+	// planner consults before executing and the executor writes back
+	// to (see Store). Results are bit-identical with or without it —
+	// test-enforced alongside the worker/shard determinism guarantees.
+	Store *Store
 }
 
 // Run executes one fault campaign on the engine and assembles the
 // standard report. With a non-trivial shard, the report holds only that
 // shard's injections (in shard-local order); Merge recombines them.
+// With Options.Store set, the plan is answered from the store when
+// possible and recorded into it otherwise.
 func Run(c fault.Campaign, opt Options) (*fault.Report, error) {
-	rep, _, err := run("", 0, 1, c, opt)
-	return rep, err
+	res, err := runInc("", 0, 1, c, opt, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
 }
 
-func run(name string, jobIndex, jobs int, c fault.Campaign, opt Options) (*fault.Report, fault.Tally, error) {
+// RunResult is the full outcome of an incremental campaign run: the
+// report, the memo a follow-up run against a patched binary can reuse
+// outcomes from, and the cache accounting.
+type RunResult struct {
+	Report *fault.Report
+	Tally  fault.Tally
+	Memo   *Memo
+	Cache  CacheStats
+}
+
+// RunIncremental executes one campaign through the planner → store →
+// executor path. prev, when non-nil, is the memo of a previous run
+// (typically against the pre-patch binary of a driver iteration): every
+// fault whose recorded footprint avoids the bytes changed since is
+// answered from it, and only the rest are re-simulated. Results are
+// bit-identical to Run without any cache.
+func RunIncremental(c fault.Campaign, opt Options, prev *Memo) (*RunResult, error) {
+	return runInc("", 0, 1, c, opt, prev, true)
+}
+
+// runInc is the shared order-1 execution path. wantMemo gates the
+// footprint recording and memo assembly: callers that discard the memo
+// and bring no cache (Run, RunAll without a store) keep the plain
+// simulation hot path.
+func runInc(name string, jobIndex, jobs int, c fault.Campaign, opt Options, prev *Memo, wantMemo bool) (*RunResult, error) {
 	shard, err := opt.Shard.normalize()
 	if err != nil {
-		return nil, fault.Tally{}, err
+		return nil, err
 	}
 	s, err := fault.NewSession(c)
 	if err != nil {
-		return nil, fault.Tally{}, err
+		return nil, err
 	}
+	e := &executor{s: s, store: opt.Store}
 	progress := progressFunc(opt, name, jobIndex, jobs)
-	injections, tally := s.ExecuteShard(shard.Index, shard.Count, opt.Workers, progress)
-	return s.Report(injections), tally, nil
+	injections, tally, memo, stats, err := e.solo(c, shard, opt.Workers, prev, wantMemo, progress)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Report: s.Report(injections),
+		Tally:  tally,
+		Memo:   memo,
+		Cache:  stats,
+	}, nil
 }
 
 // progressFunc adapts the Options callback to the engine's raw
@@ -146,6 +223,7 @@ type Result struct {
 	Report  *fault.Report // nil when Err is set
 	Tally   fault.Tally
 	Elapsed time.Duration
+	Cache   CacheStats // store/memo accounting (hit/miss counters zero without Options.Store)
 	Err     error
 }
 
@@ -157,13 +235,12 @@ func RunAll(jobs []Job, opt Options) []Result {
 	out := make([]Result, len(jobs))
 	for i, job := range jobs {
 		start := time.Now()
-		rep, tally, err := run(job.Name, i, len(jobs), job.Campaign, opt)
-		out[i] = Result{
-			Name:    job.Name,
-			Report:  rep,
-			Tally:   tally,
-			Elapsed: time.Since(start),
-			Err:     err,
+		res, err := runInc(job.Name, i, len(jobs), job.Campaign, opt, nil, false)
+		out[i] = Result{Name: job.Name, Elapsed: time.Since(start), Err: err}
+		if err == nil {
+			out[i].Report = res.Report
+			out[i].Tally = res.Tally
+			out[i].Cache = res.Cache
 		}
 	}
 	return out
@@ -208,11 +285,37 @@ func (r *Order2Report) SuccessfulPairs() []fault.PairInjection {
 // RunOrder2 executes an order-2 multi-fault campaign: the complete
 // order-1 sweep runs first (always unsharded — pair pruning needs every
 // solo outcome), then the deterministically enumerated pair list (see
-// fault.EnumeratePairs) is simulated. opt.Shard applies to the pair
-// list only; opt.MaxPairs caps it. Because the pair list is a pure
-// function of the (deterministic) solo sweep, results are bit-identical
-// across worker counts and shard decompositions.
+// fault.EnumeratePairs) is simulated on the first-fault snapshot tree.
+// opt.Shard applies to the pair list only; opt.MaxPairs caps it.
+// Because the pair list is a pure function of the (deterministic) solo
+// sweep, results are bit-identical across worker counts and shard
+// decompositions — and across store hits and cold runs.
 func RunOrder2(c fault.Campaign, opt Options) (*Order2Report, error) {
+	res, err := runOrder2Inc(c, opt, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
+}
+
+// Order2Result is the full outcome of an incremental order-2 run.
+type Order2Result struct {
+	Report *Order2Report
+	Memo   *Memo // solo-sweep memo, reusable by the next incremental run
+	Cache  CacheStats
+}
+
+// RunOrder2Incremental is RunOrder2 through the planner → store →
+// executor path. The solo sweep reuses prev like RunIncremental (and is
+// stored under its own order-1 plan key, so order-1 and order-2
+// campaigns of the same binary share it); the pair stage is reused on
+// exact plan-key matches only, since pair runs fork mid-trace faulted
+// machines whose footprints are not recorded.
+func RunOrder2Incremental(c fault.Campaign, opt Options, prev *Memo) (*Order2Result, error) {
+	return runOrder2Inc(c, opt, prev, true)
+}
+
+func runOrder2Inc(c fault.Campaign, opt Options, prev *Memo, wantMemo bool) (*Order2Result, error) {
 	shard, err := opt.Shard.normalize()
 	if err != nil {
 		return nil, err
@@ -221,14 +324,25 @@ func RunOrder2(c fault.Campaign, opt Options) (*Order2Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	solo, _ := s.ExecuteShard(0, 1, opt.Workers, progressFunc(opt, "order-1", 0, 2))
-	pairs := fault.EnumeratePairs(solo, opt.MaxPairs)
-	injections, tally := s.ExecutePairShard(pairs, shard.Index, shard.Count, opt.Workers,
+	e := &executor{s: s, store: opt.Store}
+	solo, _, memo, stats, err := e.solo(c, Shard{}, opt.Workers, prev, wantMemo, progressFunc(opt, "order-1", 0, 2))
+	if err != nil {
+		return nil, err
+	}
+	injections, tally, pairStats, err := e.pairs(c, shard, opt.Workers, opt.MaxPairs, solo,
 		progressFunc(opt, "order-2", 1, 2))
-	return &Order2Report{
-		Solo:      s.Report(solo),
-		Pairs:     injections,
-		PairTally: tally,
+	if err != nil {
+		return nil, err
+	}
+	stats.Add(pairStats)
+	return &Order2Result{
+		Report: &Order2Report{
+			Solo:      s.Report(solo),
+			Pairs:     injections,
+			PairTally: tally,
+		},
+		Memo:  memo,
+		Cache: stats,
 	}, nil
 }
 
@@ -261,6 +375,22 @@ func MergeOrder2(shards []*Order2Report) (*Order2Report, error) {
 		if len(sh.Pairs) != want {
 			return nil, fmt.Errorf("campaign: shard %d has %d pairs, want %d of %d total",
 				i, len(sh.Pairs), want, total)
+		}
+		// An engine-populated tally must agree with the pair list it
+		// came with — a cheap integrity check that catches truncated or
+		// hand-edited shards the size decomposition alone cannot (a
+		// shorter pair list can masquerade as a smaller campaign).
+		// Hand-built reports with an unpopulated tally are exempt.
+		if sh.PairTally.Total() == 0 {
+			continue
+		}
+		var tt fault.Tally
+		for _, p := range sh.Pairs {
+			tt[p.Outcome]++
+		}
+		if tt != sh.PairTally {
+			return nil, fmt.Errorf("campaign: shard %d pair tally %v inconsistent with its %d pairs",
+				i, sh.PairTally, len(sh.Pairs))
 		}
 	}
 	merged := &Order2Report{

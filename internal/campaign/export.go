@@ -58,6 +58,10 @@ type Summary struct {
 	GoodExit   int              `json:"good_exit"`
 	BadExit    int              `json:"bad_exit"`
 	ElapsedMS  int64            `json:"elapsed_ms,omitempty"`
+
+	// Cache reports how the run's work was answered by the
+	// content-addressed store (absent when no store was configured).
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // Summarize digests a report for export.
@@ -136,11 +140,13 @@ func SummarizeOrder2(name string, rep *Order2Report) Summary {
 // columns, so no result is visible in one output format but not
 // another.
 func SummaryTable(sums []Summary) *report.Table {
-	order2 := false
+	order2, cached := false, false
 	for _, s := range sums {
 		if s.Order2 != nil {
 			order2 = true
-			break
+		}
+		if s.Cache != nil {
+			cached = true
 		}
 	}
 	tab := &report.Table{
@@ -150,6 +156,9 @@ func SummaryTable(sums []Summary) *report.Table {
 	if order2 {
 		tab.Header = append(tab.Header,
 			"pairs", "pair_success", "pair_detected", "pair_crash", "pair_ignored")
+	}
+	if cached {
+		tab.Header = append(tab.Header, "cache_hits", "cache_misses", "reused", "resimulated")
 	}
 	for _, s := range sums {
 		row := []string{s.Name,
@@ -170,6 +179,16 @@ func SummaryTable(sums []Summary) *report.Table {
 				fmt.Sprintf("%d", s.Order2.Ignored))
 		case order2:
 			row = append(row, "", "", "", "", "")
+		}
+		switch {
+		case s.Cache != nil:
+			row = append(row,
+				fmt.Sprintf("%d", s.Cache.Hits),
+				fmt.Sprintf("%d", s.Cache.Misses),
+				fmt.Sprintf("%d", s.Cache.Reused),
+				fmt.Sprintf("%d", s.Cache.Resimulated))
+		case cached:
+			row = append(row, "", "", "", "")
 		}
 		tab.AddRow(row...)
 	}

@@ -1,0 +1,95 @@
+// Planner: the first stage of the campaign engine's plan → execute →
+// store architecture. A Plan is a content-addressed description of one
+// campaign execution — everything that determines its results, digested
+// into a key — so the Store can answer "has this exact work been done
+// before?" across driver iterations, repeated experiment runs, and
+// separate processes, and the Executor only simulates what the store
+// cannot answer.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// planSchema versions the key derivation and the store entry layout.
+// Bump it whenever either changes shape or meaning: old cache entries
+// become unreachable instead of wrong.
+const planSchema = 1
+
+// Plan is a content-addressed campaign execution: the campaign itself
+// plus the execution parameters that change its results (shard, fault
+// order, pair budget — but not worker count, which the engine
+// guarantees is result-invariant).
+type Plan struct {
+	Campaign fault.Campaign
+	Shard    Shard
+	Order    int // 1 = solo faults, 2 = solo sweep + fault pairs
+	MaxPairs int // order-2 pair budget (0 = fault.DefaultMaxPairs)
+
+	// Key is the hex SHA-256 content address of everything above.
+	Key string
+}
+
+// NewPlan builds the plan for one campaign execution, digesting every
+// result-determining input into the content address. The shard must be
+// normalized (see Shard.normalize) before planning so equivalent
+// zero-value spellings map to one key.
+func NewPlan(c fault.Campaign, shard Shard, order, maxPairs int) Plan {
+	h := sha256.New()
+	put := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	put("schema %d\n", planSchema)
+	put("binary %s\n", c.Binary.Digest())
+	put("good %d:", len(c.Good))
+	h.Write(c.Good)
+	put("\nbad %d:", len(c.Bad))
+	h.Write(c.Bad)
+	put("\nmodels")
+	for _, m := range c.Models {
+		put(" %d", m)
+	}
+	put("\nsteplimit %d injlimit %d dedup %t transient %t maxfaults %d\n",
+		c.StepLimit, c.InjectionStepLimit, c.DedupSites, c.Transient, c.MaxFaults)
+	put("shard %s order %d maxpairs %d\n", shard, order, maxPairs)
+	return Plan{
+		Campaign: c,
+		Shard:    shard,
+		Order:    order,
+		MaxPairs: maxPairs,
+		Key:      hex.EncodeToString(h.Sum(nil)),
+	}
+}
+
+// digestFaults content-addresses an enumerated fault list. Store
+// entries record it so a cached outcome vector is never zipped against
+// a fault list it was not computed from (a second line of defense
+// behind the plan key, guarding schema drift in enumeration itself).
+func digestFaults(faults []fault.Fault) string {
+	h := sha256.New()
+	for _, f := range faults {
+		writeFault(h, f)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// digestPairs content-addresses an enumerated pair list.
+func digestPairs(pairs []fault.FaultPair) string {
+	h := sha256.New()
+	for _, p := range pairs {
+		writeFault(h, p.First)
+		writeFault(h, p.Second)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeFault serializes every identity field of a fault, explicitly —
+// adding a Fault field without extending this list is caught by the
+// store round-trip tests.
+func writeFault(w io.Writer, f fault.Fault) {
+	fmt.Fprintf(w, "%d|%d|%x|%d|%d|%d|%t|%d|%d\n",
+		f.Model, f.TraceIndex, f.Addr, f.Op, f.Cond, f.Bit, f.Transient, f.Reg, f.Window)
+}

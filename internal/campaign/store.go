@@ -1,0 +1,169 @@
+// Store: the persistence stage of the plan → execute → store
+// architecture. Campaign results are content-addressed by their plan
+// key (binary digest + campaign options + shard + order), so any
+// execution of the same plan — a patch-driver fixed point re-verifying
+// its final binary, a re-run experiment suite, a warm second `r2r
+// patch` invocation — is answered from the store instead of
+// re-simulated. Entries carry the per-fault simulation records
+// (footprint pages, step counts), so a stored campaign also rehydrates
+// the cross-binary Memo the incremental executor uses for partial
+// reuse after a patch round.
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// Record is the stored evidence behind one fault's outcome — the
+// serialized form of a fault.SimRecord. Pages is the run's code
+// footprint; Steps/LimitHit qualify the outcome against a different
+// injection step budget (see Memo.lookup for the reuse rule).
+type Record struct {
+	Outcome  fault.Outcome `json:"outcome"`
+	Steps    uint64        `json:"steps,omitempty"`
+	LimitHit bool          `json:"limit_hit,omitempty"`
+	Pages    []uint64      `json:"pages,omitempty"`
+}
+
+// Entry is one stored campaign result: the outcome of every injection
+// of one plan, in shard-local order, plus the digests and oracles that
+// gate its reuse. Order-2 entries additionally carry the pair stage.
+type Entry struct {
+	Schema       int    `json:"schema"`
+	Key          string `json:"key"`
+	FaultsDigest string `json:"faults_digest"`
+
+	GoodOracle fault.Observable `json:"good_oracle"`
+	BadOracle  fault.Observable `json:"bad_oracle"`
+	Limit      uint64           `json:"injection_step_limit"`
+
+	Records []Record `json:"records"`
+
+	PairsDigest string          `json:"pairs_digest,omitempty"`
+	PairRecords []fault.Outcome `json:"pair_outcomes,omitempty"`
+}
+
+// CacheStats counts how a run's work was answered. Hits/Misses count
+// whole-campaign store lookups; Reused/Resimulated count individual
+// injections inside a miss that the incremental Memo could and could
+// not answer (on a store hit nothing is simulated, so all four stay
+// meaningful side by side). WriteErrors counts store entries that
+// failed to persist — results are unaffected, but a later run will
+// re-execute those plans instead of replaying them.
+type CacheStats struct {
+	Hits        int `json:"hits"`
+	Misses      int `json:"misses"`
+	Reused      int `json:"reused,omitempty"`
+	Resimulated int `json:"resimulated,omitempty"`
+	WriteErrors int `json:"write_errors,omitempty"`
+}
+
+// Add accumulates another stats record.
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Reused += o.Reused
+	s.Resimulated += o.Resimulated
+	s.WriteErrors += o.WriteErrors
+}
+
+// Store is a content-addressed campaign result cache: an in-memory map
+// always, mirrored to one JSON file per key under a directory when one
+// is configured (`r2r ... -cache-dir`), so results persist across
+// processes. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string]*Entry
+}
+
+// NewStore opens (creating if needed) a store backed by dir; an empty
+// dir means in-memory only.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: cache dir: %w", err)
+		}
+	}
+	return &Store{dir: dir, mem: make(map[string]*Entry)}, nil
+}
+
+// path maps a key to its backing file.
+func (st *Store) path(key string) string {
+	return filepath.Join(st.dir, key+".json")
+}
+
+// Lookup returns the stored entry for a plan key, consulting memory
+// first and then the backing directory. A malformed or
+// schema-mismatched file is treated as absent, never as an error: a
+// cache can only decline to help. Hit/miss accounting lives with the
+// executor (CacheStats), which also knows when a returned entry was
+// rejected as stale.
+func (st *Store) Lookup(key string) (*Entry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.mem[key]; ok {
+		return e, true
+	}
+	if st.dir != "" {
+		data, err := os.ReadFile(st.path(key))
+		if err == nil {
+			var e Entry
+			if json.Unmarshal(data, &e) == nil && e.Schema == planSchema && e.Key == key {
+				st.mem[key] = &e
+				return &e, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Save records an entry under its key, in memory and (when configured)
+// on disk. The write is atomic (temp file + rename), so a crashed or
+// racing process never leaves a half-written entry that Lookup could
+// misread.
+func (st *Store) Save(e *Entry) error {
+	e.Schema = planSchema
+	st.mu.Lock()
+	st.mem[e.Key] = e
+	dir := st.dir
+	st.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.path(e.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// errStale marks a store entry that no longer matches the session it
+// would be zipped against (enumeration drift, oracle change); callers
+// treat it as a miss.
+var errStale = errors.New("campaign: stale cache entry")

@@ -69,9 +69,14 @@ func Faults() (*flag.FlagSet, *FaultsFlags) {
 	return fs, f
 }
 
+// cacheDirHelp documents the -cache-dir syntax once for every command
+// that accepts it.
+const cacheDirHelp = "directory for the content-addressed campaign result cache (reruns over unchanged binaries replay from it)"
+
 // CampaignFlags are the `r2r campaign` flags.
 type CampaignFlags struct {
 	Good, Bad, Model, Shard string
+	CacheDir                string
 	Order, MaxPairs         int
 	Workers                 int
 	JSON, CSV, Quiet        bool
@@ -87,6 +92,7 @@ func Campaign() (*flag.FlagSet, *CampaignFlags) {
 	fs.IntVar(&f.MaxPairs, "max-pairs", 0, "order-2 pair budget (default 4096)")
 	fs.IntVar(&f.Workers, "workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
 	fs.StringVar(&f.Shard, "shard", "", "simulate only shard i/n of each fault list (e.g. 0/4); with -order 2 the shard applies to the pair list")
+	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirHelp)
 	fs.BoolVar(&f.JSON, "json", false, "emit JSON summaries on stdout")
 	fs.BoolVar(&f.CSV, "csv", false, "emit CSV summaries on stdout")
 	fs.BoolVar(&f.Quiet, "q", false, "suppress the stderr progress meter")
@@ -96,6 +102,7 @@ func Campaign() (*flag.FlagSet, *CampaignFlags) {
 // PatchFlags are the `r2r patch` flags.
 type PatchFlags struct {
 	Good, Bad, Model, Out string
+	CacheDir              string
 	Order, MaxPairs       int
 	JSON, CSV             bool
 }
@@ -109,6 +116,7 @@ func Patch() (*flag.FlagSet, *PatchFlags) {
 	fs.StringVar(&f.Out, "o", "", "output path (default: input with .hardened suffix)")
 	fs.IntVar(&f.Order, "order", 1, "hardening order: 1 = single-fault fixed point, 2 = escalate sites of successful fault pairs to order-2 patterns")
 	fs.IntVar(&f.MaxPairs, "max-pairs", 0, "order-2 pair budget per escalation round (default 4096)")
+	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirHelp)
 	fs.BoolVar(&f.JSON, "json", false, "emit the iteration history as JSON on stdout")
 	fs.BoolVar(&f.CSV, "csv", false, "emit the iteration history as CSV on stdout")
 	return fs, f

@@ -7,9 +7,12 @@
 package elf
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -107,6 +110,47 @@ func (b *Binary) SymbolAt(addr uint64) string {
 		}
 	}
 	return name
+}
+
+// Digest returns a hex SHA-256 content address of the binary: entry
+// point, every section (name, address, flags, in-memory size, data),
+// and the symbol table, each serialized with explicit lengths so no two
+// distinct binaries collide by concatenation. Campaign result caches
+// key on it — two binaries with equal digests behave identically under
+// the emulator, so their campaign outcomes are interchangeable.
+func (b *Binary) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		put(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	put(b.Entry)
+	put(uint64(len(b.Sections)))
+	for _, s := range b.Sections {
+		str(s.Name)
+		put(s.Addr)
+		put(uint64(s.Flags))
+		put(s.Size())
+		put(uint64(len(s.Data)))
+		h.Write(s.Data)
+	}
+	put(uint64(len(b.Symbols)))
+	for _, s := range b.Symbols {
+		str(s.Name)
+		put(s.Addr)
+		put(s.Size)
+		if s.Func {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // CodeSize returns the total size of executable sections: the metric the

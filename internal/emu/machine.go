@@ -58,6 +58,11 @@ type Config struct {
 	// length (before any skip decision).
 	RecordTrace bool
 
+	// RecordPages captures the code pages the run fetches from (see
+	// Machine.PageLog) — the execution footprint incremental campaign
+	// caches compare against the bytes a patch round changed.
+	RecordPages bool
+
 	// FetchHook runs before each fetch; the fault injector uses it to
 	// mutate instruction bytes at a precise dynamic step index.
 	FetchHook func(m *Machine)
@@ -124,6 +129,12 @@ type Machine struct {
 
 	Trace       []TraceEntry
 	recordTrace bool
+
+	// pageLog maps each fetched code page to the step count at its
+	// first fetch (see PageLog); lastPage short-circuits the common
+	// same-page case. Nil unless Config.RecordPages was set.
+	pageLog  map[uint64]uint64
+	lastPage uint64
 
 	fetchHook func(m *Machine)
 	stepHook  func(m *Machine, in *isa.Inst) StepAction
@@ -223,6 +234,10 @@ func New(bin *elf.Binary, cfg Config) *Machine {
 		fetchHook:   cfg.FetchHook,
 		stepHook:    cfg.StepHook,
 	}
+	if cfg.RecordPages {
+		m.pageLog = make(map[uint64]uint64, 8)
+		m.lastPage = ^uint64(0)
+	}
 	for _, s := range bin.Sections {
 		m.Mem.LoadSection(s)
 	}
@@ -245,8 +260,45 @@ type Result struct {
 // Run executes until exit, fault, or step limit. The returned error is
 // nil only for a clean exit via the exit syscall.
 func (m *Machine) Run() (Result, error) {
+	// Steps can never reach MaxUint64 before StepLimit, so this is the
+	// plain run-to-completion loop.
+	res, _, err := m.RunUntil(^uint64(0))
+	return res, err
+}
+
+// notePage records the code page containing addr in the page log, at
+// the current step count, if it is not already logged.
+func (m *Machine) notePage(addr uint64) {
+	pa := addr &^ (pageSize - 1)
+	if pa == m.lastPage {
+		return
+	}
+	m.lastPage = pa
+	if _, ok := m.pageLog[pa]; !ok {
+		m.pageLog[pa] = m.Steps
+	}
+}
+
+// PageLog returns the fetch footprint of a run recorded with
+// Config.RecordPages: every code page the machine fetched instruction
+// bytes from (including the page of a failed fetch), mapped to the step
+// count at its first fetch. The fault-campaign cache uses the key set
+// as the run's code footprint and the step values to slice the
+// reference run's footprint at a snapshot boundary. Callers must not
+// mutate the map.
+func (m *Machine) PageLog() map[uint64]uint64 { return m.pageLog }
+
+// RunUntil executes until the machine has completed `stop` steps, or
+// until exit, fault, or step limit, whichever comes first. It returns
+// exactly like Run, plus done=true when the run finished (exited or
+// errored) before reaching the stop step — done=false means the
+// machine is paused at an instruction boundary with Steps == stop and
+// can be snapshotted or stepped further. The order-2 snapshot tree
+// pauses a first-fault run this way once the fault's hooks are inert,
+// snapshots it, and forks the snapshot per second fault.
+func (m *Machine) RunUntil(stop uint64) (Result, bool, error) {
 	var err error
-	for !m.Exited {
+	for !m.Exited && m.Steps < stop {
 		if m.Steps >= m.StepLimit {
 			err = ErrStepLimit
 			break
@@ -262,13 +314,16 @@ func (m *Machine) Run() (Result, error) {
 		Stdout:   m.Stdout,
 		Stderr:   m.Stderr,
 	}
-	return res, err
+	return res, m.Exited || err != nil, err
 }
 
 // Step executes one instruction.
 func (m *Machine) Step() error {
 	if m.fetchHook != nil {
 		m.fetchHook(m)
+	}
+	if m.pageLog != nil {
+		m.notePage(m.RIP)
 	}
 	gen := m.Mem.CodeGeneration()
 	if m.icacheBase != nil && gen != m.icacheBase.gen {
@@ -292,10 +347,28 @@ func (m *Machine) Step() error {
 		}
 		dec, err := decode.Decode(m.fetchBuf[:n], m.RIP)
 		if err != nil {
+			// A decode-failure crash depends on every fetched byte and,
+			// when the window was truncated, on the page that cut it
+			// short — log them so the footprint invalidates if either
+			// changes (the successful-decode path logs its tail page
+			// below, after EncLen is known).
+			if m.pageLog != nil {
+				if n > 1 {
+					m.notePage(m.RIP + uint64(n) - 1)
+				}
+				if n < len(m.fetchBuf) {
+					m.notePage(m.RIP + uint64(n))
+				}
+			}
 			return fmt.Errorf("at %#x: %w", m.RIP, err)
 		}
 		in = &dec
 		m.icache[m.RIP] = in
+	}
+	if m.pageLog != nil && in.EncLen > 1 {
+		// An instruction straddling a page boundary fetched from both
+		// pages; log the tail page too.
+		m.notePage(m.RIP + uint64(in.EncLen) - 1)
 	}
 	if m.recordTrace {
 		m.Trace = append(m.Trace, TraceEntry{Addr: m.RIP, Len: in.EncLen, Op: in.Op, Cond: in.Cond})

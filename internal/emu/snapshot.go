@@ -121,6 +121,10 @@ func (s *Snapshot) Resume(cfg Config) *Machine {
 		fetchHook:   cfg.FetchHook,
 		stepHook:    cfg.StepHook,
 	}
+	if cfg.RecordPages {
+		m.pageLog = make(map[uint64]uint64, 8)
+		m.lastPage = ^uint64(0)
+	}
 	if cfg.Stdin != nil {
 		m.Stdin = cfg.Stdin
 	}

@@ -517,12 +517,12 @@ func TableBeyond() (*report.Table, []BeyondData, error) {
 				StepLimit: stepLimit, DedupSites: true,
 			}
 			camp.Models = beyondModels
-			rep, err := campaign.Run(camp, campaign.Options{})
+			rep, err := campaign.Run(camp, campOptions(0))
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s/%s beyond campaign: %w", c.Name, v.name, err)
 			}
 			camp.Models = []fault.Model{fault.ModelSkip}
-			o2, err := campaign.RunOrder2(camp, campaign.Options{MaxPairs: beyondMaxPairs})
+			o2, err := campaign.RunOrder2(camp, campOptions(beyondMaxPairs))
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s/%s order-2 campaign: %w", c.Name, v.name, err)
 			}
@@ -644,12 +644,12 @@ func TableBeyond2() (*report.Table, []Beyond2Data, error) {
 				StepLimit: stepLimit, DedupSites: true,
 			}
 			camp.Models = []fault.Model{fault.ModelMultiSkip}
-			ms, err := campaign.Run(camp, campaign.Options{})
+			ms, err := campaign.Run(camp, campOptions(0))
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s/%s multi-skip campaign: %w", c.Name, v.name, err)
 			}
 			camp.Models = skipOnly
-			o2, err := campaign.RunOrder2(camp, campaign.Options{MaxPairs: beyond2MaxPairs})
+			o2, err := campaign.RunOrder2(camp, campOptions(beyond2MaxPairs))
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s/%s order-2 campaign: %w", c.Name, v.name, err)
 			}

@@ -42,6 +42,24 @@ var memo = &suite{
 	baseline: make(map[string]*fault.Report),
 }
 
+// campStore is the process-wide in-memory campaign store behind every
+// experiment sweep: campaigns shared between experiments — a variant's
+// skip sweep run both stand-alone and as an order-2 pruning stage —
+// are content-addressed and execute once per process.
+var campStore = func() *campaign.Store {
+	st, err := campaign.NewStore("")
+	if err != nil {
+		panic(err)
+	}
+	return st
+}()
+
+// campOptions returns the standing experiment option set (the shared
+// store plus a pair budget).
+func campOptions(maxPairs int) campaign.Options {
+	return campaign.Options{Store: campStore, MaxPairs: maxPairs}
+}
+
 func modelsKey(models []fault.Model) string {
 	k := ""
 	for _, m := range models {
@@ -145,7 +163,7 @@ func (s *suite) baselineFor(c *cases.Case, models []fault.Model) (*fault.Report,
 		full, err = campaign.Run(fault.Campaign{
 			Binary: c.MustBuild(), Good: c.Good, Bad: c.Bad,
 			Models: bothModels, StepLimit: stepLimit,
-		}, campaign.Options{})
+		}, campOptions(0))
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline campaign: %w", c.Name, err)
 		}

@@ -126,6 +126,35 @@ type ModelSpec interface {
 	Hooks(f Fault, cfg *emu.Config)
 }
 
+// EffectHorizon is an optional ModelSpec extension for models whose
+// hooks have a bounded effect window. EffectEnd returns the machine
+// step count after which fault f's hooks are inert: a machine that has
+// completed EffectEnd(f) steps behaves identically from then on whether
+// or not the hooks are still installed.
+//
+// Declaring a horizon lets the order-2 engine build the first-fault
+// snapshot tree (see Session.ExecutePairShard): the first fault's run
+// is paused once its hooks are inert, snapshotted, and forked per
+// second fault, replacing O(pairs) prefix replays with O(distinct first
+// faults). Models without a horizon (hooks that stay live for the whole
+// run) simply fall back to the per-pair path; correctness never depends
+// on the declaration, only performance — but a horizon that is too
+// early is a soundness bug, caught by the pair warm/cold identity
+// tests.
+type EffectHorizon interface {
+	EffectEnd(f Fault) uint64
+}
+
+// effectEnd resolves a fault's effect horizon, when its registered spec
+// declares one.
+func effectEnd(f Fault) (uint64, bool) {
+	h, ok := SpecOf(f.Model).(EffectHorizon)
+	if !ok {
+		return 0, false
+	}
+	return h.EffectEnd(f), true
+}
+
 // registry maps models to their specs. Guarded by a mutex so tests and
 // third-party packages can register from init functions concurrently.
 var (
@@ -304,6 +333,10 @@ func (SkipSpec) Hooks(f Fault, cfg *emu.Config) {
 	})
 }
 
+// EffectEnd implements EffectHorizon: the skip acts during step
+// TraceIndex, so the hook is inert once that step has completed.
+func (SkipSpec) EffectEnd(f Fault) uint64 { return uint64(f.TraceIndex) + 1 }
+
 // ---------------------------------------------------------------------
 // Single bit flip (paper §IV-B1).
 // ---------------------------------------------------------------------
@@ -359,6 +392,17 @@ func (BitFlipSpec) Hooks(f Fault, cfg *emu.Config) {
 	})
 }
 
+// EffectEnd implements EffectHorizon: the flip lands at the fetch of
+// step TraceIndex; a transient fault restores the bit one fetch later,
+// i.e. during step TraceIndex+1. (A persistent flip stays in memory,
+// but that is machine state a snapshot carries — the *hook* is done.)
+func (BitFlipSpec) EffectEnd(f Fault) uint64 {
+	if f.Transient {
+		return uint64(f.TraceIndex) + 2
+	}
+	return uint64(f.TraceIndex) + 1
+}
+
 // ---------------------------------------------------------------------
 // Register bit flip (beyond the paper; cf. ARMORY's register faults).
 // ---------------------------------------------------------------------
@@ -412,6 +456,10 @@ func (RegFlipSpec) Hooks(f Fault, cfg *emu.Config) {
 		return emu.ActContinue
 	})
 }
+
+// EffectEnd implements EffectHorizon: the register is flipped during
+// step TraceIndex and the hook never fires again.
+func (RegFlipSpec) EffectEnd(f Fault) uint64 { return uint64(f.TraceIndex) + 1 }
 
 // regTarget is one faultable register of an instruction, with the
 // number of low bits worth flipping (the width the instruction reads).
@@ -524,6 +572,12 @@ func (MultiSkipSpec) Hooks(f Fault, cfg *emu.Config) {
 	})
 }
 
+// EffectEnd implements EffectHorizon: the glitch sustains through the
+// whole skip window, ending after step TraceIndex+Window-1.
+func (MultiSkipSpec) EffectEnd(f Fault) uint64 {
+	return uint64(f.TraceIndex) + uint64(f.Window)
+}
+
 // ---------------------------------------------------------------------
 // Transient data flip (beyond the paper).
 // ---------------------------------------------------------------------
@@ -607,3 +661,7 @@ func (DataFlipSpec) Hooks(f Fault, cfg *emu.Config) {
 		return emu.ActContinue
 	})
 }
+
+// EffectEnd implements EffectHorizon: the cell is disturbed during step
+// TraceIndex; whatever it changed is machine state from then on.
+func (DataFlipSpec) EffectEnd(f Fault) uint64 { return uint64(f.TraceIndex) + 1 }

@@ -9,7 +9,13 @@
 // decompositions.
 package fault
 
-import "github.com/r2r/reinforce/internal/emu"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/r2r/reinforce/internal/emu"
+)
 
 // FaultPair is an ordered pair of faults injected into one run; Second
 // always strikes strictly later in the trace than First.
@@ -115,13 +121,141 @@ func (s *Session) SimulatePairCold(p FaultPair) Outcome {
 	return classify(res, err, s.good)
 }
 
+// pairGroup is one node of the first-fault snapshot tree: every
+// selected pair sharing one first fault whose second fault strikes at
+// or after the first's effect horizon. The group costs one prefix
+// resume + one run to the horizon, then one cheap snapshot fork per
+// second fault.
+type pairGroup struct {
+	first Fault
+	end   uint64 // snapshot step: the first fault's effect horizon
+	idx   []int  // positions in the shard-local pair selection
+}
+
+// runPairGroup executes one snapshot-tree node: resume the nearest
+// golden checkpoint with the first fault's hooks, run until those hooks
+// are inert, snapshot the post-first-fault machine (copy-on-write), and
+// fork that snapshot once per second fault. Results are bit-identical
+// to SimulatePair (and SimulatePairCold): before the snapshot step no
+// second-fault hook could have fired (eligibility requires
+// Second.TraceIndex >= end), and after it the first fault's hooks are
+// inert by its declared EffectHorizon.
+func (s *Session) runPairGroup(g *pairGroup, sel []FaultPair, outcomes []Outcome, tally *Tally, tick func()) {
+	m := s.checkpointFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
+	res, done, err := m.RunUntil(g.end)
+	if done {
+		// The first-fault run ended (exit, crash, or step limit) before
+		// any eligible second fault's step — every pair in the group
+		// classifies exactly like the solo first-fault run.
+		o := classify(res, err, s.good)
+		for _, i := range g.idx {
+			outcomes[i] = o
+			tally[o]++
+			tick()
+		}
+		return
+	}
+	snap := m.Snapshot()
+	// Re-donate the golden run's decode cache; SeedDecodeCache ignores
+	// it when the first fault mutated code (bit flips).
+	snap.SeedDecodeCache(s.codeCache)
+	for _, i := range g.idx {
+		cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+		second := sel[i].Second
+		if spec := SpecOf(second.Model); spec != nil {
+			spec.Hooks(second, &cfg)
+		}
+		m2 := snap.Resume(cfg)
+		res2, err2 := m2.Run()
+		o := classify(res2, err2, s.good)
+		outcomes[i] = o
+		tally[o]++
+		tick()
+	}
+}
+
 // ExecutePairShard simulates the pairs of shard shardIndex (of
-// shardCount round-robin shards) on a worker pool, exactly like
-// ExecuteShard does for single faults: lock-free cursor, per-worker
-// tallies, results at fixed positions — bit-identical regardless of
-// worker count.
+// shardCount round-robin shards) on a worker pool. Pairs are grouped
+// into a first-fault snapshot tree: each distinct first fault replays
+// its prefix once, is snapshotted after its effect horizon, and serves
+// every second fault from a copy-on-write fork — O(distinct first
+// faults) prefix replays instead of O(pairs). Pairs outside the tree
+// (first fault without an EffectHorizon, or a second fault striking
+// inside the first's effect window) take the per-pair SimulatePair
+// path. Results land at fixed positions and are bit-identical to the
+// per-pair (and cold) path regardless of worker count or grouping.
 func (s *Session) ExecutePairShard(pairs []FaultPair, shardIndex, shardCount, workers int, progress func(done, total int)) ([]PairInjection, Tally) {
-	sel, outcomes, tally := runShard(pairs, shardIndex, shardCount, s.pool(workers), s.SimulatePair, progress)
+	sel := ShardSelect(pairs, shardIndex, shardCount)
+	outcomes := make([]Outcome, len(sel))
+	if len(sel) == 0 {
+		return make([]PairInjection, 0), Tally{}
+	}
+
+	// Partition into snapshot-tree groups (first-seen order) and loose
+	// per-pair work.
+	groupOf := make(map[Fault]*pairGroup)
+	var groups []*pairGroup
+	var loose []int
+	for i, p := range sel {
+		end, ok := effectEnd(p.First)
+		if !ok || uint64(p.Second.TraceIndex) < end {
+			loose = append(loose, i)
+			continue
+		}
+		g, seen := groupOf[p.First]
+		if !seen {
+			g = &pairGroup{first: p.First, end: end}
+			groupOf[p.First] = g
+			groups = append(groups, g)
+		}
+		g.idx = append(g.idx, i)
+	}
+
+	// Work units: one per group, one per loose pair; claimed by a
+	// lock-free cursor like runShard.
+	units := len(groups) + len(loose)
+	workers = s.pool(workers)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > units {
+		workers = units
+	}
+	var next, done atomic.Int64
+	tick := func() {
+		if progress != nil {
+			progress(int(done.Add(1)), len(sel))
+		}
+	}
+	tallies := make([]Tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1) - 1)
+				if u >= units {
+					return
+				}
+				if u < len(groups) {
+					s.runPairGroup(groups[u], sel, outcomes, &tallies[w], tick)
+					continue
+				}
+				i := loose[u-len(groups)]
+				o := s.SimulatePair(sel[i])
+				outcomes[i] = o
+				tallies[w][o]++
+				tick()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var tally Tally
+	for _, t := range tallies {
+		tally.Add(t)
+	}
 	out := make([]PairInjection, len(sel))
 	for i, p := range sel {
 		out[i] = PairInjection{Pair: p, Outcome: outcomes[i]}

@@ -1,8 +1,10 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -40,6 +42,17 @@ type Session struct {
 	trace  *trace.Trace
 	faults []Fault
 	ckpts  []*emu.Snapshot // ascending by step; ckpts[0] is the entry state
+
+	// codeCache is the reference run's warm decoded-code cache, also
+	// seeded into mid-run snapshots the order-2 snapshot tree takes
+	// (valid only while the first fault left code unmutated).
+	codeCache *emu.CodeCache
+
+	// refPages is the reference run's code-page footprint: each fetched
+	// page mapped to the step count at its first fetch. SimulateRecord
+	// slices it at an injection's snapshot step to account for the
+	// golden prefix the forked run inherits.
+	refPages map[uint64]uint64
 
 	// probes caches the fetchable instruction bytes at each traced
 	// address, for the bit-flip decode pre-screen (see Simulate). Nil
@@ -86,13 +99,14 @@ func NewSession(c Campaign) (*Session, error) {
 	}
 
 	s := &Session{c: c, ckpts: []*emu.Snapshot{base}}
-	rm := base.Resume(emu.Config{StepLimit: c.StepLimit, RecordTrace: true})
+	rm := base.Resume(emu.Config{StepLimit: c.StepLimit, RecordTrace: true, RecordPages: true})
 	badRes, badErr := s.runReference(rm)
 	if badErr != nil {
 		return nil, fmt.Errorf("%w: bad input: %v", ErrBadRun, badErr)
 	}
 
 	s.trace = &trace.Trace{Entries: rm.Trace, Result: badRes}
+	s.refPages = rm.PageLog()
 	s.good = observe(goodRes)
 	s.bad = observe(badRes)
 	if s.good == s.bad {
@@ -103,6 +117,7 @@ func NewSession(c Campaign) (*Session, error) {
 	// code image still matches, so injections skip re-decoding.
 	cache, gen := rm.DecodeCache()
 	cc := emu.BuildCodeCache(cache, gen)
+	s.codeCache = cc
 	for _, cp := range s.ckpts {
 		cp.SeedDecodeCache(cc)
 	}
@@ -317,6 +332,98 @@ func (s *Session) Simulate(f Fault) Outcome {
 	return classify(res, err, s.good)
 }
 
+// InjectionLimit returns the per-injection step budget the session runs
+// faulted machines under (the campaign's InjectionStepLimit after the
+// automatic default was resolved). Campaign caches must compare it
+// before reusing an outcome: the same run under a smaller budget can
+// flip from exit to step-limit crash.
+func (s *Session) InjectionLimit() uint64 { return s.c.InjectionStepLimit }
+
+// SimRecord is the full account of one injection run — everything a
+// cross-binary campaign cache needs to decide later whether the
+// outcome is still valid:
+//
+//   - Pages is the run's code footprint: every page the machine fetched
+//     instruction bytes from, including the golden prefix the forked
+//     snapshot inherited (the prefix determines the fork state). If
+//     none of these pages' bytes changed, the run replays identically.
+//   - Steps and LimitHit qualify the outcome against a different
+//     injection step budget: a finished run stays valid under any
+//     budget >= Steps, a budget-cut run only under a budget that cuts
+//     at least as early.
+type SimRecord struct {
+	Outcome  Outcome
+	Steps    uint64   // steps completed when the run ended (0: decode pre-screen)
+	LimitHit bool     // run was cut off by the injection step limit
+	Pages    []uint64 // sorted code pages fetched by prefix + faulted run
+}
+
+// SimulateRecord runs one injection like Simulate and additionally
+// records the evidence the outcome rests on. Safe for concurrent use.
+func (s *Session) SimulateRecord(f Fault) SimRecord {
+	if f.Model == ModelBitFlip && s.probes != nil {
+		if p, ok := s.probes[f.Addr]; ok && f.Bit/8 < p.n {
+			p.buf[f.Bit/8] ^= 1 << (f.Bit % 8)
+			if _, err := decode.Decode(p.buf[:p.n], f.Addr); err != nil {
+				// The pre-screened crash rests on the reference run
+				// reaching the site (the prefix) and on the flipped
+				// instruction's own bytes.
+				pages := s.prefixPages(uint64(f.TraceIndex) + 1)
+				for a := f.Addr &^ (emu.PageSize - 1); a < f.Addr+uint64(p.n); a += emu.PageSize {
+					pages[a] = struct{}{}
+				}
+				if p.n < decode.MaxInstLen {
+					// The probe window was truncated: the crash also
+					// rests on the page that cut it short staying
+					// unfetchable, so it must invalidate the record if
+					// it changes (mirrors the emulator's decode-failure
+					// page logging).
+					pages[(f.Addr+uint64(p.n))&^uint64(emu.PageSize-1)] = struct{}{}
+				}
+				return SimRecord{Outcome: OutcomeCrash, Pages: sortedPages(pages)}
+			}
+		}
+	}
+	ck := s.checkpointFor(uint64(f.TraceIndex))
+	cfg := s.injectionConfig(f)
+	cfg.RecordPages = true
+	m := ck.Resume(cfg)
+	res, err := m.Run()
+	pages := s.prefixPages(ck.Steps())
+	for pa := range m.PageLog() {
+		pages[pa] = struct{}{}
+	}
+	return SimRecord{
+		Outcome:  classify(res, err, s.good),
+		Steps:    res.Steps,
+		LimitHit: errors.Is(err, emu.ErrStepLimit),
+		Pages:    sortedPages(pages),
+	}
+}
+
+// prefixPages collects the reference run's footprint pages first
+// fetched before the given step — the pages whose bytes determined the
+// machine state a snapshot taken at that step carries.
+func (s *Session) prefixPages(step uint64) map[uint64]struct{} {
+	out := make(map[uint64]struct{}, len(s.refPages))
+	for pa, first := range s.refPages {
+		if first < step {
+			out[pa] = struct{}{}
+		}
+	}
+	return out
+}
+
+// sortedPages flattens a page set deterministically.
+func sortedPages(set map[uint64]struct{}) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for pa := range set {
+		out = append(out, pa)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SimulateCold runs one injection from a freshly initialized machine,
 // replaying the whole prefix — the reference semantics the snapshot
 // path must match bit for bit. Tests cross-validate the two paths; the
@@ -360,7 +467,17 @@ func (t *Tally) Add(u Tally) {
 // with the shard-local completion count; it may be called from multiple
 // goroutines concurrently.
 func (s *Session) ExecuteShard(shardIndex, shardCount, workers int, progress func(done, total int)) ([]Injection, Tally) {
-	sel, outcomes, tally := runShard(s.faults, shardIndex, shardCount, s.pool(workers), s.Simulate, progress)
+	return s.ExecuteShardSim(shardIndex, shardCount, workers, s.Simulate, progress)
+}
+
+// ExecuteShardSim is ExecuteShard with a caller-supplied simulation
+// function — the seam the incremental campaign executor uses to splice
+// cached outcomes in (answering from a memo, falling back to
+// SimulateRecord on a miss) while keeping the engine's scheduling,
+// sharding, and bit-identity guarantees. sim must be safe for
+// concurrent use and deterministic, like Simulate.
+func (s *Session) ExecuteShardSim(shardIndex, shardCount, workers int, sim func(Fault) Outcome, progress func(done, total int)) ([]Injection, Tally) {
+	sel, outcomes, tally := runShard(s.faults, shardIndex, shardCount, s.pool(workers), sim, progress)
 	out := make([]Injection, len(sel))
 	for i, f := range sel {
 		out[i] = Injection{Fault: f, Outcome: outcomes[i]}
@@ -377,6 +494,31 @@ func (s *Session) pool(workers int) int {
 	return workers
 }
 
+// ShardSelect is the engine's one round-robin shard decomposition:
+// item j belongs to shard j mod count. Every consumer — the execution
+// core, the pair sweep, and the campaign store's outcome zips — goes
+// through it, so the decomposition cannot drift between the execute
+// and cache paths (stored outcome vectors are zipped back against this
+// selection). Panics on an out-of-range index like a slice-bounds
+// misuse; count <= 1 selects everything.
+func ShardSelect[T any](items []T, index, count int) []T {
+	if count <= 1 {
+		index, count = 0, 1
+	}
+	if index < 0 || index >= count {
+		// Out-of-range shards would silently drop faults; fail loudly.
+		panic(fmt.Sprintf("fault: shard index %d outside [0,%d)", index, count))
+	}
+	if count == 1 {
+		return items
+	}
+	var sel []T
+	for j := index; j < len(items); j += count {
+		sel = append(sel, items[j])
+	}
+	return sel
+}
+
 // runShard is the engine's shared execution core: it selects the
 // round-robin shard of items, simulates each on a worker pool fed by a
 // lock-free atomic cursor, and accumulates outcomes into per-worker
@@ -384,18 +526,7 @@ func (s *Session) pool(workers int) int {
 // results are bit-identical regardless of worker count. Both the
 // order-1 fault sweep and the order-2 pair sweep run on it.
 func runShard[T any](items []T, shardIndex, shardCount, workers int, sim func(T) Outcome, progress func(done, total int)) ([]T, []Outcome, Tally) {
-	if shardCount <= 1 {
-		shardIndex, shardCount = 0, 1
-	}
-	if shardIndex < 0 || shardIndex >= shardCount {
-		// Out-of-range shards would silently drop faults (or index out
-		// of range below); fail loudly like a slice-bounds misuse.
-		panic(fmt.Sprintf("fault: shard index %d outside [0,%d)", shardIndex, shardCount))
-	}
-	var sel []T
-	for j := shardIndex; j < len(items); j += shardCount {
-		sel = append(sel, items[j])
-	}
+	sel := ShardSelect(items, shardIndex, shardCount)
 	outcomes := make([]Outcome, len(sel))
 	if len(sel) == 0 {
 		return sel, outcomes, Tally{}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPairShardTreeMatchesColdPath: the first-fault snapshot tree is
+// the order-2 engine's new execution strategy, so every outcome it
+// produces must classify exactly as a cold two-hook replay from
+// _start — including multi-skip first faults (whose effect window can
+// swallow the second fault's step, forcing the loose path) and
+// transient bit flips (whose restore fetch extends the horizon by one
+// step).
+func TestPairShardTreeMatchesColdPath(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		models    []Model
+		transient bool
+	}{
+		{"skip", []Model{ModelSkip}, false},
+		{"bitflip", []Model{ModelBitFlip}, false},
+		{"bitflip-transient", []Model{ModelBitFlip}, true},
+		{"multiskip+regflip", []Model{ModelMultiSkip, ModelRegFlip}, false},
+		{"skip+dataflip", []Model{ModelSkip, ModelDataFlip}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSession(Campaign{
+				Binary: buildMini(t), Good: goodPin, Bad: badPin,
+				Models: tc.models, Transient: tc.transient,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			solo, _ := s.ExecuteShard(0, 1, 0, nil)
+			pairs := EnumeratePairs(solo, 300)
+			if len(pairs) == 0 {
+				t.Skip("no pairs for this model mix")
+			}
+			tree, tally := s.ExecutePairShard(pairs, 0, 1, 4, nil)
+			var wantTally Tally
+			for i, p := range pairs {
+				cold := s.SimulatePairCold(p)
+				wantTally[cold]++
+				if tree[i].Outcome != cold {
+					t.Errorf("%v: tree path %v, cold path %v", p, tree[i].Outcome, cold)
+				}
+			}
+			if tally != wantTally {
+				t.Errorf("tree tally %v, cold tally %v", tally, wantTally)
+			}
+		})
+	}
+}
+
+// TestPairAdjacentSecondFault pins the loose-path boundary: a pair
+// whose second fault strikes inside the first's effect window (the
+// immediately following step, inside a multi-skip window) must still
+// match the cold path even though the snapshot tree cannot serve it.
+func TestPairAdjacentSecondFault(t *testing.T) {
+	s, err := NewSession(Campaign{
+		Binary: buildMini(t), Good: goodPin, Bad: badPin,
+		Models: []Model{ModelMultiSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, _ := s.ExecuteShard(0, 1, 0, nil)
+	// Hand-build adjacent pairs from eligible faults: second fault at
+	// the very next trace index, i.e. within the first's skip window.
+	var eligible []Fault
+	for _, inj := range solo {
+		if inj.Outcome == OutcomeDetected || inj.Outcome == OutcomeIgnored {
+			eligible = append(eligible, inj.Fault)
+		}
+	}
+	var pairs []FaultPair
+	for _, a := range eligible {
+		for _, b := range eligible {
+			if b.TraceIndex == a.TraceIndex+1 {
+				pairs = append(pairs, FaultPair{First: a, Second: b})
+			}
+		}
+		if len(pairs) >= 50 {
+			break
+		}
+	}
+	if len(pairs) == 0 {
+		t.Skip("no adjacent pairs")
+	}
+	got, _ := s.ExecutePairShard(pairs, 0, 1, 2, nil)
+	for i, p := range pairs {
+		if cold := s.SimulatePairCold(p); got[i].Outcome != cold {
+			t.Errorf("%v: engine %v, cold %v", p, got[i].Outcome, cold)
+		}
+	}
+}
+
+// TestSimulateRecordConsistent: the recording variant must classify
+// exactly like Simulate, report a footprint that includes the fault
+// site's page, and be deterministic.
+func TestSimulateRecordConsistent(t *testing.T) {
+	s, err := NewSession(Campaign{
+		Binary: buildMini(t), Good: goodPin, Bad: badPin,
+		Models: []Model{ModelSkip, ModelBitFlip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range s.Faults() {
+		rec := s.SimulateRecord(f)
+		if got := s.Simulate(f); rec.Outcome != got {
+			t.Errorf("%v: SimulateRecord %v, Simulate %v", f, rec.Outcome, got)
+		}
+		if len(rec.Pages) == 0 {
+			t.Fatalf("%v: empty footprint", f)
+		}
+		sitePage := f.Addr &^ 0xFFF
+		found := false
+		for _, pa := range rec.Pages {
+			if pa == sitePage {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: footprint %x misses the fault site page %#x", f, rec.Pages, sitePage)
+		}
+		if again := s.SimulateRecord(f); !reflect.DeepEqual(rec, again) {
+			t.Errorf("%v: SimulateRecord not deterministic", f)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/elf"
 	"github.com/r2r/reinforce/internal/fault"
 )
@@ -41,6 +42,16 @@ type Options struct {
 	// (0 = fault.DefaultMaxPairs).
 	MaxPairs int
 
+	// Store, when non-nil, persists campaign results content-addressed
+	// by binary digest + campaign options, so a repeated `r2r patch`
+	// invocation (or any other campaign over the same binaries) replays
+	// from the cache. Independent of the store, the driver always
+	// reuses outcomes *across its own iterations* through the
+	// footprint memo: after each patch round, only faults whose
+	// recorded execution window overlaps the changed bytes are
+	// re-simulated.
+	Store *campaign.Store
+
 	// Log receives one line per iteration when non-nil.
 	Log func(string)
 }
@@ -55,6 +66,10 @@ type IterationStats struct {
 	Residual   int // vulnerable sites that could not be (re)patched
 	Detected   int
 	CodeSize   int // .text bytes after this round's patching
+
+	Reused      int  // injections answered from the previous round's memo
+	Resimulated int  // injections actually simulated this round
+	CacheHit    bool // the whole campaign was answered from the store
 }
 
 // PairIterationStats records one order-2 escalation round.
@@ -66,6 +81,10 @@ type PairIterationStats struct {
 	Escalated int // sites re-patched with order-2 patterns this round
 	Residual  int // pair sites that could not be escalated
 	CodeSize  int // .text bytes after this round's escalation
+
+	Reused      int // solo injections answered from the previous memo
+	Resimulated int // solo injections actually simulated
+	CacheHits   int // store hits across the round's solo + pair stages
 }
 
 // Result is the outcome of the iterative hardening.
@@ -80,6 +99,11 @@ type Result struct {
 	// the final binary.
 	PairIterations []PairIterationStats
 	FinalPairs     []fault.PairInjection
+
+	// Cache is the cumulative store/memo accounting over every
+	// campaign the driver ran (iterations, escalation rounds, final
+	// verification).
+	Cache campaign.CacheStats
 
 	OriginalCodeSize int
 }
@@ -112,6 +136,57 @@ func (r *Result) Overhead() float64 {
 	return float64(r.Binary.CodeSize()-r.OriginalCodeSize) / float64(r.OriginalCodeSize)
 }
 
+// faulter runs the driver's campaigns through the incremental
+// plan → execute → store engine, threading one footprint memo across
+// iterations: every campaign reuses the previous round's outcomes for
+// faults whose recorded execution window avoids the bytes that round
+// changed, and (with a store) whole campaigns are answered
+// content-addressed — which makes the driver's final verification
+// sweep, and any warm re-invocation over the same binary, nearly free.
+type faulter struct {
+	opt   Options
+	memo  *campaign.Memo
+	cache campaign.CacheStats
+}
+
+// campaignFor shapes the driver's standing campaign for a binary.
+func (fl *faulter) campaignFor(bin *elf.Binary) fault.Campaign {
+	return fault.Campaign{
+		Binary:     bin,
+		Good:       fl.opt.Good,
+		Bad:        fl.opt.Bad,
+		Models:     fl.opt.Models,
+		StepLimit:  fl.opt.StepLimit,
+		Workers:    fl.opt.Workers,
+		DedupSites: fl.opt.DedupSites,
+	}
+}
+
+// run executes the order-1 campaign for a binary incrementally.
+func (fl *faulter) run(bin *elf.Binary) (*fault.Report, campaign.CacheStats, error) {
+	res, err := campaign.RunIncremental(fl.campaignFor(bin),
+		campaign.Options{Store: fl.opt.Store}, fl.memo)
+	if err != nil {
+		return nil, campaign.CacheStats{}, err
+	}
+	fl.memo = res.Memo
+	fl.cache.Add(res.Cache)
+	return res.Report, res.Cache, nil
+}
+
+// runOrder2 executes the order-2 campaign for a binary incrementally
+// (memo-assisted solo sweep, store-cached pair stage).
+func (fl *faulter) runOrder2(bin *elf.Binary) (*campaign.Order2Report, campaign.CacheStats, error) {
+	res, err := campaign.RunOrder2Incremental(fl.campaignFor(bin),
+		campaign.Options{Store: fl.opt.Store, MaxPairs: fl.opt.MaxPairs}, fl.memo)
+	if err != nil {
+		return nil, campaign.CacheStats{}, err
+	}
+	fl.memo = res.Memo
+	fl.cache.Add(res.Cache)
+	return res.Report, res.Cache, nil
+}
+
 // Harden runs the simulation-driven iterative hardening of §IV-B: run
 // the faulter, patch every vulnerable site with the matching Table I–III
 // pattern, reassemble, and repeat until no successful faults remain, no
@@ -137,29 +212,26 @@ func Harden(bin *elf.Binary, opt Options) (*Result, error) {
 		return nil, err
 	}
 
+	fl := &faulter{opt: opt}
 	var rep *fault.Report
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
-		rep, err = fault.Run(fault.Campaign{
-			Binary:     cur,
-			Good:       opt.Good,
-			Bad:        opt.Bad,
-			Models:     opt.Models,
-			StepLimit:  opt.StepLimit,
-			Workers:    opt.Workers,
-			DedupSites: opt.DedupSites,
-		})
+		var cs campaign.CacheStats
+		rep, cs, err = fl.run(cur)
 		if err != nil {
 			return nil, fmt.Errorf("patch: iteration %d: %w", iter, err)
 		}
 
 		sites := rep.VulnerableSites()
 		stats := IterationStats{
-			Iteration:  iter,
-			Injections: len(rep.Injections),
-			Successes:  len(rep.Successful()),
-			Sites:      len(sites),
-			Detected:   rep.Count(fault.OutcomeDetected),
-			CodeSize:   cur.CodeSize(),
+			Iteration:   iter,
+			Injections:  len(rep.Injections),
+			Successes:   len(rep.Successful()),
+			Sites:       len(sites),
+			Detected:    rep.Count(fault.OutcomeDetected),
+			CodeSize:    cur.CodeSize(),
+			Reused:      cs.Reused,
+			Resimulated: cs.Resimulated,
+			CacheHit:    cs.Hits > 0,
 		}
 		if len(sites) == 0 {
 			res.Iterations = append(res.Iterations, stats)
@@ -195,8 +267,9 @@ func Harden(bin *elf.Binary, opt Options) (*Result, error) {
 		}
 		stats.CodeSize = cur.CodeSize()
 		res.Iterations = append(res.Iterations, stats)
-		logf("iteration %d: %d injections, %d successes at %d sites, %d patched, %d residual, text %dB",
-			iter, stats.Injections, stats.Successes, stats.Sites, stats.Patched, stats.Residual, stats.CodeSize)
+		logf("iteration %d: %d injections (%d reused, %d simulated), %d successes at %d sites, %d patched, %d residual, text %dB",
+			iter, stats.Injections, stats.Reused, stats.Resimulated, stats.Successes,
+			stats.Sites, stats.Patched, stats.Residual, stats.CodeSize)
 
 		if stats.Patched == 0 {
 			logf("iteration %d: fixed point (nothing left to patch)", iter)
@@ -208,26 +281,21 @@ func Harden(bin *elf.Binary, opt Options) (*Result, error) {
 	// point, so pair campaigns prune from a binary that is already
 	// clean under solo faults.
 	if opt.Order >= 2 {
-		if cur, err = hardenPairs(prog, cur, opt, res, logf); err != nil {
+		if cur, err = hardenPairs(prog, cur, opt, res, fl, logf); err != nil {
 			return nil, err
 		}
 	}
 
-	// Final verification campaign.
-	final, err := fault.Run(fault.Campaign{
-		Binary:     cur,
-		Good:       opt.Good,
-		Bad:        opt.Bad,
-		Models:     opt.Models,
-		StepLimit:  opt.StepLimit,
-		Workers:    opt.Workers,
-		DedupSites: opt.DedupSites,
-	})
+	// Final verification campaign. The binary is unchanged since the
+	// last converged iteration, so the memo (and any store) answers it
+	// without re-simulating.
+	final, _, err := fl.run(cur)
 	if err != nil {
 		return nil, fmt.Errorf("patch: final verification: %w", err)
 	}
 	res.Final = final
 	res.Binary = cur
+	res.Cache = fl.cache
 	return res, nil
 }
 
@@ -237,27 +305,18 @@ func Harden(bin *elf.Binary, opt Options) (*Result, error) {
 // order-2-aware StyleOrder2 pattern, reassemble, and repeat until no
 // pair succeeds, nothing is left to escalate, or the iteration budget
 // is exhausted. Returns the (possibly re-patched) current binary.
-func hardenPairs(prog *bir.Program, cur *elf.Binary, opt Options, res *Result, logf func(string, ...any)) (*elf.Binary, error) {
-	campaign := func(bin *elf.Binary) ([]fault.Injection, []fault.PairInjection, error) {
-		s, err := fault.NewSession(fault.Campaign{
-			Binary: bin, Good: opt.Good, Bad: opt.Bad, Models: opt.Models,
-			StepLimit: opt.StepLimit, Workers: opt.Workers, DedupSites: opt.DedupSites,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		solo, _ := s.ExecuteShard(0, 1, opt.Workers, nil)
-		pairs := fault.EnumeratePairs(solo, opt.MaxPairs)
-		injs, _ := s.ExecutePairShard(pairs, 0, 1, opt.Workers, nil)
-		return solo, injs, nil
-	}
+func hardenPairs(prog *bir.Program, cur *elf.Binary, opt Options, res *Result, fl *faulter, logf func(string, ...any)) (*elf.Binary, error) {
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
-		solo, injs, err := campaign(cur)
+		o2, cs, err := fl.runOrder2(cur)
 		if err != nil {
 			return nil, fmt.Errorf("patch: pair iteration %d: %w", iter, err)
 		}
+		solo, injs := o2.Solo.Injections, o2.Pairs
 		res.FinalPairs = injs
-		stats := PairIterationStats{Iteration: iter, Solo: len(solo), Pairs: len(injs), CodeSize: cur.CodeSize()}
+		stats := PairIterationStats{
+			Iteration: iter, Solo: len(solo), Pairs: len(injs), CodeSize: cur.CodeSize(),
+			Reused: cs.Reused, Resimulated: cs.Resimulated, CacheHits: cs.Hits,
+		}
 
 		// Distinct sites of successful pairs, in address order: both
 		// components are escalated — protecting either alone leaves the
@@ -310,8 +369,9 @@ func hardenPairs(prog *bir.Program, cur *elf.Binary, opt Options, res *Result, l
 		}
 		stats.CodeSize = cur.CodeSize()
 		res.PairIterations = append(res.PairIterations, stats)
-		logf("pair iteration %d: %d solo, %d pairs, %d successes, %d escalated, %d residual, text %dB",
-			iter, stats.Solo, stats.Pairs, stats.Successes, stats.Escalated, stats.Residual, stats.CodeSize)
+		logf("pair iteration %d: %d solo (%d reused, %d simulated), %d pairs, %d successes, %d escalated, %d residual, text %dB",
+			iter, stats.Solo, stats.Reused, stats.Resimulated, stats.Pairs,
+			stats.Successes, stats.Escalated, stats.Residual, stats.CodeSize)
 		if stats.Escalated == 0 {
 			logf("pair iteration %d: fixed point (nothing left to escalate)", iter)
 			return cur, nil
@@ -319,11 +379,11 @@ func hardenPairs(prog *bir.Program, cur *elf.Binary, opt Options, res *Result, l
 	}
 	// Budget exhausted right after an escalation round: refresh the
 	// final pair report so it describes the binary actually returned.
-	_, injs, err := campaign(cur)
+	o2, _, err := fl.runOrder2(cur)
 	if err != nil {
 		return nil, fmt.Errorf("patch: final pair verification: %w", err)
 	}
-	res.FinalPairs = injs
+	res.FinalPairs = o2.Pairs
 	return cur, nil
 }
 

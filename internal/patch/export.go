@@ -3,6 +3,7 @@ package patch
 import (
 	"io"
 
+	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/fault"
 	"github.com/r2r/reinforce/internal/report"
 )
@@ -21,6 +22,10 @@ type Export struct {
 	// Order2 summarizes the escalation stage (absent when the driver
 	// ran with Order < 2).
 	Order2 *ExportOrder2 `json:"order2,omitempty"`
+
+	// Cache is the cumulative store/memo accounting across every
+	// campaign the driver ran.
+	Cache campaign.CacheStats `json:"cache"`
 }
 
 // ExportOrder2 is the order-2 escalation digest.
@@ -31,7 +36,9 @@ type ExportOrder2 struct {
 	Converged        bool                  `json:"pair_converged"`
 }
 
-// ExportIteration is one order-1 rinse-and-repeat round.
+// ExportIteration is one order-1 rinse-and-repeat round. The cache
+// fields report the incremental engine's work avoidance (zero when
+// everything was simulated cold).
 type ExportIteration struct {
 	Iteration  int `json:"iteration"`
 	Injections int `json:"injections"`
@@ -41,6 +48,10 @@ type ExportIteration struct {
 	Residual   int `json:"residual"`
 	Detected   int `json:"detected"`
 	CodeSize   int `json:"code_size"`
+
+	Reused      int  `json:"reused,omitempty"`
+	Resimulated int  `json:"resimulated,omitempty"`
+	CacheHit    bool `json:"cache_hit,omitempty"`
 }
 
 // ExportPairIteration is one order-2 escalation round.
@@ -52,6 +63,10 @@ type ExportPairIteration struct {
 	Escalated int `json:"escalated"`
 	Residual  int `json:"residual"`
 	CodeSize  int `json:"code_size"`
+
+	Reused      int `json:"reused,omitempty"`
+	Resimulated int `json:"resimulated,omitempty"`
+	CacheHits   int `json:"cache_hits,omitempty"`
 }
 
 // Export digests the result for machine consumption.
@@ -61,6 +76,7 @@ func (r *Result) Export() Export {
 		HardenedCodeSize: r.Binary.CodeSize(),
 		OverheadPct:      r.Overhead() * 100,
 		Converged:        r.Converged(),
+		Cache:            r.Cache,
 	}
 	for _, it := range r.Iterations {
 		e.Iterations = append(e.Iterations, ExportIteration(it))

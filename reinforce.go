@@ -149,6 +149,20 @@ func FaultScanOrder2(bin *Binary, good, bad []byte, maxPairs int, models ...Mode
 	}, campaign.Options{MaxPairs: maxPairs})
 }
 
+// CampaignStore is the content-addressed campaign result cache:
+// results are keyed by binary digest + campaign options, so repeated
+// scans and hardening runs over unchanged binaries replay from the
+// store instead of re-simulating (`r2r ... -cache-dir`).
+type CampaignStore = campaign.Store
+
+// NewCampaignStore opens (creating if needed) a store backed by dir;
+// an empty dir means in-memory only. Pass it via
+// FaulterPatcherOptions.Store to make hardening runs incremental
+// across processes.
+func NewCampaignStore(dir string) (*CampaignStore, error) {
+	return campaign.NewStore(dir)
+}
+
 // FaulterPatcherOptions configure the iterative hardening loop.
 type FaulterPatcherOptions = harden.FaulterPatcherOptions
 

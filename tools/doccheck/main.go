@@ -45,7 +45,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s:%d: %s\n    %s\n", path, cmd.line, err, cmd.text)
 			}
 		}
-		fmt.Printf("doccheck: %s: %d r2r invocation(s) checked\n", path, checked)
+		tables := 0
+		for _, tab := range extractModelTables(string(data)) {
+			tables++
+			for _, err := range checkModelTable(tab) {
+				failed = true
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, tab.line, err)
+			}
+		}
+		fmt.Printf("doccheck: %s: %d r2r invocation(s), %d fault-model table(s) checked\n", path, checked, tables)
 	}
 	if failed {
 		os.Exit(1)
@@ -176,4 +184,110 @@ func checkCommand(tokens []string) error {
 		}
 	})
 	return modelErr
+}
+
+// modelTable is one documented fault-model table: the (canonical name,
+// CLI alias) pairs of its rows.
+type modelTable struct {
+	line int // 1-based line of the header row
+	rows [][2]string
+}
+
+// extractModelTables finds markdown tables whose header starts with
+// "Model | CLI name" — the documented fault-model catalog.
+func extractModelTables(doc string) []modelTable {
+	var out []modelTable
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		cells := tableCells(lines[i])
+		if len(cells) < 2 || cells[0] != "Model" || cells[1] != "CLI name" {
+			continue
+		}
+		tab := modelTable{line: i + 1}
+		// Collect rows until the table ends, skipping the |---|---|
+		// separator wherever (and whether) it appears.
+		for j := i + 1; j < len(lines); j++ {
+			row := tableCells(lines[j])
+			if len(row) < 2 {
+				i = j
+				break
+			}
+			i = j
+			if separatorRow(row) {
+				continue
+			}
+			tab.rows = append(tab.rows, [2]string{unquote(row[0]), unquote(row[1])})
+		}
+		out = append(out, tab)
+	}
+	return out
+}
+
+// tableCells splits a markdown table row into trimmed cells, or nil
+// when the line is not a table row.
+func tableCells(line string) []string {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "|") {
+		return nil
+	}
+	parts := strings.Split(strings.Trim(line, "|"), "|")
+	cells := make([]string, 0, len(parts))
+	for _, p := range parts {
+		cells = append(cells, strings.TrimSpace(p))
+	}
+	return cells
+}
+
+// unquote strips markdown code backticks.
+func unquote(s string) string { return strings.Trim(s, "`") }
+
+// separatorRow reports whether every cell is a markdown alignment
+// separator (dashes with optional colons).
+func separatorRow(cells []string) bool {
+	for _, c := range cells {
+		if strings.Trim(c, ":-") != "" || !strings.Contains(c, "-") {
+			return false
+		}
+	}
+	return true
+}
+
+// checkModelTable validates a documented fault-model table against the
+// live registry: every row's canonical name and CLI alias must resolve
+// to the same registered model, the canonical column must be the
+// spec's registered Name, and every registered model must have exactly
+// one row — so a new model cannot ship without its documentation (nor
+// stale documentation outlive a model).
+func checkModelTable(tab modelTable) []error {
+	var errs []error
+	seen := map[fault.Model]int{}
+	for _, row := range tab.rows {
+		canonical, alias := row[0], row[1]
+		m, err := fault.ParseModel(canonical)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("model table row %q: %v", canonical, err))
+			continue
+		}
+		if spec := fault.SpecOf(m); spec.Name() != canonical {
+			errs = append(errs, fmt.Errorf("model table row %q: canonical name is %q", canonical, spec.Name()))
+		}
+		am, err := fault.ParseModel(alias)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("model table row %q: CLI name %q: %v", canonical, alias, err))
+		} else if am != m {
+			errs = append(errs, fmt.Errorf("model table row %q: CLI name %q resolves to %q", canonical, alias, am))
+		}
+		seen[m]++
+	}
+	for _, m := range fault.RegisteredModels() {
+		switch seen[m] {
+		case 0:
+			errs = append(errs, fmt.Errorf("model table: registered model %q has no row (catalog: %s)",
+				m, strings.Join(fault.CatalogNames(), ", ")))
+		case 1:
+		default:
+			errs = append(errs, fmt.Errorf("model table: model %q documented %d times", m, seen[m]))
+		}
+	}
+	return errs
 }
