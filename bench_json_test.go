@@ -16,8 +16,9 @@ import (
 )
 
 var (
-	benchJSON      = flag.String("benchjson", "", "write campaign benchmark results as JSON to this file")
-	benchJSONPatch = flag.String("benchjson-patch", "", "write patch/order-2 benchmark results as JSON to this file")
+	benchJSON       = flag.String("benchjson", "", "write campaign benchmark results as JSON to this file")
+	benchJSONPatch  = flag.String("benchjson-patch", "", "write patch/order-2 benchmark results as JSON to this file")
+	benchJSONCorpus = flag.String("benchjson-corpus", "", "write corpus-runner benchmark results as JSON to this file")
 )
 
 // BenchRecord is one benchmark's machine-readable result.

@@ -12,6 +12,7 @@
 //	r2r lift prog.elf                   print the compiler IR
 //	r2r faults -good G -bad B prog.elf  fault-injection campaign
 //	r2r campaign -good G -bad B prog.elf ...        batch campaigns (sharded, JSON/CSV)
+//	r2r corpus [-cases LIST] [-order 1|2] ...       batched sweep across the case-study corpus
 //	r2r patch -good G -bad B -o out.elf prog.elf    Faulter+Patcher pipeline
 //	r2r hybrid -o out.elf prog.elf                  Hybrid pipeline
 //	r2r cases -dir DIR                  write the case studies to disk
@@ -20,6 +21,11 @@
 //
 // The flag surface of every subcommand is defined in internal/cli,
 // shared with the docs checker (tools/doccheck).
+//
+// Exit codes follow the usual convention: 0 on success, 1 on a runtime
+// failure (unreadable binary, failed pipeline, failed campaign), 2 on a
+// usage error (unknown command or flag, bad flag value, wrong argument
+// count).
 package main
 
 import (
@@ -34,11 +40,26 @@ import (
 
 	"github.com/r2r/reinforce"
 	"github.com/r2r/reinforce/internal/campaign"
+	"github.com/r2r/reinforce/internal/cases"
 	"github.com/r2r/reinforce/internal/cli"
 	"github.com/r2r/reinforce/internal/experiments"
 	"github.com/r2r/reinforce/internal/fault"
 	"github.com/r2r/reinforce/internal/report"
 )
+
+// usageError marks a command-line failure (bad flag, bad flag value,
+// wrong argument count) as opposed to a runtime one; main exits 2 for
+// usage errors and 1 for everything else, the convention README
+// documents.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usage error like fmt.Errorf.
+func usagef(format string, args ...any) error {
+	return usageError{err: fmt.Errorf(format, args...)}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -64,6 +85,8 @@ func main() {
 		err = cmdFaults(args)
 	case "campaign":
 		err = cmdCampaign(args, os.Stdout)
+	case "corpus":
+		err = cmdCorpus(args, os.Stdout)
 	case "patch":
 		err = cmdPatch(args, os.Stdout)
 	case "hybrid":
@@ -85,6 +108,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "r2r %s: %v\n", cmd, err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -106,6 +133,11 @@ commands:
                                  batch campaigns on the parallel engine
                                  with sharding and JSON/CSV export;
                                  -order 2 adds multi-fault pairs
+  corpus [-cases LIST] [-model MODELS] [-order 1|2] [-max-pairs N]
+         [-max-faults N] [-workers N] [-cache-dir DIR] [-json|-csv] [-q]
+                                 sweep the registered case-study corpus
+                                 as one batched, cache-sharing run with
+                                 per-case and aggregate survival reports
   patch -good G -bad B [-model ...] [-order 1|2] [-max-pairs N]
         [-json|-csv] [-o OUT] BIN
                                  harden via the Faulter+Patcher pipeline;
@@ -115,7 +147,7 @@ commands:
                                  harden via the Hybrid (lift/lower)
                                  pipeline; order2 adds the skip-window
                                  multi-fault countermeasure pass
-  cases -dir DIR                 emit the pincheck/bootloader case studies
+  cases -dir DIR                 emit the registered case-study corpus
   cfg [-harden] BIN              CFG of the lifted IR in Graphviz dot
                                  (figures 4/5 with -harden)
   experiments [-only NAME]       regenerate the paper's tables and claims
@@ -129,7 +161,7 @@ reg-flip, multi-skip, data-flip — or both (skip+bitflip), all.
 // parse runs a subcommand's flag set over args. The cli package builds
 // silent flag sets (errors returned, nothing printed), so -h/-help is
 // handled here: print the flag defaults to stderr and exit 0 — a help
-// request is not an error.
+// request is not an error. Parse failures are usage errors (exit 2).
 func parse(fs *flag.FlagSet, args []string) error {
 	err := fs.Parse(args)
 	if errors.Is(err, flag.ErrHelp) {
@@ -138,7 +170,10 @@ func parse(fs *flag.FlagSet, args []string) error {
 		fs.PrintDefaults()
 		os.Exit(0)
 	}
-	return err
+	if err != nil {
+		return usageError{err: err}
+	}
+	return nil
 }
 
 func loadBinary(path string) (*reinforce.Binary, error) {
@@ -163,7 +198,7 @@ func cmdAsm(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("want exactly one source file")
+		return usagef("want exactly one source file")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -182,7 +217,7 @@ func cmdAsm(args []string) error {
 
 func cmdInfo(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	bin, err := loadBinary(args[0])
 	if err != nil {
@@ -194,7 +229,7 @@ func cmdInfo(args []string) error {
 
 func cmdDisasm(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	bin, err := loadBinary(args[0])
 	if err != nil {
@@ -214,7 +249,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	bin, err := loadBinary(fs.Arg(0))
 	if err != nil {
@@ -236,7 +271,7 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	bin, err := loadBinary(fs.Arg(0))
 	if err != nil {
@@ -252,7 +287,7 @@ func cmdTrace(args []string) error {
 
 func cmdLift(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	bin, err := loadBinary(args[0])
 	if err != nil {
@@ -266,8 +301,13 @@ func cmdLift(args []string) error {
 	return nil
 }
 
+// parseModels resolves a -model flag value; failures are usage errors.
 func parseModels(s string) ([]reinforce.Model, error) {
-	return reinforce.ParseModels(s)
+	models, err := reinforce.ParseModels(s)
+	if err != nil {
+		return nil, usageError{err: err}
+	}
+	return models, nil
 }
 
 func cmdFaults(args []string) error {
@@ -276,7 +316,7 @@ func cmdFaults(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	models, err := parseModels(f.Model)
 	if err != nil {
@@ -307,6 +347,43 @@ func openStore(dir string) (*campaign.Store, error) {
 	return campaign.NewStore(dir)
 }
 
+// progressMeter builds the standard stderr progress callback shared by
+// the campaign and corpus commands, or nil under -q. It redraws
+// sparingly: every 256 injections and at completion.
+func progressMeter(quiet bool) func(campaign.Progress) {
+	if quiet {
+		return nil
+	}
+	return func(p campaign.Progress) {
+		if p.Done%256 == 0 || p.Done == p.Total {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d %s] %d/%d injections",
+				p.JobIndex+1, p.Jobs, p.Job, p.Done, p.Total)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+}
+
+// writeSummaries emits campaign summaries in the selected format: JSON,
+// CSV, or the text table followed by the per-site vulnerability lines.
+func writeSummaries(out io.Writer, asJSON, asCSV bool, sums []campaign.Summary) error {
+	switch {
+	case asJSON:
+		return campaign.WriteJSON(out, sums)
+	case asCSV:
+		return campaign.WriteCSV(out, sums)
+	}
+	fmt.Fprint(out, campaign.SummaryTable(sums))
+	for _, sum := range sums {
+		for _, site := range sum.Sites {
+			fmt.Fprintf(out, "  %s vulnerable: %#x %-8s (%d successful faults, class %s)\n",
+				sum.Name, site.Addr, site.Mnemonic, site.Successes, site.Class)
+		}
+	}
+	return nil
+}
+
 // cmdCampaign drives the parallel campaign engine: one or more
 // binaries swept under the same oracles, with optional sharding,
 // order-2 multi-fault pairs, and machine-readable output.
@@ -316,10 +393,10 @@ func cmdCampaign(args []string, out io.Writer) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("want at least one binary")
+		return usagef("want at least one binary")
 	}
 	if f.Order != 1 && f.Order != 2 {
-		return fmt.Errorf("unsupported fault order %d: want 1 or 2", f.Order)
+		return usagef("unsupported fault order %d: want 1 or 2", f.Order)
 	}
 	models, err := parseModels(f.Model)
 	if err != nil {
@@ -327,7 +404,7 @@ func cmdCampaign(args []string, out io.Writer) error {
 	}
 	shard, err := campaign.ParseShard(f.Shard)
 	if err != nil {
-		return err
+		return usageError{err: err}
 	}
 	store, err := openStore(f.CacheDir)
 	if err != nil {
@@ -351,19 +428,8 @@ func cmdCampaign(args []string, out io.Writer) error {
 		})
 	}
 
-	opt := campaign.Options{Workers: f.Workers, Shard: shard, MaxPairs: f.MaxPairs, Store: store}
-	if !f.Quiet {
-		opt.Progress = func(p campaign.Progress) {
-			// Redraw sparingly: every 256 injections and at completion.
-			if p.Done%256 == 0 || p.Done == p.Total {
-				fmt.Fprintf(os.Stderr, "\r[%d/%d %s] %d/%d injections",
-					p.JobIndex+1, p.Jobs, p.Job, p.Done, p.Total)
-				if p.Done == p.Total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}
-	}
+	opt := campaign.Options{Workers: f.Workers, Shard: shard, MaxPairs: f.MaxPairs, Store: store,
+		Progress: progressMeter(f.Quiet)}
 
 	var sums []campaign.Summary
 	if f.Order == 2 {
@@ -409,20 +475,75 @@ func cmdCampaign(args []string, out io.Writer) error {
 			sums = append(sums, sum)
 		}
 	}
-	switch {
-	case f.JSON:
-		return campaign.WriteJSON(out, sums)
-	case f.CSV:
-		return campaign.WriteCSV(out, sums)
+	return writeSummaries(out, f.JSON, f.CSV, sums)
+}
+
+// corpusStepLimit is the reference-run budget corpus campaigns use —
+// generous enough for hardened variants of every registered case.
+const corpusStepLimit = 32 << 20
+
+// cmdCorpus sweeps the registered case-study corpus as one batched,
+// cache-sharing run: every selected case at order 1 (and, by default,
+// order 2), sharing one content-addressed store, with per-case and
+// aggregate survival summaries.
+func cmdCorpus(args []string, out io.Writer) error {
+	fs, f := cli.Corpus()
+	if err := parse(fs, args); err != nil {
+		return err
 	}
-	fmt.Fprint(out, campaign.SummaryTable(sums))
-	for _, sum := range sums {
-		for _, site := range sum.Sites {
-			fmt.Fprintf(out, "  %s vulnerable: %#x %-8s (%d successful faults, class %s)\n",
-				sum.Name, site.Addr, site.Mnemonic, site.Successes, site.Class)
+	if fs.NArg() != 0 {
+		return usagef("corpus takes no positional arguments (case studies come from -cases)")
+	}
+	if f.Order != 1 && f.Order != 2 {
+		return usagef("unsupported fault order %d: want 1 or 2", f.Order)
+	}
+	models, err := parseModels(f.Model)
+	if err != nil {
+		return err
+	}
+	selected, err := cases.ParseCases(f.Cases)
+	if err != nil {
+		return usageError{err: err}
+	}
+	store, err := openStore(f.CacheDir)
+	if err != nil {
+		return err
+	}
+
+	var jobs []campaign.CorpusJob
+	for _, c := range selected {
+		bin, err := c.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
 		}
+		jobs = append(jobs, campaign.CorpusJob{
+			Case: c.Name,
+			Campaign: fault.Campaign{
+				Binary: bin, Good: c.Good, Bad: c.Bad,
+				Models: models, StepLimit: corpusStepLimit,
+				DedupSites: f.Dedup, MaxFaults: f.MaxFaults,
+			},
+		})
 	}
-	return nil
+	orders := []int{1}
+	if f.Order == 2 {
+		orders = []int{1, 2}
+	}
+	opt := campaign.CorpusOptions{
+		Options: campaign.Options{Workers: f.Workers, MaxPairs: f.MaxPairs, Store: store,
+			Progress: progressMeter(f.Quiet)},
+		Orders: orders,
+	}
+	res, err := campaign.RunCorpus(jobs, opt)
+	if err != nil {
+		return err
+	}
+	if errs := res.Errs(); len(errs) > 0 {
+		// Surface every failing cell, not just the first — the sweep
+		// deliberately continued past each one.
+		return errors.Join(errs...)
+	}
+	return writeSummaries(out, f.JSON, f.CSV, res.Summaries())
 }
 
 func cmdPatch(args []string, out io.Writer) error {
@@ -431,10 +552,10 @@ func cmdPatch(args []string, out io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	if f.Order != 1 && f.Order != 2 {
-		return fmt.Errorf("unsupported hardening order %d: want 1 or 2", f.Order)
+		return usagef("unsupported hardening order %d: want 1 or 2", f.Order)
 	}
 	models, err := parseModels(f.Model)
 	if err != nil {
@@ -488,7 +609,7 @@ func cmdHybrid(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	opt := reinforce.HybridOptions{}
 	switch f.Harden {
@@ -496,7 +617,7 @@ func cmdHybrid(args []string) error {
 	case "order2":
 		opt.SkipWindow = true
 	default:
-		return fmt.Errorf("unknown -harden %q: want branch or order2", f.Harden)
+		return usagef("unknown -harden %q: want branch or order2", f.Harden)
 	}
 	bin, err := loadBinary(fs.Arg(0))
 	if err != nil {
@@ -531,7 +652,7 @@ func cmdCases(args []string) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	for _, c := range []*reinforce.Case{reinforce.Pincheck(), reinforce.Bootloader()} {
+	for _, c := range cases.Corpus() {
 		srcPath := filepath.Join(f.Dir, c.Name+".s")
 		if err := os.WriteFile(srcPath, []byte(c.Source), 0o644); err != nil {
 			return err
@@ -563,7 +684,7 @@ func cmdCFG(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("want exactly one binary")
+		return usagef("want exactly one binary")
 	}
 	bin, err := loadBinary(fs.Arg(0))
 	if err != nil {
@@ -597,6 +718,7 @@ func cmdExperiments(args []string) error {
 		{"figures", func() (*report.Table, error) { t, _, err := experiments.Figures(); return t, err }},
 		{"beyond", func() (*report.Table, error) { t, _, err := experiments.TableBeyond(); return t, err }},
 		{"beyond2", func() (*report.Table, error) { t, _, err := experiments.TableBeyond2(); return t, err }},
+		{"corpus", func() (*report.Table, error) { t, _, err := experiments.TableCorpus(); return t, err }},
 	}
 	ran := 0
 	for _, e := range all {
@@ -611,7 +733,7 @@ func cmdExperiments(args []string) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q", f.Only)
+		return usagef("unknown experiment %q", f.Only)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -179,5 +180,60 @@ func TestCampaignRejectsUnknownFlag(t *testing.T) {
 	err := cmdCampaign([]string{"-frobnicate"}, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "frobnicate") {
 		t.Errorf("unknown flag not rejected: %v", err)
+	}
+}
+
+// TestCorpusJSONGolden pins the `r2r corpus -json` schema: one summary
+// per (case, order) cell plus the corpus aggregate, each with the
+// shared-store cache accounting.
+func TestCorpusJSONGolden(t *testing.T) {
+	var out bytes.Buffer
+	err := cmdCorpus([]string{"-cases", "pincheck,otpauth", "-model", "skip",
+		"-max-faults", "200", "-max-pairs", "64", "-workers", "2", "-q", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeJSON(t, out.Bytes())
+	for _, want := range []string{`"name": "pincheck/o1"`, `"name": "otpauth/o2"`, `"name": "corpus"`, `"cache"`, `"order2"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("corpus JSON missing %s", want)
+		}
+	}
+	checkGolden(t, "corpus_small.json", got)
+}
+
+// TestCorpusRejectsUsageErrors: the corpus command classifies bad
+// input as usage (exit 2 in main), not runtime failure.
+func TestCorpusRejectsUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"positional args": {"x.elf"},
+		"bad order":       {"-order", "3"},
+		"unknown case":    {"-cases", "nonesuch"},
+		"unknown model":   {"-model", "skipp"},
+	}
+	for name, args := range cases {
+		err := cmdCorpus(args, &bytes.Buffer{})
+		var ue usageError
+		if err == nil || !errors.As(err, &ue) {
+			t.Errorf("%s: want usage error, got %v", name, err)
+		}
+	}
+}
+
+// TestUsageErrorClassification: the exit-code convention — usage
+// failures are usageError (exit 2), runtime failures are not (exit 1).
+func TestUsageErrorClassification(t *testing.T) {
+	var ue usageError
+	if err := cmdCampaign([]string{"-order", "3", "x.elf"}, &bytes.Buffer{}); !errors.As(err, &ue) {
+		t.Errorf("bad -order should be a usage error, got %v", err)
+	}
+	if err := cmdCampaign([]string{"-frobnicate"}, &bytes.Buffer{}); !errors.As(err, &ue) {
+		t.Errorf("unknown flag should be a usage error, got %v", err)
+	}
+	if err := cmdCampaign([]string{"-shard", "9/4", "x.elf"}, &bytes.Buffer{}); !errors.As(err, &ue) {
+		t.Errorf("bad -shard should be a usage error, got %v", err)
+	}
+	if err := cmdRun([]string{"/nonexistent.elf"}); err == nil || errors.As(err, &ue) {
+		t.Errorf("unreadable binary should be a runtime error, got %v", err)
 	}
 }

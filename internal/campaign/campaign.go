@@ -114,9 +114,10 @@ type Options struct {
 	// injections complete: Done is monotonically non-decreasing and the
 	// last call of a job has Done == Total. Called from the executing
 	// goroutines but never concurrently. RunOrder2 reports its two
-	// phases as separate jobs ("order-1", "order-2"). A campaign
-	// answered entirely from the store reports a single Done == Total
-	// update.
+	// phases as separate jobs ("order-1", "order-2"; a corpus cell
+	// labels them "<case>/o2 order-1" and "<case>/o2 order-2" under the
+	// cell's job index). A campaign answered entirely from the store
+	// reports a single Done == Total update.
 	Progress func(Progress)
 
 	// Store, when non-nil, is the content-addressed result cache the
@@ -291,7 +292,7 @@ func (r *Order2Report) SuccessfulPairs() []fault.PairInjection {
 // sweep, results are bit-identical across worker counts and shard
 // decompositions — and across store hits and cold runs.
 func RunOrder2(c fault.Campaign, opt Options) (*Order2Report, error) {
-	res, err := runOrder2Inc(c, opt, nil, false)
+	res, err := runOrder2Inc("", 0, 1, c, opt, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -312,10 +313,22 @@ type Order2Result struct {
 // exact plan-key matches only, since pair runs fork mid-trace faulted
 // machines whose footprints are not recorded.
 func RunOrder2Incremental(c fault.Campaign, opt Options, prev *Memo) (*Order2Result, error) {
-	return runOrder2Inc(c, opt, prev, true)
+	return runOrder2Inc("", 0, 1, c, opt, prev, true)
 }
 
-func runOrder2Inc(c fault.Campaign, opt Options, prev *Memo, wantMemo bool) (*Order2Result, error) {
+// runOrder2Inc is the shared order-2 execution path. With an empty name
+// the two phases report as the documented stand-alone jobs ("order-1"
+// 0/2, "order-2" 1/2); a batch caller (RunCorpus) passes its own
+// name/jobIndex/jobs and the phases report as "<name> order-1" and
+// "<name> order-2" under that index — still separate jobs, so the
+// Done-is-monotonic-per-job contract of Options.Progress holds.
+func runOrder2Inc(name string, jobIndex, jobs int, c fault.Campaign, opt Options, prev *Memo, wantMemo bool) (*Order2Result, error) {
+	soloProgress := progressFunc(opt, "order-1", 0, 2)
+	pairProgress := progressFunc(opt, "order-2", 1, 2)
+	if name != "" {
+		soloProgress = progressFunc(opt, name+" order-1", jobIndex, jobs)
+		pairProgress = progressFunc(opt, name+" order-2", jobIndex, jobs)
+	}
 	shard, err := opt.Shard.normalize()
 	if err != nil {
 		return nil, err
@@ -325,12 +338,12 @@ func runOrder2Inc(c fault.Campaign, opt Options, prev *Memo, wantMemo bool) (*Or
 		return nil, err
 	}
 	e := &executor{s: s, store: opt.Store}
-	solo, _, memo, stats, err := e.solo(c, Shard{}, opt.Workers, prev, wantMemo, progressFunc(opt, "order-1", 0, 2))
+	solo, _, memo, stats, err := e.solo(c, Shard{}, opt.Workers, prev, wantMemo, soloProgress)
 	if err != nil {
 		return nil, err
 	}
 	injections, tally, pairStats, err := e.pairs(c, shard, opt.Workers, opt.MaxPairs, solo,
-		progressFunc(opt, "order-2", 1, 2))
+		pairProgress)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,209 @@
+// Corpus runner: one batched, cache-sharing campaign sweep across a
+// whole case-study corpus. Where RunAll sweeps many binaries under one
+// campaign shape, RunCorpus fans out the full (case × model × order)
+// matrix the way the evaluation methodology papers ask for — every
+// program of the corpus attacked under the same attacker model — while
+// sharing one content-addressed Store and one cross-binary Memo chain
+// per case, so repeated structure (the order-2 solo sweep of a case
+// already swept at order 1, a hardened variant differing from its
+// baseline by a few patched bytes, a warm re-run) is answered from
+// cache instead of re-simulated.
+//
+// Jobs run sequentially (each campaign already saturates the worker
+// pool internally); results are deterministic — bit-identical across
+// worker counts, and across cold runs and store replays — because every
+// constituent campaign is.
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// CorpusJob names one case study (or hardened variant) of a corpus
+// sweep. Jobs with the same Case name share a memo chain: a later job's
+// campaign reuses every recorded outcome whose code-page footprint
+// avoids the bytes that changed since the earlier binary — the
+// cross-binary rule the incremental patch driver uses.
+type CorpusJob struct {
+	Case     string
+	Campaign fault.Campaign
+}
+
+// CorpusOptions tune a corpus run.
+type CorpusOptions struct {
+	// Options carries the per-campaign knobs (Workers, MaxPairs, Store,
+	// Progress). With a nil Store, RunCorpus creates a private in-memory
+	// store for the run, so cross-campaign sharing works out of the box;
+	// pass a disk-backed store (`r2r corpus -cache-dir`) to persist it.
+	// Progress is remapped to corpus-wide job numbering: one job per
+	// (case, order) pair.
+	Options
+
+	// Orders lists the fault orders swept per case, in order (default
+	// {1}; only 1 and 2 are valid). An order-2 sweep stores and reuses
+	// its order-1 stage under the same plan key as a plain order-1 run,
+	// so Orders {1, 2} answers the second solo sweep from the store.
+	Orders []int
+}
+
+// CorpusCaseResult is one (case, order) cell of a corpus run.
+type CorpusCaseResult struct {
+	Case  string
+	Order int
+
+	Report  *fault.Report // the order-1 sweep (Order2.Solo for order 2)
+	Order2  *Order2Report // pair stage; nil for order-1 cells
+	Summary Summary       // export-ready digest (Name is "case/oN")
+	Elapsed time.Duration
+	Cache   CacheStats
+	Err     error // the cell failed; other cells continue
+}
+
+// CorpusResult is the outcome of a corpus run.
+type CorpusResult struct {
+	Results []CorpusCaseResult
+
+	// Cache aggregates every cell's store/memo accounting — the numbers
+	// that prove cross-campaign sharing happened (or did not).
+	Cache CacheStats
+}
+
+// RunCorpus executes the corpus sweep: every job at every order, in
+// deterministic order, sharing one store and per-case memo chains. A
+// failing cell records its error and the sweep continues.
+func RunCorpus(jobs []CorpusJob, opt CorpusOptions) (*CorpusResult, error) {
+	orders := opt.Orders
+	if len(orders) == 0 {
+		orders = []int{1}
+	}
+	for _, o := range orders {
+		if o != 1 && o != 2 {
+			return nil, fmt.Errorf("campaign: unsupported corpus order %d: want 1 or 2", o)
+		}
+	}
+	if opt.Store == nil {
+		st, err := NewStore("")
+		if err != nil {
+			return nil, err
+		}
+		opt.Store = st
+	}
+
+	res := &CorpusResult{}
+	memos := map[string]*Memo{}
+	cell := 0
+	cells := len(jobs) * len(orders)
+	for _, job := range jobs {
+		for _, order := range orders {
+			name := fmt.Sprintf("%s/o%d", job.Case, order)
+			start := time.Now()
+			out := CorpusCaseResult{Case: job.Case, Order: order}
+			switch order {
+			case 1:
+				r, err := runInc(name, cell, cells, job.Campaign, opt.Options, memos[job.Case], true)
+				if err != nil {
+					out.Err = err
+					break
+				}
+				memos[job.Case] = r.Memo
+				out.Report = r.Report
+				out.Cache = r.Cache
+				out.Summary = Summarize(name, r.Report)
+			case 2:
+				r, err := runOrder2Inc(name, cell, cells, job.Campaign, opt.Options, memos[job.Case], true)
+				if err != nil {
+					out.Err = err
+					break
+				}
+				memos[job.Case] = r.Memo
+				out.Report = r.Report.Solo
+				out.Order2 = r.Report
+				out.Cache = r.Cache
+				out.Summary = SummarizeOrder2(name, r.Report)
+			}
+			out.Elapsed = time.Since(start)
+			if out.Err == nil {
+				cache := out.Cache
+				out.Summary.Cache = &cache
+				out.Summary.ElapsedMS = out.Elapsed.Milliseconds()
+				res.Cache.Add(out.Cache)
+			}
+			res.Results = append(res.Results, out)
+			cell++
+		}
+	}
+	return res, nil
+}
+
+// Summaries returns the per-cell summaries of the successful cells,
+// followed by the corpus-wide aggregate row. ElapsedMS is included per
+// cell; the caller can zero it for bit-stable exports.
+func (r *CorpusResult) Summaries() []Summary {
+	var out []Summary
+	for _, c := range r.Results {
+		if c.Err == nil {
+			out = append(out, c.Summary)
+		}
+	}
+	out = append(out, r.Aggregate())
+	return out
+}
+
+// Aggregate folds every successful cell into one corpus-wide survival
+// row: total injections and outcome counts (TraceLen is the summed
+// trace length — a corpus size measure, not one program's), the pair
+// stage totals when any cell ran order 2, and the shared-cache
+// accounting.
+func (r *CorpusResult) Aggregate() Summary {
+	agg := Summary{Name: "corpus"}
+	models := map[fault.Model]bool{}
+	var o2 Order2Summary
+	hasO2 := false
+	for _, c := range r.Results {
+		if c.Err != nil {
+			continue
+		}
+		s := c.Summary
+		agg.TraceLen += s.TraceLen
+		agg.Injections += s.Injections
+		agg.Success += s.Success
+		agg.Detected += s.Detected
+		agg.Crash += s.Crash
+		agg.Ignored += s.Ignored
+		for _, m := range s.Models {
+			if !models[m] {
+				models[m] = true
+				agg.Models = append(agg.Models, m)
+			}
+		}
+		if s.Order2 != nil {
+			hasO2 = true
+			o2.Pairs += s.Order2.Pairs
+			o2.Success += s.Order2.Success
+			o2.Detected += s.Order2.Detected
+			o2.Crash += s.Order2.Crash
+			o2.Ignored += s.Order2.Ignored
+		}
+		agg.ElapsedMS += s.ElapsedMS
+	}
+	if hasO2 {
+		agg.Order2 = &o2
+	}
+	cache := r.Cache
+	agg.Cache = &cache
+	return agg
+}
+
+// Errs returns the errors of the failed cells, labelled by cell name.
+func (r *CorpusResult) Errs() []error {
+	var out []error
+	for _, c := range r.Results {
+		if c.Err != nil {
+			out = append(out, fmt.Errorf("%s/o%d: %w", c.Case, c.Order, c.Err))
+		}
+	}
+	return out
+}

@@ -16,10 +16,18 @@ import (
 	"github.com/r2r/reinforce/internal/fault"
 )
 
-// planSchema versions the key derivation and the store entry layout.
-// Bump it whenever either changes shape or meaning: old cache entries
+// planSchema versions the key derivation, the store entry layout, and
+// the simulation semantics behind the stored outcomes. Bump it whenever
+// any of them changes shape or meaning — including emulator behavior
+// changes (syscall ABI, fault hook semantics) that would make a
+// replayed outcome differ from a fresh simulation: old cache entries
 // become unreachable instead of wrong.
-const planSchema = 1
+//
+// History: 1 = initial plan/execute/store split; 2 = read/write counts
+// above maxIOChunk clamp to a partial transfer (Linux MAX_RW_COUNT
+// semantics) instead of returning -EFAULT, changing outcomes of faults
+// that corrupt a length register.
+const planSchema = 2
 
 // Plan is a content-addressed campaign execution: the campaign itself
 // plus the execution parameters that change its results (shard, fault

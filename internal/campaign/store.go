@@ -11,6 +11,7 @@
 package campaign
 
 import (
+	"container/list"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,26 +75,87 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.WriteErrors += o.WriteErrors
 }
 
-// Store is a content-addressed campaign result cache: an in-memory map
-// always, mirrored to one JSON file per key under a directory when one
-// is configured (`r2r ... -cache-dir`), so results persist across
-// processes. Safe for concurrent use.
+// DefaultMemEntries is the in-memory entry cap of a disk-backed store.
+// A corpus-scale warm run touches every campaign of every binary; the
+// cap keeps the hot entries resident and lets the rest live on disk
+// (the source of truth) instead of accumulating every campaign of the
+// run in RAM.
+const DefaultMemEntries = 512
+
+// Store is a content-addressed campaign result cache: a bounded
+// in-memory LRU map, mirrored to one JSON file per key under a
+// directory when one is configured (`r2r ... -cache-dir`), so results
+// persist across processes. Evicted entries survive on disk and are
+// transparently re-read on the next Lookup; results are identical with
+// any cap, only re-read (or, for a purely in-memory store,
+// re-execution) cost changes. Safe for concurrent use.
 type Store struct {
-	dir string
+	dir   string
+	limit int // max in-memory entries; <= 0 means unbounded
 
 	mu  sync.Mutex
-	mem map[string]*Entry
+	mem map[string]*list.Element // key → element; Value is *memEntry
+	lru *list.List               // front = most recently used
+}
+
+// memEntry is one resident cache entry.
+type memEntry struct {
+	key string
+	e   *Entry
 }
 
 // NewStore opens (creating if needed) a store backed by dir; an empty
-// dir means in-memory only.
+// dir means in-memory only. Disk-backed stores cap their resident set
+// at DefaultMemEntries (disk stays the source of truth); purely
+// in-memory stores stay unbounded, since evicting their entries would
+// discard results outright. NewStoreCapped overrides either default.
 func NewStore(dir string) (*Store, error) {
+	limit := 0
+	if dir != "" {
+		limit = DefaultMemEntries
+	}
+	return NewStoreCapped(dir, limit)
+}
+
+// NewStoreCapped opens a store with an explicit in-memory entry cap
+// (<= 0 means unbounded). Capping an in-memory-only store is allowed —
+// evicted results are simply re-executed later — but the usual callers
+// are disk-backed stores bounding their resident set.
+func NewStoreCapped(dir string, memEntries int) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("campaign: cache dir: %w", err)
 		}
 	}
-	return &Store{dir: dir, mem: make(map[string]*Entry)}, nil
+	return &Store{
+		dir:   dir,
+		limit: memEntries,
+		mem:   make(map[string]*list.Element),
+		lru:   list.New(),
+	}, nil
+}
+
+// MemEntries reports the resident in-memory entry count.
+func (st *Store) MemEntries() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lru.Len()
+}
+
+// insert makes an entry resident (most recently used) and evicts the
+// coldest entries beyond the cap. Callers hold st.mu.
+func (st *Store) insert(key string, e *Entry) {
+	if el, ok := st.mem[key]; ok {
+		el.Value.(*memEntry).e = e
+		st.lru.MoveToFront(el)
+	} else {
+		st.mem[key] = st.lru.PushFront(&memEntry{key: key, e: e})
+	}
+	for st.limit > 0 && st.lru.Len() > st.limit {
+		coldest := st.lru.Back()
+		st.lru.Remove(coldest)
+		delete(st.mem, coldest.Value.(*memEntry).key)
+	}
 }
 
 // path maps a key to its backing file.
@@ -110,15 +172,16 @@ func (st *Store) path(key string) string {
 func (st *Store) Lookup(key string) (*Entry, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if e, ok := st.mem[key]; ok {
-		return e, true
+	if el, ok := st.mem[key]; ok {
+		st.lru.MoveToFront(el)
+		return el.Value.(*memEntry).e, true
 	}
 	if st.dir != "" {
 		data, err := os.ReadFile(st.path(key))
 		if err == nil {
 			var e Entry
 			if json.Unmarshal(data, &e) == nil && e.Schema == planSchema && e.Key == key {
-				st.mem[key] = &e
+				st.insert(key, &e)
 				return &e, true
 			}
 		}
@@ -133,7 +196,7 @@ func (st *Store) Lookup(key string) (*Entry, bool) {
 func (st *Store) Save(e *Entry) error {
 	e.Schema = planSchema
 	st.mu.Lock()
-	st.mem[e.Key] = e
+	st.insert(e.Key, e)
 	dir := st.dir
 	st.mu.Unlock()
 	if dir == "" {

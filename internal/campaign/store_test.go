@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -350,5 +351,120 @@ func TestMergeOrder2ErrorPaths(t *testing.T) {
 	}
 	if !reflect.DeepEqual(merged.Pairs, full.Pairs) {
 		t.Error("healthy order-2 merge no longer matches the unsharded run")
+	}
+}
+
+// TestStoreEviction: the in-memory LRU honors its cap, evicts coldest
+// first, and keeps serving evicted entries from disk.
+func TestStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStoreCapped(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := func(key string) *Entry {
+		return &Entry{Key: key, FaultsDigest: "fd-" + key, Limit: 7,
+			Records: []Record{{Outcome: fault.OutcomeIgnored, Steps: 3}}}
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := st.Save(entry(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.MemEntries(); got != 2 {
+		t.Fatalf("resident entries = %d, want 2", got)
+	}
+	// "a" was evicted but must come back from disk, bit-identical.
+	got, ok := st.Lookup("a")
+	if !ok {
+		t.Fatal("evicted entry lost (disk should be the source of truth)")
+	}
+	want := entry("a")
+	want.Schema = planSchema
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk round-trip of evicted entry drifted: %+v != %+v", got, want)
+	}
+	// The re-read displaced the coldest resident ("b"); "c" survived.
+	if st.MemEntries() != 2 {
+		t.Fatalf("resident entries = %d after re-read, want 2", st.MemEntries())
+	}
+	if _, ok := st.Lookup("c"); !ok {
+		t.Fatal("recently used entry evicted out of order")
+	}
+}
+
+// TestStoreEvictionLRUOrder: touching an entry via Lookup protects it
+// from the next eviction.
+func TestStoreEvictionLRUOrder(t *testing.T) {
+	st, err := NewStoreCapped("", 2) // in-memory: eviction really discards
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := func(key string) {
+		if err := st.Save(&Entry{Key: key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save("a")
+	save("b")
+	st.Lookup("a") // a is now hotter than b
+	save("c")      // evicts b
+	if _, ok := st.Lookup("a"); !ok {
+		t.Error("touched entry evicted")
+	}
+	if _, ok := st.Lookup("b"); ok {
+		t.Error("coldest entry survived over the touched one")
+	}
+}
+
+// TestCappedStoreReplaysBitIdentically: a campaign run against a store
+// whose cap forces every entry out of memory still replays warm runs
+// bit-identically — the reads just come from disk.
+func TestCappedStoreReplaysBitIdentically(t *testing.T) {
+	bin := buildMini(t)
+	c := miniCampaign(bin, fault.ModelSkip, fault.ModelBitFlip)
+	dir := t.TempDir()
+	tiny, err := NewStoreCapped(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunIncremental(c, Options{Store: tiny}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the store so the campaign's entry is evicted from memory.
+	for i := 0; i < 4; i++ {
+		if err := tiny.Save(&Entry{Key: fmt.Sprintf("churn-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm, err := RunIncremental(c, Options{Store: tiny}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Hits != 1 || warm.Cache.Misses != 0 {
+		t.Fatalf("warm run against churned capped store: %+v, want a pure hit", warm.Cache)
+	}
+	for _, rep := range []*fault.Report{cold.Report, warm.Report} {
+		if !reflect.DeepEqual(plain.Injections, rep.Injections) {
+			t.Fatal("capped store run differs from the uncached run")
+		}
+	}
+}
+
+// TestNewStoreDefaults: disk-backed stores are capped by default;
+// in-memory stores stay unbounded (their eviction would discard work).
+func TestNewStoreDefaults(t *testing.T) {
+	disk := newTestStore(t, t.TempDir())
+	if disk.limit != DefaultMemEntries {
+		t.Errorf("disk-backed default cap = %d, want %d", disk.limit, DefaultMemEntries)
+	}
+	mem := newTestStore(t, "")
+	if mem.limit != 0 {
+		t.Errorf("in-memory default cap = %d, want unbounded", mem.limit)
 	}
 }

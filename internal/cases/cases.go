@@ -12,6 +12,11 @@
 // their good/bad input oracles, so every pipeline stage (faulter,
 // patcher, hybrid) can validate hardened binaries against the same
 // contract.
+//
+// Beyond the paper's pair, the corpus case studies (otpauth, fwupdate,
+// crtsign — see corpus.go) extend the evaluation to more scenarios;
+// every case registers in the catalog (catalog.go), and Corpus()
+// returns the full set in registration order.
 package cases
 
 import (
@@ -196,17 +201,7 @@ _start:
 	cmp rax, %d                ; incomplete image -> refuse
 	jne fail
 	; FNV-1a 64 over the image
-	mov rax, 0xcbf29ce484222325
-	mov rsi, 0x100000001b3
-	lea rbx, [rip+fw_buf]
-	mov rcx, %d
-hash_loop:
-	movzx rdx, byte ptr [rbx]
-	xor rax, rdx
-	imul rax, rsi
-	inc rbx
-	dec rcx
-	jne hash_loop
+%s
 	cmp rax, [rip+expected_hash]
 	jne fail
 boot:
@@ -242,7 +237,9 @@ msg_bad:    .ascii "BOOT FAIL: bad firmware hash\n"
 .equ msg_bad_len, . - msg_bad
 .bss
 fw_buf: .zero %d
-`, FirmwareSize, FirmwareSize, FirmwareSize, int64(expected), FirmwareSize)
+`, FirmwareSize, FirmwareSize,
+		fnvLoop(0xcbf29ce484222325, "fw_buf", FirmwareSize, "hash_loop"),
+		int64(expected), FirmwareSize)
 	return &Case{
 		Name:       "bootloader",
 		Source:     src,
@@ -255,7 +252,8 @@ fw_buf: .zero %d
 	}
 }
 
-// All returns both case studies.
+// All returns the paper's two case studies (§V-C). The full registered
+// corpus — these two plus the beyond-the-paper cases — is Corpus().
 func All() []*Case {
 	return []*Case{Pincheck(), Bootloader()}
 }

@@ -1,0 +1,129 @@
+// Catalog: the case-study registry. Like the fault package's ModelSpec
+// registry, case studies register a named builder once and every
+// consumer — the corpus campaign runner, the CLI's -cases flag, the
+// experiments suite — resolves them through one catalog, so adding a
+// case study is one Register call, not a tour of the call sites.
+package cases
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Builder constructs a registered case study. Builders are called per
+// request (cases carry mutable oracle byte slices), so registration
+// stores the recipe, not a shared instance.
+type Builder func() *Case
+
+var (
+	catMu    sync.RWMutex
+	catalog  = map[string]Builder{}
+	catOrder []string // registration order — the corpus sweep order
+)
+
+// Register installs a case-study builder under its name. It panics on a
+// duplicate or empty name — registration is an init-time,
+// programmer-error surface, exactly like fault.Register.
+func Register(name string, b Builder) {
+	catMu.Lock()
+	defer catMu.Unlock()
+	if name == "" || b == nil {
+		panic("cases: Register needs a name and a builder")
+	}
+	if _, dup := catalog[name]; dup {
+		panic(fmt.Sprintf("cases: case %q registered twice", name))
+	}
+	catalog[name] = b
+	catOrder = append(catOrder, name)
+}
+
+// Names returns every registered case-study name in registration order
+// (the deterministic corpus order).
+func Names() []string {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	return append([]string(nil), catOrder...)
+}
+
+// Lookup resolves a case-study name to its builder.
+func Lookup(name string) (Builder, bool) {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	b, ok := catalog[name]
+	return b, ok
+}
+
+// Get builds the named case study. Unknown names fail with the catalog
+// spelled out, so a typo on the command line is self-correcting.
+func Get(name string) (*Case, error) {
+	b, ok := Lookup(strings.TrimSpace(name))
+	if !ok {
+		return nil, fmt.Errorf("cases: unknown case study %q (registered: %s; plus the keyword all)",
+			name, strings.Join(sortedNames(), ", "))
+	}
+	return b(), nil
+}
+
+// sortedNames renders the catalog alphabetically for error messages.
+func sortedNames() []string {
+	names := Names()
+	sort.Strings(names)
+	return names
+}
+
+// Corpus builds every registered case study, in registration order.
+func Corpus() []*Case {
+	names := Names()
+	out := make([]*Case, 0, len(names))
+	for _, name := range names {
+		c, err := Get(name)
+		if err != nil {
+			panic(err) // unreachable: Names() only returns registered cases
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ParseCases resolves a comma-separated case-study list. The keyword
+// "all" expands to the whole catalog; an empty string means "all".
+// Duplicates collapse to the first occurrence.
+func ParseCases(spec string) ([]*Case, error) {
+	if strings.TrimSpace(spec) == "" {
+		spec = "all"
+	}
+	var out []*Case
+	seen := map[string]bool{}
+	add := func(c *Case) {
+		if !seen[c.Name] {
+			seen[c.Name] = true
+			out = append(out, c)
+		}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		if strings.TrimSpace(part) == "all" {
+			for _, c := range Corpus() {
+				add(c)
+			}
+			continue
+		}
+		c, err := Get(part)
+		if err != nil {
+			return nil, err
+		}
+		add(c)
+	}
+	return out, nil
+}
+
+func init() {
+	// The paper's pair first (the order All() documents), then the
+	// corpus extensions.
+	Register("pincheck", Pincheck)
+	Register("bootloader", Bootloader)
+	Register("otpauth", OTPAuth)
+	Register("fwupdate", FWUpdate)
+	Register("crtsign", CRTSign)
+}

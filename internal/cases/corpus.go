@@ -1,0 +1,459 @@
+// The corpus case studies: three programs beyond the paper's pair,
+// growing the evaluation corpus toward the scenario diversity that
+// tool-assisted fault-analysis methodologies argue hardening claims
+// need (Boespflug et al.; Rauzy & Guilley for the CRT-RSA shape):
+//
+//   - otpauth: rolling-code MAC verification guarding an unlock, with
+//     a retry counter and lockout — the fault surface includes both the
+//     MAC compare and the counter bookkeeping around it;
+//   - fwupdate: a firmware update that layers an anti-rollback version
+//     floor on top of the image hash check, so an authentic-but-old
+//     image is the bad input and the version compare is the security
+//     boundary;
+//   - crtsign: a CRT-RSA-style sign-then-verify stand-in — a toy RSA
+//     permutation signs a folded message, re-encrypts the signature to
+//     verify it before release (the Bellcore-attack countermeasure),
+//     and exits through the detected path when the self-check fails.
+//
+// Like the paper's cases, each is written in the repository's assembler
+// dialect and carries its good/bad input oracle.
+package cases
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// fnvLoop is the shared FNV-1a 64 assembly loop over a buffer at
+// [rip+%s] of %d bytes, leaving the digest in rax. basis is the
+// (possibly keyed) initial state. labels must be unique per use.
+func fnvLoop(basis uint64, buf string, n int, label string) string {
+	return fmt.Sprintf(`	mov rax, %#x
+	mov rsi, 0x100000001b3
+	lea rbx, [rip+%s]
+	mov rcx, %d
+%s:
+	movzx rdx, byte ptr [rbx]
+	xor rax, rdx
+	imul rax, rsi
+	inc rbx
+	dec rcx
+	jne %s`, basis, buf, n, label, label)
+}
+
+// ---------------------------------------------------------------------
+// otpauth — rolling-code MAC verify with retry counter + lockout.
+// ---------------------------------------------------------------------
+
+// otpKeyBasis is the shared secret keying the rolling-code MAC: the
+// FNV-1a accumulator starts from it instead of the public offset basis.
+const otpKeyBasis uint64 = 0x8e3a5cb1f4d92607
+
+// fnvPrime is the FNV-1a 64 multiplier.
+const fnvPrime uint64 = 0x100000001b3
+
+// OTPRetries is the retry budget before the authenticator locks out.
+const OTPRetries = 3
+
+// RollingMAC is the keyed MAC the otpauth case verifies (reference
+// implementation of its assembly loop).
+func RollingMAC(code []byte) uint64 {
+	h := otpKeyBasis
+	for _, b := range code {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// OTPAuth returns the rolling-code authenticator case study: an 8-byte
+// code is MAC'd under a shared key and compared against the expected
+// rolling MAC; a valid code resets the retry counter and releases the
+// lock, an invalid one burns a retry and locks the authenticator out
+// when the budget is exhausted.
+func OTPAuth() *Case {
+	good := []byte("93517-AZ")
+	bad := []byte("00000-00")
+	expected := RollingMAC(good)
+	src := fmt.Sprintf(`
+; otpauth — rolling-code MAC verify with retry counter + lockout.
+.text
+.global _start
+_start:
+	mov rax, 0                 ; read(0, code_buf, 8)
+	mov rdi, 0
+	lea rsi, [rip+code_buf]
+	mov rdx, 8
+	syscall
+	cmp rax, 8                 ; short read burns a retry
+	jne reject
+	mov rax, [rip+retries]     ; locked out already?
+	test rax, rax
+	je locked
+%s
+	cmp rax, [rip+expected_mac]
+	jne reject
+grant:
+	mov rax, %d                ; valid code: reset the retry budget
+	mov [rip+retries], rax
+	mov rax, 1                 ; write(1, msg_ok, ...)
+	mov rdi, 1
+	lea rsi, [rip+msg_ok]
+	mov rdx, msg_ok_len
+	syscall
+	mov rax, 1                 ; the sensitive operation: release the lock
+	mov rdi, 1
+	lea rsi, [rip+msg_open]
+	mov rdx, msg_open_len
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+reject:
+	mov rax, [rip+retries]     ; burn one retry, lock out at zero
+	test rax, rax
+	je locked
+	dec rax
+	mov [rip+retries], rax
+	test rax, rax
+	je locked
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_bad]
+	mov rdx, msg_bad_len
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+locked:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_locked]
+	mov rdx, msg_locked_len
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+expected_mac: .quad %d
+msg_ok:     .ascii "OTP OK\n"
+.equ msg_ok_len, . - msg_ok
+msg_open:   .ascii "releasing lock\n"
+.equ msg_open_len, . - msg_open
+msg_bad:    .ascii "OTP BAD\n"
+.equ msg_bad_len, . - msg_bad
+msg_locked: .ascii "LOCKED OUT\n"
+.equ msg_locked_len, . - msg_locked
+.data
+retries: .quad %d
+.bss
+code_buf: .zero 8
+`, fnvLoop(otpKeyBasis, "code_buf", 8, "mac_loop"), OTPRetries, int64(expected), OTPRetries)
+	return &Case{
+		Name:       "otpauth",
+		Source:     src,
+		Good:       good,
+		Bad:        bad,
+		GoodStdout: "OTP OK\nreleasing lock\n",
+		BadStdout:  "OTP BAD\n",
+		GoodExit:   0,
+		BadExit:    1,
+	}
+}
+
+// ---------------------------------------------------------------------
+// fwupdate — hash-verified update with an anti-rollback version floor.
+// ---------------------------------------------------------------------
+
+// Update image layout: an 8-byte magic, a version byte, payload filler,
+// and a trailing FNV-1a 64 digest over everything before it.
+const (
+	UpdateImageSize  = 64
+	updateHashOffset = 56 // digest trailer position; bytes [0,56) are signed
+	updateVersionOff = 8
+
+	// MinUpdateVersion is the anti-rollback floor burned into the
+	// updater: authentic images below it are refused.
+	MinUpdateVersion = 5
+)
+
+// UpdateImage builds an authentic update image at the given version:
+// correct magic, the version byte, deterministic payload filler, and a
+// valid digest trailer. Any version produces an image that passes the
+// hash check — only the version floor separates good from bad.
+func UpdateImage(version byte) []byte {
+	img := make([]byte, UpdateImageSize)
+	copy(img, "FWUPDATE")
+	img[updateVersionOff] = version
+	for i := updateVersionOff + 1; i < updateHashOffset; i++ {
+		img[i] = byte(0x30 + i*11%64)
+	}
+	binary.LittleEndian.PutUint64(img[updateHashOffset:], FNV1a64(img[:updateHashOffset]))
+	return img
+}
+
+// GoodUpdateImage is the current release: at the version floor.
+func GoodUpdateImage() []byte { return UpdateImage(MinUpdateVersion) }
+
+// RollbackUpdateImage is an authentic but outdated image — correct
+// digest, version below the floor. The rollback the updater must
+// refuse.
+func RollbackUpdateImage() []byte { return UpdateImage(MinUpdateVersion - 2) }
+
+// FWUpdate returns the firmware-update case study: the image digest is
+// recomputed and checked against the trailer, then the version byte is
+// checked against the anti-rollback floor. The bad input is an
+// *authentic* rollback image, so the version compare — not the hash —
+// is the oracle's security boundary.
+func FWUpdate() *Case {
+	src := fmt.Sprintf(`
+; fwupdate — hash-verified firmware update with anti-rollback floor.
+.text
+.global _start
+_start:
+	mov rax, 0                 ; read(0, img_buf, IMG_SIZE)
+	mov rdi, 0
+	lea rsi, [rip+img_buf]
+	mov rdx, %d
+	syscall
+	cmp rax, %d                ; truncated image -> refuse
+	jne fail
+%s
+	cmp rax, [rip+img_buf+%d]  ; trailer carries the expected digest
+	jne fail
+	lea rbx, [rip+img_buf]     ; anti-rollback: version >= floor
+	movzx rax, byte ptr [rbx+%d]
+	cmp rax, [rip+min_version]
+	jb rollback
+apply:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_ok]
+	mov rdx, msg_ok_len
+	syscall
+	mov rax, 1                 ; the privileged action: flash the image
+	mov rdi, 1
+	lea rsi, [rip+msg_flash]
+	mov rdx, msg_flash_len
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+rollback:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_rb]
+	mov rdx, msg_rb_len
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+fail:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_bad]
+	mov rdx, msg_bad_len
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+.rodata
+min_version: .quad %d
+msg_ok:    .ascii "UPDATE OK\n"
+.equ msg_ok_len, . - msg_ok
+msg_flash: .ascii "flashing image\n"
+.equ msg_flash_len, . - msg_flash
+msg_rb:    .ascii "UPDATE REJECTED: rollback\n"
+.equ msg_rb_len, . - msg_rb
+msg_bad:   .ascii "UPDATE REJECTED: bad image\n"
+.equ msg_bad_len, . - msg_bad
+.bss
+img_buf: .zero %d
+`, UpdateImageSize, UpdateImageSize,
+		fnvLoop(0xcbf29ce484222325, "img_buf", updateHashOffset, "hash_loop"),
+		updateHashOffset, updateVersionOff, MinUpdateVersion, UpdateImageSize)
+	return &Case{
+		Name:       "fwupdate",
+		Source:     src,
+		Good:       GoodUpdateImage(),
+		Bad:        RollbackUpdateImage(),
+		GoodStdout: "UPDATE OK\nflashing image\n",
+		BadStdout:  "UPDATE REJECTED: rollback\n",
+		GoodExit:   0,
+		BadExit:    1,
+	}
+}
+
+// ---------------------------------------------------------------------
+// crtsign — CRT-RSA-style sign-then-verify stand-in (Rauzy & Guilley).
+// ---------------------------------------------------------------------
+
+// Toy RSA parameters: n = 3 × 11, e·d ≡ 1 (mod φ(n) = 20). Small enough
+// that the assembly's shift-subtract reductions stay cheap, real enough
+// that m^(e·d) ≡ m (mod n) holds for every residue.
+const (
+	crtModulus    = 33
+	crtPublicExp  = 3
+	crtPrivateExp = 7
+)
+
+// crtFold compresses an 8-byte message into a nonzero residue in
+// [1, 32] — the "message representative" the toy RSA permutation signs.
+func crtFold(msg []byte) uint64 { return FNV1a64(msg)&31 + 1 }
+
+// modPow is the reference square-and-multiply (the assembly inlines the
+// fixed exponents 7 and 3 instead of looping over exponent bits).
+func modPow(base, exp, n uint64) uint64 {
+	r := uint64(1)
+	base %= n
+	for ; exp > 0; exp >>= 1 {
+		if exp&1 == 1 {
+			r = r * base % n
+		}
+		base = base * base % n
+	}
+	return r
+}
+
+// SignMessage is the signature the crtsign case computes and releases
+// for an authorized message (reference implementation of the assembly).
+func SignMessage(msg []byte) uint64 {
+	return modPow(crtFold(msg), crtPrivateExp, crtModulus)
+}
+
+// crtModMul emits `rax = rax * rbx mod n` as an inline shift-subtract
+// reduction (6 steps from n<<5 down to n, enough for any product of two
+// reduced residues). label must be unique per expansion.
+func crtModMul(label string) string {
+	return fmt.Sprintf(`	imul rax, rbx
+	mov rdi, %d
+	mov rcx, 6
+%s_loop:
+	cmp rax, rdi
+	jb %s_next
+	sub rax, rdi
+%s_next:
+	shr rdi, 1
+	dec rcx
+	jne %s_loop`, crtModulus<<5, label, label, label, label)
+}
+
+// CRTSign returns the sign-then-verify case study: the folded message
+// is signed under the toy RSA permutation (s = m^d mod n), the
+// signature is verified by re-encryption (s^e mod n must recover m —
+// the classic countermeasure against Bellcore-style fault attacks on
+// CRT-RSA), and only then compared against the authorized message's
+// signature. A failed self-check exits through the detected path, like
+// an injected fault handler.
+func CRTSign() *Case {
+	good := []byte("SIGN-ME!")
+	bad := []byte("FORGED!!")
+	// The fold is 5 bits; make sure the fixtures do not collide (they do
+	// not — checked here so a fixture edit cannot silently break the
+	// oracle).
+	for _, cand := range [][]byte{bad, []byte("FORGERY!"), []byte("F0RGED!!")} {
+		if crtFold(cand) != crtFold(good) {
+			bad = cand
+			break
+		}
+	}
+	if crtFold(bad) == crtFold(good) {
+		panic("cases: crtsign fixtures fold to the same residue")
+	}
+	expectedSig := SignMessage(good)
+	sign := fnvLoop(0xcbf29ce484222325, "msg_buf", 8, "fold_loop") + fmt.Sprintf(`
+	and rax, 31
+	inc rax                    ; m in [1, 32]
+	mov r8, rax                ; m
+	mov rbx, rax               ; s = m^7 mod n: square-and-multiply
+%s
+	mov rbx, r8
+%s
+	mov rbx, rax
+%s
+	mov rbx, r8
+%s
+	mov r9, rax                ; s
+	mov rbx, rax               ; verify: s^3 mod n must recover m
+%s
+	mov rbx, r9
+%s`,
+		crtModMul("sq1"), // m^2
+		crtModMul("mu1"), // m^3
+		crtModMul("sq2"), // m^6
+		crtModMul("mu2"), // m^7 = s
+		crtModMul("vsq"), // s^2
+		crtModMul("vmu")) // s^3
+	src := fmt.Sprintf(`
+; crtsign — toy RSA sign-then-verify (verify-before-release).
+.text
+.global _start
+_start:
+	mov rax, 0                 ; read(0, msg_buf, 8)
+	mov rdi, 0
+	lea rsi, [rip+msg_buf]
+	mov rdx, 8
+	syscall
+	cmp rax, 8                 ; short message -> refuse
+	jne reject
+%s
+	cmp rax, r8                ; self-check: re-encryption must recover m
+	jne sigfault
+	cmp r9, [rip+expected_sig] ; authorization: signature of the approved message
+	jne reject
+release:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_ok]
+	mov rdx, msg_ok_len
+	syscall
+	mov rax, 1                 ; the sensitive operation: release the signature
+	mov rdi, 1
+	lea rsi, [rip+msg_sig]
+	mov rdx, msg_sig_len
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+reject:
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg_no]
+	mov rdx, msg_no_len
+	syscall
+	mov rax, 60
+	mov rdi, 1
+	syscall
+sigfault:
+	mov rax, 1                 ; self-check failed: refuse to release
+	mov rdi, 2
+	lea rsi, [rip+msg_fault]
+	mov rdx, msg_fault_len
+	syscall
+	mov rax, 60
+	mov rdi, 42
+	syscall
+.rodata
+expected_sig: .quad %d
+msg_ok:    .ascii "SIGNED\n"
+.equ msg_ok_len, . - msg_ok
+msg_sig:   .ascii "releasing signature\n"
+.equ msg_sig_len, . - msg_sig
+msg_no:    .ascii "REJECTED\n"
+.equ msg_no_len, . - msg_no
+msg_fault: .ascii "SIGN FAULT\n"
+.equ msg_fault_len, . - msg_fault
+.bss
+msg_buf: .zero 8
+`, sign, int64(expectedSig))
+	return &Case{
+		Name:       "crtsign",
+		Source:     src,
+		Good:       good,
+		Bad:        bad,
+		GoodStdout: "SIGNED\nreleasing signature\n",
+		BadStdout:  "REJECTED\n",
+		GoodExit:   0,
+		BadExit:    1,
+	}
+}

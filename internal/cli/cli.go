@@ -99,6 +99,32 @@ func Campaign() (*flag.FlagSet, *CampaignFlags) {
 	return fs, f
 }
 
+// CorpusFlags are the `r2r corpus` flags.
+type CorpusFlags struct {
+	Cases, Model, CacheDir     string
+	Order, MaxPairs, MaxFaults int
+	Workers                    int
+	Dedup                      bool
+	JSON, CSV, Quiet           bool
+}
+
+// Corpus builds the `r2r corpus` flag set.
+func Corpus() (*flag.FlagSet, *CorpusFlags) {
+	fs, f := newFS("corpus"), &CorpusFlags{}
+	fs.StringVar(&f.Cases, "cases", "all", "comma-separated case studies from the registered catalog, or all")
+	fs.StringVar(&f.Model, "model", "both", modelHelp)
+	fs.IntVar(&f.Order, "order", 2, "maximum fault order: 1 = single-fault sweeps only, 2 = add the fault-pair stage per case (the order-1 sweep is shared through the store)")
+	fs.IntVar(&f.MaxPairs, "max-pairs", 0, "order-2 pair budget per case (default 4096)")
+	fs.IntVar(&f.MaxFaults, "max-faults", 0, "cap injections per campaign (0 = unlimited; the CI smoke budget)")
+	fs.IntVar(&f.Workers, "workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
+	fs.BoolVar(&f.Dedup, "dedup", true, "fault each static site once instead of every dynamic occurrence (corpus-scale default; -dedup=false is the paper's exhaustive mode)")
+	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirHelp)
+	fs.BoolVar(&f.JSON, "json", false, "emit JSON summaries (per case plus the corpus aggregate) on stdout")
+	fs.BoolVar(&f.CSV, "csv", false, "emit CSV summaries on stdout")
+	fs.BoolVar(&f.Quiet, "q", false, "suppress the stderr progress meter")
+	return fs, f
+}
+
 // PatchFlags are the `r2r patch` flags.
 type PatchFlags struct {
 	Good, Bad, Model, Out string
@@ -169,7 +195,7 @@ type ExperimentsFlags struct {
 // Experiments builds the `r2r experiments` flag set.
 func Experiments() (*flag.FlagSet, *ExperimentsFlags) {
 	fs, f := newFS("experiments"), &ExperimentsFlags{}
-	fs.StringVar(&f.Only, "only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond, beyond2")
+	fs.StringVar(&f.Only, "only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond, beyond2, corpus")
 	return fs, f
 }
 
@@ -199,6 +225,7 @@ func Specs() []Spec {
 		{"lift", 1, 1, noFlags("lift")},
 		{"faults", 1, 1, func() *flag.FlagSet { fs, _ := Faults(); return fs }},
 		{"campaign", 1, -1, func() *flag.FlagSet { fs, _ := Campaign(); return fs }},
+		{"corpus", 0, 0, func() *flag.FlagSet { fs, _ := Corpus(); return fs }},
 		{"patch", 1, 1, func() *flag.FlagSet { fs, _ := Patch(); return fs }},
 		{"hybrid", 1, 1, func() *flag.FlagSet { fs, _ := Hybrid(); return fs }},
 		{"cases", 0, 0, func() *flag.FlagSet { fs, _ := Cases(); return fs }},

@@ -21,8 +21,22 @@ const (
 )
 
 // maxIOChunk bounds a single read/write so a fault-corrupted length
-// cannot make the emulator allocate gigabytes.
+// cannot make the emulator allocate gigabytes. It plays the role of the
+// kernel's MAX_RW_COUNT: like Linux, oversized counts are clamped to it
+// and the syscall returns a partial transfer, rather than failing — so
+// a fault that corrupts a length register degrades the way the real ABI
+// would instead of taking an emulator-only -EFAULT exit.
 const maxIOChunk = 1 << 20
+
+// ioCount resolves a syscall's raw count register against the chunk
+// bound: counts above maxIOChunk (including values whose sign bit is
+// set, which a size_t-taking kernel treats as huge) clamp to it.
+func ioCount(raw uint64) int {
+	if raw > maxIOChunk {
+		return maxIOChunk
+	}
+	return int(raw)
+}
 
 // syscall implements the Linux syscall ABI subset. Like real hardware,
 // it clobbers RCX (return RIP) and R11 (RFLAGS).
@@ -43,11 +57,7 @@ func (m *Machine) syscall(next uint64) error {
 			ret(-errnoBADF)
 			return nil
 		}
-		n := int(a2)
-		if n < 0 || n > maxIOChunk {
-			ret(-errnoFAULT)
-			return nil
-		}
+		n := ioCount(a2)
 		remain := len(m.Stdin) - m.inPos
 		if n > remain {
 			n = remain
@@ -67,11 +77,7 @@ func (m *Machine) syscall(next uint64) error {
 			ret(-errnoBADF)
 			return nil
 		}
-		n := int(a2)
-		if n < 0 || n > maxIOChunk {
-			ret(-errnoFAULT)
-			return nil
-		}
+		n := ioCount(a2)
 		buf := make([]byte, n)
 		if err := m.Mem.Read(a1, buf); err != nil {
 			ret(-errnoFAULT)

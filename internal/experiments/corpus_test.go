@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/campaign"
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+func TestTableCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both pipelines plus order-1/2 campaigns across the whole corpus; run without -short")
+	}
+	tab, data, err := TableCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+
+	nCases := len(cases.Names())
+	wantRows := 3*nCases + 3 // one row per (case, pipeline) + 3 totals
+	if len(data) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(data), wantRows)
+	}
+
+	perCase := map[string]map[string]CorpusData{}
+	totals := map[string]CorpusData{}
+	for _, d := range data {
+		if d.Case == "corpus" {
+			totals[d.Pipeline] = d
+			continue
+		}
+		if perCase[d.Case] == nil {
+			perCase[d.Case] = map[string]CorpusData{}
+		}
+		perCase[d.Case][d.Pipeline] = d
+	}
+	if len(perCase) != nCases {
+		t.Fatalf("cases covered = %d, want %d", len(perCase), nCases)
+	}
+
+	for name, rows := range perCase {
+		base, fp, hy := rows["original"], rows["faulter+patcher"], rows["hybrid"]
+		if base.Injections == 0 {
+			t.Errorf("%s: empty baseline sweep", name)
+		}
+		if base.Success == 0 {
+			t.Errorf("%s: baseline shows no vulnerabilities — the case is not a case study", name)
+		}
+		// Hardening must not create new order-1 vulnerabilities, and must
+		// detect some faults the baseline could not.
+		for _, d := range []CorpusData{fp, hy} {
+			if d.Success > base.Success {
+				t.Errorf("%s/%s: hardened successes %d exceed baseline %d",
+					name, d.Pipeline, d.Success, base.Success)
+			}
+			if d.Detected == 0 {
+				t.Errorf("%s/%s: hardening detected nothing", name, d.Pipeline)
+			}
+			if d.OverheadPct <= 0 {
+				t.Errorf("%s/%s: non-positive overhead %.1f%%", name, d.Pipeline, d.OverheadPct)
+			}
+		}
+	}
+
+	// The corpus-wide headline: both pipelines strictly cut the total
+	// successful-fault count, and survival improves.
+	base := totals["original"]
+	for _, p := range []string{"faulter+patcher", "hybrid"} {
+		tot := totals[p]
+		if tot.Success >= base.Success {
+			t.Errorf("corpus/%s: successes %d not below baseline %d", p, tot.Success, base.Success)
+		}
+		if tot.SurvivalPct <= base.SurvivalPct {
+			t.Errorf("corpus/%s: survival %.2f%% not above baseline %.2f%%",
+				p, tot.SurvivalPct, base.SurvivalPct)
+		}
+	}
+}
+
+// TestTableCorpusWorkerInvariance: the corpus table renders
+// bit-identically regardless of worker count — the acceptance guarantee
+// that the batched runner inherits the engine's determinism.
+func TestTableCorpusWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the corpus sweep twice; run without -short")
+	}
+	render := func(workers int) string {
+		t.Helper()
+		// A private store per run: shared state between the two sweeps
+		// would let a replay mask a real worker-count dependence.
+		st, err := campaign.NewStore("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, _, err := tableCorpus(campaign.Options{
+			Workers: workers, MaxPairs: corpusMaxPairs, Store: st,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("corpus table differs between 1 and 8 workers:\n%s\n---\n%s", serial, parallel)
+	}
+}
