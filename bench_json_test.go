@@ -19,6 +19,7 @@ var (
 	benchJSON       = flag.String("benchjson", "", "write campaign benchmark results as JSON to this file")
 	benchJSONPatch  = flag.String("benchjson-patch", "", "write patch/order-2 benchmark results as JSON to this file")
 	benchJSONCorpus = flag.String("benchjson-corpus", "", "write corpus-runner benchmark results as JSON to this file")
+	benchJSONPrune  = flag.String("benchjson-prune", "", "write equivalence-pruning benchmark results as JSON to this file")
 )
 
 // BenchRecord is one benchmark's machine-readable result.
@@ -110,5 +111,22 @@ func TestWriteBenchPatchJSON(t *testing.T) {
 		{"PatchOrder2FixedPoint", BenchmarkPatchOrder2FixedPoint},
 		{"Order2PairSweep", BenchmarkOrder2PairSweep},
 		{"Order2PairSweepPerPair", BenchmarkOrder2PairSweepPerPair},
+	})
+}
+
+// TestWriteBenchPruneJSON exports the equivalence-pruning benchmarks as
+// BENCH_prune.json: the pruned order-2 pair sweep next to the
+// exhaustive baseline it must beat, the hardened-binary sweep where
+// inheritance dominates, and the order-3 triple throughput the pruner
+// unlocks. No-op unless -benchjson-prune is set.
+func TestWriteBenchPruneJSON(t *testing.T) {
+	if *benchJSONPrune == "" {
+		t.Skip("enable with -benchjson-prune PATH")
+	}
+	writeBenchJSON(t, *benchJSONPrune, []namedBench{
+		{"Order2PairSweep", BenchmarkOrder2PairSweep},
+		{"Order2PairSweepPruned", BenchmarkOrder2PairSweepPruned},
+		{"Order2PairSweepPrunedHardened", BenchmarkOrder2PairSweepPrunedHardened},
+		{"Order3TripleSweep", BenchmarkOrder3TripleSweep},
 	})
 }

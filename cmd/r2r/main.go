@@ -129,12 +129,15 @@ commands:
   faults -good G -bad B [-model MODELS] BIN
                                  run a fault-injection campaign
   campaign -good G -bad B [-model MODELS] [-order 1|2] [-max-pairs N]
-           [-workers N] [-shard i/n] [-json|-csv] [-q] BIN [BIN...]
+           [-workers N] [-shard i/n] [-prune] [-json|-csv] [-q] BIN [BIN...]
                                  batch campaigns on the parallel engine
                                  with sharding and JSON/CSV export;
-                                 -order 2 adds multi-fault pairs
+                                 -order 2 adds multi-fault pairs; -prune
+                                 classifies equivalent injections without
+                                 simulating them (bit-identical results)
   corpus [-cases LIST] [-model MODELS] [-order 1|2] [-max-pairs N]
-         [-max-faults N] [-workers N] [-cache-dir DIR] [-json|-csv] [-q]
+         [-max-faults N] [-workers N] [-cache-dir DIR] [-prune]
+         [-json|-csv] [-q]
                                  sweep the registered case-study corpus
                                  as one batched, cache-sharing run with
                                  per-case and aggregate survival reports
@@ -429,7 +432,7 @@ func cmdCampaign(args []string, out io.Writer) error {
 	}
 
 	opt := campaign.Options{Workers: f.Workers, Shard: shard, MaxPairs: f.MaxPairs, Store: store,
-		Progress: progressMeter(f.Quiet)}
+		Prune: f.Prune, Progress: progressMeter(f.Quiet)}
 
 	var sums []campaign.Summary
 	if f.Order == 2 {
@@ -439,25 +442,29 @@ func cmdCampaign(args []string, out io.Writer) error {
 			start := time.Now()
 			var rep *campaign.Order2Report
 			var cache campaign.CacheStats
+			var prune *fault.PruneStats
 			if store != nil {
 				res, err := campaign.RunOrder2Incremental(job.Campaign, opt, nil)
 				if err != nil {
 					return fmt.Errorf("%s: %w", job.Name, err)
 				}
-				rep, cache = res.Report, res.Cache
+				rep, cache, prune = res.Report, res.Cache, res.Prune
 			} else {
-				// No cache requested: RunOrder2 keeps the plain
-				// simulation hot path (no footprint recording).
-				var err error
-				if rep, err = campaign.RunOrder2(job.Campaign, opt); err != nil {
+				// No cache requested: RunOrder2Result keeps the plain
+				// simulation hot path (no footprint recording) while
+				// still surfacing the prune accounting.
+				res, err := campaign.RunOrder2Result(job.Campaign, opt)
+				if err != nil {
 					return fmt.Errorf("%s: %w", job.Name, err)
 				}
+				rep, prune = res.Report, res.Prune
 			}
 			sum := campaign.SummarizeOrder2(job.Name, rep)
 			sum.ElapsedMS = time.Since(start).Milliseconds()
 			if store != nil {
 				sum.Cache = &cache
 			}
+			sum.Prune = prune
 			sums = append(sums, sum)
 		}
 	} else {
@@ -472,6 +479,7 @@ func cmdCampaign(args []string, out io.Writer) error {
 				cache := r.Cache
 				sum.Cache = &cache
 			}
+			sum.Prune = r.Prune
 			sums = append(sums, sum)
 		}
 	}
@@ -531,7 +539,7 @@ func cmdCorpus(args []string, out io.Writer) error {
 	}
 	opt := campaign.CorpusOptions{
 		Options: campaign.Options{Workers: f.Workers, MaxPairs: f.MaxPairs, Store: store,
-			Progress: progressMeter(f.Quiet)},
+			Prune: f.Prune, Progress: progressMeter(f.Quiet)},
 		Orders: orders,
 	}
 	res, err := campaign.RunCorpus(jobs, opt)
@@ -718,6 +726,7 @@ func cmdExperiments(args []string) error {
 		{"figures", func() (*report.Table, error) { t, _, err := experiments.Figures(); return t, err }},
 		{"beyond", func() (*report.Table, error) { t, _, err := experiments.TableBeyond(); return t, err }},
 		{"beyond2", func() (*report.Table, error) { t, _, err := experiments.TableBeyond2(); return t, err }},
+		{"beyond3", func() (*report.Table, error) { t, _, err := experiments.TableBeyond3(); return t, err }},
 		{"corpus", func() (*report.Table, error) { t, _, err := experiments.TableCorpus(); return t, err }},
 	}
 	ran := 0

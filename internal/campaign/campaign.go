@@ -110,6 +110,20 @@ type Options struct {
 	// 0 = fault.DefaultMaxPairs).
 	MaxPairs int
 
+	// MaxTriples caps order-3 triple enumeration (RunOrder3 only;
+	// 0 = fault.DefaultMaxTriples).
+	MaxTriples int
+
+	// Prune routes execution through the fault-equivalence pruning pass
+	// (fault.Pruner / fault.PairPruner): statically classifiable faults
+	// and state-equivalent pair forks are answered without simulation.
+	// Like Workers and Store, pruning never changes results — reports
+	// stay bit-identical, test-enforced by the differential harness in
+	// prunediff_test.go — so it is not part of the plan key. It does
+	// change the execution accounting, reported as PruneStats.
+	// RunOrder3 always prunes; order 3 is infeasible without it.
+	Prune bool
+
 	// Progress, when non-nil, receives serialized updates as
 	// injections complete: Done is monotonically non-decreasing and the
 	// last call of a job has Done == Total. Called from the executing
@@ -148,6 +162,7 @@ type RunResult struct {
 	Tally  fault.Tally
 	Memo   *Memo
 	Cache  CacheStats
+	Prune  *fault.PruneStats // pruning accounting; nil unless Options.Prune
 }
 
 // RunIncremental executes one campaign through the planner → store →
@@ -173,7 +188,7 @@ func runInc(name string, jobIndex, jobs int, c fault.Campaign, opt Options, prev
 	if err != nil {
 		return nil, err
 	}
-	e := &executor{s: s, store: opt.Store}
+	e := &executor{s: s, store: opt.Store, prune: opt.Prune}
 	progress := progressFunc(opt, name, jobIndex, jobs)
 	injections, tally, memo, stats, err := e.solo(c, shard, opt.Workers, prev, wantMemo, progress)
 	if err != nil {
@@ -184,6 +199,7 @@ func runInc(name string, jobIndex, jobs int, c fault.Campaign, opt Options, prev
 		Tally:  tally,
 		Memo:   memo,
 		Cache:  stats,
+		Prune:  e.pruneStats(),
 	}, nil
 }
 
@@ -224,7 +240,8 @@ type Result struct {
 	Report  *fault.Report // nil when Err is set
 	Tally   fault.Tally
 	Elapsed time.Duration
-	Cache   CacheStats // store/memo accounting (hit/miss counters zero without Options.Store)
+	Cache   CacheStats        // store/memo accounting (hit/miss counters zero without Options.Store)
+	Prune   *fault.PruneStats // pruning accounting; nil unless Options.Prune
 	Err     error
 }
 
@@ -242,6 +259,7 @@ func RunAll(jobs []Job, opt Options) []Result {
 			out[i].Report = res.Report
 			out[i].Tally = res.Tally
 			out[i].Cache = res.Cache
+			out[i].Prune = res.Prune
 		}
 	}
 	return out
@@ -304,6 +322,15 @@ type Order2Result struct {
 	Report *Order2Report
 	Memo   *Memo // solo-sweep memo, reusable by the next incremental run
 	Cache  CacheStats
+	Prune  *fault.PruneStats // pruning accounting; nil unless Options.Prune
+}
+
+// RunOrder2Result is RunOrder2 returning the full result — cache and
+// pruning accounting included — without the incremental memo
+// machinery. The CLI surfaces these stats; the report itself is
+// bit-identical to RunOrder2's.
+func RunOrder2Result(c fault.Campaign, opt Options) (*Order2Result, error) {
+	return runOrder2Inc("", 0, 1, c, opt, nil, false)
 }
 
 // RunOrder2Incremental is RunOrder2 through the planner → store →
@@ -337,7 +364,7 @@ func runOrder2Inc(name string, jobIndex, jobs int, c fault.Campaign, opt Options
 	if err != nil {
 		return nil, err
 	}
-	e := &executor{s: s, store: opt.Store}
+	e := &executor{s: s, store: opt.Store, prune: opt.Prune}
 	solo, _, memo, stats, err := e.solo(c, Shard{}, opt.Workers, prev, wantMemo, soloProgress)
 	if err != nil {
 		return nil, err
@@ -356,6 +383,7 @@ func runOrder2Inc(name string, jobIndex, jobs int, c fault.Campaign, opt Options
 		},
 		Memo:  memo,
 		Cache: stats,
+		Prune: e.pruneStats(),
 	}, nil
 }
 

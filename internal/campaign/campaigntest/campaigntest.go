@@ -1,0 +1,72 @@
+// Package campaigntest holds the shared helpers behind the campaign
+// package's differential soundness harness (prunediff_test.go) and any
+// other test that needs catalog-backed campaigns plus bit-identity
+// assertions. It lives in its own package so experiment and CLI tests
+// can reuse the same assertions without import cycles.
+package campaigntest
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/campaign"
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// StepLimit is the reference-run budget the harness uses — the same
+// bound the CLI and the experiments suite run the catalog under.
+const StepLimit = 32 << 20
+
+// CaseCampaign builds a fault campaign over one catalog case study.
+// maxFaults caps enumeration (0 = unlimited) so the full differential
+// matrix stays affordable.
+func CaseCampaign(tb testing.TB, name string, models []fault.Model, maxFaults int) fault.Campaign {
+	tb.Helper()
+	c, err := cases.Get(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fault.Campaign{
+		Binary:    c.MustBuild(),
+		Good:      c.Good,
+		Bad:       c.Bad,
+		Models:    models,
+		StepLimit: StepLimit,
+		MaxFaults: maxFaults,
+	}
+}
+
+// AssertReportsEqual fails unless two order-1 reports are bit-identical
+// in everything the campaign's results consist of: oracles and the full
+// injection list (faults and outcomes, in order).
+func AssertReportsEqual(tb testing.TB, label string, want, got *fault.Report) {
+	tb.Helper()
+	if want.GoodOracle != got.GoodOracle || want.BadOracle != got.BadOracle {
+		tb.Fatalf("%s: oracles differ: (%v,%v) vs (%v,%v)",
+			label, want.GoodOracle, want.BadOracle, got.GoodOracle, got.BadOracle)
+	}
+	if len(want.Injections) != len(got.Injections) {
+		tb.Fatalf("%s: %d injections vs %d", label, len(want.Injections), len(got.Injections))
+	}
+	for i := range want.Injections {
+		if want.Injections[i] != got.Injections[i] {
+			tb.Fatalf("%s: injection %d differs: %+v vs %+v",
+				label, i, want.Injections[i], got.Injections[i])
+		}
+	}
+}
+
+// AssertOrder2Equal fails unless two order-2 reports are bit-identical:
+// the solo stage, the pair list (pairs and outcomes, in order), and the
+// engine tally.
+func AssertOrder2Equal(tb testing.TB, label string, want, got *campaign.Order2Report) {
+	tb.Helper()
+	AssertReportsEqual(tb, label+" solo", want.Solo, got.Solo)
+	if !reflect.DeepEqual(want.Pairs, got.Pairs) {
+		tb.Fatalf("%s: pair stages differ (%d vs %d pairs)", label, len(want.Pairs), len(got.Pairs))
+	}
+	if want.PairTally != got.PairTally {
+		tb.Fatalf("%s: pair tallies differ: %v vs %v", label, want.PairTally, got.PairTally)
+	}
+}

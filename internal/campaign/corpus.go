@@ -59,7 +59,8 @@ type CorpusCaseResult struct {
 	Summary Summary       // export-ready digest (Name is "case/oN")
 	Elapsed time.Duration
 	Cache   CacheStats
-	Err     error // the cell failed; other cells continue
+	Prune   *fault.PruneStats // pruning accounting; nil unless Options.Prune
+	Err     error             // the cell failed; other cells continue
 }
 
 // CorpusResult is the outcome of a corpus run.
@@ -111,6 +112,7 @@ func RunCorpus(jobs []CorpusJob, opt CorpusOptions) (*CorpusResult, error) {
 				memos[job.Case] = r.Memo
 				out.Report = r.Report
 				out.Cache = r.Cache
+				out.Prune = r.Prune
 				out.Summary = Summarize(name, r.Report)
 			case 2:
 				r, err := runOrder2Inc(name, cell, cells, job.Campaign, opt.Options, memos[job.Case], true)
@@ -122,12 +124,17 @@ func RunCorpus(jobs []CorpusJob, opt CorpusOptions) (*CorpusResult, error) {
 				out.Report = r.Report.Solo
 				out.Order2 = r.Report
 				out.Cache = r.Cache
+				out.Prune = r.Prune
 				out.Summary = SummarizeOrder2(name, r.Report)
 			}
 			out.Elapsed = time.Since(start)
 			if out.Err == nil {
 				cache := out.Cache
 				out.Summary.Cache = &cache
+				if out.Prune != nil {
+					prune := *out.Prune
+					out.Summary.Prune = &prune
+				}
 				out.Summary.ElapsedMS = out.Elapsed.Milliseconds()
 				res.Cache.Add(out.Cache)
 			}
@@ -161,7 +168,8 @@ func (r *CorpusResult) Aggregate() Summary {
 	agg := Summary{Name: "corpus"}
 	models := map[fault.Model]bool{}
 	var o2 Order2Summary
-	hasO2 := false
+	var prune fault.PruneStats
+	hasO2, hasPrune := false, false
 	for _, c := range r.Results {
 		if c.Err != nil {
 			continue
@@ -187,10 +195,17 @@ func (r *CorpusResult) Aggregate() Summary {
 			o2.Crash += s.Order2.Crash
 			o2.Ignored += s.Order2.Ignored
 		}
+		if s.Prune != nil {
+			hasPrune = true
+			prune.Add(*s.Prune)
+		}
 		agg.ElapsedMS += s.ElapsedMS
 	}
 	if hasO2 {
 		agg.Order2 = &o2
+	}
+	if hasPrune {
+		agg.Prune = &prune
 	}
 	cache := r.Cache
 	agg.Cache = &cache

@@ -143,9 +143,45 @@ func (m *Memo) lookup(f fault.Fault, changed map[uint64]bool, limit uint64) (Rec
 }
 
 // executor runs one plan on a session, consulting the store and a memo.
+// With prune set, simulation routes through the fault-equivalence
+// pruning pass; the accumulated accounting lands in stats. The stage
+// methods (solo, pairs, triples) are called sequentially by one
+// goroutine — the pruners they build handle the intra-stage
+// concurrency — so stats and pairPruner need no locking here.
 type executor struct {
 	s     *fault.Session
 	store *Store
+	prune bool
+
+	stats      fault.PruneStats
+	pairPruner *fault.PairPruner // built by pairs(), reused by triples()
+}
+
+// pruneStats returns the accumulated pruning accounting, or nil when
+// pruning was off (so exports omit the block entirely). The pair
+// pruner's share is read live rather than accumulated into stats: the
+// pair and triple stages deliberately share one pruner, and snapshotting
+// it once here keeps their joint accounting from double-counting.
+func (e *executor) pruneStats() *fault.PruneStats {
+	if !e.prune {
+		return nil
+	}
+	st := e.stats
+	if e.pairPruner != nil {
+		st.Add(e.pairPruner.Stats())
+	}
+	return &st
+}
+
+// soloSim returns the order-1 simulation functions for this run:
+// pruned or plain. flush adds the pruner's accounting to the
+// executor's after the sweep (no-op when unpruned).
+func (e *executor) soloSim() (sim func(fault.Fault) fault.Outcome, rec func(fault.Fault) fault.SimRecord, flush func()) {
+	if !e.prune {
+		return e.s.Simulate, e.s.SimulateRecord, func() {}
+	}
+	pr := e.s.NewPruner()
+	return pr.Simulate, pr.SimulateRecord, func() { e.stats.Add(pr.Stats()) }
 }
 
 // shardSelect adapts the engine's single round-robin decomposition
@@ -165,7 +201,9 @@ func shardSelect[T any](items []T, shard Shard) []T {
 // with no footprint recording or image copying.
 func (e *executor) solo(c fault.Campaign, shard Shard, workers int, prev *Memo, wantMemo bool, progress func(done, total int)) ([]fault.Injection, fault.Tally, *Memo, CacheStats, error) {
 	if e.store == nil && prev == nil && !wantMemo {
-		injections, tally := e.s.ExecuteShardSim(shard.Index, shard.Count, workers, e.s.Simulate, progress)
+		sim, _, flush := e.soloSim()
+		injections, tally := e.s.ExecuteShardSim(shard.Index, shard.Count, workers, sim, progress)
+		flush()
 		return injections, tally, nil, CacheStats{Resimulated: len(injections)}, nil
 	}
 
@@ -216,6 +254,7 @@ func (e *executor) solo(c fault.Campaign, shard Shard, workers int, prev *Memo, 
 	}
 	records := make([]Record, len(sel))
 	var reused, resim atomic.Int64
+	_, simRecord, flush := e.soloSim()
 	sim := func(f fault.Fault) fault.Outcome {
 		i := pos[f]
 		if useMemo {
@@ -225,12 +264,13 @@ func (e *executor) solo(c fault.Campaign, shard Shard, workers int, prev *Memo, 
 				return rec.Outcome
 			}
 		}
-		sr := e.s.SimulateRecord(f)
+		sr := simRecord(f)
 		records[i] = Record{Outcome: sr.Outcome, Steps: sr.Steps, LimitHit: sr.LimitHit, Pages: sr.Pages}
 		resim.Add(1)
 		return sr.Outcome
 	}
 	injections, tally := e.s.ExecuteShardSim(shard.Index, shard.Count, workers, sim, progress)
+	flush()
 
 	stats := CacheStats{Reused: int(reused.Load()), Resimulated: int(resim.Load())}
 	if e.store != nil {
@@ -295,7 +335,7 @@ func (e *executor) pairs(c fault.Campaign, shard Shard, workers, maxPairs int, s
 	if e.store == nil {
 		// No cache: skip the plan/pair digests entirely — the plain
 		// simulation hot path, like solo()'s.
-		injections, tally := e.s.ExecutePairShard(pairs, shard.Index, shard.Count, workers, progress)
+		injections, tally := e.executePairShard(pairs, shard, workers, solo, progress)
 		return injections, tally, CacheStats{}, nil
 	}
 
@@ -323,7 +363,7 @@ func (e *executor) pairs(c fault.Campaign, shard Shard, workers, maxPairs int, s
 		// Stale entry: fall through and re-simulate.
 	}
 
-	injections, tally := e.s.ExecutePairShard(pairs, shard.Index, shard.Count, workers, progress)
+	injections, tally := e.executePairShard(pairs, shard, workers, solo, progress)
 	stats := CacheStats{Misses: 1}
 	outcomes := make([]fault.Outcome, len(injections))
 	for i, pi := range injections {
@@ -337,4 +377,17 @@ func (e *executor) pairs(c fault.Campaign, shard Shard, workers, maxPairs int, s
 		stats.WriteErrors++
 	}
 	return injections, tally, stats, nil
+}
+
+// executePairShard runs the engine's pair sweep, pruned or plain. A
+// pruned run keeps its PairPruner on the executor so a following
+// order-3 stage shares the reference digests and equivalence classes
+// already discovered.
+func (e *executor) executePairShard(pairs []fault.FaultPair, shard Shard, workers int, solo []fault.Injection, progress func(done, total int)) ([]fault.PairInjection, fault.Tally) {
+	if !e.prune {
+		return e.s.ExecutePairShard(pairs, shard.Index, shard.Count, workers, progress)
+	}
+	pr := e.s.NewPairPruner(solo)
+	e.pairPruner = pr
+	return e.s.ExecutePairShardPruned(pairs, pr, shard.Index, shard.Count, workers, progress)
 }

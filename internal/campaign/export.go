@@ -62,6 +62,11 @@ type Summary struct {
 	// Cache reports how the run's work was answered by the
 	// content-addressed store (absent when no store was configured).
 	Cache *CacheStats `json:"cache,omitempty"`
+
+	// Prune reports how the run's injections were classified by the
+	// fault-equivalence pruning pass (absent when pruning was off).
+	// Execution accounting like Cache: pruning never changes results.
+	Prune *fault.PruneStats `json:"prune,omitempty"`
 }
 
 // Summarize digests a report for export.
@@ -140,13 +145,16 @@ func SummarizeOrder2(name string, rep *Order2Report) Summary {
 // columns, so no result is visible in one output format but not
 // another.
 func SummaryTable(sums []Summary) *report.Table {
-	order2, cached := false, false
+	order2, cached, pruned := false, false, false
 	for _, s := range sums {
 		if s.Order2 != nil {
 			order2 = true
 		}
 		if s.Cache != nil {
 			cached = true
+		}
+		if s.Prune != nil {
+			pruned = true
 		}
 	}
 	tab := &report.Table{
@@ -159,6 +167,9 @@ func SummaryTable(sums []Summary) *report.Table {
 	}
 	if cached {
 		tab.Header = append(tab.Header, "cache_hits", "cache_misses", "reused", "resimulated")
+	}
+	if pruned {
+		tab.Header = append(tab.Header, "prune_static", "prune_ref", "prune_class", "simulated")
 	}
 	for _, s := range sums {
 		row := []string{s.Name,
@@ -188,6 +199,16 @@ func SummaryTable(sums []Summary) *report.Table {
 				fmt.Sprintf("%d", s.Cache.Reused),
 				fmt.Sprintf("%d", s.Cache.Resimulated))
 		case cached:
+			row = append(row, "", "", "", "")
+		}
+		switch {
+		case s.Prune != nil:
+			row = append(row,
+				fmt.Sprintf("%d", s.Prune.StaticBudget+s.Prune.StaticDecode),
+				fmt.Sprintf("%d", s.Prune.RefEquiv),
+				fmt.Sprintf("%d", s.Prune.ClassEquiv),
+				fmt.Sprintf("%d", s.Prune.Simulated))
+		case pruned:
 			row = append(row, "", "", "", "")
 		}
 		tab.AddRow(row...)

@@ -1,0 +1,48 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseShard: any input either fails with an error or yields a
+// shard whose invariants hold — the empty spec is the whole campaign,
+// anything else has a count >= 1 and an index inside [0, count). The
+// canonical "i/n" rendering of a real decomposition must reparse to
+// the same shard. (Shard.String is NOT the round-trip form: it renders
+// the whole campaign as "1/1", which parses to index 1 of 1 shard and
+// correctly fails — the plan-key encoding is not the CLI syntax.)
+func FuzzParseShard(f *testing.F) {
+	for _, seed := range []string{"", "0/4", "3/4", " 1 / 2 ", "1/1", "0/1",
+		"4/4", "-1/3", "a/b", "1", "1/2/3", "0x1/2", "؆/2", "9999999999999999999/3"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sh, err := ParseShard(s)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(s) == "" {
+			if sh != (Shard{}) {
+				t.Fatalf("ParseShard(%q) = %+v, want the zero shard", s, sh)
+			}
+			return
+		}
+		if sh.Count < 1 {
+			t.Fatalf("ParseShard(%q) accepted count %d", s, sh.Count)
+		}
+		if sh.Index < 0 || sh.Index >= sh.Count {
+			t.Fatalf("ParseShard(%q) accepted index %d outside [0,%d)", s, sh.Index, sh.Count)
+		}
+		if _, err := sh.normalize(); err != nil {
+			t.Fatalf("ParseShard(%q) = %+v does not normalize: %v", s, sh, err)
+		}
+		if sh.Count > 1 {
+			again, err := ParseShard(fmt.Sprintf("%d/%d", sh.Index, sh.Count))
+			if err != nil || again != sh {
+				t.Fatalf("round-trip of %+v: %+v, %v", sh, again, err)
+			}
+		}
+	})
+}

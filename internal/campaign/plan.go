@@ -31,13 +31,15 @@ const planSchema = 2
 
 // Plan is a content-addressed campaign execution: the campaign itself
 // plus the execution parameters that change its results (shard, fault
-// order, pair budget — but not worker count, which the engine
-// guarantees is result-invariant).
+// order, pair budget — but not worker count or Options.Prune, which
+// the engine guarantees are result-invariant: pruned and exhaustive
+// executions of one plan share one key and one store entry, enforced
+// by the differential harness in prunediff_test.go).
 type Plan struct {
 	Campaign fault.Campaign
 	Shard    Shard
-	Order    int // 1 = solo faults, 2 = solo sweep + fault pairs
-	MaxPairs int // order-2 pair budget (0 = fault.DefaultMaxPairs)
+	Order    int // 1 = solo faults, 2 = + fault pairs, 3 = + fault triples
+	MaxPairs int // enumeration budget of the plan's top order (0 = the order's default)
 
 	// Key is the hex SHA-256 content address of everything above.
 	Key string
@@ -90,6 +92,17 @@ func digestPairs(pairs []fault.FaultPair) string {
 	for _, p := range pairs {
 		writeFault(h, p.First)
 		writeFault(h, p.Second)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// digestTriples content-addresses an enumerated triple list.
+func digestTriples(triples []fault.FaultTriple) string {
+	h := sha256.New()
+	for _, t := range triples {
+		writeFault(h, t.First)
+		writeFault(h, t.Second)
+		writeFault(h, t.Third)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,179 @@
+// Order-3 campaign orchestration. The cubic triple space is only
+// tractable through the fault-equivalence pruning pass (fault.Pruner /
+// fault.PairPruner), so RunOrder3 always prunes — Options.Prune is
+// implied — and shares one PairPruner between its pair and triple
+// stages so the reference digests and equivalence classes discovered
+// at order 2 keep paying at order 3. Determinism guarantees match the
+// lower orders: the triple list is a pure function of the solo sweep,
+// and reports are bit-identical across worker counts, shard
+// decompositions, pruning, and store replay.
+package campaign
+
+import (
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// Order3Report is the outcome of an order-3 multi-fault campaign: the
+// complete order-1 and order-2 stages it was pruned from, plus the
+// simulated fault triples.
+type Order3Report struct {
+	Solo      *fault.Report
+	Pairs     []fault.PairInjection
+	PairTally fault.Tally
+
+	Triples     []fault.TripleInjection // simulated triples, in enumeration order
+	TripleTally fault.Tally
+}
+
+// TripleCount returns how many triples had the given outcome.
+func (r *Order3Report) TripleCount(o fault.Outcome) int {
+	n := 0
+	for _, t := range r.Triples {
+		if t.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// SuccessfulTriples returns the triples that constitute order-3
+// vulnerabilities.
+func (r *Order3Report) SuccessfulTriples() []fault.TripleInjection {
+	var out []fault.TripleInjection
+	for _, t := range r.Triples {
+		if t.Outcome == fault.OutcomeSuccess {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Order2 views the report's lower orders as an Order2Report.
+func (r *Order3Report) Order2() *Order2Report {
+	return &Order2Report{Solo: r.Solo, Pairs: r.Pairs, PairTally: r.PairTally}
+}
+
+// Order3Result is the full outcome of an order-3 run.
+type Order3Result struct {
+	Report *Order3Report
+	Cache  CacheStats
+	Prune  *fault.PruneStats
+}
+
+// RunOrder3 executes a budget-capped order-3 multi-fault campaign:
+// the complete order-1 sweep, the order-2 pair stage (opt.MaxPairs),
+// then the deterministically enumerated triple list (see
+// fault.EnumerateTriples, opt.MaxTriples) on the pruned first-fault
+// snapshot tree. opt.Shard applies to the triple list only — the lower
+// stages run unsharded, since triple pruning wants every solo and pair
+// outcome. Pruning is always on. With Options.Store, each stage is
+// answered from its own plan key when possible.
+func RunOrder3(c fault.Campaign, opt Options) (*Order3Result, error) {
+	opt.Prune = true
+	soloProgress := progressFunc(opt, "order-1", 0, 3)
+	pairProgress := progressFunc(opt, "order-2", 1, 3)
+	tripleProgress := progressFunc(opt, "order-3", 2, 3)
+	shard, err := opt.Shard.normalize()
+	if err != nil {
+		return nil, err
+	}
+	s, err := fault.NewSession(c)
+	if err != nil {
+		return nil, err
+	}
+	e := &executor{s: s, store: opt.Store, prune: true}
+	solo, _, _, stats, err := e.solo(c, Shard{}, opt.Workers, nil, false, soloProgress)
+	if err != nil {
+		return nil, err
+	}
+	pairInj, pairTally, pairStats, err := e.pairs(c, Shard{}, opt.Workers, opt.MaxPairs, solo, pairProgress)
+	if err != nil {
+		return nil, err
+	}
+	stats.Add(pairStats)
+	tripleInj, tripleTally, tripleStats, err := e.triples(c, shard, opt.Workers, opt.MaxTriples, solo, pairInj, tripleProgress)
+	if err != nil {
+		return nil, err
+	}
+	stats.Add(tripleStats)
+	return &Order3Result{
+		Report: &Order3Report{
+			Solo:        s.Report(solo),
+			Pairs:       pairInj,
+			PairTally:   pairTally,
+			Triples:     tripleInj,
+			TripleTally: tripleTally,
+		},
+		Cache: stats,
+		Prune: e.pruneStats(),
+	}, nil
+}
+
+// triples executes the order-3 stage of a plan over the completed
+// lower stages. Store reuse is exact-key only, like pairs(): triple
+// runs fork mid-trace faulted machines, so no per-triple footprint is
+// recorded. The plan's budget slot carries maxTriples — sound because
+// the triple list derives from the solo sweep alone, independent of
+// the pair budget.
+func (e *executor) triples(c fault.Campaign, shard Shard, workers, maxTriples int, solo []fault.Injection, pairs []fault.PairInjection, progress func(done, total int)) ([]fault.TripleInjection, fault.Tally, CacheStats, error) {
+	if maxTriples <= 0 {
+		maxTriples = fault.DefaultMaxTriples
+	}
+	triples := fault.EnumerateTriples(solo, maxTriples)
+
+	pruner := func() *fault.PairPruner {
+		pr := e.pairPruner
+		if pr == nil {
+			// The pair stage was answered from the store (or skipped);
+			// build the pruner the triple tree needs here.
+			pr = e.s.NewPairPruner(solo)
+			e.pairPruner = pr
+		}
+		pr.SetPairOutcomes(pairs)
+		return pr
+	}
+
+	if e.store == nil {
+		injections, tally := e.s.ExecuteTripleShard(triples, pruner(), shard.Index, shard.Count, workers, progress)
+		return injections, tally, CacheStats{}, nil
+	}
+
+	plan := NewPlan(c, shard, 3, maxTriples)
+	td := digestTriples(triples)
+	sel := shardSelect(triples, shard)
+	good, bad := e.s.Oracles()
+	limit := e.s.InjectionLimit()
+
+	if entry, ok := e.store.Lookup(plan.Key); ok {
+		if entry.TriplesDigest == td && entry.GoodOracle == good && entry.BadOracle == bad &&
+			entry.Limit == limit && len(entry.TripleRecords) == len(sel) {
+			out := make([]fault.TripleInjection, len(sel))
+			var tally fault.Tally
+			for i, t := range sel {
+				o := entry.TripleRecords[i]
+				out[i] = fault.TripleInjection{Triple: t, Outcome: o}
+				tally[o]++
+			}
+			if progress != nil {
+				progress(len(sel), len(sel))
+			}
+			return out, tally, CacheStats{Hits: 1}, nil
+		}
+		// Stale entry: fall through and re-simulate.
+	}
+
+	injections, tally := e.s.ExecuteTripleShard(triples, pruner(), shard.Index, shard.Count, workers, progress)
+	stats := CacheStats{Misses: 1}
+	outcomes := make([]fault.Outcome, len(injections))
+	for i, ti := range injections {
+		outcomes[i] = ti.Outcome
+	}
+	if err := e.store.Save(&Entry{
+		Key: plan.Key, FaultsDigest: digestFaults(e.s.Faults()), TriplesDigest: td,
+		GoodOracle: good, BadOracle: bad, Limit: limit,
+		TripleRecords: outcomes,
+	}); err != nil {
+		stats.WriteErrors++
+	}
+	return injections, tally, stats, nil
+}

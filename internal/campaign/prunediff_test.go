@@ -1,0 +1,274 @@
+// The differential soundness harness for the fault-equivalence pruning
+// pass: every cell of the (catalog case × registered model × order)
+// matrix is executed exhaustively and pruned, and the reports must be
+// bit-identical — the contract that makes -prune safe to use anywhere.
+// The harness also pins the invariances the engine guarantees around
+// pruning: worker count, shard decomposition, and warm-store replay.
+//
+// External test package: the harness consumes campaigntest, which
+// imports campaign.
+package campaign_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/campaign"
+	"github.com/r2r/reinforce/internal/campaign/campaigntest"
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// Matrix budgets: wide enough that every reduction fires on real
+// catalog campaigns, small enough that the full matrix stays minutes,
+// not hours.
+const (
+	diffMaxFaults = 400
+	diffMaxPairs  = 256
+)
+
+// diffMatrix yields the harness's (case, models) cells: every catalog
+// case crossed with every registered model singly. Short mode keeps
+// the paper pair × two structurally distinct models as a smoke matrix;
+// the dedicated non-short CI job runs the whole thing.
+func diffMatrix(t *testing.T) (names []string, modelSets [][]fault.Model) {
+	t.Helper()
+	names = cases.Names()
+	if len(names) < 5 {
+		t.Fatalf("catalog has %d cases, want >= 5", len(names))
+	}
+	for _, m := range fault.RegisteredModels() {
+		modelSets = append(modelSets, []fault.Model{m})
+	}
+	if testing.Short() {
+		names = names[:2]
+		modelSets = [][]fault.Model{{fault.ModelSkip}, {fault.ModelBitFlip}}
+	}
+	return names, modelSets
+}
+
+// TestPruneDifferentialOrder1: pruned order-1 campaigns are
+// bit-identical to exhaustive ones across the whole matrix.
+func TestPruneDifferentialOrder1(t *testing.T) {
+	names, modelSets := diffMatrix(t)
+	for _, name := range names {
+		for _, models := range modelSets {
+			label := fmt.Sprintf("%s/%v", name, models)
+			c := campaigntest.CaseCampaign(t, name, models, diffMaxFaults)
+			plain, err := campaign.Run(c, campaign.Options{})
+			if err != nil {
+				t.Fatalf("%s: exhaustive: %v", label, err)
+			}
+			pruned, err := campaign.Run(c, campaign.Options{Prune: true})
+			if err != nil {
+				t.Fatalf("%s: pruned: %v", label, err)
+			}
+			campaigntest.AssertReportsEqual(t, label, plain, pruned)
+		}
+	}
+}
+
+// TestPruneDifferentialOrder2: pruned order-2 campaigns are
+// bit-identical to exhaustive ones across the whole matrix, and the
+// pruning accounting covers every pair.
+func TestPruneDifferentialOrder2(t *testing.T) {
+	names, modelSets := diffMatrix(t)
+	for _, name := range names {
+		for _, models := range modelSets {
+			label := fmt.Sprintf("%s/%v", name, models)
+			c := campaigntest.CaseCampaign(t, name, models, diffMaxFaults)
+			opt := campaign.Options{MaxPairs: diffMaxPairs}
+			plain, err := campaign.RunOrder2(c, opt)
+			if err != nil {
+				t.Fatalf("%s: exhaustive: %v", label, err)
+			}
+			opt.Prune = true
+			pruned, err := campaign.RunOrder2Result(c, opt)
+			if err != nil {
+				t.Fatalf("%s: pruned: %v", label, err)
+			}
+			campaigntest.AssertOrder2Equal(t, label, plain, pruned.Report)
+			if pruned.Prune == nil {
+				t.Fatalf("%s: pruned run reported no PruneStats", label)
+			}
+			want := len(plain.Solo.Injections) + len(plain.Pairs)
+			if got := pruned.Prune.Total(); got != want {
+				t.Fatalf("%s: prune stats cover %d of %d injections", label, got, want)
+			}
+		}
+	}
+}
+
+// TestPruneWorkerShardInvariance: one pruned campaign, many execution
+// shapes — 1 worker, 8 workers, and a 3-shard decomposition — all
+// bit-identical to the exhaustive unsharded run.
+func TestPruneWorkerShardInvariance(t *testing.T) {
+	c := campaigntest.CaseCampaign(t, "pincheck", fault.RegisteredModels(), diffMaxFaults)
+	baseOpt := campaign.Options{MaxPairs: diffMaxPairs}
+	plain, err := campaign.RunOrder2(c, baseOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		opt := baseOpt
+		opt.Prune = true
+		opt.Workers = workers
+		pruned, err := campaign.RunOrder2(c, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		campaigntest.AssertOrder2Equal(t, fmt.Sprintf("workers=%d", workers), plain, pruned)
+	}
+	const n = 3
+	shards := make([]*campaign.Order2Report, n)
+	for i := 0; i < n; i++ {
+		opt := baseOpt
+		opt.Prune = true
+		opt.Shard = campaign.Shard{Index: i, Count: n}
+		rep, err := campaign.RunOrder2(c, opt)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		shards[i] = rep
+	}
+	merged, err := campaign.MergeOrder2(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigntest.AssertOrder2Equal(t, "3-shard merge", plain, merged)
+}
+
+// TestPruneWarmStoreReplay: a pruned campaign stored cold replays
+// bit-identically warm — and exhaustive and pruned executions share
+// the plan key, so a warm exhaustive run is answered by a cold pruned
+// one and vice versa.
+func TestPruneWarmStoreReplay(t *testing.T) {
+	c := campaigntest.CaseCampaign(t, "bootloader", []fault.Model{fault.ModelSkip, fault.ModelRegFlip}, diffMaxFaults)
+	st, err := campaign.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := campaign.Options{MaxPairs: diffMaxPairs, Prune: true, Store: st}
+	cold, err := campaign.RunOrder2Result(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache.Misses == 0 {
+		t.Fatal("cold pruned run reported no store misses")
+	}
+	warm, err := campaign.RunOrder2Result(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigntest.AssertOrder2Equal(t, "warm replay", cold.Report, warm.Report)
+	if warm.Cache.Hits == 0 {
+		t.Fatal("warm pruned run reported no store hits")
+	}
+	// Cross-mode: an exhaustive run against the same store replays the
+	// pruned run's entries — one plan key for both execution modes.
+	optPlain := campaign.Options{MaxPairs: diffMaxPairs, Store: st}
+	crossed, err := campaign.RunOrder2Result(c, optPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigntest.AssertOrder2Equal(t, "cross-mode replay", cold.Report, crossed.Report)
+	if crossed.Cache.Hits == 0 {
+		t.Fatal("exhaustive warm run did not hit the pruned run's entries")
+	}
+}
+
+// TestPruneBudgetGateDifferential: with an injection budget short
+// enough that the static budget gate fires, pruned and exhaustive
+// order-1 reports still match bit for bit.
+func TestPruneBudgetGateDifferential(t *testing.T) {
+	c := campaigntest.CaseCampaign(t, "pincheck", []fault.Model{fault.ModelSkip}, 0)
+	// A budget of a few steps lands inside the fault list's trace-index
+	// range, so later faults hit the gate while earlier ones simulate.
+	// The gate lives on the plain-simulation path (RunAll without a
+	// store), not the evidence-recording one — see Pruner.SimulateRecord.
+	c.InjectionStepLimit = 10
+	plain, err := campaign.Run(c, campaign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := campaign.RunAll([]campaign.Job{{Name: "gate", Campaign: c}}, campaign.Options{Prune: true})
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	campaigntest.AssertReportsEqual(t, "short budget", plain, results[0].Report)
+	st := results[0].Prune
+	if st == nil || st.StaticBudget == 0 {
+		t.Fatalf("budget gate never fired (stats %+v)", st)
+	}
+	if st.Simulated == 0 {
+		t.Fatalf("every fault gated — the budget misses the trace (stats %+v)", st)
+	}
+}
+
+// TestRunOrder3Differential: the pruned order-3 campaign classifies
+// every triple exactly as direct per-triple simulation, and its lower
+// stages match a plain order-2 run.
+func TestRunOrder3Differential(t *testing.T) {
+	maxTriples := 512
+	if testing.Short() {
+		maxTriples = 128
+	}
+	c := campaigntest.CaseCampaign(t, "pincheck", []fault.Model{fault.ModelSkip, fault.ModelBitFlip}, diffMaxFaults)
+	res, err := campaign.RunOrder3(c, campaign.Options{MaxPairs: diffMaxPairs, MaxTriples: maxTriples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if len(rep.Triples) == 0 {
+		t.Fatal("order-3 campaign enumerated no triples")
+	}
+	if res.Prune == nil || res.Prune.Total() == 0 {
+		t.Fatal("order-3 campaign reported no pruning accounting")
+	}
+
+	plain2, err := campaign.RunOrder2(c, campaign.Options{MaxPairs: diffMaxPairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigntest.AssertOrder2Equal(t, "order-3 lower stages", plain2, rep.Order2())
+
+	s, err := fault.NewSession(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tally fault.Tally
+	for i, ti := range rep.Triples {
+		if want := s.SimulateTriple(ti.Triple); ti.Outcome != want {
+			t.Fatalf("triple %d (%v): campaign says %v, direct simulation %v",
+				i, ti.Triple, ti.Outcome, want)
+		}
+		tally[ti.Outcome]++
+	}
+	if tally != rep.TripleTally {
+		t.Fatalf("triple tally %v inconsistent with the %d triples", rep.TripleTally, len(rep.Triples))
+	}
+
+	// Warm-store replay of the triple stage.
+	st, err := campaign.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := campaign.Options{MaxPairs: diffMaxPairs, MaxTriples: maxTriples, Store: st}
+	cold, err := campaign.RunOrder3(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := campaign.RunOrder3(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaigntest.AssertOrder2Equal(t, "order-3 store lower stages", cold.Report.Order2(), warm.Report.Order2())
+	for i := range cold.Report.Triples {
+		if cold.Report.Triples[i] != warm.Report.Triples[i] {
+			t.Fatalf("warm triple %d differs from cold", i)
+		}
+	}
+	if warm.Cache.Hits == 0 {
+		t.Fatal("warm order-3 run reported no store hits")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"github.com/r2r/reinforce/internal/fault"
 )
@@ -35,7 +36,8 @@ type Record struct {
 
 // Entry is one stored campaign result: the outcome of every injection
 // of one plan, in shard-local order, plus the digests and oracles that
-// gate its reuse. Order-2 entries additionally carry the pair stage.
+// gate its reuse. Order-2 entries additionally carry the pair stage;
+// order-3 entries the triple stage.
 type Entry struct {
 	Schema       int    `json:"schema"`
 	Key          string `json:"key"`
@@ -49,6 +51,9 @@ type Entry struct {
 
 	PairsDigest string          `json:"pairs_digest,omitempty"`
 	PairRecords []fault.Outcome `json:"pair_outcomes,omitempty"`
+
+	TriplesDigest string          `json:"triples_digest,omitempty"`
+	TripleRecords []fault.Outcome `json:"triple_outcomes,omitempty"`
 }
 
 // CacheStats counts how a run's work was answered. Hits/Misses count
@@ -96,6 +101,32 @@ type Store struct {
 	mu  sync.Mutex
 	mem map[string]*list.Element // key → element; Value is *memEntry
 	lru *list.List               // front = most recently used
+
+	// Lifetime counters, atomic so Stats() can be read while shards
+	// execute (Lookup/Save run concurrently from worker goroutines).
+	hits, misses, saves atomic.Int64
+}
+
+// StoreStats is a point-in-time snapshot of a store's lifetime
+// counters: lookups answered (from memory or disk), lookups that found
+// nothing usable, and entries saved. Unlike CacheStats — per-run
+// accounting that also knows when a returned entry was rejected as
+// stale — these are raw store-level counts across every run sharing
+// the store.
+type StoreStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Saves  int64 `json:"saves"`
+}
+
+// Stats snapshots the store's lifetime counters. Safe to call at any
+// time, including while campaigns execute against the store.
+func (st *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:   st.hits.Load(),
+		Misses: st.misses.Load(),
+		Saves:  st.saves.Load(),
+	}
 }
 
 // memEntry is one resident cache entry.
@@ -174,6 +205,7 @@ func (st *Store) Lookup(key string) (*Entry, bool) {
 	defer st.mu.Unlock()
 	if el, ok := st.mem[key]; ok {
 		st.lru.MoveToFront(el)
+		st.hits.Add(1)
 		return el.Value.(*memEntry).e, true
 	}
 	if st.dir != "" {
@@ -182,10 +214,12 @@ func (st *Store) Lookup(key string) (*Entry, bool) {
 			var e Entry
 			if json.Unmarshal(data, &e) == nil && e.Schema == planSchema && e.Key == key {
 				st.insert(key, &e)
+				st.hits.Add(1)
 				return &e, true
 			}
 		}
 	}
+	st.misses.Add(1)
 	return nil, false
 }
 
@@ -195,6 +229,7 @@ func (st *Store) Lookup(key string) (*Entry, bool) {
 // misread.
 func (st *Store) Save(e *Entry) error {
 	e.Schema = planSchema
+	st.saves.Add(1)
 	st.mu.Lock()
 	st.insert(e.Key, e)
 	dir := st.dir

@@ -1,0 +1,39 @@
+package cases
+
+import "testing"
+
+// FuzzParseCases: any accepted spec yields a non-empty, duplicate-free
+// slice of catalog cases, each resolvable back by name to the same
+// registered entry.
+func FuzzParseCases(f *testing.F) {
+	for _, seed := range []string{"", "all", "pincheck", "pincheck,bootloader",
+		" pincheck , otpauth ", "all,pincheck", "pincheck,pincheck", ",",
+		"nope", "all,nope", "pincheck\n"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cs, err := ParseCases(s)
+		if err != nil {
+			return
+		}
+		if len(cs) == 0 {
+			t.Fatalf("ParseCases(%q) accepted an empty case list", s)
+		}
+		seen := map[string]bool{}
+		for _, c := range cs {
+			if c == nil || c.Name == "" {
+				t.Fatalf("ParseCases(%q) yielded a nil or unnamed case", s)
+			}
+			if seen[c.Name] {
+				t.Fatalf("ParseCases(%q) yielded duplicate case %q", s, c.Name)
+			}
+			seen[c.Name] = true
+			// Builders construct per request, so the check is registry
+			// membership by name, not pointer identity.
+			got, err := Get(c.Name)
+			if err != nil || got == nil || got.Name != c.Name {
+				t.Fatalf("case %q from ParseCases(%q) is not a registered entry (%v)", c.Name, s, err)
+			}
+		}
+	})
+}

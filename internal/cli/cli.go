@@ -79,8 +79,13 @@ type CampaignFlags struct {
 	CacheDir                string
 	Order, MaxPairs         int
 	Workers                 int
+	Prune                   bool
 	JSON, CSV, Quiet        bool
 }
+
+// pruneHelp documents the -prune switch once for every command that
+// accepts it.
+const pruneHelp = "classify statically decidable and state-equivalent injections without simulating them (results are bit-identical; the summary gains prune accounting columns)"
 
 // Campaign builds the `r2r campaign` flag set.
 func Campaign() (*flag.FlagSet, *CampaignFlags) {
@@ -93,6 +98,7 @@ func Campaign() (*flag.FlagSet, *CampaignFlags) {
 	fs.IntVar(&f.Workers, "workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
 	fs.StringVar(&f.Shard, "shard", "", "simulate only shard i/n of each fault list (e.g. 0/4); with -order 2 the shard applies to the pair list")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirHelp)
+	fs.BoolVar(&f.Prune, "prune", false, pruneHelp)
 	fs.BoolVar(&f.JSON, "json", false, "emit JSON summaries on stdout")
 	fs.BoolVar(&f.CSV, "csv", false, "emit CSV summaries on stdout")
 	fs.BoolVar(&f.Quiet, "q", false, "suppress the stderr progress meter")
@@ -104,7 +110,7 @@ type CorpusFlags struct {
 	Cases, Model, CacheDir     string
 	Order, MaxPairs, MaxFaults int
 	Workers                    int
-	Dedup                      bool
+	Dedup, Prune               bool
 	JSON, CSV, Quiet           bool
 }
 
@@ -119,6 +125,7 @@ func Corpus() (*flag.FlagSet, *CorpusFlags) {
 	fs.IntVar(&f.Workers, "workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
 	fs.BoolVar(&f.Dedup, "dedup", true, "fault each static site once instead of every dynamic occurrence (corpus-scale default; -dedup=false is the paper's exhaustive mode)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirHelp)
+	fs.BoolVar(&f.Prune, "prune", false, pruneHelp)
 	fs.BoolVar(&f.JSON, "json", false, "emit JSON summaries (per case plus the corpus aggregate) on stdout")
 	fs.BoolVar(&f.CSV, "csv", false, "emit CSV summaries on stdout")
 	fs.BoolVar(&f.Quiet, "q", false, "suppress the stderr progress meter")
@@ -195,7 +202,7 @@ type ExperimentsFlags struct {
 // Experiments builds the `r2r experiments` flag set.
 func Experiments() (*flag.FlagSet, *ExperimentsFlags) {
 	fs, f := newFS("experiments"), &ExperimentsFlags{}
-	fs.StringVar(&f.Only, "only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond, beyond2, corpus")
+	fs.StringVar(&f.Only, "only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond, beyond2, beyond3, corpus")
 	return fs, f
 }
 

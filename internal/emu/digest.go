@@ -1,0 +1,91 @@
+package emu
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sort"
+)
+
+// StateDigest returns a canonical SHA-256 digest of the machine's
+// complete architectural state: registers, RIP, flags, step counter,
+// exit status, the I/O streams (including the consumed-input position),
+// and the content of every mapped page. Two machines with equal digests
+// under the same run configuration (step limit, hooks) behave
+// identically from here on — the soundness foundation of the campaign
+// engine's state-hash equivalence pruning (fault.PairPruner): a faulted
+// run whose digest matches the reference run's at the same step has
+// provably re-converged, and one that matches another faulted run's
+// inherits its continuation outcome.
+//
+// Run configuration is deliberately outside the digest: hooks and the
+// step limit are not machine state, so callers must only compare
+// digests of machines they would continue under identical
+// configuration.
+func (m *Machine) StateDigest() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, r := range m.Regs {
+		put(r)
+	}
+	put(m.RIP)
+	put(m.Rflags)
+	put(m.Steps)
+	if m.Exited {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(uint64(int64(m.ExitCode)))
+	put(uint64(m.inPos))
+	put(uint64(len(m.Stdin)))
+	h.Write(m.Stdin)
+	put(uint64(len(m.Stdout)))
+	h.Write(m.Stdout)
+	put(uint64(len(m.Stderr)))
+	h.Write(m.Stderr)
+	m.Mem.hashInto(h)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// hashInto writes the canonical page walk into h: ascending page
+// addresses, each page's content prefixed by its address. The walk is
+// canonical with respect to lazy materialization — all-zero pages are
+// skipped, so a region page reads the same whether it was materialized
+// (and never written, or written back to zero) or is still virtual
+// (reads of unmaterialized region pages return zero bytes either way).
+// Page permissions are derived from the region list, which resumed
+// machines share with their snapshot, so they carry no per-machine
+// state and stay outside the digest.
+func (m *Memory) hashInto(h hash.Hash) {
+	addrs := make([]uint64, 0, len(m.pages)+len(m.base))
+	for a := range m.pages {
+		addrs = append(addrs, a)
+	}
+	for a := range m.base {
+		if m.pages != nil {
+			if _, shadowed := m.pages[a]; shadowed {
+				continue
+			}
+		}
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var zero [pageSize]byte
+	var abuf [8]byte
+	for _, a := range addrs {
+		p := m.lookupPage(a)
+		if p.data == zero {
+			continue
+		}
+		binary.LittleEndian.PutUint64(abuf[:], a)
+		h.Write(abuf[:])
+		h.Write(p.data[:])
+	}
+}

@@ -1,0 +1,118 @@
+package emu
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// digestProg touches registers, memory, and stdout, so every digested
+// state component is exercised.
+const digestProg = `
+.text
+_start:
+	mov rbx, 7
+	mov [rip+cell], rbx
+	mov rax, 1
+	mov rdi, 1
+	lea rsi, [rip+msg]
+	mov rdx, 3
+	syscall
+	mov rax, 60
+	mov rdi, 0
+	syscall
+.data
+cell: .quad 0
+msg: .ascii "ok\n"
+`
+
+func digestMachine(t *testing.T) *Machine {
+	t.Helper()
+	bin, err := asm.Assemble(digestProg, nil)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return New(bin, Config{})
+}
+
+// TestStateDigestDeterministic: two machines stepped to the same point
+// of the same program digest identically, and every intermediate step
+// digests differently from the last (the program never revisits a
+// state).
+func TestStateDigestDeterministic(t *testing.T) {
+	a, b := digestMachine(t), digestMachine(t)
+	seen := map[[32]byte]uint64{}
+	for !a.Exited {
+		da, db := a.StateDigest(), b.StateDigest()
+		if da != db {
+			t.Fatalf("step %d: identical machines digest differently", a.Steps)
+		}
+		if prev, dup := seen[da]; dup {
+			t.Fatalf("steps %d and %d share a digest", prev, a.Steps)
+		}
+		seen[da] = a.Steps
+		if err := a.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if err := b.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+}
+
+// TestStateDigestZeroPageCanonical: materializing a region page without
+// changing its (zero) content must not change the digest — resumed
+// forks materialize stack pages lazily, so the digest has to be
+// canonical over that difference.
+func TestStateDigestZeroPageCanonical(t *testing.T) {
+	a, b := digestMachine(t), digestMachine(t)
+	before := a.StateDigest()
+	// Touch an untouched stack page on one machine: a zero write
+	// materializes the page without changing visible memory.
+	sp := a.Regs[isa.RSP]
+	target := (sp - 4*PageSize) &^ uint64(PageSize-1)
+	if err := a.Mem.Write(target, []byte{0}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := a.StateDigest(); got != before {
+		t.Fatalf("materializing an all-zero page changed the digest")
+	}
+	if got := a.StateDigest(); got != b.StateDigest() {
+		t.Fatalf("machines diverged after zero-write")
+	}
+	// A real write must change it.
+	if err := a.Mem.Write(target, []byte{1}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := a.StateDigest(); got == before {
+		t.Fatalf("non-zero write did not change the digest")
+	}
+}
+
+// TestStateDigestSnapshotFork: a machine resumed from a snapshot
+// digests identically to its donor at the snapshot point, including
+// pages shared copy-on-write.
+func TestStateDigestSnapshotFork(t *testing.T) {
+	m := digestMachine(t)
+	for i := 0; i < 3; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	want := m.StateDigest()
+	fork := m.Snapshot().Resume(Config{})
+	if got := fork.StateDigest(); got != want {
+		t.Fatalf("fork digest differs from donor at the snapshot point")
+	}
+	// Divergence after the fork is visible in both directions.
+	if err := fork.Step(); err != nil {
+		t.Fatalf("fork step: %v", err)
+	}
+	if fork.StateDigest() == want {
+		t.Fatalf("fork digest unchanged after stepping")
+	}
+	if m.StateDigest() != want {
+		t.Fatalf("donor digest changed by forking")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestTableBeyond3 enforces the shape of the order-3 extension — the
+// budget-capped triple campaigns that equivalence pruning makes
+// tractable:
+//
+//   - every case/pipeline cell completes its order-3 campaign within
+//     the triple budget and sweeps a nonzero triple space;
+//   - the pruner actually participates: each cell reports pruning
+//     accounting, and at least one cell answers injections without
+//     simulating them;
+//   - hardening monotonicity at order 3: the hardened pipelines never
+//     show more successful triples than the unhardened baseline.
+func TestTableBeyond3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs order-1/2 pipelines plus order-3 campaigns on every variant; run without -short")
+	}
+	tab, data, err := TableBeyond3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	if len(data) != 6 {
+		t.Fatalf("rows = %d, want 2 cases x 3 pipelines", len(data))
+	}
+	byKey := map[string]Beyond3Data{}
+	pruned := 0
+	for _, d := range data {
+		byKey[d.Case+"/"+d.Pipeline] = d
+		if d.Triples == 0 {
+			t.Errorf("%s/%s: order-3 campaign enumerated no triples", d.Case, d.Pipeline)
+		}
+		if d.Triples > beyond3MaxTriples {
+			t.Errorf("%s/%s: %d triples exceed the %d budget", d.Case, d.Pipeline, d.Triples, beyond3MaxTriples)
+		}
+		if d.Pruned+d.Simulated == 0 {
+			t.Errorf("%s/%s: no pruning accounting", d.Case, d.Pipeline)
+		}
+		pruned += d.Pruned
+	}
+	if pruned == 0 {
+		t.Error("pruner answered no injection across the whole table")
+	}
+	for _, c := range []string{"pincheck", "bootloader"} {
+		base := byKey[c+"/original"]
+		for _, p := range []string{"f+p", "hybrid+skipwindow"} {
+			if d := byKey[c+"/"+p]; d.TripleSuccess > base.TripleSuccess {
+				t.Errorf("%s/%s: %d successful triples, above the unhardened %d",
+					c, p, d.TripleSuccess, base.TripleSuccess)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseModel: any accepted name resolves to a registered spec, and
+// the model's canonical name reparses to the same model — the property
+// that makes Model.String() safe in plan keys and JSON.
+func FuzzParseModel(f *testing.F) {
+	for _, seed := range []string{"skip", "bitflip", "bit-flip", "reg-flip",
+		"regflip", "multi-skip", "data-flip", " skip ", "", "both", "all",
+		"SKIP", "skip,bitflip", "unknown", "skip\x00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseModel(s)
+		if err != nil {
+			return
+		}
+		if SpecOf(m) == nil {
+			t.Fatalf("ParseModel(%q) = %v has no registered spec", s, m)
+		}
+		again, err := ParseModel(m.String())
+		if err != nil || again != m {
+			t.Fatalf("canonical name %q of ParseModel(%q) reparses to %v, %v", m, s, again, err)
+		}
+	})
+}
+
+// FuzzParseModels: any accepted spec expands to a non-empty,
+// duplicate-free list of registered models, and the canonical
+// comma-joined rendering reparses to the identical list.
+func FuzzParseModels(f *testing.F) {
+	for _, seed := range []string{"", "both", "all", "skip,bitflip",
+		"skip, bitflip ,reg-flip", "all,skip", "both,both", ",",
+		"skip,,bitflip", "nope", "all,nope"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ms, err := ParseModels(s)
+		if err != nil {
+			return
+		}
+		if len(ms) == 0 {
+			t.Fatalf("ParseModels(%q) accepted an empty model list", s)
+		}
+		seen := map[Model]bool{}
+		names := make([]string, 0, len(ms))
+		for _, m := range ms {
+			if SpecOf(m) == nil {
+				t.Fatalf("ParseModels(%q) yielded unregistered model %v", s, m)
+			}
+			if seen[m] {
+				t.Fatalf("ParseModels(%q) yielded duplicate model %v", s, m)
+			}
+			seen[m] = true
+			names = append(names, m.String())
+		}
+		again, err := ParseModels(strings.Join(names, ","))
+		if err != nil {
+			t.Fatalf("canonical list %q of ParseModels(%q) fails to reparse: %v", names, s, err)
+		}
+		if len(again) != len(ms) {
+			t.Fatalf("canonical reparse of %q: %d models, want %d", s, len(again), len(ms))
+		}
+		for i := range again {
+			if again[i] != ms[i] {
+				t.Fatalf("canonical reparse of %q differs at %d: %v vs %v", s, i, again[i], ms[i])
+			}
+		}
+	})
+}

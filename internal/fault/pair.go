@@ -185,6 +185,15 @@ func (s *Session) runPairGroup(g *pairGroup, sel []FaultPair, outcomes []Outcome
 // path. Results land at fixed positions and are bit-identical to the
 // per-pair (and cold) path regardless of worker count or grouping.
 func (s *Session) ExecutePairShard(pairs []FaultPair, shardIndex, shardCount, workers int, progress func(done, total int)) ([]PairInjection, Tally) {
+	return s.executePairShard(pairs, nil, shardIndex, shardCount, workers, progress)
+}
+
+// executePairShard is the shared snapshot-tree core behind
+// ExecutePairShard (pr == nil) and ExecutePairShardPruned (pr != nil).
+// The pruner only changes how a group's forks are classified — by
+// digest-based inheritance where sound, simulation otherwise — never
+// which pairs run or what their outcomes are.
+func (s *Session) executePairShard(pairs []FaultPair, pr *PairPruner, shardIndex, shardCount, workers int, progress func(done, total int)) ([]PairInjection, Tally) {
 	sel := ShardSelect(pairs, shardIndex, shardCount)
 	outcomes := make([]Outcome, len(sel))
 	if len(sel) == 0 {
@@ -239,11 +248,18 @@ func (s *Session) ExecutePairShard(pairs []FaultPair, shardIndex, shardCount, wo
 					return
 				}
 				if u < len(groups) {
-					s.runPairGroup(groups[u], sel, outcomes, &tallies[w], tick)
+					if pr != nil {
+						s.runPairGroupPruned(pr, groups[u], sel, outcomes, &tallies[w], tick)
+					} else {
+						s.runPairGroup(groups[u], sel, outcomes, &tallies[w], tick)
+					}
 					continue
 				}
 				i := loose[u-len(groups)]
 				o := s.SimulatePair(sel[i])
+				if pr != nil {
+					pr.sim.Add(1)
+				}
 				outcomes[i] = o
 				tallies[w][o]++
 				tick()

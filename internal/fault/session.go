@@ -319,14 +319,34 @@ func (s *Session) injectionConfig(f Fault) emu.Config {
 // would stop the run before the fault site is also a crash). Everything
 // else resumes the nearest copy-on-write snapshot.
 func (s *Session) Simulate(f Fault) Outcome {
-	if f.Model == ModelBitFlip && s.probes != nil {
-		if p, ok := s.probes[f.Addr]; ok && f.Bit/8 < p.n {
-			p.buf[f.Bit/8] ^= 1 << (f.Bit % 8)
-			if _, err := decode.Decode(p.buf[:p.n], f.Addr); err != nil {
-				return OutcomeCrash
-			}
-		}
+	if s.decodePreScreen(f) {
+		return OutcomeCrash
 	}
+	return s.simulateDynamic(f)
+}
+
+// decodePreScreen reports whether the bit flip f corrupts its
+// instruction encoding beyond decodability — the static classification
+// Simulate's doc comment describes. Only bit-flip faults with a valid
+// probe window answer true; everything else (including campaigns whose
+// reference run self-modified code, where probes is nil) must simulate.
+func (s *Session) decodePreScreen(f Fault) bool {
+	if f.Model != ModelBitFlip || s.probes == nil {
+		return false
+	}
+	p, ok := s.probes[f.Addr]
+	if !ok || f.Bit/8 >= p.n {
+		return false
+	}
+	p.buf[f.Bit/8] ^= 1 << (f.Bit % 8)
+	_, err := decode.Decode(p.buf[:p.n], f.Addr)
+	return err != nil
+}
+
+// simulateDynamic is the simulation core behind Simulate: resume the
+// nearest copy-on-write snapshot with the fault's hooks and classify
+// the run. Callers (Simulate, Pruner) apply their static screens first.
+func (s *Session) simulateDynamic(f Fault) Outcome {
 	m := s.checkpointFor(uint64(f.TraceIndex)).Resume(s.injectionConfig(f))
 	res, err := m.Run()
 	return classify(res, err, s.good)
@@ -361,29 +381,35 @@ type SimRecord struct {
 // SimulateRecord runs one injection like Simulate and additionally
 // records the evidence the outcome rests on. Safe for concurrent use.
 func (s *Session) SimulateRecord(f Fault) SimRecord {
-	if f.Model == ModelBitFlip && s.probes != nil {
-		if p, ok := s.probes[f.Addr]; ok && f.Bit/8 < p.n {
-			p.buf[f.Bit/8] ^= 1 << (f.Bit % 8)
-			if _, err := decode.Decode(p.buf[:p.n], f.Addr); err != nil {
-				// The pre-screened crash rests on the reference run
-				// reaching the site (the prefix) and on the flipped
-				// instruction's own bytes.
-				pages := s.prefixPages(uint64(f.TraceIndex) + 1)
-				for a := f.Addr &^ (emu.PageSize - 1); a < f.Addr+uint64(p.n); a += emu.PageSize {
-					pages[a] = struct{}{}
-				}
-				if p.n < decode.MaxInstLen {
-					// The probe window was truncated: the crash also
-					// rests on the page that cut it short staying
-					// unfetchable, so it must invalidate the record if
-					// it changes (mirrors the emulator's decode-failure
-					// page logging).
-					pages[(f.Addr+uint64(p.n))&^uint64(emu.PageSize-1)] = struct{}{}
-				}
-				return SimRecord{Outcome: OutcomeCrash, Pages: sortedPages(pages)}
-			}
-		}
+	if s.decodePreScreen(f) {
+		return s.preScreenRecord(f)
 	}
+	return s.simulateRecordDynamic(f)
+}
+
+// preScreenRecord builds the evidence record behind a decode
+// pre-screened crash. The crash rests on the reference run reaching
+// the site (the prefix) and on the flipped instruction's own bytes.
+// Only valid after decodePreScreen(f) answered true.
+func (s *Session) preScreenRecord(f Fault) SimRecord {
+	p := s.probes[f.Addr]
+	pages := s.prefixPages(uint64(f.TraceIndex) + 1)
+	for a := f.Addr &^ (emu.PageSize - 1); a < f.Addr+uint64(p.n); a += emu.PageSize {
+		pages[a] = struct{}{}
+	}
+	if p.n < decode.MaxInstLen {
+		// The probe window was truncated: the crash also rests on the
+		// page that cut it short staying unfetchable, so it must
+		// invalidate the record if it changes (mirrors the emulator's
+		// decode-failure page logging).
+		pages[(f.Addr+uint64(p.n))&^uint64(emu.PageSize-1)] = struct{}{}
+	}
+	return SimRecord{Outcome: OutcomeCrash, Pages: sortedPages(pages)}
+}
+
+// simulateRecordDynamic is the evidence-recording simulation core
+// behind SimulateRecord, minus the decode pre-screen.
+func (s *Session) simulateRecordDynamic(f Fault) SimRecord {
 	ck := s.checkpointFor(uint64(f.TraceIndex))
 	cfg := s.injectionConfig(f)
 	cfg.RecordPages = true

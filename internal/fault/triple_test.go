@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func tripleSession(t *testing.T, models ...Model) (*Session, []Injection, []FaultTriple) {
+	t.Helper()
+	s, solo, _ := pairSession(t, models...)
+	return s, solo, EnumerateTriples(solo, 0)
+}
+
+// TestEnumerateTriples: triples draw components from detected/ignored
+// solo outcomes, are strictly trace-ordered, deterministic, and
+// budget-capped as a prefix.
+func TestEnumerateTriples(t *testing.T) {
+	_, solo, triples := tripleSession(t, ModelSkip)
+	if len(triples) == 0 {
+		t.Fatal("no triples enumerated")
+	}
+	eligible := map[Fault]bool{}
+	for _, inj := range solo {
+		if inj.Outcome == OutcomeDetected || inj.Outcome == OutcomeIgnored {
+			eligible[inj.Fault] = true
+		}
+	}
+	for _, tr := range triples {
+		if !eligible[tr.First] || !eligible[tr.Second] || !eligible[tr.Third] {
+			t.Errorf("triple %v uses a non-eligible component", tr)
+		}
+		if tr.Second.TraceIndex <= tr.First.TraceIndex || tr.Third.TraceIndex <= tr.Second.TraceIndex {
+			t.Errorf("triple %v is not strictly trace-ordered", tr)
+		}
+	}
+	if again := EnumerateTriples(solo, 0); !reflect.DeepEqual(triples, again) {
+		t.Error("triple enumeration not deterministic")
+	}
+	capped := EnumerateTriples(solo, 7)
+	if len(capped) != 7 {
+		t.Errorf("capped enumeration returned %d triples, want 7", len(capped))
+	}
+	if !reflect.DeepEqual(capped, triples[:7]) {
+		t.Error("capped enumeration is not a prefix of the full list")
+	}
+}
+
+// TestSimulateTripleMatchesColdPath: the snapshot path must classify
+// every triple exactly as a cold replay from _start.
+func TestSimulateTripleMatchesColdPath(t *testing.T) {
+	for _, models := range [][]Model{
+		{ModelSkip}, {ModelSkip, ModelRegFlip},
+	} {
+		s, _, triples := tripleSession(t, models...)
+		if len(triples) > 200 {
+			triples = triples[:200] // bound the cross-validation cost
+		}
+		for _, tr := range triples {
+			if warm, cold := s.SimulateTriple(tr), s.SimulateTripleCold(tr); warm != cold {
+				t.Errorf("%v %v: snapshot path %v, cold path %v", models, tr, warm, cold)
+			}
+		}
+	}
+}
+
+// TestExecuteTripleShardBitIdentical: the pruned order-3 tree matches
+// per-triple simulation bit for bit, across worker counts and
+// shardings, with and without a registered pair sweep to inherit from.
+func TestExecuteTripleShardBitIdentical(t *testing.T) {
+	s, solo, triples := tripleSession(t, ModelSkip, ModelBitFlip)
+	if len(triples) > 600 {
+		triples = triples[:600]
+	}
+	want := make([]TripleInjection, len(triples))
+	var wantTally Tally
+	for i, tr := range triples {
+		o := s.SimulateTriple(tr)
+		want[i] = TripleInjection{Triple: tr, Outcome: o}
+		wantTally[o]++
+	}
+
+	// Bare pruner: no pair outcomes registered, everything classifies
+	// via classes or simulation.
+	pr := s.NewPairPruner(solo)
+	got, tally := s.ExecuteTripleShard(triples, pr, 0, 1, 1, nil)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("pruned triple sweep differs from per-triple simulation")
+	}
+	if tally != wantTally {
+		t.Fatalf("tallies differ: %v vs %v", tally, wantTally)
+	}
+	if st := pr.Stats(); st.Total() != len(triples) {
+		t.Fatalf("prune stats cover %d of %d triples", st.Total(), len(triples))
+	}
+
+	// Pruner with the pair sweep registered (the campaign wiring):
+	// reference-equal groups now inherit pair outcomes directly.
+	pairs := EnumeratePairs(solo, 0)
+	pairInj, _ := s.ExecutePairShard(pairs, 0, 1, 0, nil)
+	prp := s.NewPairPruner(solo)
+	prp.SetPairOutcomes(pairInj)
+	got2, _ := s.ExecuteTripleShard(triples, prp, 0, 1, 8, nil)
+	if !reflect.DeepEqual(want, got2) {
+		t.Fatal("pair-seeded pruned triple sweep differs from per-triple simulation")
+	}
+
+	// Shard invariance with a shared pruner.
+	const n = 3
+	prs := s.NewPairPruner(solo)
+	var shards [n][]TripleInjection
+	for i := 0; i < n; i++ {
+		shards[i], _ = s.ExecuteTripleShard(triples, prs, i, n, 2, nil)
+	}
+	var merged []TripleInjection
+	cursor := [n]int{}
+	for j := 0; j < len(want); j++ {
+		w := j % n
+		merged = append(merged, shards[w][cursor[w]])
+		cursor[w]++
+	}
+	if !reflect.DeepEqual(merged, want) {
+		t.Error("recombined triple shards differ from per-triple simulation")
+	}
+}
