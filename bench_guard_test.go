@@ -1,0 +1,76 @@
+// Benchmark regression guard: `go test -run TestBenchGuard -benchguard .`
+// re-measures the engine's headline benchmarks and fails when a
+// throughput metric lands more than benchGuardTolerance below the
+// committed BENCH_*.json baseline. CI runs it as its own job, so a
+// change that silently costs the emulator or the pair sweep their
+// speed fails the build instead of surfacing commits later in the
+// artifact trail.
+package reinforce
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+)
+
+var benchGuard = flag.Bool("benchguard", false, "re-measure guarded benchmarks and fail on regression against the committed BENCH_*.json baselines")
+
+// benchGuardTolerance is the allowed relative shortfall before the
+// guard fails: generous enough for shared-runner noise, tight enough
+// that a real regression (a disabled fast path, a lost pruning layer)
+// cannot hide inside it.
+const benchGuardTolerance = 0.15
+
+// baselineMetric reads one benchmark's named metric from a committed
+// BENCH JSON file.
+func baselineMetric(t *testing.T, path, bench, metric string) float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline missing: %v", err)
+	}
+	var records []BenchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for _, r := range records {
+		if r.Name == bench {
+			if v, ok := r.Metrics[metric]; ok {
+				return v
+			}
+			t.Fatalf("%s: %s has no %q metric", path, bench, metric)
+		}
+	}
+	t.Fatalf("%s: no record for %s", path, bench)
+	return 0
+}
+
+// TestBenchGuard re-measures the guarded benchmarks against their
+// committed baselines. The guarded set is the two throughput numbers
+// the whole engine stands on: raw emulator speed and pruned pair-sweep
+// speed.
+func TestBenchGuard(t *testing.T) {
+	if !*benchGuard {
+		t.Skip("enable with -benchguard")
+	}
+	guards := []struct {
+		file, bench, metric string
+		fn                  func(*testing.B)
+	}{
+		{"BENCH_campaign.json", "Emulator", "steps/s", BenchmarkEmulator},
+		{"BENCH_prune.json", "Order2PairSweepPruned", "pairs/s", BenchmarkOrder2PairSweepPruned},
+	}
+	for _, g := range guards {
+		want := baselineMetric(t, g.file, g.bench, g.metric)
+		res := testing.Benchmark(g.fn)
+		got := res.Extra[g.metric]
+		floor := want * (1 - benchGuardTolerance)
+		if got < floor {
+			t.Errorf("%s: %s = %.0f, below %.0f (baseline %.0f - %d%%)",
+				g.bench, g.metric, got, floor, want, int(benchGuardTolerance*100))
+		} else {
+			t.Logf("%s: %s = %.0f (baseline %.0f, floor %.0f)", g.bench, g.metric, got, want, floor)
+		}
+	}
+}

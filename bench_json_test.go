@@ -22,12 +22,16 @@ var (
 	benchJSONPrune  = flag.String("benchjson-prune", "", "write equivalence-pruning benchmark results as JSON to this file")
 )
 
-// BenchRecord is one benchmark's machine-readable result.
+// BenchRecord is one benchmark's machine-readable result. Allocation
+// figures come from testing.Benchmark's always-on memory accounting, so
+// allocation regressions are tracked alongside throughput.
 type BenchRecord struct {
-	Name    string             `json:"name"`
-	Iters   int                `json:"iterations"`
-	NsPerOp int64              `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iters       int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // namedBench is one entry of an exported benchmark set.
@@ -44,9 +48,11 @@ func writeBenchJSON(t *testing.T, path string, benches []namedBench) {
 	for _, b := range benches {
 		res := testing.Benchmark(b.fn)
 		rec := BenchRecord{
-			Name:    b.name,
-			Iters:   res.N,
-			NsPerOp: res.NsPerOp(),
+			Name:        b.name,
+			Iters:       res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
 		}
 		if len(res.Extra) > 0 {
 			rec.Metrics = map[string]float64{}

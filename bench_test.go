@@ -486,6 +486,7 @@ func BenchmarkAssemble(b *testing.B) {
 func BenchmarkEmulator(b *testing.B) {
 	c := cases.Bootloader()
 	bin := c.MustBuild()
+	b.ReportAllocs()
 	var steps uint64
 	for i := 0; i < b.N; i++ {
 		m := emu.New(bin, emu.Config{Stdin: c.Good})
@@ -494,6 +495,7 @@ func BenchmarkEmulator(b *testing.B) {
 			b.Fatal(err)
 		}
 		steps += res.Steps
+		m.Release()
 	}
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
 }

@@ -35,6 +35,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -129,7 +131,8 @@ commands:
   faults -good G -bad B [-model MODELS] BIN
                                  run a fault-injection campaign
   campaign -good G -bad B [-model MODELS] [-order 1|2] [-max-pairs N]
-           [-workers N] [-shard i/n] [-prune] [-json|-csv] [-q] BIN [BIN...]
+           [-workers N] [-shard i/n] [-prune] [-json|-csv] [-q]
+           [-cpuprofile F] [-memprofile F] BIN [BIN...]
                                  batch campaigns on the parallel engine
                                  with sharding and JSON/CSV export;
                                  -order 2 adds multi-fault pairs; -prune
@@ -137,7 +140,7 @@ commands:
                                  simulating them (bit-identical results)
   corpus [-cases LIST] [-model MODELS] [-order 1|2] [-max-pairs N]
          [-max-faults N] [-workers N] [-cache-dir DIR] [-prune]
-         [-json|-csv] [-q]
+         [-json|-csv] [-q] [-cpuprofile F] [-memprofile F]
                                  sweep the registered case-study corpus
                                  as one batched, cache-sharing run with
                                  per-case and aggregate survival reports
@@ -387,6 +390,51 @@ func writeSummaries(out io.Writer, asJSON, asCSV bool, sums []campaign.Summary) 
 	return nil
 }
 
+// profileTo starts a CPU profile (when cpuPath is non-empty) and
+// returns an idempotent stop function that ends it and, when memPath is
+// non-empty, writes a garbage-collected heap profile. Callers defer the
+// stop (so early errors still end the CPU profile) and also invoke it
+// explicitly on the success path to surface profile-write errors.
+func profileTo(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not GC timing luck
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
 // cmdCampaign drives the parallel campaign engine: one or more
 // binaries swept under the same oracles, with optional sharding,
 // order-2 multi-fault pairs, and machine-readable output.
@@ -395,6 +443,11 @@ func cmdCampaign(args []string, out io.Writer) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
+	stopProf, err := profileTo(f.CPUProfile, f.MemProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if fs.NArg() < 1 {
 		return usagef("want at least one binary")
 	}
@@ -483,6 +536,9 @@ func cmdCampaign(args []string, out io.Writer) error {
 			sums = append(sums, sum)
 		}
 	}
+	if err := stopProf(); err != nil {
+		return err
+	}
 	return writeSummaries(out, f.JSON, f.CSV, sums)
 }
 
@@ -505,6 +561,11 @@ func cmdCorpus(args []string, out io.Writer) error {
 	if f.Order != 1 && f.Order != 2 {
 		return usagef("unsupported fault order %d: want 1 or 2", f.Order)
 	}
+	stopProf, err := profileTo(f.CPUProfile, f.MemProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	models, err := parseModels(f.Model)
 	if err != nil {
 		return err
@@ -550,6 +611,9 @@ func cmdCorpus(args []string, out io.Writer) error {
 		// Surface every failing cell, not just the first — the sweep
 		// deliberately continued past each one.
 		return errors.Join(errs...)
+	}
+	if err := stopProf(); err != nil {
+		return err
 	}
 	return writeSummaries(out, f.JSON, f.CSV, res.Summaries())
 }

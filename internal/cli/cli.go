@@ -77,6 +77,7 @@ const cacheDirHelp = "directory for the content-addressed campaign result cache 
 type CampaignFlags struct {
 	Good, Bad, Model, Shard string
 	CacheDir                string
+	CPUProfile, MemProfile  string
 	Order, MaxPairs         int
 	Workers                 int
 	Prune                   bool
@@ -102,12 +103,22 @@ func Campaign() (*flag.FlagSet, *CampaignFlags) {
 	fs.BoolVar(&f.JSON, "json", false, "emit JSON summaries on stdout")
 	fs.BoolVar(&f.CSV, "csv", false, "emit CSV summaries on stdout")
 	fs.BoolVar(&f.Quiet, "q", false, "suppress the stderr progress meter")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", cpuProfileHelp)
+	fs.StringVar(&f.MemProfile, "memprofile", "", memProfileHelp)
 	return fs, f
 }
+
+// cpuProfileHelp and memProfileHelp document the pprof switches once
+// for every command that accepts them.
+const (
+	cpuProfileHelp = "write a CPU profile of the run to this file (inspect with go tool pprof)"
+	memProfileHelp = "write an allocation profile taken at exit to this file (inspect with go tool pprof)"
+)
 
 // CorpusFlags are the `r2r corpus` flags.
 type CorpusFlags struct {
 	Cases, Model, CacheDir     string
+	CPUProfile, MemProfile     string
 	Order, MaxPairs, MaxFaults int
 	Workers                    int
 	Dedup, Prune               bool
@@ -129,6 +140,8 @@ func Corpus() (*flag.FlagSet, *CorpusFlags) {
 	fs.BoolVar(&f.JSON, "json", false, "emit JSON summaries (per case plus the corpus aggregate) on stdout")
 	fs.BoolVar(&f.CSV, "csv", false, "emit CSV summaries on stdout")
 	fs.BoolVar(&f.Quiet, "q", false, "suppress the stderr progress meter")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", cpuProfileHelp)
+	fs.StringVar(&f.MemProfile, "memprofile", "", memProfileHelp)
 	return fs, f
 }
 

@@ -105,6 +105,69 @@ func TestICacheInvalidation(t *testing.T) {
 	}
 }
 
+// FuzzUopTranslator: differential fuzzing of the micro-op fast path
+// against the single-step interpreter. Arbitrary bytes become the text
+// section of a minimal binary and run under both execution strategies;
+// any divergence in exit status, step count, or output is a bug in the
+// translator or a micro-op executor (the interpreter is the spec).
+func FuzzUopTranslator(f *testing.F) {
+	// A clean exit, the self-modifying icache program, a hot
+	// arithmetic loop, stack traffic, and a decode-failure prefix.
+	f.Add([]byte{
+		0x48, 0xC7, 0xC0, 0x3C, 0x00, 0x00, 0x00, // mov rax, 60
+		0x48, 0x31, 0xFF, // xor rdi, rdi
+		0x0F, 0x05, // syscall
+	})
+	f.Add([]byte{
+		0x48, 0xC7, 0xC1, 0x20, 0x00, 0x00, 0x00, // mov rcx, 32
+		0x48, 0x01, 0xC8, // add rax, rcx
+		0x48, 0xFF, 0xC9, // dec rcx
+		0x75, 0xF8, // jne -8
+		0x0F, 0x05, // syscall (rax garbage -> fault or exit)
+	})
+	f.Add([]byte{
+		0x50, 0x53, 0x51, // push rax/rbx/rcx
+		0x59, 0x5B, 0x58, // pop rcx/rbx/rax
+		0x9C, 0x9D, // pushfq; popfq
+		0xC3, // ret into the void
+	})
+	f.Add([]byte{0x0F, 0xFF, 0xFF}) // undecodable
+	f.Add([]byte{0xEB, 0xFE})       // jmp self (step-limit path)
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) == 0 || len(code) > 1024 {
+			return
+		}
+		run := func(singleStep bool) (Result, error) {
+			bin := &elf.Binary{
+				Entry: 0x401000,
+				Sections: []*elf.Section{
+					{Name: ".text", Addr: 0x401000, Data: append([]byte(nil), code...), Flags: elf.FlagRead | elf.FlagWrite | elf.FlagExec},
+					{Name: ".data", Addr: 0x600000, Data: make([]byte, 4096), Flags: elf.FlagRead | elf.FlagWrite},
+				},
+			}
+			m := New(bin, Config{Stdin: []byte("fuzz"), StepLimit: 4096, SingleStep: singleStep})
+			res, err := m.Run()
+			m.Release()
+			return res, err
+		}
+		rf, ef := run(false)
+		rs, es := run(true)
+		if (ef == nil) != (es == nil) {
+			t.Fatalf("error divergence: fast=%v slow=%v", ef, es)
+		}
+		if ef != nil && es != nil && ef.Error() != es.Error() {
+			t.Fatalf("error text divergence: fast=%v slow=%v", ef, es)
+		}
+		if rf.Exited != rs.Exited || rf.ExitCode != rs.ExitCode || rf.Steps != rs.Steps {
+			t.Fatalf("run divergence: fast=(%v,%d,%d) slow=(%v,%d,%d)",
+				rf.Exited, rf.ExitCode, rf.Steps, rs.Exited, rs.ExitCode, rs.Steps)
+		}
+		if string(rf.Stdout) != string(rs.Stdout) || string(rf.Stderr) != string(rs.Stderr) {
+			t.Fatalf("output divergence: fast=%q/%q slow=%q/%q", rf.Stdout, rf.Stderr, rs.Stdout, rs.Stderr)
+		}
+	})
+}
+
 func mustText(t *testing.T, chunks ...[]byte) []byte {
 	t.Helper()
 	var out []byte

@@ -63,6 +63,13 @@ type Config struct {
 	// caches compare against the bytes a patch round changed.
 	RecordPages bool
 
+	// SingleStep forces the per-step interpreter even where the
+	// predecoded micro-op fast path (uop.go) would apply. The two
+	// engines are bit-identical by contract; this knob exists so
+	// differential tests and fuzzers can prove it, never for
+	// correctness. Default off: the fast path is always on.
+	SingleStep bool
+
 	// FetchHook runs before each fetch; the fault injector uses it to
 	// mutate instruction bytes at a precise dynamic step index.
 	FetchHook func(m *Machine)
@@ -70,12 +77,59 @@ type Config struct {
 	// StepHook runs after decode, before execution. The instruction is
 	// shared with the machine's caches and must not be mutated.
 	StepHook func(m *Machine, in *isa.Inst) StepAction
+
+	// Hook arming window, maintained by the hook adders below: hooks
+	// may only act during steps s with hookStart <= s < hookEnd (s is
+	// the machine's pre-increment step counter — the dynamic trace
+	// index of the instruction about to execute). Outside the window
+	// the machine may dispatch predecoded micro-op blocks without
+	// calling the hooks at all; inside it, it single-steps so every
+	// hook observes every step. Hooks installed without a window
+	// (plain adders, or direct field assignment) arm the machine
+	// forever, preserving exact historical semantics.
+	hookStart uint64
+	hookEnd   uint64
+	hookWin   bool // some hook declared a bounded window
+	hookAll   bool // some hook has no declared window: arm forever
 }
 
-// AddFetchHook chains h after any already-installed fetch hook, so
-// several fault models can be composed onto one run (the order-2
-// multi-fault campaigns inject two independent faults this way).
-func (c *Config) AddFetchHook(h func(m *Machine)) {
+// armedWindow resolves the step range during which installed hooks
+// must be able to observe execution: empty when no hooks are set,
+// [start, end) when every hook declared a window, all steps otherwise.
+func (c *Config) armedWindow() (start, end uint64) {
+	if c.FetchHook == nil && c.StepHook == nil {
+		return 0, 0
+	}
+	if c.hookWin && !c.hookAll {
+		return c.hookStart, c.hookEnd
+	}
+	return 0, ^uint64(0)
+}
+
+// noteWindow unions [start, end) into the config's hook arming window.
+// Hooks that were installed before any window was declared (direct
+// field assignment) have unknown reach, so they pin the machine to the
+// single-step path forever.
+func (c *Config) noteWindow(start, end uint64) {
+	if (c.FetchHook != nil || c.StepHook != nil) && !c.hookWin && !c.hookAll {
+		c.hookAll = true
+	}
+	if !c.hookWin {
+		c.hookWin = true
+		c.hookStart, c.hookEnd = start, end
+		return
+	}
+	if start < c.hookStart {
+		c.hookStart = start
+	}
+	if end > c.hookEnd {
+		c.hookEnd = end
+	}
+}
+
+// chainFetchHook appends h to the fetch-hook chain without touching
+// the arming window.
+func (c *Config) chainFetchHook(h func(m *Machine)) {
 	if prev := c.FetchHook; prev != nil {
 		c.FetchHook = func(m *Machine) { prev(m); h(m) }
 	} else {
@@ -83,11 +137,9 @@ func (c *Config) AddFetchHook(h func(m *Machine)) {
 	}
 }
 
-// AddStepHook chains h after any already-installed step hook. Hooks
-// compose permissively: if any hook in the chain asks to skip the
-// instruction, it is skipped (later hooks still run, so their own
-// step-indexed state machines observe every step).
-func (c *Config) AddStepHook(h func(m *Machine, in *isa.Inst) StepAction) {
+// chainStepHook appends h to the step-hook chain without touching the
+// arming window.
+func (c *Config) chainStepHook(h func(m *Machine, in *isa.Inst) StepAction) {
 	if prev := c.StepHook; prev != nil {
 		c.StepHook = func(m *Machine, in *isa.Inst) StepAction {
 			a := prev(m, in)
@@ -99,6 +151,47 @@ func (c *Config) AddStepHook(h func(m *Machine, in *isa.Inst) StepAction) {
 	} else {
 		c.StepHook = h
 	}
+}
+
+// AddFetchHook chains h after any already-installed fetch hook, so
+// several fault models can be composed onto one run (the order-2
+// multi-fault campaigns inject two independent faults this way). The
+// hook declares no arming window, so it keeps the machine on the
+// single-step path for the whole run; hooks that only act inside a
+// bounded step range should use AddFetchHookWindow.
+func (c *Config) AddFetchHook(h func(m *Machine)) {
+	c.hookAll = true
+	c.chainFetchHook(h)
+}
+
+// AddFetchHookWindow chains h like AddFetchHook and declares that h
+// only acts during steps s with start <= s < end (pre-increment step
+// counter, i.e. dynamic trace indices). Outside the union of all
+// declared windows the machine may run predecoded micro-op blocks
+// without invoking any hook — a window that is too narrow is a
+// soundness bug, exactly like a too-early EffectHorizon.
+func (c *Config) AddFetchHookWindow(h func(m *Machine), start, end uint64) {
+	c.noteWindow(start, end)
+	c.chainFetchHook(h)
+}
+
+// AddStepHook chains h after any already-installed step hook. Hooks
+// compose permissively: if any hook in the chain asks to skip the
+// instruction, it is skipped (later hooks still run, so their own
+// step-indexed state machines observe every step). Like AddFetchHook,
+// the hook declares no arming window and disables the micro-op fast
+// path for the whole run.
+func (c *Config) AddStepHook(h func(m *Machine, in *isa.Inst) StepAction) {
+	c.hookAll = true
+	c.chainStepHook(h)
+}
+
+// AddStepHookWindow chains h like AddStepHook and declares its arming
+// window [start, end) in pre-increment step counts, with the same
+// contract as AddFetchHookWindow.
+func (c *Config) AddStepHookWindow(h func(m *Machine, in *isa.Inst) StepAction, start, end uint64) {
+	c.noteWindow(start, end)
+	c.chainStepHook(h)
 }
 
 // TraceEntry is one executed instruction in a recorded trace.
@@ -154,6 +247,22 @@ type Machine struct {
 	// Snapshot's golden run; it is consulted first and dropped as soon
 	// as the code mutates. Never written (it is shared across machines).
 	icacheBase *CodeCache
+
+	// Micro-op fast path (uop.go). prog is an optional shared
+	// predecoded program seeded from a Snapshot; priv holds blocks this
+	// machine translated itself (lazily, keyed by entry address, valid
+	// for privGen). armStart/armEnd is the union of the config's hook
+	// arming windows: while Steps is inside [armStart, armEnd) — or
+	// when singleStep, trace recording, or page logging is on — the
+	// machine single-steps so hooks and recorders observe every
+	// instruction; everywhere else RunUntil dispatches straight-line
+	// micro-op blocks.
+	prog       *Program
+	priv       *privProg
+	privGen    uint64
+	armStart   uint64
+	armEnd     uint64
+	singleStep bool
 }
 
 // CodeCache is an immutable decoded-code cache, dense over the code
@@ -226,14 +335,19 @@ func New(bin *elf.Binary, cfg Config) *Machine {
 	if cfg.StackTop == 0 {
 		cfg.StackTop = DefaultStackTop
 	}
-	m := &Machine{
-		Mem:         NewMemory(),
-		Stdin:       cfg.Stdin,
-		StepLimit:   cfg.StepLimit,
-		recordTrace: cfg.RecordTrace,
-		fetchHook:   cfg.FetchHook,
-		stepHook:    cfg.StepHook,
+	mem := memoryPool.Get().(*Memory)
+	if mem.pages == nil {
+		mem.pages = make(map[uint64]*page)
 	}
+	m := resumeMachine()
+	m.Mem = mem
+	m.Stdin = cfg.Stdin
+	m.StepLimit = cfg.StepLimit
+	m.recordTrace = cfg.RecordTrace
+	m.fetchHook = cfg.FetchHook
+	m.stepHook = cfg.StepHook
+	m.singleStep = cfg.SingleStep
+	m.armStart, m.armEnd = cfg.armedWindow()
 	if cfg.RecordPages {
 		m.pageLog = make(map[uint64]uint64, 8)
 		m.lastPage = ^uint64(0)
@@ -302,6 +416,21 @@ func (m *Machine) RunUntil(stop uint64) (Result, bool, error) {
 		if m.Steps >= m.StepLimit {
 			err = ErrStepLimit
 			break
+		}
+		// Superstep dispatch: outside hook arming windows (and without
+		// recorders attached) execution proceeds through predecoded
+		// micro-op blocks, pausing exactly at fastLimit — the next stop
+		// boundary, step limit, or hook window start. The single-step
+		// interpreter below handles everything the fast path declines.
+		if lim := m.fastLimit(stop); lim > m.Steps {
+			moved, ferr := m.runFast(lim)
+			if ferr != nil {
+				err = ferr
+				break
+			}
+			if moved {
+				continue
+			}
 		}
 		if err = m.Step(); err != nil {
 			break

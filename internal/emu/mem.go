@@ -70,6 +70,17 @@ type region struct {
 	perm       uint32
 }
 
+// tlbEntry caches one resolved page lookup.
+type tlbEntry struct {
+	pa uint64
+	p  *page
+}
+
+// tlbSize is the number of direct-mapped TLB slots. Hot loops touch a
+// handful of pages (code, stack, data), so a small table hits almost
+// always.
+const tlbSize = 16
+
 // Memory is a sparse paged address space with per-page permissions.
 // A resumed memory (see Snapshot) layers a small private page table
 // over a frozen base: reads fall through to the base, writes clone the
@@ -79,38 +90,85 @@ type Memory struct {
 	base    map[uint64]*page // frozen snapshot pages, shared read-only; may be nil
 	regions []region
 
+	// tlb memoizes lookupPage: a direct-mapped cache over the two page
+	// maps, holding only non-nil results. Every site that changes the
+	// visible mapping for an address inserts into m.pages and must go
+	// through setPage, which keeps the affected slot coherent; freezing
+	// and mapping never remap an address, so they need no flush.
+	tlb [tlbSize]tlbEntry
+
 	// codeGen increments whenever executable bytes may have changed
 	// (Poke/FlipBit, or a store into an executable page); the machine's
 	// decoded-instruction cache keys off it.
 	codeGen uint64
+
+	// frozen marks a memory that donated its pages to a Snapshot: its
+	// page objects are shared with an immutable image, so the memory
+	// must never be recycled into the allocation pools (see pool.go).
+	frozen bool
+}
+
+// setPage installs pa -> p in the private overlay and keeps the TLB
+// coherent. Every insert into m.pages must go through it.
+func (m *Memory) setPage(pa uint64, p *page) {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page, 8)
+	}
+	m.pages[pa] = p
+	m.tlb[(pa>>12)&(tlbSize-1)] = tlbEntry{pa: pa, p: p}
 }
 
 // clonePage replaces a copy-on-write page with a private mutable copy
 // in this address space's overlay and returns the copy. Every write
 // path must go through it before mutating a shared page.
 func (m *Memory) clonePage(pa uint64, p *page) *page {
-	q := &page{data: p.data, perm: p.perm}
-	if m.pages == nil {
-		m.pages = make(map[uint64]*page, 8)
-	}
-	m.pages[pa] = q
+	q := pagePool.Get().(*page)
+	q.data = p.data
+	q.perm = p.perm
+	q.cow = false
+	m.setPage(pa, q)
 	return q
 }
 
 // lookupPage returns the visible page containing pa (private overlay
 // first, then the frozen base), without materializing anything.
 func (m *Memory) lookupPage(pa uint64) *page {
+	if e := &m.tlb[(pa>>12)&(tlbSize-1)]; e.pa == pa && e.p != nil {
+		return e.p
+	}
 	if m.pages != nil {
 		if p, ok := m.pages[pa]; ok {
+			m.tlb[(pa>>12)&(tlbSize-1)] = tlbEntry{pa: pa, p: p}
 			return p
 		}
 	}
 	if m.base != nil {
 		if p, ok := m.base[pa]; ok {
+			m.tlb[(pa>>12)&(tlbSize-1)] = tlbEntry{pa: pa, p: p}
 			return p
 		}
 	}
 	return nil
+}
+
+// execSpan returns the address range covered by executable regions
+// (the span a machine-private micro-op translation indexes, see
+// uop.go).
+func (m *Memory) execSpan() (lo, hi uint64) {
+	first := true
+	for _, r := range m.regions {
+		if r.perm&elf.FlagExec == 0 {
+			continue
+		}
+		if first || r.addr < lo {
+			lo = r.addr
+		}
+		if first || r.addr+r.size > hi {
+			hi = r.addr + r.size
+		}
+		first = false
+	}
+	return lo, hi
 }
 
 // CodeGeneration returns the current code-mutation epoch.
@@ -127,12 +185,34 @@ func (m *Memory) Map(addr, size uint64, perm uint32) {
 	m.regions = append(m.regions, region{addr: addr, size: size, perm: perm})
 	// Already-materialized pages in range get their perms widened
 	// (cloning shared pages first — permissions are per-machine state).
-	for a := addr &^ (pageSize - 1); a < addr+size; a += pageSize {
-		if p := m.lookupPage(a); p != nil {
-			if p.cow {
+	lo := addr &^ (pageSize - 1)
+	hi := addr + size
+	if spanPages := (hi - lo + pageSize - 1) / pageSize; spanPages <= uint64(len(m.pages)+len(m.base)) {
+		for a := lo; a < hi; a += pageSize {
+			if p := m.lookupPage(a); p != nil {
+				if p.cow {
+					p = m.clonePage(a, p)
+				}
+				p.perm |= perm
+			}
+		}
+		return
+	}
+	// Large mapping (a fresh stack), few materialized pages: visiting
+	// the page tables beats probing every page of the range.
+	for a, p := range m.pages {
+		if a >= lo && a < hi {
+			if p.cow { // a frozen donor's overlay pages are shared
 				p = m.clonePage(a, p)
 			}
 			p.perm |= perm
+		}
+	}
+	for a, p := range m.base {
+		if a >= lo && a < hi {
+			if _, shadowed := m.pages[a]; !shadowed {
+				m.clonePage(a, p).perm |= perm
+			}
 		}
 	}
 }
@@ -168,11 +248,8 @@ func (m *Memory) page(addr uint64) *page {
 	if !ok {
 		return nil
 	}
-	p := &page{perm: perm}
-	if m.pages == nil {
-		m.pages = make(map[uint64]*page, 8)
-	}
-	m.pages[pa] = p
+	p := materializePage(perm)
+	m.setPage(pa, p)
 	return p
 }
 
@@ -188,11 +265,8 @@ func (m *Memory) writablePage(addr uint64) *page {
 		if !ok {
 			return nil
 		}
-		p = &page{perm: perm}
-		if m.pages == nil {
-			m.pages = make(map[uint64]*page, 8)
-		}
-		m.pages[pa] = p
+		p = materializePage(perm)
+		m.setPage(pa, p)
 	case p.cow:
 		p = m.clonePage(pa, p)
 	}
@@ -353,8 +427,9 @@ func (m *Memory) Fetch(addr uint64, buf []byte) (int, error) {
 		if p == nil || p.perm&elf.FlagExec == 0 {
 			break
 		}
-		buf[n] = p.data[a&(pageSize-1)]
-		n++
+		// Copy the rest of the page in one go instead of a byte per
+		// page lookup (instruction fetches are up to 15 bytes).
+		n += copy(buf[n:], p.data[a&(pageSize-1):])
 	}
 	return n, nil
 }

@@ -26,14 +26,21 @@ func (m *Memory) freeze() memImage {
 		p.cow = true
 		pages[a] = p
 	}
+	// The donor's pages now back an immutable image, so the donor must
+	// never be recycled into the allocation pools (see Release).
+	m.frozen = true
 	return memImage{pages: pages, regions: m.regions, codeGen: m.codeGen}
 }
 
 // resumeMemory builds a private address space layered over a frozen
 // image: no pages are copied up front, reads fall through to the
-// image, and writes clone single pages on demand.
+// image, and writes clone single pages on demand. The shell comes from
+// the allocation pool; Release returns it.
 func resumeMemory(img memImage) *Memory {
-	return &Memory{base: img.pages, regions: img.regions, codeGen: img.codeGen}
+	mem := memoryPool.Get().(*Memory)
+	pages := mem.pages // cleared by Release; keep the buckets
+	*mem = Memory{pages: pages, base: img.pages, regions: img.regions, codeGen: img.codeGen}
+	return mem
 }
 
 // Snapshot is an immutable machine image taken at an instruction
@@ -62,6 +69,10 @@ type Snapshot struct {
 	// Optional warm decoded-code cache, shared read-only by all resumed
 	// machines while their code generation still matches.
 	code *CodeCache
+
+	// Optional predecoded micro-op program (TranslateProgram), shared
+	// read-only like the decode cache it is derived from.
+	prog *Program
 }
 
 // Snapshot freezes the machine's current state. The machine remains
@@ -96,6 +107,17 @@ func (s *Snapshot) SeedDecodeCache(cache *CodeCache) {
 	}
 }
 
+// SeedProgram attaches a shared predecoded micro-op program (built
+// with TranslateProgram from a finished golden run) so resumed
+// machines dispatch micro-op blocks instead of re-translating them.
+// Ignored when the program's code generation does not match the
+// snapshot's.
+func (s *Snapshot) SeedProgram(p *Program) {
+	if p != nil && p.gen == s.mem.codeGen {
+		s.prog = p
+	}
+}
+
 // Resume forks a fresh machine from the snapshot. cfg supplies the run
 // controls (StepLimit, hooks, RecordTrace); cfg.Stdin, when non-nil,
 // replaces the snapshot's input stream (only meaningful for snapshots
@@ -106,21 +128,22 @@ func (s *Snapshot) Resume(cfg Config) *Machine {
 	if cfg.StepLimit == 0 {
 		cfg.StepLimit = DefaultStepLimit
 	}
-	m := &Machine{
-		Regs:        s.regs,
-		RIP:         s.rip,
-		Rflags:      s.rflags,
-		Steps:       s.steps,
-		Mem:         resumeMemory(s.mem),
-		Stdin:       s.stdin,
-		inPos:       s.inPos,
-		Stdout:      s.stdout,
-		Stderr:      s.stderr,
-		StepLimit:   cfg.StepLimit,
-		recordTrace: cfg.RecordTrace,
-		fetchHook:   cfg.FetchHook,
-		stepHook:    cfg.StepHook,
-	}
+	m := resumeMachine()
+	m.Regs = s.regs
+	m.RIP = s.rip
+	m.Rflags = s.rflags
+	m.Steps = s.steps
+	m.Mem = resumeMemory(s.mem)
+	m.Stdin = s.stdin
+	m.inPos = s.inPos
+	m.Stdout = s.stdout
+	m.Stderr = s.stderr
+	m.StepLimit = cfg.StepLimit
+	m.recordTrace = cfg.RecordTrace
+	m.fetchHook = cfg.FetchHook
+	m.stepHook = cfg.StepHook
+	m.singleStep = cfg.SingleStep
+	m.armStart, m.armEnd = cfg.armedWindow()
 	if cfg.RecordPages {
 		m.pageLog = make(map[uint64]uint64, 8)
 		m.lastPage = ^uint64(0)
@@ -130,6 +153,9 @@ func (s *Snapshot) Resume(cfg Config) *Machine {
 	}
 	if s.code != nil && s.code.gen == m.Mem.CodeGeneration() {
 		m.icacheBase = s.code
+	}
+	if s.prog != nil && s.prog.gen == m.Mem.CodeGeneration() {
+		m.prog = s.prog
 	}
 	return m
 }

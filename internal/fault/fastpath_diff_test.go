@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+// TestCampaignFastVsSingleStep holds the whole campaign engine to the
+// fast path's parity contract: a campaign run on the predecoded
+// micro-op path (the default) must produce a report bit-identical to
+// the same campaign forced onto the single-step interpreter — every
+// model, every injection, the oracles, and the trace.
+func TestCampaignFastVsSingleStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign sweep")
+	}
+	c := cases.Pincheck()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range RegisteredModels() {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			camp := Campaign{
+				Binary: bin, Good: c.Good, Bad: c.Bad,
+				Models: []Model{model}, DedupSites: true,
+			}
+			fast, err := Run(camp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			camp.SingleStep = true
+			slow, err := Run(camp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fast.GoodOracle, slow.GoodOracle) ||
+				!reflect.DeepEqual(fast.BadOracle, slow.BadOracle) {
+				t.Fatalf("oracle divergence: fast=%+v/%+v slow=%+v/%+v",
+					fast.GoodOracle, fast.BadOracle, slow.GoodOracle, slow.BadOracle)
+			}
+			if len(fast.Injections) != len(slow.Injections) {
+				t.Fatalf("injection count divergence: fast=%d slow=%d",
+					len(fast.Injections), len(slow.Injections))
+			}
+			for i := range fast.Injections {
+				if fast.Injections[i] != slow.Injections[i] {
+					t.Errorf("injection %d: fast=%+v slow=%+v",
+						i, fast.Injections[i], slow.Injections[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPairSweepFastVsSingleStep extends the parity contract to the
+// order-2 snapshot tree: the pair sweep's outcomes must not depend on
+// the execution strategy either.
+func TestPairSweepFastVsSingleStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential pair sweep")
+	}
+	c := cases.Pincheck()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := Campaign{
+		Binary: bin, Good: c.Good, Bad: c.Bad,
+		Models: []Model{ModelSkip, ModelBitFlip}, DedupSites: true,
+	}
+	sweep := func(singleStep bool) []PairInjection {
+		camp.SingleStep = singleStep
+		s, err := NewSession(camp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, _ := s.ExecuteShard(0, 1, 0, nil)
+		pairs := EnumeratePairs(solo, 256)
+		if len(pairs) == 0 {
+			t.Fatal("no pairs enumerated")
+		}
+		out, _ := s.ExecutePairShard(pairs, 0, 1, 0, nil)
+		return out
+	}
+	fast, slow := sweep(false), sweep(true)
+	if len(fast) != len(slow) {
+		t.Fatalf("pair count divergence: fast=%d slow=%d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Errorf("pair %d: fast=%+v slow=%+v", i, fast[i], slow[i])
+		}
+	}
+}

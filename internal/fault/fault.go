@@ -172,6 +172,12 @@ type Campaign struct {
 
 	// MaxFaults caps the number of injections (0 = unlimited).
 	MaxFaults int
+
+	// SingleStep forces every simulation onto the emulator's per-step
+	// interpreter instead of the predecoded micro-op fast path. The
+	// two are bit-identical by contract; differential tests set this
+	// to prove it at campaign level. Default off.
+	SingleStep bool
 }
 
 // Report is the campaign outcome.

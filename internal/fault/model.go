@@ -320,17 +320,19 @@ func (SkipSpec) Enumerate(ctx *EnumContext, emit func(Fault)) {
 	}
 }
 
-// Hooks implements ModelSpec.
+// Hooks implements ModelSpec. The declared arming window mirrors
+// EffectEnd: outside it the emulator may run predecoded blocks without
+// consulting the hook.
 func (SkipSpec) Hooks(f Fault, cfg *emu.Config) {
 	ti := uint64(f.TraceIndex)
-	cfg.AddStepHook(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
+	cfg.AddStepHookWindow(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
 		// Steps is incremented before the hook runs, so the currently
 		// executing instruction has index Steps-1.
 		if m.Steps-1 == ti {
 			return emu.ActSkip
 		}
 		return emu.ActContinue
-	})
+	}, ti, ti+1)
 }
 
 // EffectEnd implements EffectHorizon: the skip acts during step
@@ -372,13 +374,19 @@ func (BitFlipSpec) Enumerate(ctx *EnumContext, emit func(Fault)) {
 	}
 }
 
-// Hooks implements ModelSpec.
+// Hooks implements ModelSpec. The arming window spans the flip and,
+// for transient faults, the restoring flip one step later — the same
+// range EffectEnd declares.
 func (BitFlipSpec) Hooks(f Fault, cfg *emu.Config) {
 	ti := uint64(f.TraceIndex)
 	flipAddr := f.Addr + uint64(f.Bit/8)
 	flipBit := uint(f.Bit % 8)
 	transient := f.Transient
-	cfg.AddFetchHook(func(m *emu.Machine) {
+	end := ti + 1
+	if transient {
+		end = ti + 2
+	}
+	cfg.AddFetchHookWindow(func(m *emu.Machine) {
 		// The hook runs before Steps is incremented, so the
 		// instruction about to be fetched has index Steps.
 		switch m.Steps {
@@ -389,7 +397,7 @@ func (BitFlipSpec) Hooks(f Fault, cfg *emu.Config) {
 				_ = m.Mem.FlipBit(flipAddr, flipBit)
 			}
 		}
-	})
+	}, ti, end)
 }
 
 // EffectEnd implements EffectHorizon: the flip lands at the fetch of
@@ -445,16 +453,17 @@ func (RegFlipSpec) Enumerate(ctx *EnumContext, emit func(Fault)) {
 	}
 }
 
-// Hooks implements ModelSpec.
+// Hooks implements ModelSpec, with the one-step arming window
+// EffectEnd declares.
 func (RegFlipSpec) Hooks(f Fault, cfg *emu.Config) {
 	ti := uint64(f.TraceIndex)
 	reg, bit := f.Reg, uint(f.Bit)
-	cfg.AddStepHook(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
+	cfg.AddStepHookWindow(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
 		if m.Steps-1 == ti {
 			m.FlipRegBit(reg, bit)
 		}
 		return emu.ActContinue
-	})
+	}, ti, ti+1)
 }
 
 // EffectEnd implements EffectHorizon: the register is flipped during
@@ -564,12 +573,12 @@ func (s MultiSkipSpec) Enumerate(ctx *EnumContext, emit func(Fault)) {
 func (MultiSkipSpec) Hooks(f Fault, cfg *emu.Config) {
 	start := uint64(f.TraceIndex)
 	end := start + uint64(f.Window)
-	cfg.AddStepHook(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
+	cfg.AddStepHookWindow(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
 		if s := m.Steps - 1; s >= start && s < end {
 			return emu.ActSkip
 		}
 		return emu.ActContinue
-	})
+	}, start, end)
 }
 
 // EffectEnd implements EffectHorizon: the glitch sustains through the
@@ -652,14 +661,14 @@ func (DataFlipSpec) Hooks(f Fault, cfg *emu.Config) {
 	ti := uint64(f.TraceIndex)
 	byteOff := uint64(f.Bit / 8)
 	bit := uint(f.Bit % 8)
-	cfg.AddStepHook(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
+	cfg.AddStepHookWindow(func(m *emu.Machine, in *isa.Inst) emu.StepAction {
 		if m.Steps-1 == ti {
 			if mem := dataFaultOperand(in); mem != nil {
 				_ = m.Mem.FlipDataBit(m.OperandAddr(in, mem)+byteOff, bit)
 			}
 		}
 		return emu.ActContinue
-	})
+	}, ti, ti+1)
 }
 
 // EffectEnd implements EffectHorizon: the cell is disturbed during step

@@ -84,7 +84,7 @@ func EnumeratePairs(solo []Injection, max int) []FaultPair {
 // second fires at its step index even when the first has already sent
 // execution down a different path.
 func (s *Session) pairConfig(p FaultPair) emu.Config {
-	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit, SingleStep: s.c.SingleStep}
 	if spec := SpecOf(p.First.Model); spec != nil {
 		spec.Hooks(p.First, &cfg)
 	}
@@ -104,9 +104,11 @@ func (s *Session) SimulatePair(p FaultPair) Outcome {
 	if p.Second.TraceIndex < first {
 		first = p.Second.TraceIndex
 	}
-	m := s.checkpointFor(uint64(first)).Resume(s.pairConfig(p))
+	m := s.rungFor(uint64(first)).Resume(s.pairConfig(p))
 	res, err := m.Run()
-	return classify(res, err, s.good)
+	o := classify(res, err, s.good)
+	m.Release()
+	return o
 }
 
 // SimulatePairCold replays an order-2 injection from a freshly
@@ -118,7 +120,9 @@ func (s *Session) SimulatePairCold(p FaultPair) Outcome {
 	cfg.Stdin = s.c.Bad
 	m := emu.New(s.c.Binary, cfg)
 	res, err := m.Run()
-	return classify(res, err, s.good)
+	o := classify(res, err, s.good)
+	m.Release()
+	return o
 }
 
 // pairGroup is one node of the first-fault snapshot tree: every
@@ -141,7 +145,7 @@ type pairGroup struct {
 // Second.TraceIndex >= end), and after it the first fault's hooks are
 // inert by its declared EffectHorizon.
 func (s *Session) runPairGroup(g *pairGroup, sel []FaultPair, outcomes []Outcome, tally *Tally, tick func()) {
-	m := s.checkpointFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
+	m := s.rungFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
 	res, done, err := m.RunUntil(g.end)
 	if done {
 		// The first-fault run ended (exit, crash, or step limit) before
@@ -153,14 +157,17 @@ func (s *Session) runPairGroup(g *pairGroup, sel []FaultPair, outcomes []Outcome
 			tally[o]++
 			tick()
 		}
+		m.Release()
 		return
 	}
 	snap := m.Snapshot()
-	// Re-donate the golden run's decode cache; SeedDecodeCache ignores
-	// it when the first fault mutated code (bit flips).
+	// Re-donate the golden run's decode cache and micro-op program;
+	// the seeds ignore them when the first fault mutated code (bit
+	// flips).
 	snap.SeedDecodeCache(s.codeCache)
+	snap.SeedProgram(s.prog)
 	for _, i := range g.idx {
-		cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+		cfg := emu.Config{StepLimit: s.c.InjectionStepLimit, SingleStep: s.c.SingleStep}
 		second := sel[i].Second
 		if spec := SpecOf(second.Model); spec != nil {
 			spec.Hooks(second, &cfg)
@@ -171,6 +178,7 @@ func (s *Session) runPairGroup(g *pairGroup, sel []FaultPair, outcomes []Outcome
 		outcomes[i] = o
 		tally[o]++
 		tick()
+		m2.Release()
 	}
 }
 

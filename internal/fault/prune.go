@@ -241,9 +241,10 @@ func (pr *PairPruner) refDigestAt(step uint64) [32]byte {
 	}
 	pr.mu.Unlock()
 	rd.once.Do(func() {
-		m := pr.s.checkpointFor(step).Resume(emu.Config{StepLimit: pr.s.c.InjectionStepLimit})
+		m := pr.s.rungFor(step).Resume(emu.Config{StepLimit: pr.s.c.InjectionStepLimit, SingleStep: pr.s.c.SingleStep})
 		m.RunUntil(step)
 		rd.d = m.StateDigest()
+		m.Release()
 	})
 	return rd.d
 }
@@ -297,7 +298,7 @@ func (pr *PairPruner) restOutcome(cl *equivClass, rest FaultPair, sim func() Out
 // solo-outcome inheritance (reference-equal state), class-cache
 // inheritance, or a fork simulation recorded into the class.
 func (s *Session) runPairGroupPruned(pr *PairPruner, g *pairGroup, sel []FaultPair, outcomes []Outcome, tally *Tally, tick func()) {
-	m := s.checkpointFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
+	m := s.rungFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
 	res, done, err := m.RunUntil(g.end)
 	if done {
 		// One run classified the whole group (same as the unpruned
@@ -309,6 +310,7 @@ func (s *Session) runPairGroupPruned(pr *PairPruner, g *pairGroup, sel []FaultPa
 			tally[o]++
 			tick()
 		}
+		m.Release()
 		return
 	}
 	digest := m.StateDigest()
@@ -320,13 +322,15 @@ func (s *Session) runPairGroupPruned(pr *PairPruner, g *pairGroup, sel []FaultPa
 	var snap *emu.Snapshot
 	fork := func(second Fault) func() Outcome {
 		return func() Outcome {
-			cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+			cfg := emu.Config{StepLimit: s.c.InjectionStepLimit, SingleStep: s.c.SingleStep}
 			if spec := SpecOf(second.Model); spec != nil {
 				spec.Hooks(second, &cfg)
 			}
 			m2 := snap.Resume(cfg)
 			res2, err2 := m2.Run()
-			return classify(res2, err2, s.good)
+			o := classify(res2, err2, s.good)
+			m2.Release()
+			return o
 		}
 	}
 	for _, i := range g.idx {
@@ -343,6 +347,7 @@ func (s *Session) runPairGroupPruned(pr *PairPruner, g *pairGroup, sel []FaultPa
 				cl = pr.classFor(g.end, digest)
 				snap = m.Snapshot()
 				snap.SeedDecodeCache(s.codeCache)
+				snap.SeedProgram(s.prog)
 			}
 			o = pr.secondOutcome(cl, second, fork(second))
 		}
@@ -350,6 +355,9 @@ func (s *Session) runPairGroupPruned(pr *PairPruner, g *pairGroup, sel []FaultPa
 		tally[o]++
 		tick()
 	}
+	// No-op when a snapshot froze m; recycles the buffers otherwise
+	// (every pair inherited its second fault's solo outcome).
+	m.Release()
 }
 
 // ExecutePairShardPruned is ExecutePairShard with the state-hash

@@ -48,6 +48,17 @@ type Session struct {
 	// (valid only while the first fault left code unmutated).
 	codeCache *emu.CodeCache
 
+	// prog is the reference run's predecoded micro-op program (built
+	// once from codeCache), seeded into every snapshot alongside the
+	// decode cache so resumed machines dispatch micro-op blocks
+	// outside their fault windows.
+	prog *emu.Program
+
+	// ladder holds reference-trajectory snapshots for prefix replay:
+	// the fixed-interval checkpoints plus the rungs rungFor bisects
+	// into oversized gaps, reused campaign-wide.
+	ladder *ladder
+
 	// refPages is the reference run's code-page footprint: each fetched
 	// page mapped to the step count at its first fetch. SimulateRecord
 	// slices it at an injection's snapshot step to account for the
@@ -92,14 +103,14 @@ func NewSession(c Campaign) (*Session, error) {
 	if goodIn == nil {
 		goodIn = []byte{}
 	}
-	gm := base.Resume(emu.Config{Stdin: goodIn, StepLimit: c.StepLimit, RecordTrace: true})
+	gm := base.Resume(emu.Config{Stdin: goodIn, StepLimit: c.StepLimit, RecordTrace: true, SingleStep: c.SingleStep})
 	goodRes, goodErr := gm.Run()
 	if goodErr != nil {
 		return nil, fmt.Errorf("%w: good input: %v", ErrBadRun, goodErr)
 	}
 
 	s := &Session{c: c, ckpts: []*emu.Snapshot{base}}
-	rm := base.Resume(emu.Config{StepLimit: c.StepLimit, RecordTrace: true, RecordPages: true})
+	rm := base.Resume(emu.Config{StepLimit: c.StepLimit, RecordTrace: true, RecordPages: true, SingleStep: c.SingleStep})
 	badRes, badErr := s.runReference(rm)
 	if badErr != nil {
 		return nil, fmt.Errorf("%w: bad input: %v", ErrBadRun, badErr)
@@ -113,14 +124,18 @@ func NewSession(c Campaign) (*Session, error) {
 		return nil, ErrOracle
 	}
 
-	// Donate the reference run's decode work to every snapshot whose
-	// code image still matches, so injections skip re-decoding.
+	// Donate the reference run's decode work — and its micro-op
+	// translation — to every snapshot whose code image still matches,
+	// so injections skip re-decoding and re-translating.
 	cache, gen := rm.DecodeCache()
 	cc := emu.BuildCodeCache(cache, gen)
 	s.codeCache = cc
+	s.prog = emu.TranslateProgram(cc)
 	for _, cp := range s.ckpts {
 		cp.SeedDecodeCache(cc)
+		cp.SeedProgram(s.prog)
 	}
+	s.ladder = newLadder(s.ckpts)
 
 	if s.c.InjectionStepLimit == 0 {
 		ref := badRes.Steps
@@ -301,7 +316,7 @@ func (s *Session) checkpointFor(traceIndex uint64) *emu.Snapshot {
 // whether the run starts from _start or resumes from a mid-trace
 // snapshot (the contract TestSnapshotPathMatchesColdPath enforces).
 func (s *Session) injectionConfig(f Fault) emu.Config {
-	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit, SingleStep: s.c.SingleStep}
 	if spec := SpecOf(f.Model); spec != nil {
 		spec.Hooks(f, &cfg)
 	}
@@ -347,9 +362,11 @@ func (s *Session) decodePreScreen(f Fault) bool {
 // nearest copy-on-write snapshot with the fault's hooks and classify
 // the run. Callers (Simulate, Pruner) apply their static screens first.
 func (s *Session) simulateDynamic(f Fault) Outcome {
-	m := s.checkpointFor(uint64(f.TraceIndex)).Resume(s.injectionConfig(f))
+	m := s.rungFor(uint64(f.TraceIndex)).Resume(s.injectionConfig(f))
 	res, err := m.Run()
-	return classify(res, err, s.good)
+	o := classify(res, err, s.good)
+	m.Release()
+	return o
 }
 
 // InjectionLimit returns the per-injection step budget the session runs
@@ -410,21 +427,32 @@ func (s *Session) preScreenRecord(f Fault) SimRecord {
 // simulateRecordDynamic is the evidence-recording simulation core
 // behind SimulateRecord, minus the decode pre-screen.
 func (s *Session) simulateRecordDynamic(f Fault) SimRecord {
-	ck := s.checkpointFor(uint64(f.TraceIndex))
+	ck := s.rungFor(uint64(f.TraceIndex))
 	cfg := s.injectionConfig(f)
 	cfg.RecordPages = true
 	m := ck.Resume(cfg)
 	res, err := m.Run()
-	pages := s.prefixPages(ck.Steps())
+	// The prefix bound must be deterministic, and ladder rung positions
+	// are not (they depend on which injections ran first): account the
+	// prefix up to the fault step itself, a superset of any rung's
+	// actual prefix, so the recorded evidence is worker-schedule
+	// independent.
+	bound := uint64(f.TraceIndex)
+	if lim := s.c.InjectionStepLimit; lim > 0 && bound > lim-1 {
+		bound = lim - 1
+	}
+	pages := s.prefixPages(bound + 1)
 	for pa := range m.PageLog() {
 		pages[pa] = struct{}{}
 	}
-	return SimRecord{
+	rec := SimRecord{
 		Outcome:  classify(res, err, s.good),
 		Steps:    res.Steps,
 		LimitHit: errors.Is(err, emu.ErrStepLimit),
 		Pages:    sortedPages(pages),
 	}
+	m.Release()
+	return rec
 }
 
 // prefixPages collects the reference run's footprint pages first
@@ -459,7 +487,9 @@ func (s *Session) SimulateCold(f Fault) Outcome {
 	cfg.Stdin = s.c.Bad
 	m := emu.New(s.c.Binary, cfg)
 	res, err := m.Run()
-	return classify(res, err, s.good)
+	o := classify(res, err, s.good)
+	m.Release()
+	return o
 }
 
 // Tally counts injection outcomes, indexed by Outcome.

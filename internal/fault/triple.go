@@ -86,7 +86,7 @@ func EnumerateTriples(solo []Injection, max int) []FaultTriple {
 // like pairConfig, each hook keys off the absolute step counter, so
 // the injections are independent.
 func (s *Session) tripleConfig(t FaultTriple) emu.Config {
-	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+	cfg := emu.Config{StepLimit: s.c.InjectionStepLimit, SingleStep: s.c.SingleStep}
 	for _, f := range [3]Fault{t.First, t.Second, t.Third} {
 		if spec := SpecOf(f.Model); spec != nil {
 			spec.Hooks(f, &cfg)
@@ -106,9 +106,11 @@ func (s *Session) SimulateTriple(t FaultTriple) Outcome {
 	if t.Third.TraceIndex < first {
 		first = t.Third.TraceIndex
 	}
-	m := s.checkpointFor(uint64(first)).Resume(s.tripleConfig(t))
+	m := s.rungFor(uint64(first)).Resume(s.tripleConfig(t))
 	res, err := m.Run()
-	return classify(res, err, s.good)
+	o := classify(res, err, s.good)
+	m.Release()
+	return o
 }
 
 // SimulateTripleCold replays an order-3 injection from a freshly
@@ -120,7 +122,9 @@ func (s *Session) SimulateTripleCold(t FaultTriple) Outcome {
 	cfg.Stdin = s.c.Bad
 	m := emu.New(s.c.Binary, cfg)
 	res, err := m.Run()
-	return classify(res, err, s.good)
+	o := classify(res, err, s.good)
+	m.Release()
+	return o
 }
 
 // tripleGroup is one node of the order-3 snapshot tree: every selected
@@ -144,7 +148,7 @@ type tripleGroup struct {
 // fired (eligibility requires Second.TraceIndex >= end and the triple
 // is trace-ordered), and after it the first fault's hooks are inert.
 func (s *Session) runTripleGroup(pr *PairPruner, g *tripleGroup, sel []FaultTriple, outcomes []Outcome, tally *Tally, tick func()) {
-	m := s.checkpointFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
+	m := s.rungFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
 	res, done, err := m.RunUntil(g.end)
 	if done {
 		o := classify(res, err, s.good)
@@ -154,6 +158,7 @@ func (s *Session) runTripleGroup(pr *PairPruner, g *tripleGroup, sel []FaultTrip
 			tally[o]++
 			tick()
 		}
+		m.Release()
 		return
 	}
 	digest := m.StateDigest()
@@ -163,7 +168,7 @@ func (s *Session) runTripleGroup(pr *PairPruner, g *tripleGroup, sel []FaultTrip
 	var snap *emu.Snapshot
 	fork := func(rest FaultPair) func() Outcome {
 		return func() Outcome {
-			cfg := emu.Config{StepLimit: s.c.InjectionStepLimit}
+			cfg := emu.Config{StepLimit: s.c.InjectionStepLimit, SingleStep: s.c.SingleStep}
 			for _, f := range [2]Fault{rest.First, rest.Second} {
 				if spec := SpecOf(f.Model); spec != nil {
 					spec.Hooks(f, &cfg)
@@ -171,7 +176,9 @@ func (s *Session) runTripleGroup(pr *PairPruner, g *tripleGroup, sel []FaultTrip
 			}
 			m2 := snap.Resume(cfg)
 			res2, err2 := m2.Run()
-			return classify(res2, err2, s.good)
+			o := classify(res2, err2, s.good)
+			m2.Release()
+			return o
 		}
 	}
 	for _, i := range g.idx {
@@ -187,6 +194,7 @@ func (s *Session) runTripleGroup(pr *PairPruner, g *tripleGroup, sel []FaultTrip
 				cl = pr.classFor(g.end, digest)
 				snap = m.Snapshot()
 				snap.SeedDecodeCache(s.codeCache)
+				snap.SeedProgram(s.prog)
 			}
 			o = pr.restOutcome(cl, rest, fork(rest))
 		}
@@ -194,6 +202,9 @@ func (s *Session) runTripleGroup(pr *PairPruner, g *tripleGroup, sel []FaultTrip
 		tally[o]++
 		tick()
 	}
+	// No-op when a snapshot froze m; recycles the buffers otherwise
+	// (every triple inherited its remaining pair's outcome).
+	m.Release()
 }
 
 // ExecuteTripleShard simulates the triples of shard shardIndex (of
