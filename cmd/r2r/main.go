@@ -15,6 +15,7 @@
 //	r2r corpus [-cases LIST] [-order 1|2] ...       batched sweep across the case-study corpus
 //	r2r patch -good G -bad B -o out.elf prog.elf    Faulter+Patcher pipeline
 //	r2r hybrid -o out.elf prog.elf                  Hybrid pipeline
+//	r2r oracle [-cases LIST] [-harden P] ...        differential-execution oracle
 //	r2r cases -dir DIR                  write the case studies to disk
 //	r2r experiments [-only NAME]        regenerate the paper's tables
 //	r2r pipeline                        describe the two pipelines
@@ -44,8 +45,10 @@ import (
 	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/cases"
 	"github.com/r2r/reinforce/internal/cli"
+	"github.com/r2r/reinforce/internal/emit"
 	"github.com/r2r/reinforce/internal/experiments"
 	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/oracle"
 	"github.com/r2r/reinforce/internal/report"
 )
 
@@ -93,6 +96,8 @@ func main() {
 		err = cmdPatch(args, os.Stdout)
 	case "hybrid":
 		err = cmdHybrid(args)
+	case "oracle":
+		err = cmdOracle(args, os.Stdout)
 	case "cases":
 		err = cmdCases(args)
 	case "cfg":
@@ -145,14 +150,24 @@ commands:
                                  as one batched, cache-sharing run with
                                  per-case and aggregate survival reports
   patch -good G -bad B [-model ...] [-order 1|2] [-max-pairs N]
-        [-json|-csv] [-o OUT] BIN
+        [-json|-csv] [-o OUT] [-emit ELF] BIN
                                  harden via the Faulter+Patcher pipeline;
                                  -order 2 escalates fault-pair sites to
-                                 the order-2-aware patterns
-  hybrid [-harden branch|order2] [-o OUT] BIN
+                                 the order-2-aware patterns; -emit also
+                                 writes a standalone runnable ELF
+  hybrid [-harden branch|order2] [-o OUT] [-emit ELF] BIN
                                  harden via the Hybrid (lift/lower)
                                  pipeline; order2 adds the skip-window
-                                 multi-fault countermeasure pass
+                                 multi-fault countermeasure pass; -emit
+                                 also writes a standalone runnable ELF
+  oracle [-cases LIST] [-harden hybrid|order2|patch] [-n N] [-seed S]
+         [-variants N] [-workers N] [-json|-csv] [ORIG HARDENED]
+                                 differential-execution oracle: harden
+                                 each case, generate N inputs, and
+                                 assert original/hardened equivalence
+                                 off the fault path (exit status, output
+                                 bytes, crash class); with two binary
+                                 arguments, difference those instead
   cases -dir DIR                 emit the registered case-study corpus
   cfg [-harden] BIN              CFG of the lifted IR in Graphviz dot
                                  (figures 4/5 with -harden)
@@ -664,6 +679,14 @@ func cmdPatch(args []string, out io.Writer) error {
 	if err := saveBinary(res.Binary, path); err != nil {
 		return err
 	}
+	var emitted string
+	if f.Emit != "" {
+		digest, err := emit.WriteFile(f.Emit, res.Binary)
+		if err != nil {
+			return err
+		}
+		emitted = fmt.Sprintf("emitted %s (digest %s)\n", f.Emit, digest)
+	}
 	switch {
 	case f.JSON:
 		return res.WriteJSON(out)
@@ -672,6 +695,7 @@ func cmdPatch(args []string, out io.Writer) error {
 	}
 	fmt.Fprint(out, res.Summary())
 	fmt.Fprintf(out, "wrote %s\n", path)
+	fmt.Fprint(out, emitted)
 	return nil
 }
 
@@ -716,6 +740,128 @@ func cmdHybrid(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if f.Emit != "" {
+		digest, err := emit.WriteFile(f.Emit, res.Binary)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("emitted %s (digest %s)\n", f.Emit, digest)
+	}
+	return nil
+}
+
+// cmdOracle runs the differential-execution oracle: with no positional
+// arguments, each selected catalog case is hardened through the chosen
+// pipeline and differenced against its original across a generated
+// input corpus (plus optional fuzz variants); with two binaries, those
+// are differenced directly under a case-agnostic corpus. Any divergence
+// is a runtime failure (exit 1) after the report is written.
+func cmdOracle(args []string, out io.Writer) error {
+	fs, f := cli.Oracle()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 && fs.NArg() != 2 {
+		return usagef("want no binaries (catalog mode) or exactly two (ORIG HARDENED)")
+	}
+	if f.N < 1 {
+		return usagef("-n %d: want at least one input", f.N)
+	}
+	opt := oracle.Options{Workers: f.Workers}
+
+	var reports []*oracle.CaseReport
+	if fs.NArg() == 2 {
+		orig, err := loadBinary(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		hard, err := loadBinary(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep := oracle.Diff(orig, hard, oracle.GenericInputs(f.N, f.Seed, 0), opt)
+		reports = append(reports, &oracle.CaseReport{
+			Case:           filepath.Base(fs.Arg(0)),
+			Pipeline:       "external",
+			HardenedDigest: hard.Digest(),
+			Inputs:         rep.Inputs,
+			Divergences:    rep.Divergences,
+			Divergent:      rep.Divergent,
+			Truncated:      rep.Truncated,
+			ElapsedMS:      time.Since(start).Milliseconds(),
+		})
+	} else {
+		selected, err := cases.ParseCases(f.Cases)
+		if err != nil {
+			return usageError{err: err}
+		}
+		switch f.Harden {
+		case oracle.PipelineHybrid, oracle.PipelineOrder2, oracle.PipelinePatch:
+		default:
+			return usagef("unknown -harden %q: want %s, %s or %s",
+				f.Harden, oracle.PipelineHybrid, oracle.PipelineOrder2, oracle.PipelinePatch)
+		}
+		for _, c := range selected {
+			rep, err := oracle.RunCase(c, f.Harden, f.N, f.Seed, opt)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+			for _, v := range oracle.Variants(c, f.Variants, f.Seed) {
+				vrep, err := oracle.RunCase(v, f.Harden, f.N, f.Seed, opt)
+				if err != nil {
+					return err
+				}
+				vrep.Variant = true
+				reports = append(reports, vrep)
+			}
+		}
+	}
+
+	if err := writeOracleReports(out, f.JSON, f.CSV, reports); err != nil {
+		return err
+	}
+	divergences := 0
+	for _, r := range reports {
+		divergences += r.Divergences
+	}
+	if divergences > 0 {
+		return fmt.Errorf("%d behavioral divergence(s) between original and hardened binaries", divergences)
+	}
+	return nil
+}
+
+// writeOracleReports renders oracle reports in the selected format:
+// JSON, CSV, or a text table followed by itemized divergences.
+func writeOracleReports(out io.Writer, asJSON, asCSV bool, reports []*oracle.CaseReport) error {
+	if asJSON {
+		return report.WriteJSON(out, reports)
+	}
+	tab := &report.Table{
+		Title:  "Differential-execution oracle — original vs hardened, off the fault path",
+		Header: []string{"case", "pipeline", "inputs", "divergences", "hardened digest"},
+	}
+	for _, r := range reports {
+		name := r.Case
+		if r.Variant {
+			name += " (variant)"
+		}
+		tab.AddRow(name, r.Pipeline, fmt.Sprint(r.Inputs), fmt.Sprint(r.Divergences), r.HardenedDigest[:12])
+	}
+	if asCSV {
+		return tab.WriteCSV(out)
+	}
+	fmt.Fprint(out, tab)
+	for _, r := range reports {
+		for _, d := range r.Divergent {
+			fmt.Fprintf(out, "  %s: input %d (%s) diverges on %s: original %s, hardened %s\n",
+				r.Case, d.Index, d.Input, d.Field, d.Original, d.Hardened)
+		}
+		if r.Truncated {
+			fmt.Fprintf(out, "  %s: divergence list truncated (%d total)\n", r.Case, r.Divergences)
+		}
+	}
 	return nil
 }
 
@@ -792,6 +938,7 @@ func cmdExperiments(args []string) error {
 		{"beyond2", func() (*report.Table, error) { t, _, err := experiments.TableBeyond2(); return t, err }},
 		{"beyond3", func() (*report.Table, error) { t, _, err := experiments.TableBeyond3(); return t, err }},
 		{"corpus", func() (*report.Table, error) { t, _, err := experiments.TableCorpus(); return t, err }},
+		{"variants", func() (*report.Table, error) { t, _, err := experiments.TableVariants(); return t, err }},
 	}
 	ran := 0
 	for _, e := range all {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/r2r/reinforce"
 	"github.com/r2r/reinforce/internal/cases"
 )
 
@@ -217,6 +218,94 @@ func TestCorpusRejectsUsageErrors(t *testing.T) {
 		if err == nil || !errors.As(err, &ue) {
 			t.Errorf("%s: want usage error, got %v", name, err)
 		}
+	}
+}
+
+// TestOracleJSONGolden pins the `r2r oracle -json` schema: one report
+// per case with pipeline, hardened digest, input count, and divergence
+// census. The pipeline and generators are deterministic, so values are
+// stable, and the paper cases must show zero divergences.
+func TestOracleJSONGolden(t *testing.T) {
+	var out bytes.Buffer
+	err := cmdOracle([]string{"-cases", "pincheck,bootloader", "-n", "16", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeJSON(t, out.Bytes())
+	for _, want := range []string{`"case": "pincheck"`, `"case": "bootloader"`,
+		`"pipeline": "hybrid"`, `"divergences": 0`, `"hardened_digest"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("oracle JSON missing %s", want)
+		}
+	}
+	checkGolden(t, "oracle_paper_cases.json", got)
+}
+
+// TestOracleUsageErrors: argument validation is usage (exit 2), not
+// runtime failure.
+func TestOracleUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"one positional":   {"orig.elf"},
+		"three positional": {"a.elf", "b.elf", "c.elf"},
+		"bad pipeline":     {"-harden", "mystery"},
+		"zero inputs":      {"-n", "0"},
+		"unknown case":     {"-cases", "nonesuch"},
+	}
+	for name, args := range cases {
+		err := cmdOracle(args, &bytes.Buffer{})
+		var ue usageError
+		if err == nil || !errors.As(err, &ue) {
+			t.Errorf("%s: want usage error, got %v", name, err)
+		}
+	}
+}
+
+// TestOracleDetectsDivergence: differencing two behaviorally different
+// binaries reports divergences in the output and fails as a runtime
+// error — the contract the CI smoke job relies on for its exit code.
+func TestOracleDetectsDivergence(t *testing.T) {
+	pin, _, _ := writeCase(t, cases.Pincheck())
+	boot, _, _ := writeCase(t, cases.Bootloader())
+	var out bytes.Buffer
+	err := cmdOracle([]string{"-n", "8", pin, boot}, &out)
+	var ue usageError
+	if err == nil || errors.As(err, &ue) {
+		t.Fatalf("divergent pair: want runtime error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "divergence") {
+		t.Errorf("error does not mention divergences: %v", err)
+	}
+	if !strings.Contains(out.String(), "diverges on") {
+		t.Errorf("report does not itemize divergences:\n%s", out.String())
+	}
+}
+
+// TestHybridEmitRoundTrip: `r2r hybrid -emit` writes a standalone ELF
+// that loads back with the digest the command reported — and that the
+// rest of the toolchain (loadBinary, the emulator) accepts.
+func TestHybridEmitRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the hybrid pipeline; run without -short")
+	}
+	bin, good, _ := writeCase(t, cases.Pincheck())
+	emitted := filepath.Join(t.TempDir(), "pincheck.hard.elf")
+	err := cmdHybrid([]string{"-o", bin + ".hybrid", "-emit", emitted, bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := loadBinary(emitted)
+	if err != nil {
+		t.Fatalf("emitted ELF does not load back: %v", err)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatalf("emitted ELF fails Validate: %v", err)
+	}
+	res, err := reinforce.Run(re, []byte(good))
+	if err != nil || res.ExitCode != 0 {
+		t.Errorf("emitted hardened binary rejects the accepted input: exit %d, %v", res.ExitCode, err)
+	}
+	if !strings.Contains(string(res.Stdout), "ACCESS GRANTED") {
+		t.Errorf("emitted hardened binary stdout = %q", res.Stdout)
 	}
 }
 

@@ -145,9 +145,14 @@ func Corpus() (*flag.FlagSet, *CorpusFlags) {
 	return fs, f
 }
 
+// emitHelp documents the -emit switch once for both hardening
+// commands.
+const emitHelp = "also write the hardened binary as a standalone program-header-only ELF executable to this path (round-trip-verified through the loader)"
+
 // PatchFlags are the `r2r patch` flags.
 type PatchFlags struct {
 	Good, Bad, Model, Out string
+	Emit                  string
 	CacheDir              string
 	Order, MaxPairs       int
 	JSON, CSV             bool
@@ -160,6 +165,7 @@ func Patch() (*flag.FlagSet, *PatchFlags) {
 	fs.StringVar(&f.Bad, "bad", "", "rejected input")
 	fs.StringVar(&f.Model, "model", "both", modelHelp)
 	fs.StringVar(&f.Out, "o", "", "output path (default: input with .hardened suffix)")
+	fs.StringVar(&f.Emit, "emit", "", emitHelp)
 	fs.IntVar(&f.Order, "order", 1, "hardening order: 1 = single-fault fixed point, 2 = escalate sites of successful fault pairs to order-2 patterns")
 	fs.IntVar(&f.MaxPairs, "max-pairs", 0, "order-2 pair budget per escalation round (default 4096)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirHelp)
@@ -171,6 +177,7 @@ func Patch() (*flag.FlagSet, *PatchFlags) {
 // HybridFlags are the `r2r hybrid` flags.
 type HybridFlags struct {
 	Out, Harden string
+	Emit        string
 	DumpAsm     bool
 }
 
@@ -179,7 +186,31 @@ func Hybrid() (*flag.FlagSet, *HybridFlags) {
 	fs, f := newFS("hybrid"), &HybridFlags{}
 	fs.StringVar(&f.Out, "o", "", "output path (default: input + .hybrid)")
 	fs.StringVar(&f.Harden, "harden", "branch", "countermeasure set: branch (conditional branch hardening) or order2 (branch + skip-window multi-fault hardening)")
+	fs.StringVar(&f.Emit, "emit", "", emitHelp)
 	fs.BoolVar(&f.DumpAsm, "S", false, "print the generated assembly")
+	return fs, f
+}
+
+// OracleFlags are the `r2r oracle` flags.
+type OracleFlags struct {
+	Cases, Harden string
+	N, Variants   int
+	Workers       int
+	Seed          uint64
+	JSON, CSV     bool
+}
+
+// Oracle builds the `r2r oracle` flag set.
+func Oracle() (*flag.FlagSet, *OracleFlags) {
+	fs, f := newFS("oracle"), &OracleFlags{}
+	fs.StringVar(&f.Cases, "cases", "all", "comma-separated case studies from the registered catalog, or all")
+	fs.StringVar(&f.Harden, "harden", "hybrid", "hardening pipeline under test: hybrid, order2 (hybrid + skip window) or patch (Faulter+Patcher)")
+	fs.IntVar(&f.N, "n", 64, "generated inputs per differential run")
+	fs.IntVar(&f.Variants, "variants", 0, "additionally screen N fuzz-generated variants per case and difference each survivor")
+	fs.IntVar(&f.Workers, "workers", 0, "parallel input evaluations (default GOMAXPROCS; results are worker-count invariant)")
+	fs.Uint64Var(&f.Seed, "seed", 1, "seed of the deterministic input and variant generators")
+	fs.BoolVar(&f.JSON, "json", false, "emit per-case reports as JSON on stdout")
+	fs.BoolVar(&f.CSV, "csv", false, "emit per-case reports as CSV on stdout")
 	return fs, f
 }
 
@@ -215,7 +246,7 @@ type ExperimentsFlags struct {
 // Experiments builds the `r2r experiments` flag set.
 func Experiments() (*flag.FlagSet, *ExperimentsFlags) {
 	fs, f := newFS("experiments"), &ExperimentsFlags{}
-	fs.StringVar(&f.Only, "only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond, beyond2, beyond3, corpus")
+	fs.StringVar(&f.Only, "only", "", "run a single experiment: table4, table5, skip, bitflip, class, dup, figures, beyond, beyond2, beyond3, corpus, variants")
 	return fs, f
 }
 
@@ -248,6 +279,7 @@ func Specs() []Spec {
 		{"corpus", 0, 0, func() *flag.FlagSet { fs, _ := Corpus(); return fs }},
 		{"patch", 1, 1, func() *flag.FlagSet { fs, _ := Patch(); return fs }},
 		{"hybrid", 1, 1, func() *flag.FlagSet { fs, _ := Hybrid(); return fs }},
+		{"oracle", 0, 2, func() *flag.FlagSet { fs, _ := Oracle(); return fs }},
 		{"cases", 0, 0, func() *flag.FlagSet { fs, _ := Cases(); return fs }},
 		{"cfg", 1, 1, func() *flag.FlagSet { fs, _ := CFG(); return fs }},
 		{"experiments", 0, 0, func() *flag.FlagSet { fs, _ := Experiments(); return fs }},

@@ -28,7 +28,7 @@ func TestSpecsUniqueAndWellFormed(t *testing.T) {
 			t.Errorf("%s: MinArgs %d > MaxArgs %d", s.Name, s.MinArgs, s.MaxArgs)
 		}
 	}
-	for _, name := range []string{"campaign", "patch", "hybrid", "experiments"} {
+	for _, name := range []string{"campaign", "patch", "hybrid", "experiments", "oracle"} {
 		if !seen[name] {
 			t.Errorf("spec %q missing", name)
 		}
@@ -93,6 +93,63 @@ func TestHybridHardenFlag(t *testing.T) {
 	}
 	if f.Harden != "branch" {
 		t.Errorf("default harden = %q, want branch", f.Harden)
+	}
+}
+
+func TestEmitFlag(t *testing.T) {
+	fs, f := Patch()
+	if err := fs.Parse([]string{"-emit", "out.elf", "bin.elf"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Emit != "out.elf" {
+		t.Errorf("patch emit = %q", f.Emit)
+	}
+	hfs, h := Hybrid()
+	if err := hfs.Parse([]string{"-emit", "h.elf", "bin.elf"}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Emit != "h.elf" {
+		t.Errorf("hybrid emit = %q", h.Emit)
+	}
+	hfs, h = Hybrid()
+	if err := hfs.Parse([]string{"bin.elf"}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Emit != "" {
+		t.Errorf("emit default = %q, want empty (emission is opt-in)", h.Emit)
+	}
+}
+
+func TestOracleFlagDefaults(t *testing.T) {
+	fs, f := Oracle()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Cases != "all" || f.Harden != "hybrid" || f.N != 64 ||
+		f.Variants != 0 || f.Workers != 0 || f.Seed != 1 || f.JSON || f.CSV {
+		t.Errorf("unexpected oracle defaults: %+v", f)
+	}
+}
+
+func TestOracleFlags(t *testing.T) {
+	fs, f := Oracle()
+	err := fs.Parse([]string{"-cases", "pincheck,bootloader", "-harden", "patch",
+		"-n", "128", "-variants", "3", "-workers", "4", "-seed", "99", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cases != "pincheck,bootloader" || f.Harden != "patch" || f.N != 128 ||
+		f.Variants != 3 || f.Workers != 4 || f.Seed != 99 || !f.JSON {
+		t.Errorf("oracle flags misparsed: %+v", f)
+	}
+	spec, ok := Lookup("oracle")
+	if !ok {
+		t.Fatal("oracle spec missing")
+	}
+	// Zero positional args sweeps the catalog; two difference a pair of
+	// on-disk binaries.
+	if spec.MinArgs != 0 || spec.MaxArgs != 2 {
+		t.Errorf("oracle arity = [%d,%d], want [0,2]", spec.MinArgs, spec.MaxArgs)
 	}
 }
 

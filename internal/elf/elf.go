@@ -547,6 +547,135 @@ func Parse(data []byte) (*Binary, error) {
 	return b, nil
 }
 
+// Load parses any ELF64 executable this toolchain reads or writes, and
+// structurally validates the result. Images carrying section headers
+// (the assembler's Bytes layout, or any ordinary static executable)
+// parse via Parse; the program-header-only images internal/emit writes
+// reconstruct their sections from the PT_LOAD segments, with canonical
+// names derived from segment permissions (.text for executable, .rodata
+// for read-only, .data for initialized writable, .bss for zero-fill) —
+// so hardened binaries emitted as standalone executables round-trip
+// into the same Binary the campaign and store machinery consumes.
+//
+// Unlike Parse, Load runs Validate on the result: a malformed image
+// (overlapping segments, entry outside executable code) fails loudly at
+// load time instead of corrupting a downstream campaign.
+func Load(data []byte) (*Binary, error) {
+	if len(data) < ehSize || string(data[:4]) != elfMagic {
+		return nil, ErrNotELF
+	}
+	if data[4] != elfClass64 || data[5] != elfDataLSB {
+		return nil, fmt.Errorf("%w: not ELF64 little-endian", ErrNotELF)
+	}
+	le := binary.LittleEndian
+	var b *Binary
+	var err error
+	if le.Uint64(data[40:]) != 0 && le.Uint16(data[60:]) != 0 {
+		b, err = Parse(data)
+	} else {
+		b, err = parseSegments(data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return b, nil
+}
+
+// parseSegments reconstructs sections from the program-header table of
+// a section-header-less image. Zero-size PT_LOAD entries are skipped
+// (they map nothing), non-PT_LOAD entries are ignored, and anything
+// structurally impossible — truncated header table, file sizes past the
+// end of the image, p_filesz exceeding p_memsz — is ErrMalformed.
+func parseSegments(data []byte) (*Binary, error) {
+	le := binary.LittleEndian
+	b := &Binary{Entry: le.Uint64(data[24:])}
+	phoff := le.Uint64(data[32:])
+	phents := le.Uint16(data[54:])
+	phnum := le.Uint16(data[56:])
+	if phoff == 0 || phnum == 0 {
+		return nil, fmt.Errorf("%w: no program headers", ErrMalformed)
+	}
+	if phents != phentSize {
+		return nil, fmt.Errorf("%w: program header entry size %d, want %d", ErrMalformed, phents, phentSize)
+	}
+	counts := map[string]int{}
+	for i := uint64(0); i < uint64(phnum); i++ {
+		off := phoff + i*phentSize
+		if off+phentSize > uint64(len(data)) || off+phentSize < off {
+			return nil, fmt.Errorf("%w: truncated program header table", ErrMalformed)
+		}
+		hdr := data[off : off+phentSize]
+		if le.Uint32(hdr[0:]) != ptLoad {
+			continue
+		}
+		pflags := le.Uint32(hdr[4:])
+		foff := le.Uint64(hdr[8:])
+		vaddr := le.Uint64(hdr[16:])
+		filesz := le.Uint64(hdr[32:])
+		memsz := le.Uint64(hdr[40:])
+		if memsz == 0 {
+			continue
+		}
+		if filesz > memsz {
+			return nil, fmt.Errorf("%w: segment at %#x has p_filesz > p_memsz", ErrMalformed, vaddr)
+		}
+		if foff+filesz > uint64(len(data)) || foff+filesz < foff {
+			return nil, fmt.Errorf("%w: segment at %#x extends past end of file", ErrMalformed, vaddr)
+		}
+		var flags uint32
+		if pflags&4 != 0 {
+			flags |= FlagRead
+		}
+		if pflags&2 != 0 {
+			flags |= FlagWrite
+		}
+		if pflags&1 != 0 {
+			flags |= FlagExec
+		}
+		sec := &Section{
+			Addr:    vaddr,
+			Flags:   flags,
+			MemSize: memsz,
+		}
+		if filesz > 0 {
+			sec.Data = append([]byte(nil), data[foff:foff+filesz]...)
+		}
+		sec.Name = segmentName(flags, len(sec.Data) > 0, counts)
+		b.Sections = append(b.Sections, sec)
+	}
+	if len(b.Sections) == 0 {
+		return nil, fmt.Errorf("%w: no loadable segments", ErrMalformed)
+	}
+	sort.Slice(b.Sections, func(i, j int) bool { return b.Sections[i].Addr < b.Sections[j].Addr })
+	return b, nil
+}
+
+// segmentName assigns the canonical section name for a segment's
+// permission class; repeats of a class gain a numeric suffix so names
+// stay unique (and the reconstruction stays deterministic).
+func segmentName(flags uint32, hasData bool, counts map[string]int) string {
+	var base string
+	switch {
+	case flags&FlagExec != 0:
+		base = ".text"
+	case flags&FlagWrite != 0 && hasData:
+		base = ".data"
+	case flags&FlagWrite != 0:
+		base = ".bss"
+	default:
+		base = ".rodata"
+	}
+	n := counts[base]
+	counts[base]++
+	if n == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.%d", base, n)
+}
+
 func cString(table []byte, off uint32) string {
 	if uint64(off) >= uint64(len(table)) {
 		return ""

@@ -1,0 +1,242 @@
+package emit
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/harden"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden emission images")
+
+// fixture is a hand-assembled binary whose emitted image is pinned byte
+// for byte by a golden file: any change to the writer's layout shows up
+// as a golden diff, not a silent format drift.
+func fixture() *elf.Binary {
+	return &elf.Binary{
+		Entry: 0x401000,
+		Sections: []*elf.Section{
+			{Name: ".text", Addr: 0x401000, Data: []byte{0x90, 0x90, 0xC3}, Flags: elf.FlagRead | elf.FlagExec},
+			{Name: ".rodata", Addr: 0x402000, Data: []byte("golden\x00"), Flags: elf.FlagRead},
+			{Name: ".data", Addr: 0x600000, Data: []byte{1, 2, 3, 4}, Flags: elf.FlagRead | elf.FlagWrite},
+			{Name: ".bss", Addr: 0x601000, MemSize: 64, Flags: elf.FlagRead | elf.FlagWrite},
+		},
+	}
+}
+
+func checkGoldenBytes(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		t.Errorf("%s: emitted image differs from golden at byte %d (got %d bytes, want %d)",
+			name, i, len(got), len(want))
+	}
+}
+
+func TestImageGolden(t *testing.T) {
+	img, err := Image(fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenBytes(t, "fixture.elf", img)
+}
+
+// The emitted header region is also pinned field by field: the golden
+// file catches drift, this catches a golden regenerated around a bug.
+func TestImageHeader(t *testing.T) {
+	img, err := Image(fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := func(b []byte, n int) (v uint64) {
+		for i := 0; i < n; i++ {
+			v |= uint64(b[i]) << (8 * i)
+		}
+		return
+	}
+	if string(img[:4]) != elfMagic || img[4] != elfClass64 || img[5] != elfDataLSB {
+		t.Fatalf("bad ident % X", img[:6])
+	}
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"e_type", le(img[16:], 2), etExec},
+		{"e_machine", le(img[18:], 2), emX86_64},
+		{"e_entry", le(img[24:], 8), 0x401000},
+		{"e_phoff", le(img[32:], 8), ehSize},
+		{"e_shoff", le(img[40:], 8), 0},
+		{"e_phentsize", le(img[54:], 2), phentSize},
+		{"e_phnum", le(img[56:], 2), 4},
+		{"e_shentsize", le(img[58:], 2), 0},
+		{"e_shnum", le(img[60:], 2), 0},
+		{"e_shstrndx", le(img[62:], 2), 0},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %#x, want %#x", c.name, c.got, c.want)
+		}
+	}
+	// Every program header: PT_LOAD, offset congruent to vaddr mod page.
+	for i := 0; i < 4; i++ {
+		p := img[ehSize+i*phentSize:]
+		if le(p, 4) != ptLoad {
+			t.Errorf("phdr %d type = %d, want PT_LOAD", i, le(p, 4))
+		}
+		off, vaddr := le(p[8:], 8), le(p[16:], 8)
+		if off%pageSize != vaddr%pageSize {
+			t.Errorf("phdr %d: offset %#x not congruent to vaddr %#x", i, off, vaddr)
+		}
+		if end := off + le(p[32:], 8); end > uint64(len(img)) {
+			t.Errorf("phdr %d extends past image: %#x > %#x", i, end, len(img))
+		}
+		if le(p[32:], 8) > le(p[40:], 8) {
+			t.Errorf("phdr %d: p_filesz > p_memsz", i)
+		}
+	}
+}
+
+// Emit→Load→emit must be a byte-identical fixed point for every
+// registered case study, and the loaded binary's digest must be stable
+// across repeated round trips: the digest is the content address the
+// campaign store keys emitted artifacts under.
+func TestFixedPointCatalog(t *testing.T) {
+	for _, c := range cases.Corpus() {
+		bin, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		img1, re, err := RoundTrip(bin)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if err := re.Validate(); err != nil {
+			t.Errorf("%s: loaded image fails Validate: %v", c.Name, err)
+		}
+		img2, re2, err := RoundTrip(re)
+		if err != nil {
+			t.Fatalf("%s: second round trip: %v", c.Name, err)
+		}
+		if !bytes.Equal(img1, img2) {
+			t.Errorf("%s: round trip not a fixed point across iterations", c.Name)
+		}
+		if re.Digest() != re2.Digest() {
+			t.Errorf("%s: digest unstable across round trips: %s vs %s",
+				c.Name, re.Digest(), re2.Digest())
+		}
+	}
+}
+
+// The hardened outputs of the hybrid pipeline — the binaries `-emit`
+// actually writes — must round-trip too.
+func TestFixedPointHardened(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardening pipeline in -short")
+	}
+	for _, c := range []*cases.Case{cases.Pincheck(), cases.Bootloader()} {
+		bin, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := harden.Hybrid(bin, harden.HybridOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if _, _, err := RoundTrip(res.Binary); err != nil {
+			t.Errorf("%s hardened: %v", c.Name, err)
+		}
+	}
+}
+
+func TestImageDropsEmptySections(t *testing.T) {
+	b := fixture()
+	b.Sections = append(b.Sections, &elf.Section{
+		Name: ".empty", Addr: 0x700000, Flags: elf.FlagRead,
+	})
+	img, err := Image(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := elf.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Sections) != 4 {
+		t.Errorf("sections after reload = %d, want 4 (zero-size section must be dropped)", len(re.Sections))
+	}
+}
+
+func TestImageErrors(t *testing.T) {
+	// Invalid binary: overlap rejected by Validate before any bytes move.
+	b := fixture()
+	b.Sections[1].Addr = b.Sections[0].Addr + 1
+	if _, err := Image(b); err == nil {
+		t.Error("Image accepted overlapping sections")
+	}
+
+	// No loadable bytes at all.
+	empty := &elf.Binary{Entry: 0x401000}
+	if _, err := Image(empty); err == nil {
+		t.Error("Image accepted a binary with no sections")
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	a, err := Image(fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Image(fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Image not deterministic")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.elf")
+	digest, err := WriteFile(path, fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm()&0o100 == 0 {
+		t.Errorf("emitted file not executable: %v", info.Mode())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := elf.Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Digest() != digest {
+		t.Errorf("WriteFile digest %s does not match reloaded digest %s", digest, re.Digest())
+	}
+}

@@ -1,0 +1,62 @@
+package emit
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/elf"
+)
+
+// FuzzEmitRoundTrip drives the writer with fuzz-shaped binaries: the
+// input bytes are split into text and data payloads plus a bss size,
+// and every binary that Validate accepts must survive emit→load→emit as
+// a byte-identical fixed point with a stable digest. The fuzzer hunts
+// for payload shapes where layout, padding, or reconstruction lose
+// information.
+func FuzzEmitRoundTrip(f *testing.F) {
+	f.Add([]byte{0xC3}, []byte("hello"), uint16(64))
+	f.Add([]byte{0x90, 0x90, 0xC3}, []byte{}, uint16(0))
+	f.Add(bytes.Repeat([]byte{0x90}, 4096), []byte{0xFF}, uint16(1))
+	f.Add([]byte{0xC3}, bytes.Repeat([]byte{0xAA}, 5000), uint16(9999))
+	f.Fuzz(func(t *testing.T, text, data []byte, bss uint16) {
+		if len(text) == 0 || len(text) > 1<<16 || len(data) > 1<<16 {
+			t.Skip()
+		}
+		b := &elf.Binary{
+			Entry: 0x401000,
+			Sections: []*elf.Section{
+				{Name: ".text", Addr: 0x401000, Data: text, Flags: elf.FlagRead | elf.FlagExec},
+			},
+		}
+		if len(data) > 0 {
+			b.Sections = append(b.Sections, &elf.Section{
+				Name: ".data", Addr: 0x600000, Data: data, Flags: elf.FlagRead | elf.FlagWrite,
+			})
+		}
+		if bss > 0 {
+			b.Sections = append(b.Sections, &elf.Section{
+				Name: ".bss", Addr: 0x700000, MemSize: uint64(bss), Flags: elf.FlagRead | elf.FlagWrite,
+			})
+		}
+		if b.Validate() != nil {
+			t.Skip()
+		}
+		img, re, err := RoundTrip(b)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(re.Text().Data, text) {
+			t.Fatal("text bytes corrupted by emit round trip")
+		}
+		if len(data) > 0 && !bytes.Equal(re.Section(".data").Data, data) {
+			t.Fatal("data bytes corrupted by emit round trip")
+		}
+		img2, re2, err := RoundTrip(re)
+		if err != nil {
+			t.Fatalf("second round trip failed: %v", err)
+		}
+		if !bytes.Equal(img, img2) || re.Digest() != re2.Digest() {
+			t.Fatal("emit round trip is not a stable fixed point")
+		}
+	})
+}

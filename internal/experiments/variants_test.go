@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/campaign"
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+func TestTableVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates and sweeps the fuzz-variant corpus; run without -short")
+	}
+	tab, data, err := TableVariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+
+	perCase := map[string][]VariantData{}
+	for _, d := range data {
+		perCase[d.Case] = append(perCase[d.Case], d)
+	}
+	if len(perCase) != len(cases.Names()) {
+		t.Fatalf("cases covered = %d, want %d", len(perCase), len(cases.Names()))
+	}
+	for name, rows := range perCase {
+		if rows[0].Variant != "original" {
+			t.Errorf("%s: first row is %q, want the original", name, rows[0].Variant)
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: no fuzz variants survived the screen", name)
+		}
+		for _, d := range rows {
+			if d.Injections == 0 {
+				t.Errorf("%s/%s: empty sweep", name, d.Variant)
+			}
+			if d.CodeSize == 0 {
+				t.Errorf("%s/%s: zero code size", name, d.Variant)
+			}
+		}
+		// A variant is a different binary: instruction duplication grows
+		// the text, so at least one variant's code size must differ from
+		// the original's.
+		grew := false
+		for _, d := range rows[1:] {
+			if d.CodeSize != rows[0].CodeSize {
+				grew = true
+			}
+		}
+		if len(rows) > 1 && !grew {
+			t.Errorf("%s: every variant has the original's code size — mutation is vacuous", name)
+		}
+	}
+}
+
+// The variants table renders bit-identically regardless of worker
+// count: generation is seeded and the campaign engine is deterministic.
+func TestTableVariantsWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the variant sweep twice; run without -short")
+	}
+	render := func(workers int) string {
+		t.Helper()
+		st, err := campaign.NewStore("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, _, err := tableVariants(campaign.Options{Workers: workers, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("variants table differs between 1 and 8 workers:\n%s\n---\n%s", serial, parallel)
+	}
+}

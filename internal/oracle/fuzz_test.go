@@ -1,0 +1,64 @@
+package oracle
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+// FuzzOracleInputs fuzzes the input-corpus generator over (count, seed):
+// for any parameters the corpus must be exactly the requested size,
+// deterministic across regeneration, lead with the case's accepted
+// input, and stay within the generator's length envelope. Divergence
+// here would make `r2r oracle` runs irreproducible.
+func FuzzOracleInputs(f *testing.F) {
+	f.Add(uint16(64), uint64(1))
+	f.Add(uint16(1), uint64(0))
+	f.Add(uint16(9), uint64(0xdeadbeef))
+	f.Add(uint16(200), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, n uint16, seed uint64) {
+		if n == 0 || n > 512 {
+			t.Skip()
+		}
+		c := cases.Pincheck()
+		a := CaseInputs(c, int(n), seed)
+		b := CaseInputs(c, int(n), seed)
+		if len(a) != int(n) {
+			t.Fatalf("corpus size %d, want %d", len(a), n)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("regeneration changed corpus size: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("input %d not deterministic: %x vs %x", i, a[i], b[i])
+			}
+		}
+		if !bytes.Equal(a[0], c.Good) {
+			t.Fatalf("input 0 = %x, want the accepted input %x", a[0], c.Good)
+		}
+		// The generator mutates over the oracle inputs' length envelope:
+		// extensions add at most 8 bytes beyond it per draw chain.
+		maxLen := len(c.Good)
+		if len(c.Bad) > maxLen {
+			maxLen = len(c.Bad)
+		}
+		for i, in := range a {
+			if len(in) > maxLen+16 {
+				t.Fatalf("input %d is %d bytes, beyond the %d-byte envelope", i, len(in), maxLen+16)
+			}
+		}
+
+		g := GenericInputs(int(n), seed, 0)
+		g2 := GenericInputs(int(n), seed, 0)
+		if len(g) != int(n) {
+			t.Fatalf("generic corpus size %d, want %d", len(g), n)
+		}
+		for i := range g {
+			if !bytes.Equal(g[i], g2[i]) {
+				t.Fatalf("generic input %d not deterministic", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Input-corpus generation: the deterministic per-case input sets the
+// differential oracle sweeps. Every generator is seeded — same case,
+// same seed, same corpus, on any machine and at any worker count.
+package oracle
+
+import (
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+// CaseInputs builds the differential corpus for a case study: the
+// case's own accepted and rejected inputs, a fixed set of boundary
+// shapes (empty input, truncations, an extension, all-zero and all-FF
+// images), then seeded adversarial mutations — single-bit flips, byte
+// substitutions, truncations, extensions, and fully random buffers over
+// the input length — until n distinct inputs exist. The accepted input
+// always comes first, so verdict index 0 is the case's happy path.
+func CaseInputs(c *cases.Case, n int, seed uint64) [][]byte {
+	r := &splitmix64{s: nameSeed(c.Name, seed)}
+	g := newInputSet(n)
+
+	good, bad := c.Good, c.Bad
+	g.add(good)
+	g.add(bad)
+	g.add(nil) // empty: the short-read/denial path
+	if len(good) > 0 {
+		g.add(good[:len(good)-1])      // one byte short
+		g.add(good[:(len(good)+1)/2])  // half an input
+		g.add(append(clone(good), 0))  // one byte long
+		g.add(make([]byte, len(good))) // all zero
+		ff := make([]byte, len(good))
+		for i := range ff {
+			ff[i] = 0xFF
+		}
+		g.add(ff)
+	}
+	if len(bad) > 0 {
+		g.add(bad[:len(bad)/2])
+	}
+
+	maxLen := len(good)
+	if len(bad) > maxLen {
+		maxLen = len(bad)
+	}
+	for g.len() < n {
+		base := good
+		if r.intn(2) == 1 {
+			base = bad
+		}
+		g.add(mutate(base, maxLen, r))
+	}
+	return g.take()
+}
+
+// GenericInputs builds a case-agnostic corpus for differencing two
+// arbitrary binaries (`r2r oracle ORIG HARDENED`): boundary shapes
+// first, then seeded random buffers up to maxLen bytes (0 means 64).
+func GenericInputs(n int, seed uint64, maxLen int) [][]byte {
+	if maxLen <= 0 {
+		maxLen = 64
+	}
+	r := &splitmix64{s: nameSeed("generic", seed)}
+	g := newInputSet(n)
+	g.add(nil)
+	g.add([]byte{0x00})
+	g.add([]byte{0xFF})
+	for _, l := range []int{8, 16, maxLen} {
+		if l > maxLen {
+			continue
+		}
+		zero := make([]byte, l)
+		g.add(zero)
+		ones := make([]byte, l)
+		asc := make([]byte, l)
+		for i := range ones {
+			ones[i] = 0xFF
+			asc[i] = byte(i)
+		}
+		g.add(ones)
+		g.add(asc)
+	}
+	for g.len() < n {
+		buf := make([]byte, r.intn(maxLen+1))
+		for i := range buf {
+			buf[i] = byte(r.next())
+		}
+		g.add(buf)
+	}
+	return g.take()
+}
+
+// mutate derives one adversarial input from base: bit flip, byte
+// substitution, truncation, extension, or a fully random buffer.
+func mutate(base []byte, maxLen int, r *splitmix64) []byte {
+	if maxLen == 0 {
+		maxLen = 8
+	}
+	switch r.intn(5) {
+	case 0: // single-bit flip
+		if len(base) == 0 {
+			break
+		}
+		m := clone(base)
+		m[r.intn(len(m))] ^= 1 << uint(r.intn(8))
+		return m
+	case 1: // byte substitution
+		if len(base) == 0 {
+			break
+		}
+		m := clone(base)
+		m[r.intn(len(m))] = byte(r.next())
+		return m
+	case 2: // truncation
+		if len(base) == 0 {
+			break
+		}
+		return clone(base[:r.intn(len(base))])
+	case 3: // extension
+		m := clone(base)
+		for i, n := 0, 1+r.intn(8); i < n; i++ {
+			m = append(m, byte(r.next()))
+		}
+		return m
+	}
+	// fully random buffer over the input length (+ a tail margin)
+	buf := make([]byte, r.intn(maxLen+9))
+	for i := range buf {
+		buf[i] = byte(r.next())
+	}
+	return buf
+}
+
+// inputSet accumulates distinct inputs up to a target count. Dedup is
+// by content; a bounded number of collisions is tolerated before
+// duplicates are admitted, so generation always terminates.
+type inputSet struct {
+	want   int
+	inputs [][]byte
+	seen   map[string]bool
+	misses int
+}
+
+func newInputSet(n int) *inputSet {
+	return &inputSet{want: n, seen: make(map[string]bool, n)}
+}
+
+func (g *inputSet) add(in []byte) {
+	if len(g.inputs) >= g.want {
+		return
+	}
+	key := string(in)
+	if g.seen[key] && g.misses < 64*g.want {
+		g.misses++
+		return
+	}
+	g.seen[key] = true
+	g.inputs = append(g.inputs, clone(in))
+}
+
+func (g *inputSet) len() int       { return len(g.inputs) }
+func (g *inputSet) take() [][]byte { return g.inputs }
+
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

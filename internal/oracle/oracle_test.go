@@ -1,0 +1,183 @@
+package oracle
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+// TestCatalogEquivalence is the PR's acceptance criterion: for every
+// registered case study, the hybrid-hardened binary is observationally
+// equivalent to the original across at least 64 generated inputs —
+// zero divergences, and the report is bit-identical whether the
+// differential runs on one worker or eight.
+func TestCatalogEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog differential in -short")
+	}
+	for _, c := range cases.Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			orig, err := c.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hard, err := Harden(c, PipelineHybrid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := CaseInputs(c, 64, 1)
+			if len(inputs) != 64 {
+				t.Fatalf("generated %d inputs, want 64", len(inputs))
+			}
+			rep1 := Diff(orig, hard, inputs, Options{Workers: 1})
+			if !rep1.Equivalent() {
+				t.Fatalf("hardened %s diverges on %d/%d inputs; first: %+v",
+					c.Name, rep1.Divergences, rep1.Inputs, rep1.Divergent[0])
+			}
+			rep8 := Diff(orig, hard, inputs, Options{Workers: 8})
+			if !reflect.DeepEqual(rep1, rep8) {
+				t.Errorf("report differs between 1 and 8 workers:\n1: %+v\n8: %+v", rep1, rep8)
+			}
+		})
+	}
+}
+
+// The oracle must be able to say no: differencing the pincheck original
+// against a behaviorally different binary (the bootloader) reports
+// divergences with the first differing field identified.
+func TestDiffDetectsDivergence(t *testing.T) {
+	pc := cases.Pincheck()
+	orig, err := pc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := cases.Bootloader().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(orig, other, CaseInputs(pc, 16, 1), Options{Workers: 2})
+	if rep.Equivalent() {
+		t.Fatal("oracle found pincheck and bootloader equivalent")
+	}
+	if len(rep.Divergent) == 0 {
+		t.Fatal("divergences counted but not itemized")
+	}
+	d := rep.Divergent[0]
+	if d.Field == "" || d.Original == d.Hardened {
+		t.Errorf("divergence lacks a discriminating field: %+v", d)
+	}
+	if d.Index < 0 || d.Index >= rep.Inputs {
+		t.Errorf("divergence index %d out of range [0,%d)", d.Index, rep.Inputs)
+	}
+}
+
+// A binary differenced against itself is equivalent on any corpus —
+// the oracle's false-positive floor.
+func TestDiffSelfEquivalence(t *testing.T) {
+	c := cases.Pincheck()
+	bin, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(bin, bin, CaseInputs(c, 32, 7), Options{})
+	if !rep.Equivalent() {
+		t.Fatalf("self-diff diverges: %+v", rep.Divergent)
+	}
+}
+
+// The itemized list truncates at maxDivergent but the count stays full.
+func TestReportTruncation(t *testing.T) {
+	orig, err := cases.Pincheck().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := cases.Bootloader().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := maxDivergent + 8
+	rep := Diff(orig, other, CaseInputs(cases.Pincheck(), n, 1), Options{})
+	if rep.Divergences <= maxDivergent {
+		t.Skipf("only %d divergences; need more than %d to exercise truncation", rep.Divergences, maxDivergent)
+	}
+	if len(rep.Divergent) != maxDivergent || !rep.Truncated {
+		t.Errorf("itemized %d divergences (truncated=%v), want %d itemized and truncated",
+			len(rep.Divergent), rep.Truncated, maxDivergent)
+	}
+}
+
+func TestCompareOrder(t *testing.T) {
+	base := behavior{exit: 0, stdout: "ok", stderr: ""}
+	crash := behavior{crashed: true, crash: "page fault", stdout: "ok"}
+	cases := []struct {
+		name  string
+		o, h  behavior
+		field string
+	}{
+		{"equal", base, base, ""},
+		{"crash beats exit", crash, behavior{exit: 3, stdout: "ok"}, "crash"},
+		{"crash class", crash, behavior{crashed: true, crash: "step limit", stdout: "ok"}, "crash"},
+		{"exit beats stdout", base, behavior{exit: 1, stdout: "no"}, "exit"},
+		{"stdout beats stderr", base, behavior{exit: 0, stdout: "no", stderr: "x"}, "stdout"},
+		{"stderr last", base, behavior{exit: 0, stdout: "ok", stderr: "x"}, "stderr"},
+		// Two identical crashes compare stdout — the exit code of a
+		// crashed run is noise and must not be compared.
+		{"crashed exits ignored", crash, behavior{crashed: true, crash: "page fault", exit: 9, stdout: "ok"}, ""},
+	}
+	for _, tc := range cases {
+		d := compare(0, nil, tc.o, tc.h)
+		got := ""
+		if d != nil {
+			got = d.Field
+		}
+		if got != tc.field {
+			t.Errorf("%s: field = %q, want %q", tc.name, got, tc.field)
+		}
+	}
+}
+
+func TestRunCase(t *testing.T) {
+	rep, err := RunCase(cases.Pincheck(), PipelineHybrid, 16, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Case != "pincheck" || rep.Pipeline != PipelineHybrid {
+		t.Errorf("report identity = %s/%s", rep.Case, rep.Pipeline)
+	}
+	if rep.Inputs != 16 || rep.Divergences != 0 {
+		t.Errorf("report = %d inputs, %d divergences; want 16, 0", rep.Inputs, rep.Divergences)
+	}
+	if len(rep.HardenedDigest) != 64 {
+		t.Errorf("hardened digest %q is not a sha256 hex string", rep.HardenedDigest)
+	}
+}
+
+func TestHardenUnknownPipeline(t *testing.T) {
+	_, err := Harden(cases.Pincheck(), "nonsense")
+	if err == nil || !strings.Contains(err.Error(), "unknown pipeline") {
+		t.Errorf("Harden(nonsense) = %v, want unknown-pipeline error", err)
+	}
+}
+
+func TestHardenPatchPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("patch pipeline in -short")
+	}
+	c := cases.Pincheck()
+	orig, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Harden(c, PipelinePatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(orig, hard, CaseInputs(c, 32, 1), Options{})
+	if !rep.Equivalent() {
+		t.Errorf("patch-hardened pincheck diverges: %+v", rep.Divergent)
+	}
+}

@@ -1,0 +1,167 @@
+// Fuzz-derived case variants: evaluation coverage beyond the
+// hand-written catalog.
+//
+// A variant is a mutated build of a catalog case whose *observable
+// contract is unchanged*: seeded mutations are applied to the assembly
+// source (instruction duplications, which are idempotent for the pure
+// data-movement and comparison instructions the mutator targets, plus
+// deliberately destructive constant tweaks), the mutant is rebuilt, and
+// the behavioral screen — the case's own good/bad oracle run under the
+// emulator — decides survival. Mutants that fail to assemble or change
+// observable behavior are discarded; survivors are real, distinct
+// binaries (different code bytes, different layout, different fault
+// surface) that still honor the case's accepted/rejected contract, so
+// every campaign oracle applies to them unmodified. Survivors feed
+// campaign.RunCorpus (experiments.TableVariants) and `r2r oracle
+// -variants`.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+// variantSalt decorrelates the variant stream from the input stream of
+// the same seed.
+const variantSalt = 0x5eed1e55_0ddca5e5
+
+// maxVariantAttempts bounds mutation attempts per requested survivor,
+// so a case with no mutable lines terminates quickly.
+const maxVariantAttempts = 24
+
+// Variants derives up to n oracle-screened variants of a case study.
+// Generation is deterministic in (case, n, seed); fewer than n variants
+// are returned only when the attempt budget runs out of distinct
+// survivors. Variant names are "<case>~v1", "<case>~v2", … — not
+// catalog entries, but carrying the parent's full oracle so Check,
+// campaigns, and the differential oracle all apply.
+func Variants(c *cases.Case, n int, seed uint64) []*cases.Case {
+	r := &splitmix64{s: nameSeed(c.Name, seed) ^ variantSalt}
+	var out []*cases.Case
+	seen := map[string]bool{c.Source: true} // never return the parent itself
+	for attempts := 0; len(out) < n && attempts < maxVariantAttempts*n; attempts++ {
+		src, ok := mutateSource(c.Source, r)
+		if !ok || seen[src] {
+			continue
+		}
+		seen[src] = true
+		v := &cases.Case{
+			Name:       fmt.Sprintf("%s~v%d", c.Name, len(out)+1),
+			Source:     src,
+			Good:       clone(c.Good),
+			Bad:        clone(c.Bad),
+			GoodStdout: c.GoodStdout,
+			BadStdout:  c.BadStdout,
+			GoodExit:   c.GoodExit,
+			BadExit:    c.BadExit,
+		}
+		bin, err := v.Build()
+		if err != nil {
+			continue // mutant does not assemble
+		}
+		if v.Check(bin) != nil {
+			continue // mutant changed observable behavior — screened out
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// duplicable reports whether duplicating the instruction is idempotent
+// by construction: pure data movement, address formation, and flag
+// comparisons. (The screen would also catch a bad duplication; this
+// just keeps the survivor rate high.)
+func duplicable(mnemonic string) bool {
+	switch mnemonic {
+	case "mov", "lea", "cmp", "test":
+		return true
+	}
+	return false
+}
+
+// mutateSource applies one seeded mutation to the assembly source and
+// reports whether a mutation site existed. Most draws duplicate a
+// duplicable .text instruction (likely survivor); a minority rotate a
+// byte of an .ascii literal (likely screened out — the rejection path
+// must see traffic too, or the screen is vacuous).
+func mutateSource(src string, r *splitmix64) (string, bool) {
+	lines := strings.Split(src, "\n")
+
+	var instLines, asciiLines []int
+	inText := false
+	for i, raw := range lines {
+		line := raw
+		if c := strings.IndexByte(line, ';'); c >= 0 {
+			line = line[:c]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Directives may carry a leading label ("msg: .ascii ...").
+		// Labelled lines are never duplication sites — the copy would
+		// redefine the label.
+		labelled := false
+		if f := strings.Fields(line); strings.HasSuffix(f[0], ":") {
+			labelled = true
+			line = strings.TrimSpace(line[len(f[0]):])
+			if line == "" {
+				continue // bare label
+			}
+		}
+		if strings.HasPrefix(line, ".") {
+			switch strings.Fields(line)[0] {
+			case ".text":
+				inText = true
+			case ".rodata", ".data", ".bss":
+				inText = false
+			}
+			if strings.HasPrefix(line, ".ascii") {
+				asciiLines = append(asciiLines, i)
+			}
+			continue
+		}
+		if inText && !labelled && duplicable(strings.Fields(line)[0]) {
+			instLines = append(instLines, i)
+		}
+	}
+
+	// 3-in-4 draws duplicate an instruction; 1-in-4 tweak a literal.
+	if r.intn(4) < 3 && len(instLines) > 0 {
+		at := instLines[r.intn(len(instLines))]
+		dup := append([]string(nil), lines[:at+1]...)
+		dup = append(dup, lines[at])
+		dup = append(dup, lines[at+1:]...)
+		return strings.Join(dup, "\n"), true
+	}
+	if len(asciiLines) > 0 {
+		at := asciiLines[r.intn(len(asciiLines))]
+		if mutated, ok := rotateASCII(lines[at], r); ok {
+			lines[at] = mutated
+			return strings.Join(lines, "\n"), true
+		}
+	}
+	return "", false
+}
+
+// rotateASCII rotates one inner character of an .ascii "..." literal to
+// the next printable character.
+func rotateASCII(line string, r *splitmix64) (string, bool) {
+	open := strings.IndexByte(line, '"')
+	close := strings.LastIndexByte(line, '"')
+	if open < 0 || close <= open+1 {
+		return "", false
+	}
+	body := []byte(line[open+1 : close])
+	// Pick a plain printable byte (leave escapes like \n alone).
+	for try := 0; try < 8; try++ {
+		i := r.intn(len(body))
+		if body[i] >= ' ' && body[i] < '~' && body[i] != '\\' && body[i] != '"' {
+			body[i]++
+			return line[:open+1] + string(body) + line[close:], true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/cases"
+)
+
+// Variant generation is deterministic in (case, n, seed) — the fuzzed
+// corpus of the variants experiment must reproduce anywhere.
+func TestVariantsDeterministic(t *testing.T) {
+	c := cases.Pincheck()
+	a := Variants(c, 3, 1)
+	b := Variants(c, 3, 1)
+	if len(a) != len(b) {
+		t.Fatalf("regeneration changed survivor count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Source != b[i].Source {
+			t.Errorf("variant %d differs across regenerations", i)
+		}
+	}
+	other := Variants(c, 3, 2)
+	same := len(other) == len(a)
+	if same {
+		for i := range a {
+			if a[i].Source != other[i].Source {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a) > 0 {
+		t.Error("seeds 1 and 2 produced identical variant sets")
+	}
+}
+
+// Every survivor is a real mutant (source differs from the parent, and
+// from its siblings) that still honors the parent's behavioral
+// contract, under the parent's name with a ~vN suffix.
+func TestVariantsSurviveScreen(t *testing.T) {
+	for _, c := range cases.Corpus() {
+		vs := Variants(c, 2, 1)
+		if len(vs) == 0 {
+			t.Errorf("%s: no variants survived the screen", c.Name)
+			continue
+		}
+		seen := map[string]bool{c.Source: true}
+		for i, v := range vs {
+			if !strings.HasPrefix(v.Name, c.Name+"~v") {
+				t.Errorf("%s: variant name %q lacks the ~v suffix", c.Name, v.Name)
+			}
+			if seen[v.Source] {
+				t.Errorf("%s: variant %d duplicates the parent or a sibling", c.Name, i)
+			}
+			seen[v.Source] = true
+			bin, err := v.Build()
+			if err != nil {
+				t.Errorf("%s: survivor does not assemble: %v", v.Name, err)
+				continue
+			}
+			if err := v.Check(bin); err != nil {
+				t.Errorf("%s: survivor fails its own behavioral contract: %v", v.Name, err)
+			}
+		}
+	}
+}
+
+// The screen must actually reject things, or it is vacuous: a mutation
+// that rotates a byte of an output literal changes observable stdout
+// and may never survive.
+func TestScreenRejectsBehaviorChanges(t *testing.T) {
+	c := cases.Pincheck()
+	r := &splitmix64{s: 42}
+	rejected := 0
+	for i := 0; i < 200; i++ {
+		src, ok := mutateSource(c.Source, r)
+		if !ok || src == c.Source {
+			continue
+		}
+		v := &cases.Case{
+			Name: "probe", Source: src,
+			Good: c.Good, Bad: c.Bad,
+			GoodStdout: c.GoodStdout, BadStdout: c.BadStdout,
+			GoodExit: c.GoodExit, BadExit: c.BadExit,
+		}
+		bin, err := v.Build()
+		if err != nil {
+			rejected++
+			continue
+		}
+		if v.Check(bin) != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("200 mutants and zero rejections: the behavioral screen is vacuous")
+	}
+}
+
+func TestMutateSourceShapes(t *testing.T) {
+	src := ".text\nstart:\n  mov rax, 1\n  cmp rax, 2\n  ret\n.rodata\nmsg:\n  .ascii \"hello\"\n"
+	r := &splitmix64{s: 7}
+	dups, tweaks := 0, 0
+	for i := 0; i < 64; i++ {
+		m, ok := mutateSource(src, r)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.Count(m, "mov rax, 1") == 2 || strings.Count(m, "cmp rax, 2") == 2:
+			dups++
+		case !strings.Contains(m, `"hello"`):
+			tweaks++
+		default:
+			t.Fatalf("unclassifiable mutation:\n%s", m)
+		}
+		if strings.Count(m, "ret") != 1 {
+			t.Error("mutator duplicated a non-duplicable instruction")
+		}
+	}
+	if dups == 0 || tweaks == 0 {
+		t.Errorf("mutation mix dups=%d tweaks=%d: both shapes must occur", dups, tweaks)
+	}
+}

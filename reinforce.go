@@ -46,6 +46,7 @@ import (
 	"github.com/r2r/reinforce/internal/cases"
 	"github.com/r2r/reinforce/internal/decode"
 	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/emit"
 	"github.com/r2r/reinforce/internal/emu"
 	"github.com/r2r/reinforce/internal/fault"
 	"github.com/r2r/reinforce/internal/harden"
@@ -71,9 +72,18 @@ func Assemble(source string) (*Binary, error) {
 	return asm.Assemble(source, nil)
 }
 
-// ParseELF loads a binary image produced by (*Binary).Bytes.
+// ParseELF loads a binary image: either the section-header form produced
+// by (*Binary).Bytes or the program-header-only form produced by EmitELF.
 func ParseELF(image []byte) (*Binary, error) {
-	return elf.Parse(image)
+	return elf.Load(image)
+}
+
+// EmitELF renders the binary as a minimal standalone static executable:
+// ELF header plus one PT_LOAD program header per section, no section
+// headers — the form a stock kernel loader (and ParseELF) accepts.
+// Emission round-trips: ParseELF(EmitELF(b)) re-emits byte-identically.
+func EmitELF(bin *Binary) ([]byte, error) {
+	return emit.Image(bin)
 }
 
 // RunResult is the outcome of executing a binary in the emulator.
