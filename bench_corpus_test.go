@@ -65,12 +65,31 @@ func runCorpusBench(b *testing.B, jobs []campaign.CorpusJob, opt campaign.Corpus
 // every order-2 solo stage answered from the iteration's own store.
 func BenchmarkCorpusCold(b *testing.B) {
 	jobs := corpusBenchJobs(b)
-	injections := 0
+	injections, cells := 0, 0
 	for i := 0; i < b.N; i++ {
 		res := runCorpusBench(b, jobs, corpusBenchOptions(nil))
 		injections = res.Aggregate().Injections
+		cells = len(res.Results)
 	}
 	b.ReportMetric(float64(injections), "injections/op")
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkCorpusColdParallel is the cold sweep with concurrent case
+// chains on a shared worker pool — the `r2r corpus -parallel-cells`
+// configuration. Results are bit-identical to BenchmarkCorpusCold
+// (test-enforced by the scheduler differential suite); only the
+// schedule differs. cells/s is the guarded corpus throughput metric.
+func BenchmarkCorpusColdParallel(b *testing.B) {
+	jobs := corpusBenchJobs(b)
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		opt := corpusBenchOptions(nil)
+		opt.ParallelCells = len(jobs)
+		res := runCorpusBench(b, jobs, opt)
+		cells = len(res.Results)
+	}
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
 // BenchmarkCorpusWarm measures the same sweep replayed from a
@@ -137,6 +156,7 @@ func TestWriteBenchCorpusJSON(t *testing.T) {
 	}
 	writeBenchJSON(t, *benchJSONCorpus, []namedBench{
 		{"CorpusCold", BenchmarkCorpusCold},
+		{"CorpusColdParallel", BenchmarkCorpusColdParallel},
 		{"CorpusWarm", BenchmarkCorpusWarm},
 		{"CorpusWarmCapped", BenchmarkCorpusWarmCapped},
 	})

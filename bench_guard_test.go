@@ -47,9 +47,9 @@ func baselineMetric(t *testing.T, path, bench, metric string) float64 {
 }
 
 // TestBenchGuard re-measures the guarded benchmarks against their
-// committed baselines. The guarded set is the two throughput numbers
-// the whole engine stands on: raw emulator speed and pruned pair-sweep
-// speed.
+// committed baselines. The guarded set is the throughput numbers the
+// whole engine stands on: raw emulator speed, pruned pair-sweep speed,
+// and parallel corpus sweep throughput.
 func TestBenchGuard(t *testing.T) {
 	if !*benchGuard {
 		t.Skip("enable with -benchguard")
@@ -60,6 +60,7 @@ func TestBenchGuard(t *testing.T) {
 	}{
 		{"BENCH_campaign.json", "Emulator", "steps/s", BenchmarkEmulator},
 		{"BENCH_prune.json", "Order2PairSweepPruned", "pairs/s", BenchmarkOrder2PairSweepPruned},
+		{"BENCH_corpus.json", "CorpusColdParallel", "cells/s", BenchmarkCorpusColdParallel},
 	}
 	for _, g := range guards {
 		want := baselineMetric(t, g.file, g.bench, g.metric)

@@ -12,7 +12,7 @@
 //	r2r lift prog.elf                   print the compiler IR
 //	r2r faults -good G -bad B prog.elf  fault-injection campaign
 //	r2r campaign -good G -bad B prog.elf ...        batch campaigns (sharded, JSON/CSV)
-//	r2r corpus [-cases LIST] [-order 1|2] ...       batched sweep across the case-study corpus
+//	r2r corpus [-cases LIST] [-order 1|2|3] ...     batched sweep across the case-study corpus
 //	r2r patch -good G -bad B -o out.elf prog.elf    Faulter+Patcher pipeline
 //	r2r hybrid -o out.elf prog.elf                  Hybrid pipeline
 //	r2r oracle [-cases LIST] [-harden P] ...        differential-execution oracle
@@ -143,12 +143,17 @@ commands:
                                  -order 2 adds multi-fault pairs; -prune
                                  classifies equivalent injections without
                                  simulating them (bit-identical results)
-  corpus [-cases LIST] [-model MODELS] [-order 1|2] [-max-pairs N]
-         [-max-faults N] [-workers N] [-cache-dir DIR] [-prune]
-         [-json|-csv] [-q] [-cpuprofile F] [-memprofile F]
+  corpus [-cases LIST] [-model MODELS] [-order 1|2|3] [-max-pairs N]
+         [-max-triples N] [-max-faults N] [-workers N] [-parallel-cells N]
+         [-cache-dir DIR] [-prune] [-json|-csv] [-q]
+         [-cpuprofile F] [-memprofile F]
                                  sweep the registered case-study corpus
                                  as one batched, cache-sharing run with
-                                 per-case and aggregate survival reports
+                                 per-case and aggregate survival reports;
+                                 -order 3 adds the budget-capped, pruned
+                                 triple stage; -parallel-cells N runs up
+                                 to N cases concurrently on one shared
+                                 worker pool (results bit-identical)
   patch -good G -bad B [-model ...] [-order 1|2] [-max-pairs N]
         [-json|-csv] [-o OUT] [-emit ELF] BIN
                                  harden via the Faulter+Patcher pipeline;
@@ -573,8 +578,8 @@ func cmdCorpus(args []string, out io.Writer) error {
 	if fs.NArg() != 0 {
 		return usagef("corpus takes no positional arguments (case studies come from -cases)")
 	}
-	if f.Order != 1 && f.Order != 2 {
-		return usagef("unsupported fault order %d: want 1 or 2", f.Order)
+	if f.Order < 1 || f.Order > 3 {
+		return usagef("unsupported fault order %d: want 1, 2 or 3", f.Order)
 	}
 	stopProf, err := profileTo(f.CPUProfile, f.MemProfile)
 	if err != nil {
@@ -593,6 +598,12 @@ func cmdCorpus(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if store != nil {
+		// Batch disk writes behind the sweep; Close flushes what's
+		// still pending before the summaries are written.
+		store.EnableWriteBehind(0, 0)
+		defer store.Close()
+	}
 
 	var jobs []campaign.CorpusJob
 	for _, c := range selected {
@@ -610,13 +621,15 @@ func cmdCorpus(args []string, out io.Writer) error {
 		})
 	}
 	orders := []int{1}
-	if f.Order == 2 {
-		orders = []int{1, 2}
+	for o := 2; o <= f.Order; o++ {
+		orders = append(orders, o)
 	}
 	opt := campaign.CorpusOptions{
-		Options: campaign.Options{Workers: f.Workers, MaxPairs: f.MaxPairs, Store: store,
+		Options: campaign.Options{Workers: f.Workers, MaxPairs: f.MaxPairs,
+			MaxTriples: f.MaxTriples, Store: store,
 			Prune: f.Prune, Progress: progressMeter(f.Quiet)},
-		Orders: orders,
+		Orders:        orders,
+		ParallelCells: f.ParallelCells,
 	}
 	res, err := campaign.RunCorpus(jobs, opt)
 	if err != nil {
@@ -626,6 +639,11 @@ func cmdCorpus(args []string, out io.Writer) error {
 		// Surface every failing cell, not just the first — the sweep
 		// deliberately continued past each one.
 		return errors.Join(errs...)
+	}
+	if store != nil {
+		// Flush the write-behind queue before the summaries go out, so
+		// a warm re-run over the same -cache-dir sees every entry.
+		store.Close()
 	}
 	if err := stopProf(); err != nil {
 		return err

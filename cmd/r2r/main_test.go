@@ -208,7 +208,7 @@ func TestCorpusJSONGolden(t *testing.T) {
 func TestCorpusRejectsUsageErrors(t *testing.T) {
 	cases := map[string][]string{
 		"positional args": {"x.elf"},
-		"bad order":       {"-order", "3"},
+		"bad order":       {"-order", "4"},
 		"unknown case":    {"-cases", "nonesuch"},
 		"unknown model":   {"-model", "skipp"},
 	}

@@ -139,6 +139,38 @@ type Options struct {
 	// to (see Store). Results are bit-identical with or without it —
 	// test-enforced alongside the worker/shard determinism guarantees.
 	Store *Store
+
+	// Pool, when non-nil, is the shared execution pool the run's
+	// sessions execute on (see WorkerPool) instead of spawning private
+	// per-stage goroutine sets — the corpus scheduler's injection
+	// point. Like Workers, it never changes results, only where the
+	// simulations run; it is not part of the plan key.
+	Pool fault.Pool
+
+	// newSession, when set, replaces fault.NewSession for the run —
+	// the corpus runner's hook for reusing one session across the
+	// orders of a cell chain (session construction replays the golden
+	// runs and snapshots the trace, too expensive to repeat per cell).
+	newSession func(fault.Campaign) (*fault.Session, error)
+}
+
+// session builds (or fetches, via the newSession hook) the run's
+// session and injects the shared pool when one is configured.
+func (opt Options) session(c fault.Campaign) (*fault.Session, error) {
+	var s *fault.Session
+	var err error
+	if opt.newSession != nil {
+		s, err = opt.newSession(c)
+	} else {
+		s, err = fault.NewSession(c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opt.Pool != nil {
+		s.SetPool(opt.Pool)
+	}
+	return s, nil
 }
 
 // Run executes one fault campaign on the engine and assembles the
@@ -184,7 +216,7 @@ func runInc(name string, jobIndex, jobs int, c fault.Campaign, opt Options, prev
 	if err != nil {
 		return nil, err
 	}
-	s, err := fault.NewSession(c)
+	s, err := opt.session(c)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +392,7 @@ func runOrder2Inc(name string, jobIndex, jobs int, c fault.Campaign, opt Options
 	if err != nil {
 		return nil, err
 	}
-	s, err := fault.NewSession(c)
+	s, err := opt.session(c)
 	if err != nil {
 		return nil, err
 	}

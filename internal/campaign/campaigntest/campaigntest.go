@@ -70,3 +70,54 @@ func AssertOrder2Equal(tb testing.TB, label string, want, got *campaign.Order2Re
 		tb.Fatalf("%s: pair tallies differ: %v vs %v", label, want.PairTally, got.PairTally)
 	}
 }
+
+// AssertOrder3Equal fails unless two order-3 reports are bit-identical:
+// the full order-2 lower stages plus the triple list (triples and
+// outcomes, in order) and its tally.
+func AssertOrder3Equal(tb testing.TB, label string, want, got *campaign.Order3Report) {
+	tb.Helper()
+	AssertOrder2Equal(tb, label+" lower", want.Order2(), got.Order2())
+	if !reflect.DeepEqual(want.Triples, got.Triples) {
+		tb.Fatalf("%s: triple stages differ (%d vs %d triples)", label, len(want.Triples), len(got.Triples))
+	}
+	if want.TripleTally != got.TripleTally {
+		tb.Fatalf("%s: triple tallies differ: %v vs %v", label, want.TripleTally, got.TripleTally)
+	}
+}
+
+// AssertCorpusEqual fails unless two corpus results hold bit-identical
+// cells: same cell order (case, order) and, per cell, identical reports
+// at every order the cell ran. Execution accounting (elapsed, cache
+// stats) is deliberately excluded — it varies across scheduling shapes
+// while results must not.
+func AssertCorpusEqual(tb testing.TB, label string, want, got *campaign.CorpusResult) {
+	tb.Helper()
+	if len(want.Results) != len(got.Results) {
+		tb.Fatalf("%s: %d cells vs %d", label, len(want.Results), len(got.Results))
+	}
+	for i := range want.Results {
+		w, g := &want.Results[i], &got.Results[i]
+		cell := label + ": " + w.Case
+		if w.Case != g.Case || w.Order != g.Order {
+			tb.Fatalf("%s: cell %d is (%s, o%d) vs (%s, o%d)",
+				label, i, w.Case, w.Order, g.Case, g.Order)
+		}
+		if (w.Err == nil) != (g.Err == nil) {
+			tb.Fatalf("%s: cell %d errors differ: %v vs %v", label, i, w.Err, g.Err)
+		}
+		if w.Err != nil {
+			continue
+		}
+		if (w.Order2 == nil) != (g.Order2 == nil) || (w.Order3 == nil) != (g.Order3 == nil) {
+			tb.Fatalf("%s: cell %d ran different stages", label, i)
+		}
+		switch {
+		case w.Order3 != nil:
+			AssertOrder3Equal(tb, cell, w.Order3, g.Order3)
+		case w.Order2 != nil:
+			AssertOrder2Equal(tb, cell, w.Order2, g.Order2)
+		default:
+			AssertReportsEqual(tb, cell, w.Report, g.Report)
+		}
+	}
+}

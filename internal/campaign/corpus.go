@@ -9,14 +9,20 @@
 // baseline by a few patched bytes, a warm re-run) is answered from
 // cache instead of re-simulated.
 //
-// Jobs run sequentially (each campaign already saturates the worker
-// pool internally); results are deterministic — bit-identical across
-// worker counts, and across cold runs and store replays — because every
-// constituent campaign is.
+// Cells are grouped into per-case chains (the memo chain and the
+// store's order-over-order reuse both follow a case's job order, so a
+// chain must run sequentially); with ParallelCells > 1 the chains run
+// concurrently on one shared work-stealing WorkerPool whose budget is
+// Options.Workers. Results are deterministic either way — every cell
+// lands at its fixed position in Results, and every constituent
+// campaign is bit-identical across worker counts, chunking, stealing,
+// and store replay — so the parallel sweep's reports match the
+// sequential runner's bit for bit.
 package campaign
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/r2r/reinforce/internal/fault"
@@ -34,19 +40,32 @@ type CorpusJob struct {
 
 // CorpusOptions tune a corpus run.
 type CorpusOptions struct {
-	// Options carries the per-campaign knobs (Workers, MaxPairs, Store,
-	// Progress). With a nil Store, RunCorpus creates a private in-memory
-	// store for the run, so cross-campaign sharing works out of the box;
-	// pass a disk-backed store (`r2r corpus -cache-dir`) to persist it.
-	// Progress is remapped to corpus-wide job numbering: one job per
-	// (case, order) pair.
+	// Options carries the per-campaign knobs (Workers, MaxPairs,
+	// MaxTriples, Store, Progress). With a nil Store, RunCorpus creates
+	// a private in-memory store for the run, so cross-campaign sharing
+	// works out of the box; pass a disk-backed store (`r2r corpus
+	// -cache-dir`) to persist it. Progress is remapped to corpus-wide
+	// job numbering: one job per (case, order) pair, monotonic per cell
+	// even when cells interleave. With ParallelCells > 1, Workers is
+	// the *global* simulation budget shared by every concurrent cell.
 	Options
 
 	// Orders lists the fault orders swept per case, in order (default
-	// {1}; only 1 and 2 are valid). An order-2 sweep stores and reuses
+	// {1}; 1, 2, and 3 are valid — order 3 always runs pruned and
+	// budget-capped, see RunOrder3). An order-2 sweep stores and reuses
 	// its order-1 stage under the same plan key as a plain order-1 run,
-	// so Orders {1, 2} answers the second solo sweep from the store.
+	// so Orders {1, 2} answers the second solo sweep from the store;
+	// an order-3 sweep likewise reuses the order-2 cell's pair stage
+	// when the pair budgets match.
 	Orders []int
+
+	// ParallelCells bounds how many case chains execute concurrently
+	// (<= 1: strictly sequential, the historical behavior). The cells
+	// of one case always run in sequence — the memo chain demands it —
+	// so the bound is over distinct cases. All concurrent cells share
+	// one WorkerPool of Options.Workers workers (or Options.Pool when
+	// the caller provides one).
+	ParallelCells int
 }
 
 // CorpusCaseResult is one (case, order) cell of a corpus run.
@@ -54,8 +73,9 @@ type CorpusCaseResult struct {
 	Case  string
 	Order int
 
-	Report  *fault.Report // the order-1 sweep (Order2.Solo for order 2)
-	Order2  *Order2Report // pair stage; nil for order-1 cells
+	Report  *fault.Report // the order-1 sweep (Order2.Solo for orders 2/3)
+	Order2  *Order2Report // pair stage; nil for order-1 cells (Order3.Order2() for order 3)
+	Order3  *Order3Report // triple stage; nil except for order-3 cells
 	Summary Summary       // export-ready digest (Name is "case/oN")
 	Elapsed time.Duration
 	Cache   CacheStats
@@ -72,17 +92,27 @@ type CorpusResult struct {
 	Cache CacheStats
 }
 
-// RunCorpus executes the corpus sweep: every job at every order, in
-// deterministic order, sharing one store and per-case memo chains. A
-// failing cell records its error and the sweep continues.
+// corpusChain is the unit of corpus concurrency: the consecutive cells
+// of one case, executed in order so the memo chain and the
+// order-over-order store reuse see their predecessors.
+type corpusChain struct {
+	jobs  []CorpusJob
+	cells []int // Results index of each (job, order) cell, job-major
+}
+
+// RunCorpus executes the corpus sweep: every job at every order,
+// sharing one store and per-case memo chains. Cell numbering — and the
+// Results slice — is always job-major in input order, identical for
+// sequential and parallel runs. A failing cell records its error and
+// the sweep continues.
 func RunCorpus(jobs []CorpusJob, opt CorpusOptions) (*CorpusResult, error) {
 	orders := opt.Orders
 	if len(orders) == 0 {
 		orders = []int{1}
 	}
 	for _, o := range orders {
-		if o != 1 && o != 2 {
-			return nil, fmt.Errorf("campaign: unsupported corpus order %d: want 1 or 2", o)
+		if o != 1 && o != 2 && o != 3 {
+			return nil, fmt.Errorf("campaign: unsupported corpus order %d: want 1, 2 or 3", o)
 		}
 	}
 	if opt.Store == nil {
@@ -93,39 +123,142 @@ func RunCorpus(jobs []CorpusJob, opt CorpusOptions) (*CorpusResult, error) {
 		opt.Store = st
 	}
 
-	res := &CorpusResult{}
-	memos := map[string]*Memo{}
+	// Group the jobs into per-case chains, preserving first-appearance
+	// order and each case's job order. Cell indices stay job-major.
+	var chains []*corpusChain
+	chainOf := map[string]*corpusChain{}
+	for j, job := range jobs {
+		ch, ok := chainOf[job.Case]
+		if !ok {
+			ch = &corpusChain{}
+			chainOf[job.Case] = ch
+			chains = append(chains, ch)
+		}
+		ch.jobs = append(ch.jobs, job)
+		for o := range orders {
+			ch.cells = append(ch.cells, j*len(orders)+o)
+		}
+	}
+
+	parallel := opt.ParallelCells
+	if parallel > len(chains) {
+		parallel = len(chains)
+	}
+	if parallel > 1 {
+		// All concurrent cells draw from one worker budget; chains
+		// that finish early steal into the stragglers' chunk queues.
+		if opt.Pool == nil {
+			pool := NewWorkerPool(opt.Workers)
+			defer pool.Close()
+			opt.Pool = pool
+		}
+		// Options.Progress promises serialized delivery; with chains
+		// interleaving, serialize here (per-cell monotonicity is
+		// progressFunc's, which each cell stage owns privately).
+		if opt.Progress != nil {
+			var mu sync.Mutex
+			inner := opt.Progress
+			opt.Progress = func(p Progress) {
+				mu.Lock()
+				defer mu.Unlock()
+				inner(p)
+			}
+		}
+	}
+
+	res := &CorpusResult{Results: make([]CorpusCaseResult, len(jobs)*len(orders))}
+	if parallel > 1 {
+		sem := make(chan struct{}, parallel)
+		var wg sync.WaitGroup
+		for _, ch := range chains {
+			wg.Add(1)
+			go func(ch *corpusChain) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runChain(ch, orders, opt, res.Results)
+			}(ch)
+		}
+		wg.Wait()
+	} else {
+		for _, ch := range chains {
+			runChain(ch, orders, opt, res.Results)
+		}
+	}
+	for i := range res.Results {
+		if res.Results[i].Err == nil {
+			res.Cache.Add(res.Results[i].Cache)
+		}
+	}
+	return res, nil
+}
+
+// runChain executes one case chain's cells in order, threading the
+// memo across jobs and reusing one fault.Session across the orders of
+// each job (construction replays the golden runs — once per binary,
+// not once per cell). Each cell writes its result at its fixed
+// job-major index, so interleaved chains never perturb merge order.
+func runChain(ch *corpusChain, orders []int, opt CorpusOptions, results []CorpusCaseResult) {
+	cells := len(results)
+	var memo *Memo
 	cell := 0
-	cells := len(jobs) * len(orders)
-	for _, job := range jobs {
+	for _, job := range ch.jobs {
+		jobOpt := opt.Options
+		var cached *fault.Session
+		jobOpt.newSession = func(c fault.Campaign) (*fault.Session, error) {
+			if cached != nil {
+				return cached, nil
+			}
+			s, err := fault.NewSession(c)
+			if err != nil {
+				return nil, err
+			}
+			cached = s
+			return s, nil
+		}
 		for _, order := range orders {
+			idx := ch.cells[cell]
+			cell++
 			name := fmt.Sprintf("%s/o%d", job.Case, order)
 			start := time.Now()
 			out := CorpusCaseResult{Case: job.Case, Order: order}
 			switch order {
 			case 1:
-				r, err := runInc(name, cell, cells, job.Campaign, opt.Options, memos[job.Case], true)
+				r, err := runInc(name, idx, cells, job.Campaign, jobOpt, memo, true)
 				if err != nil {
 					out.Err = err
 					break
 				}
-				memos[job.Case] = r.Memo
+				memo = r.Memo
 				out.Report = r.Report
 				out.Cache = r.Cache
 				out.Prune = r.Prune
 				out.Summary = Summarize(name, r.Report)
 			case 2:
-				r, err := runOrder2Inc(name, cell, cells, job.Campaign, opt.Options, memos[job.Case], true)
+				r, err := runOrder2Inc(name, idx, cells, job.Campaign, jobOpt, memo, true)
 				if err != nil {
 					out.Err = err
 					break
 				}
-				memos[job.Case] = r.Memo
+				memo = r.Memo
 				out.Report = r.Report.Solo
 				out.Order2 = r.Report
 				out.Cache = r.Cache
 				out.Prune = r.Prune
 				out.Summary = SummarizeOrder2(name, r.Report)
+			case 3:
+				r, err := runOrder3Inc(name, idx, cells, job.Campaign, jobOpt, memo, true)
+				if err != nil {
+					out.Err = err
+					break
+				}
+				memo = r.Memo
+				out.Report = r.Report.Solo
+				out.Order2 = r.Report.Order2()
+				out.Order3 = r.Report
+				out.Cache = r.Cache
+				out.Prune = r.Prune
+				out.Summary = SummarizeOrder3(name, r.Report)
 			}
 			out.Elapsed = time.Since(start)
 			if out.Err == nil {
@@ -136,13 +269,10 @@ func RunCorpus(jobs []CorpusJob, opt CorpusOptions) (*CorpusResult, error) {
 					out.Summary.Prune = &prune
 				}
 				out.Summary.ElapsedMS = out.Elapsed.Milliseconds()
-				res.Cache.Add(out.Cache)
 			}
-			res.Results = append(res.Results, out)
-			cell++
+			results[idx] = out
 		}
 	}
-	return res, nil
 }
 
 // Summaries returns the per-cell summaries of the successful cells,
@@ -161,15 +291,16 @@ func (r *CorpusResult) Summaries() []Summary {
 
 // Aggregate folds every successful cell into one corpus-wide survival
 // row: total injections and outcome counts (TraceLen is the summed
-// trace length — a corpus size measure, not one program's), the pair
-// stage totals when any cell ran order 2, and the shared-cache
-// accounting.
+// trace length — a corpus size measure, not one program's), the
+// pair/triple stage totals when any cell ran order 2 or 3, and the
+// shared-cache accounting.
 func (r *CorpusResult) Aggregate() Summary {
 	agg := Summary{Name: "corpus"}
 	models := map[fault.Model]bool{}
 	var o2 Order2Summary
+	var o3 Order3Summary
 	var prune fault.PruneStats
-	hasO2, hasPrune := false, false
+	hasO2, hasO3, hasPrune := false, false, false
 	for _, c := range r.Results {
 		if c.Err != nil {
 			continue
@@ -195,6 +326,14 @@ func (r *CorpusResult) Aggregate() Summary {
 			o2.Crash += s.Order2.Crash
 			o2.Ignored += s.Order2.Ignored
 		}
+		if s.Order3 != nil {
+			hasO3 = true
+			o3.Triples += s.Order3.Triples
+			o3.Success += s.Order3.Success
+			o3.Detected += s.Order3.Detected
+			o3.Crash += s.Order3.Crash
+			o3.Ignored += s.Order3.Ignored
+		}
 		if s.Prune != nil {
 			hasPrune = true
 			prune.Add(*s.Prune)
@@ -203,6 +342,9 @@ func (r *CorpusResult) Aggregate() Summary {
 	}
 	if hasO2 {
 		agg.Order2 = &o2
+	}
+	if hasO3 {
+		agg.Order3 = &o3
 	}
 	if hasPrune {
 		agg.Prune = &prune

@@ -158,15 +158,16 @@ func TestCorpusMemoAcrossVariants(t *testing.T) {
 }
 
 // TestCorpusDefaultsAndValidation: order defaults to {1}; orders
-// outside {1, 2} are rejected; a failing cell does not sink the sweep.
+// outside {1, 2, 3} are rejected; a failing cell does not sink the
+// sweep.
 func TestCorpusDefaultsAndValidation(t *testing.T) {
 	jobs := corpusJobs(t, fault.ModelSkip)
 	res := runCorpus(t, jobs, CorpusOptions{})
 	if len(res.Results) != len(jobs) || res.Results[0].Order != 1 {
 		t.Fatalf("default orders: got %d results", len(res.Results))
 	}
-	if _, err := RunCorpus(jobs, CorpusOptions{Orders: []int{3}}); err == nil {
-		t.Fatal("order 3 accepted")
+	if _, err := RunCorpus(jobs, CorpusOptions{Orders: []int{4}}); err == nil {
+		t.Fatal("order 4 accepted")
 	}
 	bad := append([]CorpusJob{}, jobs...)
 	bad[0].Campaign.Good = bad[0].Campaign.Bad // indistinguishable oracle

@@ -224,8 +224,13 @@ func (e *executor) solo(c fault.Campaign, shard Shard, workers int, prev *Memo, 
 		return img, dataPages
 	}
 
+	// Singleflight: concurrent cells computing the same plan key (same
+	// binary, options, shard, order) elect one leader; the rest are
+	// served its committed entry as a hit.
+	var commit func(*Entry) error
 	if e.store != nil {
-		if entry, ok := e.store.Lookup(plan.Key); ok {
+		entry, lead := e.store.Acquire(plan.Key)
+		if entry != nil {
 			inj, tally, err := rebuildSolo(entry, fd, good, bad, limit, sel)
 			if err == nil {
 				if progress != nil {
@@ -240,6 +245,7 @@ func (e *executor) solo(c fault.Campaign, shard Shard, workers int, prev *Memo, 
 			}
 			// Stale entry (schema drift): fall through and re-simulate.
 		}
+		commit = lead
 	}
 
 	var changed map[uint64]bool
@@ -275,11 +281,19 @@ func (e *executor) solo(c fault.Campaign, shard Shard, workers int, prev *Memo, 
 	stats := CacheStats{Reused: int(reused.Load()), Resimulated: int(resim.Load())}
 	if e.store != nil {
 		stats.Misses = 1
-		if err := e.store.Save(&Entry{
+		entry := &Entry{
 			Key: plan.Key, FaultsDigest: fd,
 			GoodOracle: good, BadOracle: bad, Limit: limit,
 			Records: records,
-		}); err != nil {
+		}
+		err := error(nil)
+		if commit != nil {
+			err = commit(entry)
+		} else {
+			// Stale-hit resimulation: no flight held, save directly.
+			err = e.store.Save(entry)
+		}
+		if err != nil {
 			stats.WriteErrors++
 		}
 	}
@@ -345,7 +359,8 @@ func (e *executor) pairs(c fault.Campaign, shard Shard, workers, maxPairs int, s
 	good, bad := e.s.Oracles()
 	limit := e.s.InjectionLimit()
 
-	if entry, ok := e.store.Lookup(plan.Key); ok {
+	entry, commit := e.store.Acquire(plan.Key)
+	if entry != nil {
 		if entry.PairsDigest == pd && entry.GoodOracle == good && entry.BadOracle == bad &&
 			entry.Limit == limit && len(entry.PairRecords) == len(sel) {
 			out := make([]fault.PairInjection, len(sel))
@@ -369,11 +384,18 @@ func (e *executor) pairs(c fault.Campaign, shard Shard, workers, maxPairs int, s
 	for i, pi := range injections {
 		outcomes[i] = pi.Outcome
 	}
-	if err := e.store.Save(&Entry{
+	saved := &Entry{
 		Key: plan.Key, FaultsDigest: digestFaults(e.s.Faults()), PairsDigest: pd,
 		GoodOracle: good, BadOracle: bad, Limit: limit,
 		PairRecords: outcomes,
-	}); err != nil {
+	}
+	err := error(nil)
+	if commit != nil {
+		err = commit(saved)
+	} else {
+		err = e.store.Save(saved)
+	}
+	if err != nil {
 		stats.WriteErrors++
 	}
 	return injections, tally, stats, nil

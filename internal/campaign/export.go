@@ -39,6 +39,15 @@ type Order2Summary struct {
 	Ignored  int `json:"ignored"`
 }
 
+// Order3Summary digests the triple stage of an order-3 campaign.
+type Order3Summary struct {
+	Triples  int `json:"triples"`
+	Success  int `json:"success"`
+	Detected int `json:"detected"`
+	Crash    int `json:"crash"`
+	Ignored  int `json:"ignored"`
+}
+
 // Summary is the machine-readable digest of one campaign, shaped for
 // JSON/CSV export and dashboard ingestion. Models and PerModel rely on
 // fault.Model's JSON marshaling (string forms) instead of hand-rolled
@@ -54,6 +63,7 @@ type Summary struct {
 	Ignored    int              `json:"ignored"`
 	PerModel   []ModelBreakdown `json:"per_model,omitempty"`
 	Order2     *Order2Summary   `json:"order2,omitempty"`
+	Order3     *Order3Summary   `json:"order3,omitempty"`
 	Sites      []SiteSummary    `json:"vulnerable_sites"`
 	GoodExit   int              `json:"good_exit"`
 	BadExit    int              `json:"bad_exit"`
@@ -140,15 +150,39 @@ func SummarizeOrder2(name string, rep *Order2Report) Summary {
 	return s
 }
 
+// SummarizeOrder3 digests an order-3 campaign: the order-2 summary of
+// the lower stages with the triple stage attached.
+func SummarizeOrder3(name string, rep *Order3Report) Summary {
+	s := SummarizeOrder2(name, rep.Order2())
+	o3 := &Order3Summary{Triples: len(rep.Triples)}
+	for _, t := range rep.Triples {
+		switch t.Outcome {
+		case fault.OutcomeSuccess:
+			o3.Success++
+		case fault.OutcomeDetected:
+			o3.Detected++
+		case fault.OutcomeCrash:
+			o3.Crash++
+		case fault.OutcomeIgnored:
+			o3.Ignored++
+		}
+	}
+	s.Order3 = o3
+	return s
+}
+
 // SummaryTable renders a batch of summaries as the standard text table
 // (also the source for CSV export). Order-2 summaries grow pair-stage
 // columns, so no result is visible in one output format but not
 // another.
 func SummaryTable(sums []Summary) *report.Table {
-	order2, cached, pruned := false, false, false
+	order2, order3, cached, pruned := false, false, false, false
 	for _, s := range sums {
 		if s.Order2 != nil {
 			order2 = true
+		}
+		if s.Order3 != nil {
+			order3 = true
 		}
 		if s.Cache != nil {
 			cached = true
@@ -164,6 +198,10 @@ func SummaryTable(sums []Summary) *report.Table {
 	if order2 {
 		tab.Header = append(tab.Header,
 			"pairs", "pair_success", "pair_detected", "pair_crash", "pair_ignored")
+	}
+	if order3 {
+		tab.Header = append(tab.Header,
+			"triples", "triple_success", "triple_detected", "triple_crash", "triple_ignored")
 	}
 	if cached {
 		tab.Header = append(tab.Header, "cache_hits", "cache_misses", "reused", "resimulated")
@@ -189,6 +227,17 @@ func SummaryTable(sums []Summary) *report.Table {
 				fmt.Sprintf("%d", s.Order2.Crash),
 				fmt.Sprintf("%d", s.Order2.Ignored))
 		case order2:
+			row = append(row, "", "", "", "", "")
+		}
+		switch {
+		case s.Order3 != nil:
+			row = append(row,
+				fmt.Sprintf("%d", s.Order3.Triples),
+				fmt.Sprintf("%d", s.Order3.Success),
+				fmt.Sprintf("%d", s.Order3.Detected),
+				fmt.Sprintf("%d", s.Order3.Crash),
+				fmt.Sprintf("%d", s.Order3.Ignored))
+		case order3:
 			row = append(row, "", "", "", "", "")
 		}
 		switch {

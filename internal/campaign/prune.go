@@ -56,6 +56,7 @@ func (r *Order3Report) Order2() *Order2Report {
 // Order3Result is the full outcome of an order-3 run.
 type Order3Result struct {
 	Report *Order3Report
+	Memo   *Memo // solo-sweep memo, reusable by the next incremental run
 	Cache  CacheStats
 	Prune  *fault.PruneStats
 }
@@ -69,20 +70,38 @@ type Order3Result struct {
 // outcome. Pruning is always on. With Options.Store, each stage is
 // answered from its own plan key when possible.
 func RunOrder3(c fault.Campaign, opt Options) (*Order3Result, error) {
+	return runOrder3Inc("", 0, 1, c, opt, nil, false)
+}
+
+// runOrder3Inc is the shared order-3 execution path, mirroring
+// runOrder2Inc: with an empty name the three phases report as
+// stand-alone jobs ("order-1" 0/3 ... "order-3" 2/3); a batch caller
+// (RunCorpus) passes its own name/jobIndex/jobs and the phases report
+// as "<name> order-N" under that index. The solo sweep participates in
+// the per-case memo chain like the lower orders; the pair stage stores
+// under the same plan key as an order-2 run with the same budget, so a
+// corpus cell chain {2, 3} answers the order-3 pair stage from the
+// order-2 cell's entry.
+func runOrder3Inc(name string, jobIndex, jobs int, c fault.Campaign, opt Options, prev *Memo, wantMemo bool) (*Order3Result, error) {
 	opt.Prune = true
 	soloProgress := progressFunc(opt, "order-1", 0, 3)
 	pairProgress := progressFunc(opt, "order-2", 1, 3)
 	tripleProgress := progressFunc(opt, "order-3", 2, 3)
+	if name != "" {
+		soloProgress = progressFunc(opt, name+" order-1", jobIndex, jobs)
+		pairProgress = progressFunc(opt, name+" order-2", jobIndex, jobs)
+		tripleProgress = progressFunc(opt, name+" order-3", jobIndex, jobs)
+	}
 	shard, err := opt.Shard.normalize()
 	if err != nil {
 		return nil, err
 	}
-	s, err := fault.NewSession(c)
+	s, err := opt.session(c)
 	if err != nil {
 		return nil, err
 	}
 	e := &executor{s: s, store: opt.Store, prune: true}
-	solo, _, _, stats, err := e.solo(c, Shard{}, opt.Workers, nil, false, soloProgress)
+	solo, _, memo, stats, err := e.solo(c, Shard{}, opt.Workers, prev, wantMemo, soloProgress)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +123,7 @@ func RunOrder3(c fault.Campaign, opt Options) (*Order3Result, error) {
 			Triples:     tripleInj,
 			TripleTally: tripleTally,
 		},
+		Memo:  memo,
 		Cache: stats,
 		Prune: e.pruneStats(),
 	}, nil
@@ -144,7 +164,8 @@ func (e *executor) triples(c fault.Campaign, shard Shard, workers, maxTriples in
 	good, bad := e.s.Oracles()
 	limit := e.s.InjectionLimit()
 
-	if entry, ok := e.store.Lookup(plan.Key); ok {
+	entry, commit := e.store.Acquire(plan.Key)
+	if entry != nil {
 		if entry.TriplesDigest == td && entry.GoodOracle == good && entry.BadOracle == bad &&
 			entry.Limit == limit && len(entry.TripleRecords) == len(sel) {
 			out := make([]fault.TripleInjection, len(sel))
@@ -168,11 +189,18 @@ func (e *executor) triples(c fault.Campaign, shard Shard, workers, maxTriples in
 	for i, ti := range injections {
 		outcomes[i] = ti.Outcome
 	}
-	if err := e.store.Save(&Entry{
+	saved := &Entry{
 		Key: plan.Key, FaultsDigest: digestFaults(e.s.Faults()), TriplesDigest: td,
 		GoodOracle: good, BadOracle: bad, Limit: limit,
 		TripleRecords: outcomes,
-	}); err != nil {
+	}
+	err := error(nil)
+	if commit != nil {
+		err = commit(saved)
+	} else {
+		err = e.store.Save(saved)
+	}
+	if err != nil {
 		stats.WriteErrors++
 	}
 	return injections, tally, stats, nil

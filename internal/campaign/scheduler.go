@@ -1,0 +1,180 @@
+// The corpus work-stealing scheduler: one process-wide worker pool
+// executing every concurrently running corpus cell's campaign stages
+// on a single global worker budget.
+//
+// Each fault.Session stage (solo sweep, pair tree, triple tree)
+// submits its work as one source — a dynamic chunk cursor over the
+// stage's units (see fault.ChunkCursor). A cell runs its stages
+// sequentially, so at any moment each cell owns at most one live
+// source: the source list is the set of per-cell deques. Workers
+// prefer the source they last drew from (affinity keeps a worker on
+// one cell's warm session state) and steal from any other source with
+// unclaimed work the moment their own drains, so an expensive cell's
+// tail is finished by the whole pool instead of straggling alone.
+//
+// Determinism: the scheduler only decides *which goroutine* runs a
+// chunk and *when*; every chunk writes its results at fixed,
+// schedule-independent positions (see fault.runShard and the
+// pair/triple unit loops), so corpus reports are bit-identical to the
+// sequential runner no matter the budget, the chunking, or who stole
+// what.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/r2r/reinforce/internal/fault"
+)
+
+// WorkerPool is a shared execution pool implementing fault.Pool: a
+// fixed set of worker goroutines draining dynamically chunked work
+// sources submitted by concurrent Execute calls. Safe for concurrent
+// use; create with NewWorkerPool and release with Close.
+type WorkerPool struct {
+	workers int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sources []*poolSource
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// poolSource is one submitted batch: a chunk cursor over its units
+// plus the count still unfinished. When outstanding hits zero the
+// batch's Execute call is released.
+type poolSource struct {
+	cur         *fault.ChunkCursor
+	run         func(lo, hi int)
+	outstanding atomic.Int64
+	done        chan struct{}
+}
+
+// NewWorkerPool starts a pool with the given global worker budget
+// (values <= 0 mean GOMAXPROCS). The budget is the total simulation
+// concurrency across every campaign sharing the pool.
+func NewWorkerPool(workers int) *WorkerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &WorkerPool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's global worker budget.
+func (p *WorkerPool) Workers() int { return p.workers }
+
+// Execute submits a batch and blocks until every unit has run —
+// possibly interleaved with other cells' batches on the shared
+// workers. On a closed pool it degrades to running the batch inline
+// on the calling goroutine.
+func (p *WorkerPool) Execute(n int, run func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		run(0, n)
+		return
+	}
+	src := &poolSource{
+		cur:  fault.NewChunkCursor(n, p.workers),
+		run:  run,
+		done: make(chan struct{}),
+	}
+	src.outstanding.Store(int64(n))
+	p.sources = append(p.sources, src)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-src.done
+}
+
+// Close drains nothing — callers must let their Execute calls return
+// first — then stops the workers and waits for them to exit. After
+// Close, Execute runs batches inline.
+func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// pickLocked chooses a source with unclaimed work, preferring the
+// affinity hint *last (the source this worker drew from before) and
+// scanning — stealing — from there. Returns nil when every live
+// source is fully claimed.
+func (p *WorkerPool) pickLocked(last *int) *poolSource {
+	n := len(p.sources)
+	if n == 0 {
+		return nil
+	}
+	start := *last % n
+	if start < 0 {
+		start = 0
+	}
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if p.sources[i].cur.Remaining() > 0 {
+			*last = i
+			return p.sources[i]
+		}
+	}
+	return nil
+}
+
+// remove drops a finished source from the live list.
+func (p *WorkerPool) remove(src *poolSource) {
+	p.mu.Lock()
+	for i, s := range p.sources {
+		if s == src {
+			p.sources = append(p.sources[:i], p.sources[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// finish retires units of a source; the goroutine that retires the
+// last unit deregisters the source and releases its Execute call.
+func (p *WorkerPool) finish(src *poolSource, units int) {
+	if src.outstanding.Add(-int64(units)) == 0 {
+		p.remove(src)
+		close(src.done)
+	}
+}
+
+// worker is the pool's drain loop: sleep until a source has unclaimed
+// work, then claim and run chunks — staying on one source while it
+// lasts, stealing from another when it drains.
+func (p *WorkerPool) worker() {
+	defer p.wg.Done()
+	last := 0
+	for {
+		p.mu.Lock()
+		src := p.pickLocked(&last)
+		for src == nil && !p.closed {
+			p.cond.Wait()
+			src = p.pickLocked(&last)
+		}
+		p.mu.Unlock()
+		if src == nil {
+			return
+		}
+		for {
+			lo, hi, ok := src.cur.Grab()
+			if !ok {
+				break
+			}
+			src.run(lo, hi)
+			p.finish(src, hi-lo)
+		}
+	}
+}

@@ -117,12 +117,12 @@ const (
 
 // CorpusFlags are the `r2r corpus` flags.
 type CorpusFlags struct {
-	Cases, Model, CacheDir     string
-	CPUProfile, MemProfile     string
-	Order, MaxPairs, MaxFaults int
-	Workers                    int
-	Dedup, Prune               bool
-	JSON, CSV, Quiet           bool
+	Cases, Model, CacheDir                 string
+	CPUProfile, MemProfile                 string
+	Order, MaxPairs, MaxTriples, MaxFaults int
+	Workers, ParallelCells                 int
+	Dedup, Prune                           bool
+	JSON, CSV, Quiet                       bool
 }
 
 // Corpus builds the `r2r corpus` flag set.
@@ -130,10 +130,12 @@ func Corpus() (*flag.FlagSet, *CorpusFlags) {
 	fs, f := newFS("corpus"), &CorpusFlags{}
 	fs.StringVar(&f.Cases, "cases", "all", "comma-separated case studies from the registered catalog, or all")
 	fs.StringVar(&f.Model, "model", "both", modelHelp)
-	fs.IntVar(&f.Order, "order", 2, "maximum fault order: 1 = single-fault sweeps only, 2 = add the fault-pair stage per case (the order-1 sweep is shared through the store)")
+	fs.IntVar(&f.Order, "order", 2, "maximum fault order: 1 = single-fault sweeps only, 2 = add the fault-pair stage per case (the order-1 sweep is shared through the store), 3 = add the budget-capped pruned fault-triple stage")
 	fs.IntVar(&f.MaxPairs, "max-pairs", 0, "order-2 pair budget per case (default 4096)")
+	fs.IntVar(&f.MaxTriples, "max-triples", 0, "order-3 triple budget per case (default 2048)")
 	fs.IntVar(&f.MaxFaults, "max-faults", 0, "cap injections per campaign (0 = unlimited; the CI smoke budget)")
-	fs.IntVar(&f.Workers, "workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
+	fs.IntVar(&f.Workers, "workers", 0, "global simulation worker budget shared by every concurrently running cell (default GOMAXPROCS)")
+	fs.IntVar(&f.ParallelCells, "parallel-cells", 1, "case chains executed concurrently on the shared worker pool (1 = sequential; results are bit-identical either way)")
 	fs.BoolVar(&f.Dedup, "dedup", true, "fault each static site once instead of every dynamic occurrence (corpus-scale default; -dedup=false is the paper's exhaustive mode)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirHelp)
 	fs.BoolVar(&f.Prune, "prune", false, pruneHelp)

@@ -98,6 +98,9 @@ func tableCorpus(opt campaign.Options) (*report.Table, []CorpusData, error) {
 	res, err := campaign.RunCorpus(jobs, campaign.CorpusOptions{
 		Options: opt,
 		Orders:  []int{1, 2},
+		// Distinct cases run concurrently on one shared worker pool;
+		// results are bit-identical to the sequential sweep.
+		ParallelCells: 3,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -10,7 +10,6 @@
 package fault
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -228,58 +227,43 @@ func (s *Session) executePairShard(pairs []FaultPair, pr *PairPruner, shardIndex
 		g.idx = append(g.idx, i)
 	}
 
-	// Work units: one per group, one per loose pair; claimed by a
-	// lock-free cursor like runShard.
+	// Work units: one per group, one per loose pair; claimed in
+	// dynamically sized chunks from the pool like runShard. A group is
+	// one unit (its snapshot tree shares one resumed prefix), so chunk
+	// boundaries never split a tree.
 	units := len(groups) + len(loose)
-	workers = s.pool(workers)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > units {
-		workers = units
-	}
-	var next, done atomic.Int64
+	var done atomic.Int64
 	tick := func() {
 		if progress != nil {
 			progress(int(done.Add(1)), len(sel))
 		}
 	}
-	tallies := make([]Tally, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				u := int(next.Add(1) - 1)
-				if u >= units {
-					return
-				}
-				if u < len(groups) {
-					if pr != nil {
-						s.runPairGroupPruned(pr, groups[u], sel, outcomes, &tallies[w], tick)
-					} else {
-						s.runPairGroup(groups[u], sel, outcomes, &tallies[w], tick)
-					}
-					continue
-				}
-				i := loose[u-len(groups)]
-				o := s.SimulatePair(sel[i])
-				if pr != nil {
-					pr.sim.Add(1)
-				}
-				outcomes[i] = o
-				tallies[w][o]++
-				tick()
-			}
-		}(w)
-	}
-	wg.Wait()
-
+	var mu sync.Mutex
 	var tally Tally
-	for _, t := range tallies {
-		tally.Add(t)
-	}
+	s.executePool(workers).Execute(units, func(lo, hi int) {
+		var local Tally
+		for u := lo; u < hi; u++ {
+			if u < len(groups) {
+				if pr != nil {
+					s.runPairGroupPruned(pr, groups[u], sel, outcomes, &local, tick)
+				} else {
+					s.runPairGroup(groups[u], sel, outcomes, &local, tick)
+				}
+				continue
+			}
+			i := loose[u-len(groups)]
+			o := s.SimulatePair(sel[i])
+			if pr != nil {
+				pr.sim.Add(1)
+			}
+			outcomes[i] = o
+			local[o]++
+			tick()
+		}
+		mu.Lock()
+		tally.Add(local)
+		mu.Unlock()
+	})
 	out := make([]PairInjection, len(sel))
 	for i, p := range sel {
 		out[i] = PairInjection{Pair: p, Outcome: outcomes[i]}

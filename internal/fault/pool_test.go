@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChunkCursorCoversRange: concurrent Grabs partition [0, n) into
+// disjoint, in-order chunks with no unit lost or duplicated.
+func TestChunkCursorCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		cur := NewChunkCursor(n, 4)
+		seen := make([]atomic.Int32, n)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					lo, hi, ok := cur.Grab()
+					if !ok {
+						return
+					}
+					if lo >= hi || lo < 0 || hi > n {
+						t.Errorf("n=%d: bad chunk [%d,%d)", n, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						seen[i].Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: unit %d grabbed %d times", n, i, got)
+			}
+		}
+		if rem := cur.Remaining(); rem != 0 {
+			t.Fatalf("n=%d: drained cursor reports %d remaining", n, rem)
+		}
+	}
+}
+
+// TestChunkSpanBounds: the guided self-scheduling span stays within
+// [1, maxChunk] and shrinks as the queue drains, so tail chunks are
+// small enough for stealing to balance them.
+func TestChunkSpanBounds(t *testing.T) {
+	for _, tc := range []struct {
+		remaining, workers, want int
+	}{
+		{0, 4, 1},        // floor: always make progress
+		{1, 4, 1},        // floor
+		{16, 4, 1},       // 16/(4*4) = 1
+		{1024, 4, 64},    // 1024/16 = 64 = cap
+		{1 << 20, 8, 64}, // huge queue: capped
+		{100, 1, 25},     // 100/4
+		{100, 0, 25},     // workers floor-clamped to 1
+		{8, 100, 1},      // more workers than work
+	} {
+		if got := chunkSpan(tc.remaining, tc.workers); got != tc.want {
+			t.Errorf("chunkSpan(%d, %d) = %d, want %d",
+				tc.remaining, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestGoPoolExecute: the private per-call pool covers [0, n) exactly
+// once for worker counts below, at, and above the unit count — the
+// seam Session.ExecuteShardSim and the pair/triple shards run on when
+// no shared scheduler is injected.
+func TestGoPoolExecute(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		for _, n := range []int{0, 1, 5, 129} {
+			hits := make([]atomic.Int32, n)
+			goPool{workers: workers}.Execute(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: unit %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}

@@ -69,6 +69,12 @@ type Session struct {
 	// address, for the bit-flip decode pre-screen (see Simulate). Nil
 	// when the pre-screen is disabled (self-modifying reference run).
 	probes map[uint64]probe
+
+	// sched, when set via SetPool, is the shared execution pool every
+	// shard/pair/triple stage runs on instead of a private per-call
+	// goroutine set — the seam the corpus work-stealing scheduler
+	// injects through.
+	sched Pool
 }
 
 // probe is the byte window the emulator would fetch at an address.
@@ -533,7 +539,7 @@ func (s *Session) ExecuteShard(shardIndex, shardCount, workers int, progress fun
 // sharding, and bit-identity guarantees. sim must be safe for
 // concurrent use and deterministic, like Simulate.
 func (s *Session) ExecuteShardSim(shardIndex, shardCount, workers int, sim func(Fault) Outcome, progress func(done, total int)) ([]Injection, Tally) {
-	sel, outcomes, tally := runShard(s.faults, shardIndex, shardCount, s.pool(workers), sim, progress)
+	sel, outcomes, tally := runShard(s.faults, shardIndex, shardCount, s.executePool(workers), sim, progress)
 	out := make([]Injection, len(sel))
 	for i, f := range sel {
 		out[i] = Injection{Fault: f, Outcome: outcomes[i]}
@@ -541,9 +547,9 @@ func (s *Session) ExecuteShardSim(shardIndex, shardCount, workers int, sim func(
 	return out, tally
 }
 
-// pool resolves a caller-supplied worker count against the campaign
-// default.
-func (s *Session) pool(workers int) int {
+// workerCount resolves a caller-supplied worker count against the
+// campaign default.
+func (s *Session) workerCount(workers int) int {
 	if workers <= 0 {
 		return s.c.Workers
 	}
@@ -576,50 +582,35 @@ func ShardSelect[T any](items []T, index, count int) []T {
 }
 
 // runShard is the engine's shared execution core: it selects the
-// round-robin shard of items, simulates each on a worker pool fed by a
-// lock-free atomic cursor, and accumulates outcomes into per-worker
-// tallies merged once at the end. Outcomes land at fixed positions, so
-// results are bit-identical regardless of worker count. Both the
-// order-1 fault sweep and the order-2 pair sweep run on it.
-func runShard[T any](items []T, shardIndex, shardCount, workers int, sim func(T) Outcome, progress func(done, total int)) ([]T, []Outcome, Tally) {
+// round-robin shard of items and simulates it in dynamically sized
+// chunks claimed from the pool (a private goroutine set by default,
+// the corpus work-stealing scheduler when injected). Outcomes land at
+// fixed positions and the tally is order-insensitive, so results are
+// bit-identical regardless of worker count, chunking, or stealing.
+// Both the order-1 fault sweep and the order-2 pair sweep run on it.
+func runShard[T any](items []T, shardIndex, shardCount int, pool Pool, sim func(T) Outcome, progress func(done, total int)) ([]T, []Outcome, Tally) {
 	sel := ShardSelect(items, shardIndex, shardCount)
 	outcomes := make([]Outcome, len(sel))
 	if len(sel) == 0 {
 		return sel, outcomes, Tally{}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sel) {
-		workers = len(sel)
-	}
 
-	var next, done atomic.Int64
-	tallies := make([]Tally, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(sel) {
-					return
-				}
-				o := sim(sel[i])
-				outcomes[i] = o
-				tallies[w][o]++
-				if progress != nil {
-					progress(int(done.Add(1)), len(sel))
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
+	var done atomic.Int64
+	var mu sync.Mutex
 	var total Tally
-	for _, t := range tallies {
-		total.Add(t)
-	}
+	pool.Execute(len(sel), func(lo, hi int) {
+		var local Tally
+		for i := lo; i < hi; i++ {
+			o := sim(sel[i])
+			outcomes[i] = o
+			local[o]++
+			if progress != nil {
+				progress(int(done.Add(1)), len(sel))
+			}
+		}
+		mu.Lock()
+		total.Add(local)
+		mu.Unlock()
+	})
 	return sel, outcomes, total
 }

@@ -9,7 +9,6 @@
 package fault
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -242,49 +241,32 @@ func (s *Session) ExecuteTripleShard(triples []FaultTriple, pr *PairPruner, shar
 	}
 
 	units := len(groups) + len(loose)
-	workers = s.pool(workers)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > units {
-		workers = units
-	}
-	var next, done atomic.Int64
+	var done atomic.Int64
 	tick := func() {
 		if progress != nil {
 			progress(int(done.Add(1)), len(sel))
 		}
 	}
-	tallies := make([]Tally, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				u := int(next.Add(1) - 1)
-				if u >= units {
-					return
-				}
-				if u < len(groups) {
-					s.runTripleGroup(pr, groups[u], sel, outcomes, &tallies[w], tick)
-					continue
-				}
-				i := loose[u-len(groups)]
-				o := s.SimulateTriple(sel[i])
-				pr.sim.Add(1)
-				outcomes[i] = o
-				tallies[w][o]++
-				tick()
-			}
-		}(w)
-	}
-	wg.Wait()
-
+	var mu sync.Mutex
 	var tally Tally
-	for _, t := range tallies {
-		tally.Add(t)
-	}
+	s.executePool(workers).Execute(units, func(lo, hi int) {
+		var local Tally
+		for u := lo; u < hi; u++ {
+			if u < len(groups) {
+				s.runTripleGroup(pr, groups[u], sel, outcomes, &local, tick)
+				continue
+			}
+			i := loose[u-len(groups)]
+			o := s.SimulateTriple(sel[i])
+			pr.sim.Add(1)
+			outcomes[i] = o
+			local[o]++
+			tick()
+		}
+		mu.Lock()
+		tally.Add(local)
+		mu.Unlock()
+	})
 	out := make([]TripleInjection, len(sel))
 	for i, t := range sel {
 		out[i] = TripleInjection{Triple: t, Outcome: outcomes[i]}
