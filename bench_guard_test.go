@@ -60,6 +60,7 @@ func TestBenchGuard(t *testing.T) {
 	}{
 		{"BENCH_campaign.json", "Emulator", "steps/s", BenchmarkEmulator},
 		{"BENCH_prune.json", "Order2PairSweepPruned", "pairs/s", BenchmarkOrder2PairSweepPruned},
+		{"BENCH_prune.json", "VerifyCatalog", "artifacts/s", BenchmarkVerifyCatalog},
 		{"BENCH_corpus.json", "CorpusColdParallel", "cells/s", BenchmarkCorpusColdParallel},
 	}
 	for _, g := range guards {

@@ -123,8 +123,9 @@ func TestWriteBenchPatchJSON(t *testing.T) {
 // TestWriteBenchPruneJSON exports the equivalence-pruning benchmarks as
 // BENCH_prune.json: the pruned order-2 pair sweep next to the
 // exhaustive baseline it must beat, the hardened-binary sweep where
-// inheritance dominates, and the order-3 triple throughput the pruner
-// unlocks. No-op unless -benchjson-prune is set.
+// inheritance dominates, the order-3 triple throughput the pruner
+// unlocks, and the static-verifier catalog pass whose analyses the
+// StaticInert screen reuses. No-op unless -benchjson-prune is set.
 func TestWriteBenchPruneJSON(t *testing.T) {
 	if *benchJSONPrune == "" {
 		t.Skip("enable with -benchjson-prune PATH")
@@ -134,5 +135,6 @@ func TestWriteBenchPruneJSON(t *testing.T) {
 		{"Order2PairSweepPruned", BenchmarkOrder2PairSweepPruned},
 		{"Order2PairSweepPrunedHardened", BenchmarkOrder2PairSweepPrunedHardened},
 		{"Order3TripleSweep", BenchmarkOrder3TripleSweep},
+		{"VerifyCatalog", BenchmarkVerifyCatalog},
 	})
 }

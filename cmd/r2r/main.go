@@ -16,6 +16,7 @@
 //	r2r patch -good G -bad B -o out.elf prog.elf    Faulter+Patcher pipeline
 //	r2r hybrid -o out.elf prog.elf                  Hybrid pipeline
 //	r2r oracle [-cases LIST] [-harden P] ...        differential-execution oracle
+//	r2r verify [-cases LIST] [-pipeline P] [BIN]    static countermeasure verifier
 //	r2r cases -dir DIR                  write the case studies to disk
 //	r2r experiments [-only NAME]        regenerate the paper's tables
 //	r2r pipeline                        describe the two pipelines
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"github.com/r2r/reinforce"
+	"github.com/r2r/reinforce/internal/bir"
 	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/cases"
 	"github.com/r2r/reinforce/internal/cli"
@@ -49,7 +51,10 @@ import (
 	"github.com/r2r/reinforce/internal/experiments"
 	"github.com/r2r/reinforce/internal/fault"
 	"github.com/r2r/reinforce/internal/oracle"
+	"github.com/r2r/reinforce/internal/passes"
+	"github.com/r2r/reinforce/internal/patch"
 	"github.com/r2r/reinforce/internal/report"
+	"github.com/r2r/reinforce/internal/static"
 )
 
 // usageError marks a command-line failure (bad flag, bad flag value,
@@ -98,6 +103,8 @@ func main() {
 		err = cmdHybrid(args)
 	case "oracle":
 		err = cmdOracle(args, os.Stdout)
+	case "verify":
+		err = cmdVerify(args, os.Stdout)
 	case "cases":
 		err = cmdCases(args)
 	case "cfg":
@@ -173,6 +180,15 @@ commands:
                                  off the fault path (exit status, output
                                  bytes, crash class); with two binary
                                  arguments, difference those instead
+  verify [-cases LIST] [-pipeline hybrid|order2|patch|all] [-json|-csv] [BIN]
+                                 statically prove the hardening
+                                 invariants, no simulation: catalog mode
+                                 hardens each case through the selected
+                                 pipelines and verifies check coverage,
+                                 skip-window spacing, and doubled
+                                 compares; with a binary argument, runs
+                                 the machine-level check-coverage proof
+                                 on it; any finding exits 1
   cases -dir DIR                 emit the registered case-study corpus
   cfg [-harden] BIN              CFG of the lifted IR in Graphviz dot
                                  (figures 4/5 with -harden)
@@ -690,6 +706,19 @@ func cmdPatch(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Post-pass gate: prove the order-2 pattern invariants on the
+	// patched program before anything is written. The driver only
+	// escalates sites its pair campaign proved vulnerable, so a
+	// converged run may contain no order-2 pattern at all — nothing to
+	// verify then.
+	if f.Order == 2 && hasOrder2(res.Program) {
+		if vfs := static.VerifyBIR(res.Program, birConfig()); len(vfs) > 0 {
+			for _, fd := range vfs {
+				fmt.Fprintln(os.Stderr, fd.String())
+			}
+			return fmt.Errorf("static verification failed: %d hardening invariant violation(s)", len(vfs))
+		}
+	}
 	path := f.Out
 	if path == "" {
 		path = fs.Arg(0) + ".hardened"
@@ -740,6 +769,18 @@ func cmdHybrid(args []string) error {
 	res, err := reinforce.HardenHybrid(bin, opt)
 	if err != nil {
 		return err
+	}
+	// Post-pass gate: prove the countermeasure invariants on the
+	// artifact before it is written anywhere.
+	vfs, err := verifyHybridResult(res, opt.SkipWindow)
+	if err != nil {
+		return err
+	}
+	if len(vfs) > 0 {
+		for _, fd := range vfs {
+			fmt.Fprintln(os.Stderr, fd.String())
+		}
+		return fmt.Errorf("static verification failed: %d hardening invariant violation(s)", len(vfs))
 	}
 	fmt.Printf("protected %d branches; code size %d -> %d bytes (%.2f%% overhead)\n",
 		res.Stats.BranchesProtected, res.OriginalCodeSize, res.Binary.CodeSize(), res.Overhead()*100)
@@ -881,6 +922,172 @@ func writeOracleReports(out io.Writer, asJSON, asCSV bool, reports []*oracle.Cas
 		}
 	}
 	return nil
+}
+
+// cmdVerify runs the static countermeasure verifier: with no
+// positional arguments, each selected catalog case is hardened through
+// the selected pipelines and its artifact is proven against the
+// matching invariants (machine check coverage and — for order2 — the
+// IR skip-window structure for the hybrid route; doubled compares and
+// the fault-handler shape for the patch route); with a binary
+// argument, the machine-level check-coverage proof runs on it
+// directly. Findings are a runtime failure (exit 1) after the report
+// is written; an empty report is a structural proof, not a sampled
+// verdict.
+func cmdVerify(args []string, out io.Writer) error {
+	fs, f := cli.Verify()
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return usagef("want at most one binary")
+	}
+
+	var findings []static.Finding
+	artifacts := 0
+	if fs.NArg() == 1 {
+		bin, err := loadBinary(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		a, err := static.Analyze(bin)
+		if err != nil {
+			return err
+		}
+		findings = a.CheckCoverage()
+		artifacts = 1
+	} else {
+		selected, err := cases.ParseCases(f.Cases)
+		if err != nil {
+			return usageError{err: err}
+		}
+		pipelines, err := verifyPipelines(f.Pipeline)
+		if err != nil {
+			return err
+		}
+		for _, c := range selected {
+			for _, p := range pipelines {
+				pf, err := verifyCase(c, p)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", c.Name, p, err)
+				}
+				findings = append(findings, tagFindings(c.Name+"."+p, pf)...)
+				artifacts++
+			}
+		}
+	}
+
+	switch {
+	case f.JSON:
+		if err := static.WriteFindingsJSON(out, findings); err != nil {
+			return err
+		}
+	case f.CSV:
+		if err := static.WriteFindingsCSV(out, findings); err != nil {
+			return err
+		}
+	default:
+		for _, fd := range findings {
+			fmt.Fprintln(out, fd.String())
+		}
+		fmt.Fprintf(out, "verified %d artifact(s): %d finding(s)\n", artifacts, len(findings))
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("%d hardening invariant violation(s)", len(findings))
+	}
+	return nil
+}
+
+// verifyPipelines expands the -pipeline flag value.
+func verifyPipelines(s string) ([]string, error) {
+	switch s {
+	case "all":
+		return []string{"hybrid", "order2", "patch"}, nil
+	case "hybrid", "order2", "patch":
+		return []string{s}, nil
+	}
+	return nil, usagef("unknown -pipeline %q: want hybrid, order2, patch or all", s)
+}
+
+// verifyCase hardens one catalog case through one pipeline and proves
+// the invariants that pipeline promises.
+func verifyCase(c *cases.Case, pipeline string) ([]static.Finding, error) {
+	bin, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	switch pipeline {
+	case "hybrid", "order2":
+		res, err := reinforce.HardenHybrid(bin, reinforce.HybridOptions{SkipWindow: pipeline == "order2"})
+		if err != nil {
+			return nil, err
+		}
+		return verifyHybridResult(res, pipeline == "order2")
+	case "patch":
+		// The blanket order-2 patterns exercise every pattern shape
+		// without a simulation campaign; the Faulter+Patcher driver
+		// gates its own output (see cmdPatch).
+		res, err := patch.HardenAll(bin, patch.StyleOrder2)
+		if err != nil {
+			return nil, err
+		}
+		return static.VerifyBIR(res.Program, birConfig()), nil
+	}
+	return nil, usagef("unknown pipeline %q", pipeline)
+}
+
+// verifyHybridResult proves a hybrid artifact: the machine-level check
+// coverage of the lowered binary and, when the skip-window pass ran,
+// the IR-level spacing/counter/two-stage structure of the module it
+// was lowered from.
+func verifyHybridResult(res *reinforce.HybridResult, skipWindow bool) ([]static.Finding, error) {
+	a, err := static.Analyze(res.Binary)
+	if err != nil {
+		return nil, err
+	}
+	findings := a.CheckCoverage()
+	if skipWindow {
+		findings = append(findings, static.VerifyIR(res.Module, irConfig())...)
+	}
+	return findings, nil
+}
+
+// irConfig and birConfig bind the verifier to the toolchain's actual
+// cell names, skip window, and fault-handler label.
+func irConfig() static.IRConfig {
+	return static.IRConfig{OkCell: passes.CellSWOk, CtrCell: passes.CellStepCtr, Window: passes.DefaultSkipWindow}
+}
+
+func birConfig() static.BIRConfig {
+	return static.BIRConfig{FaultHandler: patch.FaulthandlerLabel}
+}
+
+// hasOrder2 reports whether any instruction carries an order-2
+// pattern mark.
+func hasOrder2(p *bir.Program) bool {
+	for _, b := range p.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].Order2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tagFindings prefixes each finding's location with the artifact it
+// came from (case.pipeline).
+func tagFindings(tag string, fs []static.Finding) []static.Finding {
+	out := make([]static.Finding, len(fs))
+	for i, f := range fs {
+		if f.Where == "" {
+			f.Where = tag
+		} else {
+			f.Where = tag + "/" + f.Where
+		}
+		out[i] = f
+	}
+	return out
 }
 
 func cmdCases(args []string) error {

@@ -280,6 +280,56 @@ func TestOracleDetectsDivergence(t *testing.T) {
 	}
 }
 
+// TestVerifyCatalogCleanGolden pins the `r2r verify -json` output for
+// hardened catalog artifacts: the empty findings array is the
+// structural proof the CI gate relies on, pinned as a golden file so a
+// verifier regression (spurious findings) or a silently weakened check
+// surface both show up as drift.
+func TestVerifyCatalogCleanGolden(t *testing.T) {
+	var out bytes.Buffer
+	err := cmdVerify([]string{"-cases", "pincheck", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "verify_pincheck.json", normalizeJSON(t, out.Bytes()))
+}
+
+// TestVerifyUnhardenedBinary: verifying a baseline binary reports its
+// unguarded exits and fails as a runtime error (exit 1), the contract
+// the CI gate's exit code relies on.
+func TestVerifyUnhardenedBinary(t *testing.T) {
+	bin, _, _ := writeCase(t, cases.Pincheck())
+	var out bytes.Buffer
+	err := cmdVerify([]string{bin}, &out)
+	var ue usageError
+	if err == nil || errors.As(err, &ue) {
+		t.Fatalf("unhardened binary: want runtime error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "invariant violation") {
+		t.Errorf("error does not count violations: %v", err)
+	}
+	if !strings.Contains(out.String(), "check-coverage") {
+		t.Errorf("report does not name the failing check:\n%s", out.String())
+	}
+}
+
+// TestVerifyUsageErrors: argument validation is usage (exit 2), not
+// runtime failure.
+func TestVerifyUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"two positional": {"a.elf", "b.elf"},
+		"bad pipeline":   {"-pipeline", "mystery"},
+		"unknown case":   {"-cases", "nonesuch"},
+	}
+	for name, args := range cases {
+		err := cmdVerify(args, &bytes.Buffer{})
+		var ue usageError
+		if err == nil || !errors.As(err, &ue) {
+			t.Errorf("%s: want usage error, got %v", name, err)
+		}
+	}
+}
+
 // TestHybridEmitRoundTrip: `r2r hybrid -emit` writes a standalone ELF
 // that loads back with the digest the command reported — and that the
 // rest of the toolchain (loadBinary, the emulator) accepts.

@@ -284,7 +284,7 @@ type Result struct {
 func RunAll(jobs []Job, opt Options) []Result {
 	out := make([]Result, len(jobs))
 	for i, job := range jobs {
-		start := time.Now()
+		start := time.Now() //lint:allow wallclock (Elapsed is reporting-only, stripped before determinism comparisons)
 		res, err := runInc(job.Name, i, len(jobs), job.Campaign, opt, nil, false)
 		out[i] = Result{Name: job.Name, Elapsed: time.Since(start), Err: err}
 		if err == nil {

@@ -12,6 +12,7 @@ import (
 	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/cases"
 	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/harden"
 )
 
 // StepLimit is the reference-run budget the harness uses — the same
@@ -29,6 +30,32 @@ func CaseCampaign(tb testing.TB, name string, models []fault.Model, maxFaults in
 	}
 	return fault.Campaign{
 		Binary:    c.MustBuild(),
+		Good:      c.Good,
+		Bad:       c.Bad,
+		Models:    models,
+		StepLimit: StepLimit,
+		MaxFaults: maxFaults,
+	}
+}
+
+// HardenedCampaign is CaseCampaign over the hybrid-hardened build of a
+// catalog case (branch hardening plus the skip-window pass) — the
+// artifact shape where static screens like the inert-window tier meet
+// hardening-inserted spacers, clones and validation chains, so the
+// differential harness exercises them against real countermeasure code
+// rather than only the unhardened originals.
+func HardenedCampaign(tb testing.TB, name string, models []fault.Model, maxFaults int) fault.Campaign {
+	tb.Helper()
+	c, err := cases.Get(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hr, err := harden.Hybrid(c.MustBuild(), harden.HybridOptions{SkipWindow: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fault.Campaign{
+		Binary:    hr.Binary,
 		Good:      c.Good,
 		Bad:       c.Bad,
 		Models:    models,

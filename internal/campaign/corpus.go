@@ -220,7 +220,7 @@ func runChain(ch *corpusChain, orders []int, opt CorpusOptions, results []Corpus
 			idx := ch.cells[cell]
 			cell++
 			name := fmt.Sprintf("%s/o%d", job.Case, order)
-			start := time.Now()
+			start := time.Now() //lint:allow wallclock (ElapsedMS is reporting-only, stripped before determinism comparisons)
 			out := CorpusCaseResult{Case: job.Case, Order: order}
 			switch order {
 			case 1:

@@ -207,7 +207,7 @@ func SummaryTable(sums []Summary) *report.Table {
 		tab.Header = append(tab.Header, "cache_hits", "cache_misses", "reused", "resimulated")
 	}
 	if pruned {
-		tab.Header = append(tab.Header, "prune_static", "prune_ref", "prune_class", "simulated")
+		tab.Header = append(tab.Header, "prune_static", "prune_inert", "prune_ref", "prune_class", "simulated")
 	}
 	for _, s := range sums {
 		row := []string{s.Name,
@@ -254,11 +254,12 @@ func SummaryTable(sums []Summary) *report.Table {
 		case s.Prune != nil:
 			row = append(row,
 				fmt.Sprintf("%d", s.Prune.StaticBudget+s.Prune.StaticDecode),
+				fmt.Sprintf("%d", s.Prune.StaticInert),
 				fmt.Sprintf("%d", s.Prune.RefEquiv),
 				fmt.Sprintf("%d", s.Prune.ClassEquiv),
 				fmt.Sprintf("%d", s.Prune.Simulated))
 		case pruned:
-			row = append(row, "", "", "", "")
+			row = append(row, "", "", "", "", "")
 		}
 		tab.AddRow(row...)
 	}

@@ -216,6 +216,22 @@ func Oracle() (*flag.FlagSet, *OracleFlags) {
 	return fs, f
 }
 
+// VerifyFlags are the `r2r verify` flags.
+type VerifyFlags struct {
+	Cases, Pipeline string
+	JSON, CSV       bool
+}
+
+// Verify builds the `r2r verify` flag set.
+func Verify() (*flag.FlagSet, *VerifyFlags) {
+	fs, f := newFS("verify"), &VerifyFlags{}
+	fs.StringVar(&f.Cases, "cases", "all", "comma-separated case studies from the registered catalog, or all")
+	fs.StringVar(&f.Pipeline, "pipeline", "all", "hardening pipelines to verify: hybrid (branch hardening), order2 (branch + skip window), patch (blanket order-2 patterns), or all")
+	fs.BoolVar(&f.JSON, "json", false, "emit findings as a JSON array on stdout")
+	fs.BoolVar(&f.CSV, "csv", false, "emit findings as CSV on stdout")
+	return fs, f
+}
+
 // CasesFlags are the `r2r cases` flags.
 type CasesFlags struct {
 	Dir string
@@ -282,6 +298,7 @@ func Specs() []Spec {
 		{"patch", 1, 1, func() *flag.FlagSet { fs, _ := Patch(); return fs }},
 		{"hybrid", 1, 1, func() *flag.FlagSet { fs, _ := Hybrid(); return fs }},
 		{"oracle", 0, 2, func() *flag.FlagSet { fs, _ := Oracle(); return fs }},
+		{"verify", 0, 1, func() *flag.FlagSet { fs, _ := Verify(); return fs }},
 		{"cases", 0, 0, func() *flag.FlagSet { fs, _ := Cases(); return fs }},
 		{"cfg", 1, 1, func() *flag.FlagSet { fs, _ := CFG(); return fs }},
 		{"experiments", 0, 0, func() *flag.FlagSet { fs, _ := Experiments(); return fs }},

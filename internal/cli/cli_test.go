@@ -28,7 +28,7 @@ func TestSpecsUniqueAndWellFormed(t *testing.T) {
 			t.Errorf("%s: MinArgs %d > MaxArgs %d", s.Name, s.MinArgs, s.MaxArgs)
 		}
 	}
-	for _, name := range []string{"campaign", "patch", "hybrid", "experiments", "oracle"} {
+	for _, name := range []string{"campaign", "patch", "hybrid", "experiments", "oracle", "verify"} {
 		if !seen[name] {
 			t.Errorf("spec %q missing", name)
 		}
@@ -150,6 +150,32 @@ func TestOracleFlags(t *testing.T) {
 	// on-disk binaries.
 	if spec.MinArgs != 0 || spec.MaxArgs != 2 {
 		t.Errorf("oracle arity = [%d,%d], want [0,2]", spec.MinArgs, spec.MaxArgs)
+	}
+}
+
+func TestVerifyFlags(t *testing.T) {
+	fs, f := Verify()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Cases != "all" || f.Pipeline != "all" || f.JSON || f.CSV {
+		t.Errorf("unexpected verify defaults: %+v", f)
+	}
+	fs, f = Verify()
+	if err := fs.Parse([]string{"-cases", "pincheck", "-pipeline", "order2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Cases != "pincheck" || f.Pipeline != "order2" || !f.JSON {
+		t.Errorf("verify flags misparsed: %+v", f)
+	}
+	spec, ok := Lookup("verify")
+	if !ok {
+		t.Fatal("verify spec missing")
+	}
+	// Zero positional args verifies the hardened catalog; one verifies
+	// an on-disk binary.
+	if spec.MinArgs != 0 || spec.MaxArgs != 1 {
+		t.Errorf("verify arity = [%d,%d], want [0,1]", spec.MinArgs, spec.MaxArgs)
 	}
 }
 

@@ -47,6 +47,23 @@ func TestTableCorpus(t *testing.T) {
 		if base.Success == 0 {
 			t.Errorf("%s: baseline shows no vulnerabilities — the case is not a case study", name)
 		}
+		// The static verifier must agree with the sweep: the unhardened
+		// baseline has no provable check coverage (except crtsign, whose
+		// source embeds the sign-then-verify countermeasure with its own
+		// exit(42) path), both hardened pipelines do.
+		if base.VerifyFindings == 0 && name != "crtsign" {
+			t.Errorf("%s: baseline verified clean — the static verifier is vacuous", name)
+		}
+		if name == "crtsign" && base.VerifyFindings != 0 {
+			t.Errorf("crtsign: %d finding(s) on a baseline with a built-in sign-then-verify check",
+				base.VerifyFindings)
+		}
+		for _, d := range []CorpusData{fp, hy} {
+			if d.VerifyFindings != 0 {
+				t.Errorf("%s/%s: %d static verify finding(s) on a hardened binary",
+					name, d.Pipeline, d.VerifyFindings)
+			}
+		}
 		// Hardening must not create new order-1 vulnerabilities, and must
 		// detect some faults the baseline could not.
 		for _, d := range []CorpusData{fp, hy} {

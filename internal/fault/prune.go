@@ -49,6 +49,7 @@ import (
 type PruneStats struct {
 	StaticBudget int `json:"static_budget"` // classified by the step-budget gate
 	StaticDecode int `json:"static_decode"` // classified by the decode pre-screen
+	StaticInert  int `json:"static_inert"`  // classified by the inert-window dataflow screen
 	RefEquiv     int `json:"ref_equiv"`     // inherited: state re-converged to the reference run
 	ClassEquiv   int `json:"class_equiv"`   // inherited from an equivalence-class representative
 	Simulated    int `json:"simulated"`     // actually simulated
@@ -57,7 +58,7 @@ type PruneStats struct {
 // Pruned returns how many injections were classified without their own
 // simulation.
 func (s PruneStats) Pruned() int {
-	return s.StaticBudget + s.StaticDecode + s.RefEquiv + s.ClassEquiv
+	return s.StaticBudget + s.StaticDecode + s.StaticInert + s.RefEquiv + s.ClassEquiv
 }
 
 // Total returns the number of injections accounted for.
@@ -67,6 +68,7 @@ func (s PruneStats) Total() int { return s.Pruned() + s.Simulated }
 func (s *PruneStats) Add(o PruneStats) {
 	s.StaticBudget += o.StaticBudget
 	s.StaticDecode += o.StaticDecode
+	s.StaticInert += o.StaticInert
 	s.RefEquiv += o.RefEquiv
 	s.ClassEquiv += o.ClassEquiv
 	s.Simulated += o.Simulated
@@ -78,8 +80,8 @@ func (s *PruneStats) Add(o PruneStats) {
 // counts what it did. Safe for concurrent use; plug it into
 // ExecuteShardSim like any simulation function.
 type Pruner struct {
-	s                   *Session
-	budget, decode, sim atomic.Int64
+	s                          *Session
+	budget, decode, inert, sim atomic.Int64
 }
 
 // NewPruner builds the static pruning pass for this session.
@@ -88,8 +90,12 @@ func (s *Session) NewPruner() *Pruner { return &Pruner{s: s} }
 // Simulate classifies one fault, statically when sound: a trace index
 // at or beyond the injection step budget is a step-limit crash (the
 // reference run proves the un-faulted prefix reaches the budget
-// without crashing first), and an undecodable bit flip is a decode
-// crash (see Session.decodePreScreen). Everything else simulates.
+// without crashing first), an undecodable bit flip is a decode crash
+// (see Session.decodePreScreen), and a skip whose window the dataflow
+// engine proves inert keeps the reference outcome (see inert.go). The
+// budget gate stays first: a fault both beyond budget and inert must
+// still answer the crash the exhaustive sweep observes. Everything
+// else simulates.
 func (p *Pruner) Simulate(f Fault) Outcome {
 	if uint64(f.TraceIndex) >= p.s.c.InjectionStepLimit {
 		p.budget.Add(1)
@@ -98,6 +104,10 @@ func (p *Pruner) Simulate(f Fault) Outcome {
 	if p.s.decodePreScreen(f) {
 		p.decode.Add(1)
 		return OutcomeCrash
+	}
+	if o, ok := p.s.inertOutcome(f); ok {
+		p.inert.Add(1)
+		return o
 	}
 	p.sim.Add(1)
 	return p.s.simulateDynamic(f)
@@ -110,6 +120,9 @@ func (p *Pruner) Simulate(f Fault) Outcome {
 // byte-identical to SimulateRecord's — simulating keeps that true by
 // construction, and a budget small enough to gate also makes the
 // simulation it forces cheap (the run is cut at that same budget).
+// Inert-window classification is skipped for the same reason: its
+// answer rests on whole-binary dataflow facts, not a recordable page
+// footprint.
 func (p *Pruner) SimulateRecord(f Fault) SimRecord {
 	if p.s.decodePreScreen(f) {
 		p.decode.Add(1)
@@ -124,6 +137,7 @@ func (p *Pruner) Stats() PruneStats {
 	return PruneStats{
 		StaticBudget: int(p.budget.Load()),
 		StaticDecode: int(p.decode.Load()),
+		StaticInert:  int(p.inert.Load()),
 		Simulated:    int(p.sim.Load()),
 	}
 }
@@ -178,7 +192,7 @@ type PairPruner struct {
 	refs    map[uint64]*refDigest
 	classes map[classKey]*equivClass
 
-	refEquiv, classEquiv, sim atomic.Int64
+	refEquiv, classEquiv, inert, sim atomic.Int64
 }
 
 // NewPairPruner builds the equivalence layer over a completed solo
@@ -221,9 +235,10 @@ func (pr *PairPruner) pairOutcome(p FaultPair) (Outcome, bool) {
 // Stats snapshots the layer's accounting.
 func (pr *PairPruner) Stats() PruneStats {
 	return PruneStats{
-		RefEquiv:   int(pr.refEquiv.Load()),
-		ClassEquiv: int(pr.classEquiv.Load()),
-		Simulated:  int(pr.sim.Load()),
+		RefEquiv:    int(pr.refEquiv.Load()),
+		ClassEquiv:  int(pr.classEquiv.Load()),
+		StaticInert: int(pr.inert.Load()),
+		Simulated:   int(pr.sim.Load()),
 	}
 }
 
@@ -298,6 +313,30 @@ func (pr *PairPruner) restOutcome(cl *equivClass, rest FaultPair, sim func() Out
 // solo-outcome inheritance (reference-equal state), class-cache
 // inheritance, or a fork simulation recorded into the class.
 func (s *Session) runPairGroupPruned(pr *PairPruner, g *pairGroup, sel []FaultPair, outcomes []Outcome, tally *Tally, tick func()) {
+	// StaticInert fast path: a fully transparent first window keeps the
+	// machine bit-identical to the reference trajectory through the
+	// effect horizon, so each pair runs exactly like its second fault
+	// alone — already known from the solo sweep. Any missing solo
+	// outcome falls back to the full dynamic path for the whole group.
+	if s.transparentFirst(g.first) {
+		known := true
+		for _, i := range g.idx {
+			if _, ok := pr.solo[sel[i].Second]; !ok {
+				known = false
+				break
+			}
+		}
+		if known {
+			for _, i := range g.idx {
+				o := pr.solo[sel[i].Second]
+				outcomes[i] = o
+				tally[o]++
+				tick()
+			}
+			pr.inert.Add(int64(len(g.idx)))
+			return
+		}
+	}
 	m := s.rungFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
 	res, done, err := m.RunUntil(g.end)
 	if done {

@@ -70,6 +70,11 @@ type Session struct {
 	// when the pre-screen is disabled (self-modifying reference run).
 	probes map[uint64]probe
 
+	// inert is the lazily built StaticInert classification state (see
+	// inert.go); its instruction map is only populated when the
+	// reference run left code unmutated.
+	inert inertState
+
 	// sched, when set via SetPool, is the shared execution pool every
 	// shard/pair/triple stage runs on instead of a private per-call
 	// goroutine set — the seam the corpus work-stealing scheduler
@@ -168,6 +173,18 @@ func NewSession(c Campaign) (*Session, error) {
 	s.faults = faults
 	if s.c.MaxFaults > 0 && len(s.faults) > s.c.MaxFaults {
 		s.faults = s.faults[:s.c.MaxFaults]
+	}
+
+	// StaticInert screens decode the skip windows against load-time
+	// bytes, so they share the generation-zero precondition with the
+	// decode pre-screen below. The instructions are value-copied out of
+	// the machine's cache so later resumed machines cannot alias it.
+	if gen == 0 {
+		im := make(map[uint64]isa.Inst, len(cache))
+		for a, in := range cache {
+			im[a] = *in
+		}
+		s.inert.insts = im
 	}
 
 	// Bit-flip decode pre-screen: when the reference run never mutated

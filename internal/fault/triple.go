@@ -147,6 +147,33 @@ type tripleGroup struct {
 // fired (eligibility requires Second.TraceIndex >= end and the triple
 // is trace-ordered), and after it the first fault's hooks are inert.
 func (s *Session) runTripleGroup(pr *PairPruner, g *tripleGroup, sel []FaultTriple, outcomes []Outcome, tally *Tally, tick func()) {
+	// StaticInert fast path: a fully transparent first window leaves
+	// the machine exactly on the reference trajectory, so each triple
+	// runs like its remaining pair alone — known when a pair sweep was
+	// registered. Any missing pair outcome falls back to the full
+	// dynamic path for the whole group.
+	if s.transparentFirst(g.first) {
+		rests := make([]Outcome, len(g.idx))
+		known := true
+		for n, i := range g.idx {
+			o, ok := pr.pairOutcome(sel[i].Rest())
+			if !ok {
+				known = false
+				break
+			}
+			rests[n] = o
+		}
+		if known {
+			for n, i := range g.idx {
+				o := rests[n]
+				outcomes[i] = o
+				tally[o]++
+				tick()
+			}
+			pr.inert.Add(int64(len(g.idx)))
+			return
+		}
+	}
 	m := s.rungFor(uint64(g.first.TraceIndex)).Resume(s.injectionConfig(g.first))
 	res, done, err := m.RunUntil(g.end)
 	if done {

@@ -21,6 +21,7 @@ import (
 	"github.com/r2r/reinforce/internal/campaign"
 	"github.com/r2r/reinforce/internal/elf"
 	"github.com/r2r/reinforce/internal/fault"
+	"github.com/r2r/reinforce/internal/ir"
 	"github.com/r2r/reinforce/internal/lift"
 	"github.com/r2r/reinforce/internal/lower"
 	"github.com/r2r/reinforce/internal/passes"
@@ -70,6 +71,11 @@ type HybridOptions struct {
 type HybridResult struct {
 	Binary *elf.Binary
 	Asm    string
+
+	// Module is the hardened IR the binary was lowered from, kept so
+	// the static verifier can prove countermeasure invariants on the
+	// exact module that produced the artifact.
+	Module *ir.Module
 
 	Stats passes.HardenStats
 
@@ -125,6 +131,7 @@ func Hybrid(bin *elf.Binary, opt HybridOptions) (*HybridResult, error) {
 		}
 	}
 	res.IRInstsHardened = lr.Module.NumInsts()
+	res.Module = lr.Module
 
 	low, err := lower.Lower(lr, opt.Lower)
 	if err != nil {
@@ -169,6 +176,7 @@ func DuplicationIR(bin *elf.Binary) (*HybridResult, error) {
 		return nil, fmt.Errorf("harden: %w", err)
 	}
 	res.IRInstsHardened = lr.Module.NumInsts()
+	res.Module = lr.Module
 	low, err := lower.Lower(lr, lower.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("harden: %w", err)

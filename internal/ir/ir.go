@@ -198,6 +198,12 @@ type Instr struct {
 
 	Callee *Function // OpCall
 
+	// Dup links a countermeasure-inserted clone back to the original
+	// instruction it re-executes (nil for everything else). Hardening
+	// passes set it; the static verifier uses it to check that clones
+	// are spaced far enough from their originals.
+	Dup *Instr
+
 	id  int // assigned by the builder; unique per function
 	blk *Block
 }
@@ -225,6 +231,37 @@ func (i *Instr) valueString(fn *Function) string {
 	return fmt.Sprintf("%%%d", i.id)
 }
 
+// BlockRole tags a block with the structural role a hardening pass
+// assigned it, so static verification can find the countermeasure
+// skeleton without pattern-matching instruction soup.
+type BlockRole uint8
+
+// Block roles. RoleNone is the zero value: any block no pass claimed.
+const (
+	RoleNone BlockRole = iota
+	// RoleSWBody is a block the skip-window pass instrumented: step
+	// counter, spaced clones, and the first-stage validation branch.
+	RoleSWBody
+	// RoleSWCheck2 is a skip-window second-stage check block: it
+	// re-reads the parked validation bit from its cell.
+	RoleSWCheck2
+	// RoleSWCont is the continuation block holding an instrumented
+	// block's original terminator.
+	RoleSWCont
+	// RoleSWFault is a fault-response block the skip-window pass
+	// created as the detection target of its validation branches.
+	RoleSWFault
+)
+
+var roleNames = [...]string{"none", "sw-body", "sw-chk2", "sw-cont", "sw-flt"}
+
+func (r BlockRole) String() string {
+	if int(r) < len(roleNames) {
+		return roleNames[r]
+	}
+	return "?"
+}
+
 // Block is a basic block: a label plus instructions ending in a
 // terminator.
 type Block struct {
@@ -236,6 +273,10 @@ type Block struct {
 	// UID is the compile-time unique block identifier the conditional
 	// branch hardening countermeasure assigns (paper §V-B).
 	UID uint64
+
+	// Role records which countermeasure structure the block belongs to
+	// (RoleNone unless a hardening pass claimed it).
+	Role BlockRole
 }
 
 // Func returns the containing function.

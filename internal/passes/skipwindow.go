@@ -209,7 +209,7 @@ func skipWindowBlock(f *ir.Function, b *ir.Block, window int, stats *SkipWindowS
 	var okChain *ir.Instr
 	for _, in := range dups {
 		clone := &ir.Instr{Op: in.Op, Ty: in.Ty, Bin: in.Bin, Pred: in.Pred, Cell: in.Cell,
-			Args: append([]ir.Value{}, in.Args...)}
+			Args: append([]ir.Value{}, in.Args...), Dup: in}
 		agree := &ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: ir.EQ, Args: []ir.Value{in, clone}}
 		newInsts = append(newInsts, clone, agree)
 		if okChain == nil {
@@ -240,6 +240,7 @@ func skipWindowBlock(f *ir.Function, b *ir.Block, window int, stats *SkipWindowS
 	// Continuation: the original terminator, with a block-local branch
 	// condition carried through a cell (as in DuplicateAll).
 	cont := f.NewBlock(fmt.Sprintf("%s_sw_ok_%d", b.Name, seq))
+	cont.Role = ir.RoleSWCont
 	if term.Op == ir.OpBr {
 		if cond, isInst := term.Args[0].(*ir.Instr); isInst {
 			carry := &ir.Instr{Op: ir.OpCellWrite, Ty: ir.Void, Cell: CellSWCond, Args: []ir.Value{cond}}
@@ -252,12 +253,14 @@ func skipWindowBlock(f *ir.Function, b *ir.Block, window int, stats *SkipWindowS
 	cont.Insts = append(cont.Insts, term)
 
 	flt := f.NewBlock(fmt.Sprintf("%s_sw_flt_%d", b.Name, seq))
+	flt.Role = ir.RoleSWFault
 	ir.NewBuilder(flt).FaultResp()
 
 	// Second-stage check: re-read the parked bit from the cell. An
 	// attack that skips a computation and the first check branch still
 	// has to get past this one.
 	chk2 := f.NewBlock(fmt.Sprintf("%s_sw_chk2_%d", b.Name, seq))
+	chk2.Role = ir.RoleSWCheck2
 	b2 := ir.NewBuilder(chk2)
 	b2.Br(b2.CellRead(CellSWOk), cont, flt)
 
@@ -266,6 +269,7 @@ func skipWindowBlock(f *ir.Function, b *ir.Block, window int, stats *SkipWindowS
 	check := &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Args: []ir.Value{ok}, Then: chk2, Else: flt}
 	newInsts = append(newInsts, check)
 	b.Insts = newInsts
+	b.Role = ir.RoleSWBody
 	ir.Renumber(f, b)
 	ir.Renumber(f, cont)
 	stats.Increments += increments

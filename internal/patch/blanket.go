@@ -9,7 +9,11 @@ import (
 
 // BlanketResult reports a whole-program duplication run.
 type BlanketResult struct {
-	Binary           *elf.Binary
+	Binary *elf.Binary
+	// Program is the patched symbolized form the binary was
+	// reassembled from, kept so the static verifier can prove pattern
+	// invariants on the exact program that produced the artifact.
+	Program          *bir.Program
 	Patched          int // instructions protected
 	Skipped          int // instructions with no applicable pattern
 	OriginalCodeSize int
@@ -61,6 +65,7 @@ func HardenAll(bin *elf.Binary, style Style) (*BlanketResult, error) {
 		return nil, err
 	}
 	res.Binary = out
+	res.Program = prog
 	return res, nil
 }
 

@@ -1,0 +1,149 @@
+package static
+
+// Backward liveness and forward reaching definitions at instruction
+// granularity, directly over Program.Succs. Instruction granularity
+// (rather than per-block summaries) keeps the transfer functions
+// trivially auditable against the emulator semantics in sem.go, and the
+// programs this toolchain emits are small enough that the simpler
+// fixpoint wins.
+
+// Liveness computes, for every reachable instruction address, the set
+// of registers and flags live immediately before it. The result
+// over-approximates: undecodable addresses (where the emulator crashes)
+// are treated as reading everything, as are instructions with
+// unmodeled semantics, so a component reported dead is truly dead on
+// every modeled continuation.
+func Liveness(p *Program) map[uint64]LiveSet {
+	eff := make(map[uint64]Effects, len(p.Insts))
+	for addr, in := range p.Insts {
+		eff[addr] = EffectsOf(in)
+	}
+	liveIn := make(map[uint64]LiveSet, len(p.Insts)+len(p.Undecoded))
+	for addr := range p.Undecoded {
+		liveIn[addr] = AllRegs | Flags
+	}
+	preds := make(map[uint64][]uint64, len(p.Succs))
+	for a, succs := range p.Succs {
+		for _, s := range succs {
+			preds[s] = append(preds[s], a)
+		}
+	}
+
+	// Seed the worklist with every instruction; process in descending
+	// address order first so straight-line code converges in one pass.
+	work := make([]uint64, len(p.Order))
+	copy(work, p.Order)
+	inWork := make(map[uint64]bool, len(work))
+	for _, a := range work {
+		inWork[a] = true
+	}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[addr] = false
+		if _, und := p.Undecoded[addr]; und {
+			continue // fixed at use-all
+		}
+		e := eff[addr]
+		var out LiveSet
+		for _, s := range p.Succs[addr] {
+			if _, known := p.Insts[s]; !known {
+				if _, und := p.Undecoded[s]; !und {
+					// Truncated exploration: unknown continuation.
+					out |= AllRegs | Flags
+					continue
+				}
+			}
+			out |= liveIn[s]
+		}
+		in := e.Use | (out &^ e.Kill)
+		if in != liveIn[addr] {
+			liveIn[addr] = in
+			for _, pa := range preds[addr] {
+				if !inWork[pa] {
+					inWork[pa] = true
+					work = append(work, pa)
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+// Def is one reaching definition: the instruction at Addr wrote (fully
+// or partially) the components in Comps.
+type Def struct {
+	Addr  uint64
+	Comps LiveSet
+}
+
+// ReachingDefs computes, for every reachable instruction address, the
+// definitions that may reach it: writes not killed along some path from
+// the definition site to the instruction. Partial writes (1-byte
+// register merges, inc/dec flag updates) generate definitions but kill
+// nothing, so earlier definitions flow through them — the conservative
+// direction. The entry is modeled as a pseudo-definition of everything
+// (Addr == ^uint64(0)) so "possibly uninitialized by any instruction"
+// stays visible.
+func ReachingDefs(p *Program) map[uint64][]Def {
+	const entryDef = ^uint64(0)
+	// in[addr] maps def-site → components of that def still reaching.
+	in := make(map[uint64]map[uint64]LiveSet, len(p.Insts))
+	get := func(addr uint64) map[uint64]LiveSet {
+		m := in[addr]
+		if m == nil {
+			m = make(map[uint64]LiveSet)
+			in[addr] = m
+		}
+		return m
+	}
+	get(p.Entry)[entryDef] = AllRegs | Flags
+
+	work := make([]uint64, 0, len(p.Order))
+	// Ascending order: forward problem, straight-line code converges fast.
+	for i := len(p.Order) - 1; i >= 0; i-- {
+		work = append(work, p.Order[i])
+	}
+	inWork := make(map[uint64]bool, len(work))
+	for _, a := range work {
+		inWork[a] = true
+	}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[addr] = false
+		if _, und := p.Undecoded[addr]; und {
+			continue
+		}
+		e := EffectsOf(p.Insts[addr])
+		cur := get(addr)
+		for _, s := range p.Succs[addr] {
+			sm := get(s)
+			changed := false
+			merge := func(site uint64, comps LiveSet) {
+				if comps != 0 && sm[site]&comps != comps {
+					sm[site] |= comps
+					changed = true
+				}
+			}
+			for site, comps := range cur {
+				merge(site, comps&^e.Kill)
+			}
+			merge(addr, e.Write)
+			if changed && !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	out := make(map[uint64][]Def, len(in))
+	for addr, m := range in {
+		defs := make([]Def, 0, len(m))
+		for site, comps := range m {
+			defs = append(defs, Def{Addr: site, Comps: comps})
+		}
+		out[addr] = defs
+	}
+	return out
+}

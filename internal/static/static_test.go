@@ -1,0 +1,299 @@
+package static
+
+import (
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/elf"
+	"github.com/r2r/reinforce/internal/isa"
+)
+
+// analyze assembles a program and runs the full analysis.
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	a, err := Analyze(bin)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+// sym resolves a label to its address.
+func sym(t *testing.T, bin *elf.Binary, name string) uint64 {
+	t.Helper()
+	addr, ok := bin.SymbolAddr(name)
+	if !ok {
+		t.Fatalf("symbol %q not found", name)
+	}
+	return addr
+}
+
+const diamondSrc = `
+.text
+_start:
+	mov rax, 1
+	cmp rax, 1
+	jne miss
+	mov rdi, 0
+	jmp done
+miss:
+	mov rdi, 42
+done:
+	mov rax, 60
+	syscall
+`
+
+func TestCFGDiamond(t *testing.T) {
+	a := analyze(t, diamondSrc)
+	g := a.CFG
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	entry := g.Entry
+	if entry == nil || entry.Start != a.Prog.Entry {
+		t.Fatalf("entry block = %+v", entry)
+	}
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2", len(entry.Succs))
+	}
+	miss := g.BlockAt(sym(t, a.Bin, "miss"))
+	done := g.BlockAt(sym(t, a.Bin, "done"))
+	if miss == nil || done == nil {
+		t.Fatalf("miss/done blocks missing")
+	}
+	if len(done.Preds) != 2 {
+		t.Fatalf("done preds = %d, want 2", len(done.Preds))
+	}
+	if !g.Reachable()[miss.Start] {
+		t.Errorf("miss not reachable")
+	}
+	// The final syscall is a proven exit (RAX=60 is straight-line) but
+	// the exit code joins from two arms, so it stays unknown.
+	var sc uint64
+	for addr, in := range a.Prog.Insts {
+		if in.Op == isa.SYSCALL {
+			sc = addr
+		}
+	}
+	e, ok := a.Prog.Exits[sc]
+	if !ok || !e.Definite || e.CodeKnown {
+		t.Errorf("exit classification = %+v ok=%v, want definite unknown-code", e, ok)
+	}
+	if !a.Prog.IsTerminal(sc) {
+		t.Errorf("proven exit syscall must be terminal")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	a := analyze(t, diamondSrc)
+	g := a.CFG
+	entry := g.Entry
+	miss := g.BlockAt(sym(t, a.Bin, "miss"))
+	done := g.BlockAt(sym(t, a.Bin, "done"))
+	if !entry.Dominates(done) || !entry.Dominates(miss) || !entry.Dominates(entry) {
+		t.Errorf("entry should dominate every block")
+	}
+	if miss.Dominates(done) {
+		t.Errorf("miss must not dominate done (fall-through path exists)")
+	}
+	if done.Idom() != entry {
+		t.Errorf("idom(done) = %v, want entry", done.Idom())
+	}
+	if done.Dominates(entry) {
+		t.Errorf("done must not dominate entry")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	a := analyze(t, diamondSrc)
+	done := sym(t, a.Bin, "done")
+	live := a.LiveIn(done)
+	if !live.Has(RegBit(isa.RDI)) {
+		t.Errorf("RDI should be live at done (exit code)")
+	}
+	if live.Has(RegBit(isa.RAX)) {
+		t.Errorf("RAX should be dead at done (rewritten before syscall)")
+	}
+	// At the entry the cmp result is consumed by jne: flags dead before
+	// cmp, live right after — check via the jne's LiveIn.
+	var jne uint64
+	for addr, in := range a.Prog.Insts {
+		if in.Op == isa.JCC {
+			jne = addr
+		}
+	}
+	if !a.LiveIn(jne).Has(Flags) {
+		t.Errorf("flags should be live at the jne")
+	}
+}
+
+func TestDeadOutputScreen(t *testing.T) {
+	a := analyze(t, `
+.text
+_start:
+	mov rcx, 5
+after:
+	mov rax, 60
+	mov rdi, 0
+	syscall
+`)
+	start := a.Prog.Entry
+	after := sym(t, a.Bin, "after")
+	w, ok := SkippableWrites(a.Prog.Insts[start])
+	if !ok || !w.Has(RegBit(isa.RCX)) {
+		t.Fatalf("mov rcx,5 writes = %v ok=%v", w, ok)
+	}
+	if !a.OutputsDead(w, after) {
+		t.Errorf("RCX should be dead after the unused mov")
+	}
+	// RDX is read by the (conservatively modeled) syscall and never
+	// rewritten, so it is live throughout.
+	if a.OutputsDead(RegBit(isa.RDX), after) {
+		t.Errorf("RDX must not be dead before the exit syscall")
+	}
+	// No claim about addresses outside the program.
+	if a.OutputsDead(w, 0xdead) {
+		t.Errorf("unknown address must yield no claim")
+	}
+}
+
+func TestTransparent(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		want bool
+	}{
+		{isa.NOP, true}, {isa.JMP, true}, {isa.JCC, true},
+		{isa.MOV, false}, {isa.CALL, false}, {isa.PUSH, false},
+	}
+	for _, c := range cases {
+		if got := Transparent(isa.Inst{Op: c.op}); got != c.want {
+			t.Errorf("Transparent(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestSkippableWritesRejects(t *testing.T) {
+	reject := []isa.Inst{
+		{Op: isa.CALL},
+		{Op: isa.RET},
+		{Op: isa.SYSCALL},
+		{Op: isa.PUSH, Dst: isa.Operand{Kind: isa.KindReg, Reg: isa.RAX, Width: 8}},
+		{Op: isa.POP, Dst: isa.Operand{Kind: isa.KindReg, Reg: isa.RAX, Width: 8}},
+		{Op: isa.MOV, // memory store
+			Dst: isa.Operand{Kind: isa.KindMem, Width: 8, Mem: isa.Mem{Base: isa.RAX}},
+			Src: isa.Operand{Kind: isa.KindReg, Reg: isa.RBX, Width: 8}},
+	}
+	for _, in := range reject {
+		if _, ok := SkippableWrites(in); ok {
+			t.Errorf("SkippableWrites(%v) accepted, want rejected", in.Op)
+		}
+	}
+}
+
+func TestEffectsTable(t *testing.T) {
+	mk := func(op isa.Op, dst, src isa.Operand) isa.Inst {
+		return isa.Inst{Op: op, Dst: dst, Src: src}
+	}
+	reg := func(r isa.Reg, w uint8) isa.Operand {
+		return isa.Operand{Kind: isa.KindReg, Reg: r, Width: w}
+	}
+	imm := func(v int64) isa.Operand { return isa.Operand{Kind: isa.KindImm, Imm: v} }
+
+	// Full-width mov kills the destination and reads only the source.
+	e := EffectsOf(mk(isa.MOV, reg(isa.RAX, 8), reg(isa.RBX, 8)))
+	if !e.Kill.Has(RegBit(isa.RAX)) || !e.Use.Has(RegBit(isa.RBX)) || e.Use.Has(RegBit(isa.RAX)) {
+		t.Errorf("mov rax, rbx effects = %+v", e)
+	}
+	// 1-byte writes merge: use+write, no kill.
+	e = EffectsOf(mk(isa.MOV, reg(isa.RAX, 1), imm(7)))
+	if e.Kill.Has(RegBit(isa.RAX)) || !e.Use.Has(RegBit(isa.RAX)) || !e.Write.Has(RegBit(isa.RAX)) {
+		t.Errorf("mov al, 7 effects = %+v", e)
+	}
+	// inc preserves CF: flags used and written, not killed.
+	e = EffectsOf(mk(isa.INC, reg(isa.RAX, 8), isa.Operand{}))
+	if e.Kill.Has(Flags) || !e.Use.Has(Flags) || !e.Write.Has(Flags) {
+		t.Errorf("inc rax effects = %+v", e)
+	}
+	// Shift by zero leaves flags untouched; nonzero kills them.
+	e = EffectsOf(mk(isa.SHL, reg(isa.RAX, 8), imm(0)))
+	if e.Write.Has(Flags) {
+		t.Errorf("shl rax, 0 must not touch flags: %+v", e)
+	}
+	e = EffectsOf(mk(isa.SHL, reg(isa.RAX, 8), imm(3)))
+	if !e.Kill.Has(Flags) {
+		t.Errorf("shl rax, 3 must kill flags: %+v", e)
+	}
+	// adc reads its own flags before killing them.
+	e = EffectsOf(mk(isa.ADC, reg(isa.RAX, 8), reg(isa.RBX, 8)))
+	if !e.Use.Has(Flags) || !e.Kill.Has(Flags) {
+		t.Errorf("adc effects = %+v", e)
+	}
+	// ret uses everything (unknown continuation).
+	e = EffectsOf(isa.Inst{Op: isa.RET})
+	if e.Use != AllRegs|Flags {
+		t.Errorf("ret use = %v, want all", e.Use)
+	}
+	// syscall clobbers rax/rcx/r11 and reads the call registers.
+	e = EffectsOf(isa.Inst{Op: isa.SYSCALL})
+	if !e.Kill.Has(RegBit(isa.RCX)) || !e.Kill.Has(RegBit(isa.R11)) || !e.Use.Has(RegBit(isa.RDI)) {
+		t.Errorf("syscall effects = %+v", e)
+	}
+}
+
+func TestReachingDefs(t *testing.T) {
+	a := analyze(t, diamondSrc)
+	defs := ReachingDefs(a.Prog)
+	done := sym(t, a.Bin, "done")
+	var rdiDefs int
+	for _, d := range defs[done] {
+		if d.Comps.Has(RegBit(isa.RDI)) && d.Addr != ^uint64(0) {
+			rdiDefs++
+		}
+	}
+	if rdiDefs != 2 {
+		t.Errorf("RDI defs reaching done = %d, want 2 (both branch arms)", rdiDefs)
+	}
+	// The entry pseudo-def of RDI must be killed on both arms.
+	for _, d := range defs[done] {
+		if d.Addr == ^uint64(0) && d.Comps.Has(RegBit(isa.RDI)) {
+			t.Errorf("entry pseudo-def of RDI should not reach done")
+		}
+	}
+}
+
+func TestExploreUndecoded(t *testing.T) {
+	// A jump into the data section: reachable but undecodable, recorded
+	// as a terminal node rather than failing the analysis.
+	a := analyze(t, `
+.text
+_start:
+	mov rax, 1
+	cmp rax, 2
+	jne out
+	mov rax, 60
+	mov rdi, 0
+	syscall
+out:
+	jmp blob
+.rodata
+blob: .byte 0x06, 0x06, 0x06, 0x06
+`)
+	blob := sym(t, a.Bin, "blob")
+	if _, ok := a.Prog.Undecoded[blob]; !ok {
+		t.Fatalf("blob should be recorded undecoded")
+	}
+	if !a.Prog.IsTerminal(blob) {
+		t.Errorf("undecoded address must be terminal")
+	}
+	if b := a.CFG.BlockAt(blob); b == nil || len(b.Succs) != 0 {
+		t.Errorf("undecoded block should exist with no successors")
+	}
+	// Conservative liveness at the crash site: everything live.
+	if a.LiveIn(blob) != AllRegs|Flags {
+		t.Errorf("liveIn(undecoded) = %v, want all", a.LiveIn(blob))
+	}
+}

@@ -1,0 +1,435 @@
+// External tests for the static countermeasure verifier: catalog
+// artifacts must verify clean, and each deliberate weakening of a
+// hardened artifact must be flagged at exactly the weakened site.
+// The package is external (static_test) because it drives the real
+// hardening pipelines, which depend on the fault engine and therefore
+// on package static itself.
+package static_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/r2r/reinforce/internal/asm"
+	"github.com/r2r/reinforce/internal/bir"
+	"github.com/r2r/reinforce/internal/cases"
+	"github.com/r2r/reinforce/internal/harden"
+	"github.com/r2r/reinforce/internal/ir"
+	"github.com/r2r/reinforce/internal/isa"
+	"github.com/r2r/reinforce/internal/passes"
+	"github.com/r2r/reinforce/internal/patch"
+	"github.com/r2r/reinforce/internal/static"
+)
+
+func irCfg() static.IRConfig {
+	return static.IRConfig{
+		OkCell:  passes.CellSWOk,
+		CtrCell: passes.CellStepCtr,
+		Window:  passes.DefaultSkipWindow,
+	}
+}
+
+func birCfg() static.BIRConfig {
+	return static.BIRConfig{FaultHandler: patch.FaulthandlerLabel}
+}
+
+func analyzeSrc(t *testing.T, src string) *static.Analysis {
+	t.Helper()
+	bin, err := asm.Assemble(src, nil)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	a, err := static.Analyze(bin)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func noFindings(t *testing.T, label string, fs []static.Finding) {
+	t.Helper()
+	for _, f := range fs {
+		t.Errorf("%s: unexpected finding: %s", label, f)
+	}
+}
+
+// --- machine-level check coverage ---
+
+const guardedSrc = `
+.text
+_start:
+	mov rax, 7
+	cmp rax, 7
+	jne detect
+	mov rax, 60
+	mov rdi, 0
+	syscall
+detect:
+	mov rax, 60
+	mov rdi, 42
+	syscall
+`
+
+func TestCheckCoverageGuarded(t *testing.T) {
+	a := analyzeSrc(t, guardedSrc)
+	noFindings(t, "guarded", a.CheckCoverage())
+}
+
+func TestCheckCoverageUnguarded(t *testing.T) {
+	// Same exits, but the branch to the detector is gone: the clean
+	// exit is reachable with no verification site on the path.
+	src := strings.Replace(guardedSrc, "\tjne detect\n", "", 1)
+	a := analyzeSrc(t, src)
+	fs := a.CheckCoverage()
+	if len(fs) != 1 || fs[0].Check != "check-coverage" {
+		t.Fatalf("findings = %v, want one check-coverage finding", fs)
+	}
+}
+
+func TestCheckCoverageBaselineCatalogFlagged(t *testing.T) {
+	// Unhardened case studies have no fault response at all: every
+	// clean exit is an unguarded finding.
+	for _, c := range cases.All() {
+		a, err := static.Analyze(c.MustBuild())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if len(a.CheckCoverage()) == 0 {
+			t.Errorf("%s: baseline binary verified clean, want findings", c.Name)
+		}
+	}
+}
+
+func TestCheckCoverageCallReturn(t *testing.T) {
+	// The exit stub after the call is only reachable through the
+	// callee, whose body holds the verification branch: the call
+	// fall-through edge alone must not surface it as unguarded.
+	const src = `
+.text
+_start:
+	call check
+	mov rax, 60
+	mov rdi, 0
+	syscall
+check:
+	cmp rbx, 0
+	jne detect
+	ret
+detect:
+	mov rax, 60
+	mov rdi, 42
+	syscall
+`
+	a := analyzeSrc(t, src)
+	noFindings(t, "call-return", a.CheckCoverage())
+
+	// Without the check in the callee, the post-return exit is
+	// unguarded again.
+	weak := strings.Replace(src, "\tcmp rbx, 0\n\tjne detect\n", "", 1)
+	aw := analyzeSrc(t, weak)
+	if len(aw.CheckCoverage()) == 0 {
+		t.Error("unchecked callee: want a check-coverage finding")
+	}
+}
+
+// --- catalog artifacts verify clean ---
+
+func hybridCase(t *testing.T, c *cases.Case) *harden.HybridResult {
+	t.Helper()
+	hr, err := harden.Hybrid(c.MustBuild(), harden.HybridOptions{SkipWindow: true})
+	if err != nil {
+		t.Fatalf("%s: hybrid: %v", c.Name, err)
+	}
+	return hr
+}
+
+func TestVerifyHybridCatalogClean(t *testing.T) {
+	cs := cases.Corpus()
+	if testing.Short() {
+		cs = cases.All()
+	}
+	for _, c := range cs {
+		hr := hybridCase(t, c)
+		a, err := static.Analyze(hr.Binary)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", c.Name, err)
+		}
+		noFindings(t, c.Name+" machine", a.CheckCoverage())
+		noFindings(t, c.Name+" ir", static.VerifyIR(hr.Module, irCfg()))
+	}
+}
+
+func order2Program(t *testing.T, c *cases.Case) *bir.Program {
+	t.Helper()
+	res, err := patch.HardenAll(c.MustBuild(), patch.StyleOrder2)
+	if err != nil {
+		t.Fatalf("%s: order-2 blanket: %v", c.Name, err)
+	}
+	return res.Program
+}
+
+func TestVerifyBIRCatalogClean(t *testing.T) {
+	cs := cases.Corpus()
+	if testing.Short() {
+		cs = cases.All()
+	}
+	for _, c := range cs {
+		noFindings(t, c.Name+" bir", static.VerifyBIR(order2Program(t, c), birCfg()))
+	}
+}
+
+func TestVerifyIRUnhardenedModuleFlagged(t *testing.T) {
+	m := ir.NewModule("empty")
+	fs := static.VerifyIR(m, irCfg())
+	if len(fs) != 1 || fs[0].Check != "check-coverage" {
+		t.Fatalf("findings = %v, want the module-level finding", fs)
+	}
+}
+
+// --- mutation suite: each weakening is flagged at its exact site ---
+
+// hardenedModule lifts and skip-window-hardens pincheck, returning the
+// module (without lowering).
+func hardenedModule(t *testing.T) *ir.Module {
+	t.Helper()
+	hr := hybridCase(t, cases.Pincheck())
+	return hr.Module
+}
+
+// swBlocks returns all skip-window-instrumented blocks of a module.
+func swBlocks(m *ir.Module) []*ir.Block {
+	var out []*ir.Block
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			if b.Role == ir.RoleSWBody {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+func TestMutationDropSecondStageCheck(t *testing.T) {
+	m := hardenedModule(t)
+	bodies := swBlocks(m)
+	if len(bodies) == 0 {
+		t.Fatal("no instrumented blocks")
+	}
+	// Weaken ONE second-stage check: branch on a constant instead of
+	// re-reading the parked cell.
+	victim := bodies[len(bodies)/2].Terminator().Then
+	if victim == nil || victim.Role != ir.RoleSWCheck2 {
+		t.Fatalf("unexpected chk2 arm %v", victim)
+	}
+	victim.Terminator().Args[0] = ir.C1(true)
+
+	fs := static.VerifyIR(m, irCfg())
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if fs[0].Check != "second-stage-check" || !strings.Contains(fs[0].Where, victim.Name) {
+		t.Fatalf("finding = %+v, want second-stage-check at %s", fs[0], victim.Name)
+	}
+}
+
+func TestMutationDropStepCounterCheck(t *testing.T) {
+	m := hardenedModule(t)
+	var victim *ir.Block
+	for _, b := range swBlocks(m) {
+		// Strip the counter comparison out of the validation
+		// conjunction: branch on the agreement chain alone.
+		cond, ok := b.Terminator().Args[0].(*ir.Instr)
+		if !ok || cond.Op != ir.OpBin || cond.Bin != ir.And {
+			continue
+		}
+		b.Terminator().Args[0] = cond.Args[0]
+		victim = b
+		break
+	}
+	if victim == nil {
+		t.Fatal("no block with a combined validation condition")
+	}
+	fs := static.VerifyIR(m, irCfg())
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if fs[0].Check != "step-counter-check" || !strings.Contains(fs[0].Where, victim.Name) {
+		t.Fatalf("finding = %+v, want step-counter-check at %s", fs[0], victim.Name)
+	}
+}
+
+func TestMutationCoalesceClones(t *testing.T) {
+	m := hardenedModule(t)
+	var victim *ir.Block
+	for _, b := range swBlocks(m) {
+		ci := -1
+		for i, in := range b.Insts {
+			if in.Dup != nil {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			continue
+		}
+		// Coalesce: move the clone to directly after its original,
+		// inside one skip window.
+		clone := b.Insts[ci]
+		oi := -1
+		for i, in := range b.Insts {
+			if in == clone.Dup {
+				oi = i
+				break
+			}
+		}
+		if oi < 0 {
+			t.Fatal("clone's original not in block")
+		}
+		rest := append([]*ir.Instr{}, b.Insts[:ci]...)
+		rest = append(rest, b.Insts[ci+1:]...)
+		insts := append([]*ir.Instr{}, rest[:oi+1]...)
+		insts = append(insts, clone)
+		insts = append(insts, rest[oi+1:]...)
+		b.Insts = insts
+		victim = b
+		break
+	}
+	if victim == nil {
+		t.Fatal("no block with a clone")
+	}
+	fs := static.VerifyIR(m, irCfg())
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	if fs[0].Check != "skip-window-spacing" || !strings.Contains(fs[0].Where, victim.Name) {
+		t.Fatalf("finding = %+v, want skip-window-spacing at %s", fs[0], victim.Name)
+	}
+}
+
+// order2Mutation applies a StyleOrder2 pattern to one pincheck site and
+// hands the run bounds to the mutator before verification.
+func order2Mutation(t *testing.T, mutate func(p *bir.Program)) []static.Finding {
+	t.Helper()
+	prog := order2Program(t, cases.Pincheck())
+	mutate(prog)
+	return static.VerifyBIR(prog, birCfg())
+}
+
+// findDetectionPair locates a cmp/jne-faulthandler pair followed by its
+// doubled re-derivation (cmp/jne again) inside an order-2 run.
+func findDetectionPair(t *testing.T, p *bir.Program) (*bir.Block, int) {
+	t.Helper()
+	for _, b := range p.Blocks {
+		for i := 0; i+3 < len(b.Insts); i++ {
+			w := b.Insts[i : i+4]
+			if w[0].Order2 && w[0].I.Op == isa.CMP &&
+				w[1].Order2 && w[1].I.Op == isa.JCC && w[1].TargetLabel == patch.FaulthandlerLabel &&
+				w[2].Order2 && w[2].I.Op == isa.CMP &&
+				w[3].Order2 && w[3].I.Op == isa.JCC && w[3].TargetLabel == patch.FaulthandlerLabel {
+				return b, i
+			}
+		}
+	}
+	t.Fatal("no doubled cmp/jne detection pair found")
+	return nil, 0
+}
+
+func TestMutationDropDoubledCompare(t *testing.T) {
+	// Remove the second check entirely (cmp+jne): the run's
+	// compare-derived detection count goes odd.
+	fs := order2Mutation(t, func(p *bir.Program) {
+		b, i := findDetectionPair(t, p)
+		b.Insts = append(b.Insts[:i+2], b.Insts[i+4:]...)
+	})
+	if len(fs) != 1 || fs[0].Check != "doubled-compare" {
+		t.Fatalf("findings = %v, want one doubled-compare finding", fs)
+	}
+}
+
+func TestMutationSharedFlagDerivation(t *testing.T) {
+	// Remove only the second compare, leaving its branch to reuse the
+	// first check's flags: both checks now share one derivation.
+	fs := order2Mutation(t, func(p *bir.Program) {
+		b, i := findDetectionPair(t, p)
+		b.Insts = append(b.Insts[:i+2], b.Insts[i+3:]...)
+	})
+	// Shared derivation plus the now-odd pair count: both symptoms of
+	// the same weakening, anchored at the surviving branch and run.
+	if len(fs) == 0 {
+		t.Fatal("no findings, want doubled-compare")
+	}
+	for _, f := range fs {
+		if f.Check != "doubled-compare" {
+			t.Errorf("unexpected finding %s", f)
+		}
+	}
+	found := false
+	for _, f := range fs {
+		if strings.Contains(f.Detail, "shares its flag derivation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no shared-derivation finding")
+	}
+}
+
+func TestMutationMissingFaultHandler(t *testing.T) {
+	fs := order2Mutation(t, func(p *bir.Program) {
+		fh := p.Block(patch.FaulthandlerLabel)
+		// Neuter the handler's exit: drop the final syscall.
+		fh.Insts = fh.Insts[:len(fh.Insts)-1]
+	})
+	if len(fs) != 1 || fs[0].Check != "fault-response" {
+		t.Fatalf("findings = %v, want one fault-response finding", fs)
+	}
+}
+
+// --- machine-level mutation: weakened lowering is flagged ---
+
+func TestMutationLoweredUnguardedExit(t *testing.T) {
+	// A hybrid artifact whose hardening was skipped entirely has no
+	// verification site guarding its exits.
+	c := cases.Pincheck()
+	hr, err := harden.Hybrid(c.MustBuild(), harden.HybridOptions{SkipHardening: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := static.Analyze(hr.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CheckCoverage()) == 0 {
+		t.Error("unhardened lowering verified clean, want findings")
+	}
+}
+
+// --- findings export ---
+
+func TestFindingsWriters(t *testing.T) {
+	fs := []static.Finding{
+		{Check: "check-coverage", Addr: 0x401000, Detail: "exit unguarded"},
+		{Check: "skip-window-spacing", Where: "f/b", Detail: "clone too close"},
+	}
+	var js, cs strings.Builder
+	if err := static.WriteFindingsJSON(&js, fs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"check-coverage"`) || !strings.Contains(js.String(), `"addr"`) {
+		t.Errorf("json output:\n%s", js.String())
+	}
+	if err := static.WriteFindingsCSV(&cs, fs); err != nil {
+		t.Fatal(err)
+	}
+	want := "check,where,addr,detail\ncheck-coverage,,0x401000,exit unguarded\nskip-window-spacing,f/b,,clone too close\n"
+	if cs.String() != want {
+		t.Errorf("csv output:\n%q\nwant:\n%q", cs.String(), want)
+	}
+	var empty strings.Builder
+	if err := static.WriteFindingsJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(empty.String()) != "[]" {
+		t.Errorf("empty json = %q, want []", empty.String())
+	}
+}

@@ -1,0 +1,154 @@
+// atomiclint: atomic-access hygiene. A value that is ever accessed
+// through sync/atomic must be accessed through it on every path — one
+// plain load of a counter that workers bump with atomic.AddInt64 is a
+// data race the race detector only catches when the schedule
+// cooperates. The reliable cure is the typed atomic.* wrappers, whose
+// plain access is impossible; this checker enforces the migration.
+package main
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+var atomicDocRE = regexp.MustCompile(`(?i)\batomic(ally)?\b`)
+
+// rawIntTypes are the types sync/atomic's function API operates on.
+var rawIntTypes = map[string]bool{
+	"int32": true, "int64": true, "uint32": true, "uint64": true, "uintptr": true,
+}
+
+// atomiclint runs two rules over one package:
+//
+//   - a raw-integer struct field whose doc comment declares it atomic
+//     must use a typed atomic.* instead (the type system then enforces
+//     what the comment only requests);
+//   - a name that appears as &x in any sync/atomic call must never be
+//     accessed outside one.
+func atomiclint(p *pkg) []string {
+	var findings []string
+
+	// Rule 1: atomic-documented raw integer fields.
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				id, ok := field.Type.(*ast.Ident)
+				if !ok || !rawIntTypes[id.Name] {
+					continue
+				}
+				doc := field.Doc.Text() + " " + field.Comment.Text()
+				if atomicDocRE.MatchString(doc) {
+					findings = append(findings, p.findingAt(field, "atomicfield",
+						"field documented as atomic but typed %s: use atomic.%s so plain access cannot compile",
+						id.Name, typedAtomicFor(id.Name)))
+				}
+			}
+			return true
+		})
+	}
+
+	// Rule 2: mixed atomic/plain access, per function for locals and
+	// package-wide for selector fields (x.f and y.f with the same field
+	// name are folded together — names are unique enough within one
+	// package, and folding errs toward reporting).
+	atomicNames := map[string]bool{}
+	inAtomicCall := map[ast.Node]bool{}
+	for _, f := range p.files {
+		atomicPkg := ""
+		for _, spec := range f.Imports {
+			if strings.Trim(spec.Path.Value, `"`) == "sync/atomic" {
+				atomicPkg = importName(spec)
+			}
+		}
+		if atomicPkg == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != atomicPkg {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if name, ok := accessName(un.X); ok {
+					atomicNames[name] = true
+					inAtomicCall[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicNames) == 0 {
+		return findings
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || inAtomicCall[n] {
+				return false // post-order callback / the sanctioned access
+			}
+			e, isExpr := n.(ast.Expr)
+			if !isExpr {
+				return true
+			}
+			name, ok := accessName(e)
+			if !ok || !atomicNames[name] {
+				return true
+			}
+			// Skip the defining occurrence (var decl, struct field) —
+			// only reads and writes race.
+			if id, isIdent := n.(*ast.Ident); isIdent {
+				if p.info.Defs[id] != nil {
+					return true
+				}
+			}
+			findings = append(findings, p.findingAt(n, "atomicmix",
+				"%s is accessed with sync/atomic elsewhere; plain access races with it", name))
+			return false
+		})
+	}
+	return findings
+}
+
+// accessName maps an expression to the name atomiclint tracks: a bare
+// identifier for locals and package vars, the field name for selector
+// accesses. Non-name expressions report false.
+func accessName(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		return x.Sel.Name, true
+	}
+	return "", false
+}
+
+// typedAtomicFor names the sync/atomic wrapper type for a raw type.
+func typedAtomicFor(raw string) string {
+	switch raw {
+	case "int32":
+		return "Int32"
+	case "int64":
+		return "Int64"
+	case "uint32":
+		return "Uint32"
+	case "uint64":
+		return "Uint64"
+	default:
+		return "Uintptr"
+	}
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintSrc writes the files as one package directory and lints it.
+func lintSrc(t *testing.T, files map[string]string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := run([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func wantRule(t *testing.T, findings []string, rule string, n int) {
+	t.Helper()
+	got := 0
+	for _, f := range findings {
+		if strings.Contains(f, "["+rule+"]") {
+			got++
+		}
+	}
+	if got != n {
+		t.Errorf("want %d %s finding(s), got %d: %v", n, rule, got, findings)
+	}
+}
+
+// TestMapRangeExportFlagged is the injected-violation check the CI
+// wiring relies on: a map iteration feeding an export path must fail
+// the lint step.
+func TestMapRangeExportFlagged(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"export.go": `package p
+
+import "fmt"
+
+func Export(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`})
+	wantRule(t, findings, "maprange", 1)
+}
+
+func TestMapRangeCollectThenSortClean(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"collect.go": `package p
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`})
+	wantRule(t, findings, "maprange", 0)
+}
+
+func TestMapRangeOrderFreeClean(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"orderfree.go": `package p
+
+func Merge(dst, src map[string]int) (changed bool) {
+	for k, v := range src {
+		if dst[k] != v {
+			dst[k] = v
+			changed = true
+		}
+	}
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+	return changed
+}
+
+func Count(m map[string]int, hist map[int]int) {
+	for _, v := range m {
+		hist[v]++
+	}
+}
+`})
+	wantRule(t, findings, "maprange", 0)
+}
+
+func TestMapRangeDirective(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"allowed.go": `package p
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	//lint:allow maprange (debug helper, order is cosmetic)
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`})
+	wantRule(t, findings, "maprange", 0)
+}
+
+func TestWallClockFlaggedAndAllowed(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"clock.go": `package p
+
+import "time"
+
+func Bad() time.Time { return time.Now() }
+
+func Allowed() time.Time {
+	return time.Now() //lint:allow wallclock (elapsed reporting)
+}
+`})
+	wantRule(t, findings, "wallclock", 1)
+}
+
+func TestMathRandFlaggedOutsideTests(t *testing.T) {
+	findings := lintSrc(t, map[string]string{
+		"rng.go": `package p
+
+import "math/rand"
+
+func Roll() int { return rand.Int() }
+`,
+		"rng_test.go": `package p
+
+import "math/rand"
+
+func roll() int { return rand.Int() }
+`,
+	})
+	// The production file is flagged; the test file is not linted.
+	wantRule(t, findings, "mathrand", 1)
+}
+
+func TestAtomicMixedAccessFlagged(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"mix.go": `package p
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return c.n }
+`})
+	wantRule(t, findings, "atomicmix", 1)
+}
+
+func TestAtomicConsistentAccessClean(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"ok.go": `package p
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.n) }
+`})
+	wantRule(t, findings, "atomicmix", 0)
+}
+
+func TestAtomicDocumentedRawFieldFlagged(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"doc.go": `package p
+
+type pool struct {
+	// next is the claim cursor, advanced atomically by workers.
+	next int64
+}
+`})
+	wantRule(t, findings, "atomicfield", 1)
+}
+
+func TestAtomicTypedFieldClean(t *testing.T) {
+	findings := lintSrc(t, map[string]string{"typed.go": `package p
+
+import "sync/atomic"
+
+type pool struct {
+	// next is the claim cursor, advanced atomically by workers.
+	next atomic.Int64
+}
+
+func (p *pool) claim() int64 { return p.next.Add(1) - 1 }
+`})
+	if len(findings) != 0 {
+		t.Errorf("typed atomic field flagged: %v", findings)
+	}
+}
+
+// TestRepoPackagesClean pins the CI contract: the deterministic
+// packages the docs job lints must stay clean.
+func TestRepoPackagesClean(t *testing.T) {
+	findings, err := run([]string{
+		"../../internal/campaign",
+		"../../internal/fault",
+		"../../internal/report",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("repo packages have lint findings:\n%s", strings.Join(findings, "\n"))
+	}
+}

@@ -1,0 +1,193 @@
+// Command lint is the repo's determinism and atomicity multichecker,
+// built on the standard library's go/ast + go/types only (the
+// container has no golang.org/x/tools, so this is deliberately not an
+// analysis.Analyzer).
+//
+// Two checkers run over every package directory given on the command
+// line (test files are skipped — tests may use wall clocks and
+// math/rand legitimately):
+//
+//   - detlint proves the determinism discipline the campaign engine's
+//     bit-identical-results contract rests on: no map iteration in a
+//     merge/export path unless the loop is order-free or its results
+//     are sorted downstream, no time.Now outside annotated wall-clock
+//     reporting, no math/rand at all;
+//   - atomiclint proves atomic-access hygiene: a field or variable
+//     that is accessed through sync/atomic anywhere must be accessed
+//     through it everywhere, and a raw integer field documented as
+//     atomic must use an atomic.* type instead.
+//
+// A finding can be suppressed with a `//lint:allow <rule>` comment on
+// the same line or the line above, which doubles as in-source
+// documentation of why the site is exempt. Rules: maprange, wallclock,
+// mathrand.
+//
+// Usage: go run ./tools/lint DIR [DIR...]
+// Exit status: 0 clean, 1 findings, 2 usage/load failure.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lint DIR [DIR...]")
+		os.Exit(2)
+	}
+	findings, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("lint: %d package dir(s) clean\n", len(os.Args[1:]))
+}
+
+// run lints every package directory and returns the findings, sorted
+// by position.
+func run(dirs []string) ([]string, error) {
+	var findings []string
+	for _, dir := range dirs {
+		p, err := loadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		if p == nil {
+			continue // no non-test Go files
+		}
+		findings = append(findings, detlint(p)...)
+		findings = append(findings, atomiclint(p)...)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// pkg is one parsed and (permissively) type-checked package directory.
+type pkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+	info  *types.Info
+	// allow maps "file:line" to the set of rules a lint:allow
+	// directive suppresses there.
+	allow map[string]map[string]bool
+}
+
+// loadDir parses the non-test Go files of one directory and
+// type-checks them against stub imports: imported symbols get invalid
+// types and their errors are ignored, while everything declared in the
+// package itself — in particular every locally-typed map — resolves.
+// The checkers only need "is this expression a map", so partial
+// information is enough, and it keeps the tool free of module
+// resolution and of golang.org/x/tools.
+func loadDir(dir string) (*pkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: stubImporter{},
+		Error:    func(error) {}, // stub imports guarantee errors; partial Info is the point
+	}
+	conf.Check(files[0].Name.Name, fset, files, info)
+
+	p := &pkg{fset: fset, files: files, info: info, allow: map[string]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, rule := range strings.Fields(strings.TrimPrefix(text, "lint:allow")) {
+					// The directive suppresses on its own line and the
+					// next, so it works standalone above a statement
+					// and trailing on one.
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if p.allow[key] == nil {
+							p.allow[key] = map[string]bool{}
+						}
+						p.allow[key][rule] = true
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// stubImporter satisfies every import with an empty package.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	tp := types.NewPackage(path, name)
+	tp.MarkComplete()
+	return tp, nil
+}
+
+// allowed reports whether a lint:allow directive covers the node.
+func (p *pkg) allowed(rule string, node ast.Node) bool {
+	pos := p.fset.Position(node.Pos())
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	return p.allow[key][rule]
+}
+
+// findingAt renders one finding.
+func (p *pkg) findingAt(node ast.Node, rule, format string, args ...any) string {
+	return fmt.Sprintf("%s: [%s] %s", p.fset.Position(node.Pos()), rule, fmt.Sprintf(format, args...))
+}
+
+// importName returns the name an import is referenced by in the file:
+// its alias, or the last path element.
+func importName(spec *ast.ImportSpec) string {
+	if spec.Name != nil {
+		return spec.Name.Name
+	}
+	path := strings.Trim(spec.Path.Value, `"`)
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
